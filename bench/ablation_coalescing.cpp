@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation for Section 4.4 (edge-array coalescing): per dataset, the
+ * memory transactions, coalescing factor, warp efficiency, and
+ * simulated time of Tigr-V (consecutive edge assignment) vs Tigr-V+
+ * (strided/coalesced assignment) for SSSP.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace tigr;
+using engine::Strategy;
+
+int
+main()
+{
+    std::cout << "=== Tigr bench: ablation — edge-array coalescing "
+                 "(SSSP, K = 10, scale "
+              << bench::fmt(bench::benchScale(), 2) << ") ===\n\n";
+
+    bench::TablePrinter table({"dataset", "variant", "mem txns",
+                               "coalesce factor", "warp effi.",
+                               "sim ms"});
+    for (const auto &spec : graph::standardDatasets()) {
+        graph::Csr g = bench::loadGraph(spec, true);
+        const NodeId source = bench::hubNode(g);
+        for (Strategy strategy : {Strategy::TigrV, Strategy::TigrVPlus}) {
+            engine::EngineOptions options;
+            options.strategy = strategy;
+            options.degreeBound = 10;
+            engine::GraphEngine engine(g, options);
+            auto run = engine.sssp(source);
+            table.addRow(
+                {spec.name, std::string(engine::strategyName(strategy)),
+                 std::to_string(run.info.stats.memTransactions),
+                 bench::fmt(run.info.stats.coalescingFactor(), 2),
+                 bench::fmt(100.0 * run.info.stats.warpEfficiency(),
+                            1) + "%",
+                 bench::fmt(run.info.simulatedMs(), 2)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape (Figure 13's V -> V+ step): the "
+                 "coalesced layout merges each warp step's edge loads "
+                 "into far fewer transactions, lifting the average "
+                 "speedup from ~1.7x to ~2.1x in the paper.\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation: degree sorting vs. Tigr. Renumbering nodes by descending
+ * outdegree is the classic data-reordering mitigation for warp load
+ * imbalance (related work, Section 7.3) — it groups similar-degree
+ * nodes into the same warp without touching the topology. This bench
+ * quantifies how far that gets and how much further the virtual
+ * transformation goes, on SSSP over all six datasets.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "graph/reorder.hpp"
+
+using namespace tigr;
+using engine::Strategy;
+
+int
+main()
+{
+    std::cout << "=== Tigr bench: ablation — degree sorting vs "
+                 "transformation (SSSP, scale "
+              << bench::fmt(bench::benchScale(), 2) << ") ===\n\n";
+
+    bench::TablePrinter table({"dataset", "variant", "warp effi.",
+                               "SM imbal.", "sim ms", "speedup"});
+    for (const auto &spec : graph::standardDatasets()) {
+        graph::Csr g = bench::loadGraph(spec, true);
+        graph::Reordering sorted = graph::sortByDegreeDescending(g);
+        const NodeId source = bench::hubNode(g);
+
+        auto run = [&](const graph::Csr &graph, Strategy strategy,
+                       NodeId src) {
+            engine::EngineOptions options;
+            options.strategy = strategy;
+            options.degreeBound = 10;
+            engine::GraphEngine engine(graph, options);
+            return engine.sssp(src).info;
+        };
+
+        engine::RunInfo base = run(g, Strategy::Baseline, source);
+        engine::RunInfo degree_sorted =
+            run(sorted.graph, Strategy::Baseline, sorted.newId[source]);
+        engine::RunInfo tigr = run(g, Strategy::TigrVPlus, source);
+
+        auto add = [&](const char *label, const engine::RunInfo &info) {
+            table.addRow(
+                {spec.name, label,
+                 bench::fmt(100.0 * info.stats.warpEfficiency(), 1) +
+                     "%",
+                 bench::fmt(100.0 * info.stats.smImbalance(), 1) + "%",
+                 bench::fmt(info.simulatedMs(), 2),
+                 bench::fmt(base.simulatedMs() / info.simulatedMs(),
+                            2) + "x"});
+        };
+        add("baseline", base);
+        add("degree-sorted", degree_sorted);
+        add("tigr-v+", tigr);
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: sorting lifts warp efficiency by "
+                 "making warps internally uniform, but it concentrates "
+                 "all hub warps at the front of the grid, so SM-level "
+                 "imbalance *worsens* and end-to-end time can even "
+                 "regress. Splitting the rows (Tigr) fixes both levels "
+                 "at once — the paper's Section 2.3 intra- and "
+                 "inter-warp effects in one experiment.\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation: sensitivity of Tigr's benefit to the GPU configuration.
+ * The paper's premise is that wider SIMD groups amplify the cost of
+ * irregularity (Section 2.2); sweeping the simulated warp width and
+ * SM count shows the Tigr-V+ speedup growing with warp width and
+ * staying stable across SM counts.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace tigr;
+using engine::Strategy;
+
+namespace {
+
+double
+ssspMs(const graph::Csr &g, Strategy strategy, NodeId source,
+       const sim::GpuConfig &gpu)
+{
+    engine::EngineOptions options;
+    options.strategy = strategy;
+    options.degreeBound = 10;
+    options.gpu = gpu;
+    engine::GraphEngine engine(g, options);
+    return engine.sssp(source).info.simulatedMs();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Tigr bench: ablation — GPU configuration sweep "
+                 "(SSSP on livejournal stand-in, scale "
+              << bench::fmt(bench::benchScale(), 2) << ") ===\n\n";
+
+    auto spec = graph::findDataset("livejournal");
+    graph::Csr g = bench::loadGraph(*spec, true);
+    const NodeId source = bench::hubNode(g);
+
+    std::cout << "Warp-width sweep (14 SMs):\n";
+    {
+        bench::TablePrinter table({"warp size", "baseline ms",
+                                   "tigr-v+ ms", "speedup"});
+        for (unsigned warp : {4u, 8u, 16u, 32u, 64u}) {
+            sim::GpuConfig gpu;
+            gpu.warpSize = warp;
+            double base = ssspMs(g, Strategy::Baseline, source, gpu);
+            double tigr = ssspMs(g, Strategy::TigrVPlus, source, gpu);
+            table.addRow({std::to_string(warp), bench::fmt(base, 3),
+                          bench::fmt(tigr, 3),
+                          bench::fmt(base / tigr, 2) + "x"});
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nSM-count sweep (warp size 32):\n";
+    {
+        bench::TablePrinter table({"#SMs", "baseline ms", "tigr-v+ ms",
+                                   "speedup"});
+        for (unsigned sms : {2u, 7u, 14u, 28u, 56u}) {
+            sim::GpuConfig gpu;
+            gpu.numSms = sms;
+            double base = ssspMs(g, Strategy::Baseline, source, gpu);
+            double tigr = ssspMs(g, Strategy::TigrVPlus, source, gpu);
+            table.addRow({std::to_string(sms), bench::fmt(base, 3),
+                          bench::fmt(tigr, 3),
+                          bench::fmt(base / tigr, 2) + "x"});
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nExpected shape: wider warps waste more lanes on "
+                 "skewed rows, so the Tigr speedup grows with warp "
+                 "width. Adding SMs grows it too: with ample SMs the "
+                 "baseline is bottlenecked by whichever SM drew the "
+                 "hub warps (inter-warp imbalance, Section 2.3), while "
+                 "Tigr's uniform warps keep scaling.\n";
+    return 0;
+}

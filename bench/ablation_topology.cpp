@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Ablation for the Section 3.1 design-tradeoff analysis: run SSSP on
+ * graphs physically transformed with each of the four connection
+ * topologies and compare graph growth, convergence iterations, and
+ * simulated time — the end-to-end version of Table 1.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "engine/graph_engine.hpp"
+#include "ref/oracles.hpp"
+#include "transform/properties.hpp"
+
+using namespace tigr;
+
+int
+main()
+{
+    std::cout << "=== Tigr bench: ablation — split-topology comparison "
+                 "(SSSP, physical transforms, K = 32, scale "
+              << bench::fmt(bench::benchScale(), 2) << ") ===\n\n";
+
+    auto spec = graph::findDataset("pokec");
+    graph::Csr g = bench::loadGraph(*spec, true);
+    const NodeId source = bench::hubNode(g);
+    auto oracle = ref::dijkstra(g, source);
+
+    bench::TablePrinter table({"topology", "nodes", "edges", "max deg",
+                               "#iter", "sim ms", "correct"});
+
+    // Untransformed reference row.
+    {
+        engine::EngineOptions options;
+        options.strategy = engine::Strategy::Baseline;
+        options.syncRelaxation = false;
+        engine::GraphEngine engine(g, options);
+        auto run = engine.sssp(source);
+        table.addRow({"(none)", std::to_string(g.numNodes()),
+                      std::to_string(g.numEdges()),
+                      std::to_string(g.maxOutDegree()),
+                      std::to_string(run.info.iterations),
+                      bench::fmt(run.info.simulatedMs(), 2),
+                      run.values == oracle ? "yes" : "NO"});
+    }
+
+    for (auto topology :
+         {transform::Topology::Clique, transform::Topology::Circular,
+          transform::Topology::Star, transform::Topology::Udt}) {
+        auto t = transform::makeTransform(topology);
+        transform::SplitOptions split;
+        split.degreeBound = 32;
+        split.weightPolicy = transform::DumbWeightPolicy::Zero;
+        auto result = t->apply(g, split);
+
+        // Run baseline scheduling on the transformed graph (what the
+        // physical transformation buys is exactly this).
+        engine::EngineOptions options;
+        options.strategy = engine::Strategy::Baseline;
+        options.syncRelaxation = false;
+        engine::GraphEngine engine(result.graph, options);
+        auto run = engine.sssp(source);
+
+        bool correct = true;
+        for (NodeId v = 0; v < g.numNodes(); ++v)
+            correct &= run.values[v] == oracle[v];
+
+        table.addRow({std::string(t->name()),
+                      std::to_string(result.graph.numNodes()),
+                      std::to_string(result.graph.numEdges()),
+                      std::to_string(result.graph.maxOutDegree()),
+                      std::to_string(run.info.iterations),
+                      bench::fmt(run.info.simulatedMs(), 2),
+                      correct ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape (Table 1): clique inflates edges "
+                 "quadratically; circular converges slowest (hop "
+                 "chains); star keeps a high-degree hub; UDT bounds "
+                 "degree at K with logarithmic extra iterations. All "
+                 "four preserve distances (zero dumb weights).\n";
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's building blocks:
+ * CSR construction, the UDT transformation, virtual-node-array
+ * construction, and the simulator's per-launch overhead. These back
+ * the Table 7 wall-clock numbers with statistically robust timings.
+ */
+#include <benchmark/benchmark.h>
+
+#include "engine/push_engine.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "algorithms/semirings.hpp"
+#include "transform/udt.hpp"
+#include "transform/virtual_graph.hpp"
+
+namespace {
+
+using namespace tigr;
+
+graph::Csr
+powerLawGraph(std::int64_t edges)
+{
+    graph::RmatParams params;
+    params.nodes = static_cast<NodeId>(edges / 16);
+    params.edges = static_cast<EdgeIndex>(edges);
+    params.seed = 99;
+    return graph::GraphBuilder().build(graph::rmat(params));
+}
+
+void
+BM_CsrFromCoo(benchmark::State &state)
+{
+    graph::CooEdges coo = graph::rmat(
+        {.nodes = static_cast<NodeId>(state.range(0) / 16),
+         .edges = static_cast<EdgeIndex>(state.range(0)),
+         .seed = 7});
+    for (auto _ : state) {
+        graph::Csr g = graph::Csr::fromCoo(coo);
+        benchmark::DoNotOptimize(g.numEdges());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CsrFromCoo)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 19);
+
+void
+BM_UdtTransform(benchmark::State &state)
+{
+    graph::Csr g = powerLawGraph(state.range(0));
+    transform::SplitOptions options;
+    options.degreeBound = 64;
+    for (auto _ : state) {
+        auto result = transform::UdtTransform{}.apply(g, options);
+        benchmark::DoNotOptimize(result.graph.numEdges());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_UdtTransform)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 19);
+
+void
+BM_VirtualNodeArray(benchmark::State &state)
+{
+    graph::Csr g = powerLawGraph(state.range(0));
+    for (auto _ : state) {
+        transform::VirtualGraph vg(g, 10);
+        benchmark::DoNotOptimize(vg.numVirtualNodes());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VirtualNodeArray)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 19);
+
+void
+BM_SimulatorLaunch(benchmark::State &state)
+{
+    sim::WarpSimulator sim;
+    const std::uint64_t threads = state.range(0);
+    for (auto _ : state) {
+        auto stats = sim.launch(threads, [](std::uint64_t tid) {
+            sim::ThreadWork work;
+            work.instructions = 8;
+            work.edgeCount = 4;
+            work.edgeStart = tid * 4;
+            return work;
+        });
+        benchmark::DoNotOptimize(stats.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * threads);
+}
+BENCHMARK(BM_SimulatorLaunch)->Arg(1 << 12)->Arg(1 << 16);
+
+void
+BM_SsspEndToEnd(benchmark::State &state)
+{
+    graph::Csr g = powerLawGraph(1 << 17);
+    auto strategy = static_cast<engine::Strategy>(state.range(0));
+    engine::Schedule schedule = engine::Schedule::build(g, strategy, 10);
+    sim::WarpSimulator sim;
+    const std::pair<NodeId, Dist> seeds[] = {{0, 0}};
+    for (auto _ : state) {
+        auto outcome = engine::runPush<algorithms::SsspSemiring>(
+            schedule, sim, {}, seeds);
+        benchmark::DoNotOptimize(outcome.iterations);
+    }
+    state.SetLabel(
+        std::string(engine::strategyName(strategy)));
+}
+BENCHMARK(BM_SsspEndToEnd)
+    ->Arg(static_cast<int>(engine::Strategy::Baseline))
+    ->Arg(static_cast<int>(engine::Strategy::TigrV))
+    ->Arg(static_cast<int>(engine::Strategy::TigrVPlus));
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Reproduces Table 1 (and the Figure 6 residual-node comparison): the
+ * design-tradeoff properties of the clique, circular, star, and UDT
+ * split transformations, both as the paper's closed forms and as
+ * measured from the actual transformation plans.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "transform/properties.hpp"
+
+using namespace tigr;
+using transform::Topology;
+
+namespace {
+
+void
+printPropertiesTable(EdgeIndex d, NodeId k)
+{
+    std::cout << "\nTable 1: split-transformation properties "
+              << "(d = " << d << ", K = " << k << ")\n";
+    bench::TablePrinter table({"topology", "#new nodes", "#new edges",
+                               "new degree", "max #hops", "space cost",
+                               "irreg. reduction", "value prop."});
+    for (Topology t : {Topology::Clique, Topology::Circular,
+                       Topology::Star, Topology::Udt}) {
+        auto transform = transform::makeTransform(t);
+        auto measured = transform::measuredProperties(*transform, d, k);
+        const char *space = t == Topology::Clique ? "high" : "low";
+        const char *irreg =
+            t == Topology::Clique ? "low"
+            : (t == Topology::Star ? "varies" : "high");
+        const char *prop = t == Topology::Circular ? "slow" : "fast";
+        table.addRow({std::string(transform::topologyName(t)),
+                      std::to_string(measured.newNodes),
+                      std::to_string(measured.newEdges),
+                      std::to_string(measured.newDegree),
+                      std::to_string(measured.maxHops), space, irreg,
+                      prop});
+    }
+    table.print(std::cout);
+}
+
+void
+printResidualComparison()
+{
+    // Figure 6: Tstar on a degree-5 node (K = 3) leaves residual
+    // members; UDT leaves none.
+    std::cout << "\nFigure 6: residual nodes, d = 5, K = 3\n";
+    bench::TablePrinter table(
+        {"topology", "family size", "residual members (< K)"});
+    for (Topology t : {Topology::Star, Topology::Udt}) {
+        auto transform = transform::makeTransform(t);
+        transform::SplitPlan plan = transform->plan(5, 3);
+        std::vector<EdgeIndex> degree(plan.memberCount, 0);
+        for (std::uint32_t owner : plan.ownerOfEdge)
+            ++degree[owner];
+        for (auto [from, to] : plan.internalEdges) {
+            (void)to;
+            ++degree[from];
+        }
+        unsigned residual = 0;
+        for (std::uint32_t m = 1; m < plan.memberCount; ++m)
+            if (degree[m] < 3)
+                ++residual;
+        table.addRow({std::string(transform::topologyName(t)),
+                      std::to_string(plan.memberCount),
+                      std::to_string(residual)});
+    }
+    table.print(std::cout);
+}
+
+void
+printHopGrowth()
+{
+    // P3: UDT hop counts grow logarithmically with the degree while
+    // circular splitting grows linearly.
+    std::cout << "\nUDT vs circular propagation hops (K = 10)\n";
+    bench::TablePrinter table({"degree d", "udt hops", "circ hops"});
+    for (EdgeIndex d : {100ULL, 1000ULL, 10000ULL, 100000ULL,
+                        1000000ULL}) {
+        auto udt = transform::analyticProperties(Topology::Udt, d, 10);
+        auto circ =
+            transform::analyticProperties(Topology::Circular, d, 10);
+        table.addRow({std::to_string(d), std::to_string(udt.maxHops),
+                      std::to_string(circ.maxHops)});
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Tigr bench: Table 1 / Figure 6 — split "
+                 "transformation properties ===\n";
+    printPropertiesTable(1000, 10);
+    printPropertiesTable(12345, 32);
+    printResidualComparison();
+    printHopGrowth();
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Table 6: space cost of the virtual transformation as a
+ * percentage of the original CSR size, for K in {4, 8, 16, 32, 100},
+ * in the paper's 4-byte-entry CSR accounting.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "transform/virtual_graph.hpp"
+
+using namespace tigr;
+
+int
+main()
+{
+    std::cout << "=== Tigr bench: Table 6 — space cost of virtual "
+                 "transformation (scale "
+              << bench::fmt(bench::benchScale(), 2) << ") ===\n\n";
+
+    const NodeId bounds[] = {4, 8, 16, 32, 100};
+
+    bench::TablePrinter table({"dataset", "K=4", "K=8", "K=16", "K=32",
+                               "K=100"});
+    for (const auto &spec : graph::standardDatasets()) {
+        graph::Csr g = bench::loadGraph(spec, true);
+        const double original = static_cast<double>(
+            transform::VirtualGraph::paperBytesOriginal(g));
+        std::vector<std::string> row{spec.name};
+        for (NodeId k : bounds) {
+            transform::VirtualGraph vg(g, k);
+            double ratio =
+                100.0 * static_cast<double>(vg.paperBytes()) / original;
+            row.push_back(bench::fmt(ratio, 2) + "%");
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper reports ~146-149% at K=4 falling to "
+                 "~102-111% at K=100; the edge array dominates, so the "
+                 "virtual node array's share shrinks with K.\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces Table 7: host wall-clock cost of the physical (UDT) and
+ * virtual transformations per dataset. The virtual transformation only
+ * builds a node array, so it is an order of magnitude cheaper — the
+ * paper's core practicality argument for virtualization.
+ */
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "graph/stats.hpp"
+#include "transform/udt.hpp"
+#include "transform/virtual_graph.hpp"
+
+using namespace tigr;
+
+namespace {
+
+template <typename Fn>
+double
+timeMs(Fn &&fn)
+{
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(end - start)
+        .count();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Tigr bench: Table 7 — transformation time (host "
+                 "ms, scale "
+              << bench::fmt(bench::benchScale(), 2) << ") ===\n\n";
+
+    bench::TablePrinter table({"dataset", "physical (UDT)",
+                               "physical x4 threads", "virtual",
+                               "virtual x4 threads", "ratio"});
+    for (const auto &spec : graph::standardDatasets()) {
+        graph::Csr g = bench::loadGraph(spec, true);
+        const NodeId kudt = graph::chooseUdtK(g.maxOutDegree());
+
+        double physical_ms = timeMs([&] {
+            transform::SplitOptions options;
+            options.degreeBound = kudt;
+            auto result = transform::UdtTransform{}.apply(g, options);
+            (void)result;
+        });
+        double physical4_ms = timeMs([&] {
+            transform::SplitOptions options;
+            options.degreeBound = kudt;
+            options.threads = 4;
+            auto result = transform::UdtTransform{}.apply(g, options);
+            (void)result;
+        });
+        double virtual_ms = timeMs([&] {
+            transform::VirtualGraph vg(g, 10);
+            (void)vg;
+        });
+        double virtual4_ms = timeMs([&] {
+            transform::VirtualGraph vg(
+                g, 10, transform::EdgeLayout::Coalesced, 4);
+            (void)vg;
+        });
+        table.addRow({spec.name, bench::fmt(physical_ms, 2),
+                      bench::fmt(physical4_ms, 2),
+                      bench::fmt(virtual_ms, 2),
+                      bench::fmt(virtual4_ms, 2),
+                      bench::fmt(physical_ms /
+                                     std::max(virtual_ms, 1e-6), 1) +
+                          "x"});
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper reports physical transformation 20-60x more "
+                 "expensive than virtual (e.g. sinaweibo 16,444 ms vs "
+                 "290 ms); both scale linearly with graph size. The "
+                 "threaded columns exercise the parallelization the "
+                 "paper anticipates ('the current implementation ... "
+                 "is serial and can be parallelized').\n";
+    return 0;
+}

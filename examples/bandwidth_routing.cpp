@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Bandwidth-aware routing: on a network whose links have capacities,
+ * find for every node the maximum bottleneck bandwidth achievable from
+ * a content server — single-source widest path (SSWP).
+ *
+ * Shows the widest-path semiring, Corollary 3's *infinite* dumb
+ * weights on the physically transformed graph (zero weights, correct
+ * for SSSP, would be wrong here), and a strategy shoot-out on the same
+ * workload.
+ */
+#include <iostream>
+
+#include "algorithms/analytics.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "ref/oracles.hpp"
+
+int
+main()
+{
+    using namespace tigr;
+
+    // Backbone + access network: power-law with capacities 1..100.
+    graph::BuildOptions build;
+    build.randomizeWeights = true;
+    build.minWeight = 1;
+    build.maxWeight = 100;
+    build.weightSeed = 99;
+    graph::Csr network = graph::GraphBuilder(build).build(
+        graph::rmat({.nodes = 8192, .edges = 120000, .seed = 3}));
+
+    // The content server: the best-connected node.
+    NodeId server = 0;
+    for (NodeId v = 0; v < network.numNodes(); ++v)
+        if (network.degree(v) > network.degree(server))
+            server = v;
+
+    auto oracle = ref::widestPath(network, server);
+
+    std::cout << "bandwidth map from server " << server << " ("
+              << network.degree(server) << " links)\n\n";
+    std::cout << "strategy      sim-ms  warp-eff  iterations  correct\n";
+    std::cout << "----------------------------------------------------\n";
+    for (engine::Strategy strategy :
+         {engine::Strategy::Baseline, engine::Strategy::TigrUdt,
+          engine::Strategy::TigrV, engine::Strategy::TigrVPlus}) {
+        engine::EngineOptions options;
+        options.strategy = strategy;
+        options.degreeBound = 10;
+        options.udtBound = 64;
+        auto result = algorithms::sswp(network, server, options);
+        bool correct = true;
+        for (NodeId v = 0; v < network.numNodes(); ++v)
+            correct &= result.values[v] == oracle[v];
+        std::printf("%-12s  %6.3f  %7.1f%%  %10u  %s\n",
+                    std::string(engine::strategyName(strategy)).c_str(),
+                    result.info.simulatedMs(),
+                    100.0 * result.info.stats.warpEfficiency(),
+                    result.info.iterations, correct ? "yes" : "NO");
+        if (!correct)
+            return 1;
+    }
+
+    // A few sample routes: the guaranteed bandwidth to random clients.
+    auto best = algorithms::sswp(network, server, {});
+    std::cout << "\nsample guaranteed bandwidths:\n";
+    for (NodeId client : {NodeId{17}, NodeId{4242}, NodeId{8000}}) {
+        Weight width = best.values[client];
+        if (width == 0)
+            std::cout << "  client " << client << ": unreachable\n";
+        else
+            std::cout << "  client " << client << ": "
+                      << width << " Mbps bottleneck\n";
+    }
+    std::cout << "\nNote: the UDT row relies on Corollary 3 — the "
+                 "transformation writes *infinite* dumb weights so the "
+                 "split trees never narrow any path.\n";
+    return 0;
+}

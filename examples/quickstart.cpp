@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Quickstart: generate a power-law graph, look at its irregularity, run
+ * SSSP under the baseline and Tigr-V+ strategies, and compare results
+ * and simulated GPU behavior.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+#include <iostream>
+
+#include "algorithms/analytics.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+int
+main()
+{
+    using namespace tigr;
+
+    // 1. Build a weighted power-law graph (R-MAT, 64k edges).
+    graph::BuildOptions build;
+    build.randomizeWeights = true;
+    build.maxWeight = 50;
+    graph::Csr g = graph::GraphBuilder(build).build(
+        graph::rmat({.nodes = 4096, .edges = 65536, .seed = 2024}));
+
+    // 2. Quantify its irregularity — the problem Tigr attacks.
+    graph::DegreeStats stats = graph::degreeStats(g);
+    std::cout << "graph: " << g.numNodes() << " nodes, " << g.numEdges()
+              << " edges\n"
+              << "degree: mean " << stats.meanDegree << ", max "
+              << stats.maxDegree << ", gini " << stats.gini << "\n"
+              << "estimated SIMD-lane waste at warp width 32: "
+              << 100.0 * graph::warpLoadImbalance(g) << "%\n\n";
+
+    // 3. Run SSSP from node 0 with the untransformed baseline...
+    engine::EngineOptions baseline;
+    baseline.strategy = engine::Strategy::Baseline;
+    auto base = algorithms::sssp(g, 0, baseline);
+
+    // ...and with Tigr's virtual transformation + edge coalescing.
+    engine::EngineOptions tigr;
+    tigr.strategy = engine::Strategy::TigrVPlus;
+    tigr.degreeBound = 10;
+    auto fast = algorithms::sssp(g, 0, tigr);
+
+    // 4. Same answers...
+    std::size_t reached = 0;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        if (base.values[v] != fast.values[v]) {
+            std::cerr << "mismatch at node " << v << "!\n";
+            return 1;
+        }
+        if (base.values[v] != kInfDist)
+            ++reached;
+    }
+    std::cout << "SSSP reached " << reached
+              << " nodes; both strategies agree on every distance.\n\n";
+
+    // 5. ...very different GPU behavior.
+    auto report = [](const char *name, const engine::RunInfo &info) {
+        std::cout << name << ": " << info.simulatedMs()
+                  << " simulated ms, " << info.iterations
+                  << " iterations, warp efficiency "
+                  << 100.0 * info.stats.warpEfficiency() << "%\n";
+    };
+    report("baseline", base.info);
+    report("tigr-v+ ", fast.info);
+    std::cout << "speedup: "
+              << base.info.simulatedMs() / fast.info.simulatedMs()
+              << "x\n";
+    return 0;
+}

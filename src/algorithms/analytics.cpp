@@ -1,0 +1,59 @@
+#include "algorithms/analytics.hpp"
+
+namespace tigr::algorithms {
+
+engine::DistancesResult
+bfs(const graph::Csr &graph, NodeId source,
+    engine::EngineOptions options)
+{
+    engine::GraphEngine eng(graph, options);
+    return eng.bfs(source);
+}
+
+engine::DistancesResult
+sssp(const graph::Csr &graph, NodeId source,
+     engine::EngineOptions options)
+{
+    engine::GraphEngine eng(graph, options);
+    return eng.sssp(source);
+}
+
+engine::WidthsResult
+sswp(const graph::Csr &graph, NodeId source,
+     engine::EngineOptions options)
+{
+    engine::GraphEngine eng(graph, options);
+    return eng.sswp(source);
+}
+
+engine::LabelsResult
+cc(const graph::Csr &graph, engine::EngineOptions options)
+{
+    engine::GraphEngine eng(graph, options);
+    return eng.cc();
+}
+
+engine::RanksResult
+pagerank(const graph::Csr &graph, engine::PageRankOptions pr_options,
+         engine::EngineOptions options)
+{
+    engine::GraphEngine eng(graph, options);
+    return eng.pagerank(pr_options);
+}
+
+engine::CentralityResult
+bc(const graph::Csr &graph, std::span<const NodeId> sources,
+   engine::EngineOptions options)
+{
+    engine::GraphEngine eng(graph, options);
+    return eng.bc(sources);
+}
+
+engine::TrianglesResult
+triangles(const graph::Csr &graph, engine::EngineOptions options)
+{
+    engine::GraphEngine eng(graph, options);
+    return eng.triangles();
+}
+
+} // namespace tigr::algorithms

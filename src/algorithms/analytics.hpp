@@ -1,0 +1,48 @@
+/**
+ * @file
+ * One-call convenience wrappers around GraphEngine for the six analyses
+ * the paper evaluates. Each constructs a throwaway engine, so use
+ * GraphEngine directly when running several analyses over one graph
+ * (the engine caches transformed structures between calls).
+ */
+#pragma once
+
+#include <span>
+
+#include "engine/graph_engine.hpp"
+
+namespace tigr::algorithms {
+
+/** Breadth-first search hop counts from @p source. */
+engine::DistancesResult bfs(const graph::Csr &graph, NodeId source,
+                            engine::EngineOptions options = {});
+
+/** Single-source shortest paths from @p source. */
+engine::DistancesResult sssp(const graph::Csr &graph, NodeId source,
+                             engine::EngineOptions options = {});
+
+/** Single-source widest paths from @p source. */
+engine::WidthsResult sswp(const graph::Csr &graph, NodeId source,
+                          engine::EngineOptions options = {});
+
+/** Connected components (pass a symmetrized graph; see
+ *  GraphEngine::cc). */
+engine::LabelsResult cc(const graph::Csr &graph,
+                        engine::EngineOptions options = {});
+
+/** PageRank. */
+engine::RanksResult pagerank(const graph::Csr &graph,
+                             engine::PageRankOptions pr_options = {},
+                             engine::EngineOptions options = {});
+
+/** Betweenness centrality from @p sources. */
+engine::CentralityResult bc(const graph::Csr &graph,
+                            std::span<const NodeId> sources,
+                            engine::EngineOptions options = {});
+
+/** Triangle counting (pass a symmetric, deduplicated graph; see
+ *  GraphEngine::triangles). */
+engine::TrianglesResult triangles(const graph::Csr &graph,
+                                  engine::EngineOptions options = {});
+
+} // namespace tigr::algorithms

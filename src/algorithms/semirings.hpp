@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Value semirings for push-based vertex-centric analyses.
+ *
+ * Each semiring defines how a value travels along an edge (extend) and
+ * how candidate values combine at a node (an associative, commutative,
+ * idempotent "better" reduction) — the exact associativity property
+ * Theorem 3 of the paper requires. One push engine instantiated over
+ * these four semirings yields BFS, SSSP, SSWP, and CC.
+ */
+#pragma once
+
+#include <algorithm>
+
+#include "graph/types.hpp"
+
+namespace tigr::algorithms {
+
+/**
+ * Shortest-path semiring: distances extend by saturating addition and
+ * reduce by minimum. With unit edge weights this is BFS (the paper's
+ * reduction of BFS to SSSP); with zero "dumb weights" on UDT-introduced
+ * edges it preserves distances across physical transformation
+ * (Corollary 2).
+ */
+struct SsspSemiring
+{
+    using Value = Dist;
+
+    /** Value of every node before the seed is planted. */
+    static constexpr Value identity = kInfDist;
+
+    /** Extend a path by one edge. */
+    static Value
+    extend(Value value, Weight weight)
+    {
+        return saturatingAdd(value, weight);
+    }
+
+    /** Is @p candidate an improvement over @p current? */
+    static bool
+    better(Value candidate, Value current)
+    {
+        return candidate < current;
+    }
+};
+
+/**
+ * Widest-path semiring: the width of a path is its minimum edge weight;
+ * widths reduce by maximum. Infinite "dumb weights" on UDT-introduced
+ * edges keep them neutral (Corollary 3).
+ */
+struct SswpSemiring
+{
+    using Value = Weight;
+
+    static constexpr Value identity = 0;
+
+    static Value
+    extend(Value value, Weight weight)
+    {
+        return std::min(value, weight);
+    }
+
+    static bool
+    better(Value candidate, Value current)
+    {
+        return candidate > current;
+    }
+};
+
+/**
+ * Connected-components semiring: node labels travel unchanged along
+ * edges and reduce by minimum, converging to the smallest reachable
+ * label. Run on a symmetrized graph, every node seeded with its own id,
+ * this computes weak connectivity (Corollary 1).
+ */
+struct CcSemiring
+{
+    using Value = NodeId;
+
+    static constexpr Value identity = kInvalidNode;
+
+    static Value
+    extend(Value value, Weight weight)
+    {
+        (void)weight;
+        return value;
+    }
+
+    static bool
+    better(Value candidate, Value current)
+    {
+        return candidate < current;
+    }
+};
+
+} // namespace tigr::algorithms

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * On-the-fly mapping reasoning (Section 4.1, second virtualization
+ * design): a work-unit provider that stores *no* virtual node array
+ * and instead recomputes each node's family decomposition from the
+ * CSR and the degree bound K every time it is asked — trading
+ * computation for zero mapping memory, exactly as the paper describes.
+ *
+ * It is interchangeable with Schedule in the push driver: both expose
+ * graph()/numValueNodes()/cost()/ignoresWorklist() plus unit
+ * enumeration callbacks.
+ */
+#pragma once
+
+#include "engine/schedule.hpp"
+#include "transform/virtual_graph.hpp"
+
+namespace tigr::engine {
+
+/**
+ * Streaming provider of TigrV / TigrV+ work units.
+ *
+ * The per-node reasoning is the paper's example: "before processing
+ * node v2, a reasoning runtime finds its degree is 6, which is greater
+ * than K, hence splits it into two virtual nodes". No mapping is ever
+ * materialized.
+ */
+class DynamicVirtualProvider
+{
+  public:
+    /**
+     * @param graph Physical graph (kept by reference).
+     * @param degree_bound K.
+     * @param layout Consecutive (TigrV) or Coalesced (TigrV+).
+     */
+    DynamicVirtualProvider(const graph::Csr &graph, NodeId degree_bound,
+                           transform::EdgeLayout layout)
+        : graph_(&graph),
+          degreeBound_(degree_bound),
+          layout_(layout),
+          cost_(costModelFor(layout ==
+                                     transform::EdgeLayout::Coalesced
+                                 ? Strategy::TigrVPlus
+                                 : Strategy::TigrV))
+    {
+    }
+
+    /** The physical graph the units index. */
+    const graph::Csr &graph() const { return *graph_; }
+
+    /** Value nodes = physical nodes (implicit value sync). */
+    NodeId numValueNodes() const { return graph_->numNodes(); }
+
+    /** Tigr cost model. */
+    const CostModel &cost() const { return cost_; }
+
+    /** Dynamic reasoning honors the worklist like the array design. */
+    bool ignoresWorklist() const { return false; }
+
+    /** Recompute and visit the units of node @p v. */
+    template <typename Fn>
+    void
+    forEachUnitOf(NodeId v, Fn &&fn) const
+    {
+        transform::forEachVirtualNodeOf(
+            *graph_, v, degreeBound_, layout_,
+            [&fn](const transform::VirtualNode &node) {
+                WorkUnit unit;
+                unit.valueNode = node.physicalId;
+                unit.start = node.start;
+                unit.stride = static_cast<std::uint32_t>(node.stride);
+                unit.count = node.count;
+                fn(unit);
+            });
+    }
+
+    /** Visit every unit of every node. */
+    template <typename Fn>
+    void
+    forEachUnit(Fn &&fn) const
+    {
+        for (NodeId v = 0; v < numValueNodes(); ++v)
+            forEachUnitOf(v, fn);
+    }
+
+  private:
+    const graph::Csr *graph_;
+    NodeId degreeBound_;
+    transform::EdgeLayout layout_;
+    CostModel cost_;
+};
+
+} // namespace tigr::engine

@@ -1,0 +1,671 @@
+#include "engine/graph_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <chrono>
+#include <stdexcept>
+
+#include "algorithms/semirings.hpp"
+#include "engine/dynamic_provider.hpp"
+#include "graph/datasets.hpp"
+#include "transform/udt.hpp"
+
+namespace tigr::engine {
+
+namespace {
+
+double
+elapsedMs(std::chrono::steady_clock::time_point start)
+{
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(end - start)
+        .count();
+}
+
+bool
+allUnitWeights(const graph::Csr &graph)
+{
+    for (Weight w : graph.weights())
+        if (w != 1)
+            return false;
+    return true;
+}
+
+bool
+isVirtualStrategy(Strategy strategy)
+{
+    return strategy == Strategy::TigrV ||
+           strategy == Strategy::TigrVPlus;
+}
+
+} // namespace
+
+/** Lazily built per-analysis machinery: the (possibly transformed or
+ *  reversed) graph a schedule indexes plus the schedule itself. */
+struct GraphEngine::Context
+{
+    /** Owned graph storage when the context cannot reference the
+     *  engine's input directly (unit-weight copy, reversed graph). */
+    std::optional<graph::Csr> ownedGraph;
+    /** UDT transformation output (TigrUdt strategy only). */
+    std::optional<transform::PhysicalTransformResult> udt;
+    /** The graph whose edges the schedule indexes. */
+    const graph::Csr *scheduled = nullptr;
+    /** Work-unit decomposition (empty under dynamic mapping, which
+     *  recomputes units instead of storing them). */
+    Schedule schedule;
+    /** Host time spent building this context. */
+    double buildMs = 0.0;
+    /** Outdegrees of the original graph (pull contexts only). */
+    std::vector<EdgeIndex> outdegrees;
+};
+
+GraphEngine::GraphEngine(const graph::Csr &graph, EngineOptions options)
+    : graph_(graph), options_(options), sim_(options.gpu)
+{
+    if (options_.dynamicMapping &&
+        !isVirtualStrategy(options_.strategy)) {
+        throw std::invalid_argument(
+            "tigr: dynamic mapping reasoning only applies to the "
+            "virtual strategies (tigr-v / tigr-v+)");
+    }
+    if (options_.direction == Direction::Pull &&
+        options_.strategy == Strategy::TigrUdt) {
+        throw std::invalid_argument(
+            "tigr: pull propagation is unsupported under the physical "
+            "UDT strategy (splitting would have to key on indegrees); "
+            "use a virtual strategy");
+    }
+}
+
+GraphEngine::~GraphEngine() = default;
+
+GraphEngine::Context &
+GraphEngine::context(ContextKind kind)
+{
+    auto it = contexts_.find(kind);
+    if (it != contexts_.end())
+        return *it->second;
+
+    auto start = std::chrono::steady_clock::now();
+    auto ctx = std::make_unique<Context>();
+
+    // Pick the base graph for this analysis family.
+    const graph::Csr *base = &graph_;
+    switch (kind) {
+      case ContextKind::WeightedZero:
+      case ContextKind::WeightedInf:
+        break;
+      case ContextKind::UnitZero:
+      case ContextKind::PullReversedUnit:
+        if (!allUnitWeights(graph_)) {
+            graph::CooEdges coo = graph_.toCoo();
+            for (graph::Edge &e : coo.edges())
+                e.weight = 1;
+            ctx->ownedGraph = graph::Csr::fromCoo(coo);
+            base = &*ctx->ownedGraph;
+        }
+        break;
+      case ContextKind::PullReversed:
+        break;
+      case ContextKind::SortedRows: {
+        // Row-sorted copy: each node's neighbor list ascending, for
+        // two-pointer set intersections.
+        graph::CooEdges coo(graph_.numNodes());
+        coo.reserve(graph_.numEdges());
+        std::vector<std::pair<NodeId, Weight>> row;
+        for (NodeId v = 0; v < graph_.numNodes(); ++v) {
+            row.clear();
+            for (EdgeIndex e = graph_.edgeBegin(v);
+                 e < graph_.edgeEnd(v); ++e)
+                row.emplace_back(graph_.edgeTarget(e),
+                                 graph_.edgeWeight(e));
+            std::sort(row.begin(), row.end());
+            for (auto [target, weight] : row)
+                coo.add(v, target, weight);
+        }
+        ctx->ownedGraph = graph::Csr::fromCoo(coo);
+        base = &*ctx->ownedGraph;
+        break;
+      }
+    }
+
+    // Pull contexts schedule over the reversed graph and remember the
+    // original outdegrees (PageRank's rank shares, Corollary 4).
+    if (kind == ContextKind::PullReversed ||
+        kind == ContextKind::PullReversedUnit) {
+        ctx->ownedGraph = base->reversed();
+        base = &*ctx->ownedGraph;
+        ctx->outdegrees.resize(graph_.numNodes());
+        for (NodeId v = 0; v < graph_.numNodes(); ++v)
+            ctx->outdegrees[v] = graph_.degree(v);
+    }
+
+    // Physically transform for TigrUdt (push contexts only; pull and
+    // PR/BC refuse the strategy up front).
+    ctx->scheduled = base;
+    if (options_.strategy == Strategy::TigrUdt &&
+        kind != ContextKind::PullReversed &&
+        kind != ContextKind::PullReversedUnit &&
+        kind != ContextKind::SortedRows) {
+        transform::SplitOptions split;
+        split.degreeBound =
+            options_.udtBound != 0
+                ? options_.udtBound
+                : graph::chooseUdtK(base->maxOutDegree());
+        split.weightPolicy = kind == ContextKind::WeightedInf
+                                 ? transform::DumbWeightPolicy::Infinity
+                                 : transform::DumbWeightPolicy::Zero;
+        ctx->udt = transform::UdtTransform{}.apply(*base, split);
+        ctx->scheduled = &ctx->udt->graph;
+    }
+
+    // Under dynamic mapping the whole point is to store no unit array;
+    // the provider recomputes families per use.
+    if (!options_.dynamicMapping) {
+        ctx->schedule =
+            Schedule::build(*ctx->scheduled, options_.strategy,
+                            options_.degreeBound,
+                            options_.mwVirtualWarp);
+    }
+    ctx->buildMs = elapsedMs(start);
+
+    Context &ref = *ctx;
+    contexts_.emplace(kind, std::move(ctx));
+    return ref;
+}
+
+PushOptions
+GraphEngine::pushOptions() const
+{
+    PushOptions push;
+    push.worklist = options_.worklist;
+    push.syncRelaxation = options_.syncRelaxation;
+    push.maxIterations = options_.maxIterations;
+    return push;
+}
+
+template <typename Semiring>
+PushOutcome<Semiring>
+GraphEngine::runSemiring(
+    Context &ctx,
+    std::span<const std::pair<NodeId, typename Semiring::Value>> seeds,
+    bool all_active)
+{
+    const bool pull = options_.direction == Direction::Pull;
+    if (options_.dynamicMapping) {
+        const auto layout = options_.strategy == Strategy::TigrVPlus
+                                ? transform::EdgeLayout::Coalesced
+                                : transform::EdgeLayout::Consecutive;
+        DynamicVirtualProvider provider(*ctx.scheduled,
+                                        options_.degreeBound, layout);
+        return pull ? runPull<Semiring>(provider, sim_, pushOptions(),
+                                        seeds)
+                    : runPush<Semiring>(provider, sim_, pushOptions(),
+                                        seeds, all_active);
+    }
+    return pull ? runPull<Semiring>(ctx.schedule, sim_, pushOptions(),
+                                    seeds)
+                : runPush<Semiring>(ctx.schedule, sim_, pushOptions(),
+                                    seeds, all_active);
+}
+
+void
+GraphEngine::fillRunInfo(RunInfo &info, const Context &ctx,
+                         Algorithm algorithm) const
+{
+    info.transformMs = ctx.buildMs;
+    // Dynamic mapping stores no virtual node array: that memory simply
+    // never exists on the device.
+    const std::uint64_t virtual_nodes =
+        options_.dynamicMapping ? 0 : ctx.schedule.numUnits();
+    info.footprintBytes = modeledFootprintBytes(
+        options_.strategy, algorithm, *ctx.scheduled, virtual_nodes);
+}
+
+DistancesResult
+GraphEngine::sssp(NodeId source)
+{
+    Context &ctx = context(options_.direction == Direction::Pull
+                               ? ContextKind::PullReversed
+                               : ContextKind::WeightedZero);
+    const std::pair<NodeId, Dist> seeds[] = {{source, 0}};
+    auto outcome =
+        runSemiring<algorithms::SsspSemiring>(ctx, seeds, false);
+
+    DistancesResult result;
+    outcome.values.resize(graph_.numNodes()); // drop split-node slots
+    result.values = std::move(outcome.values);
+    result.info.iterations = outcome.iterations;
+    result.info.converged = outcome.converged;
+    result.info.stats = outcome.stats;
+    fillRunInfo(result.info, ctx, Algorithm::Sssp);
+    return result;
+}
+
+DistancesResult
+GraphEngine::bfs(NodeId source)
+{
+    Context &ctx = context(options_.direction == Direction::Pull
+                               ? ContextKind::PullReversedUnit
+                               : ContextKind::UnitZero);
+    const std::pair<NodeId, Dist> seeds[] = {{source, 0}};
+    auto outcome =
+        runSemiring<algorithms::SsspSemiring>(ctx, seeds, false);
+
+    DistancesResult result;
+    outcome.values.resize(graph_.numNodes());
+    result.values = std::move(outcome.values);
+    result.info.iterations = outcome.iterations;
+    result.info.converged = outcome.converged;
+    result.info.stats = outcome.stats;
+    fillRunInfo(result.info, ctx, Algorithm::Bfs);
+    return result;
+}
+
+WidthsResult
+GraphEngine::sswp(NodeId source)
+{
+    Context &ctx = context(options_.direction == Direction::Pull
+                               ? ContextKind::PullReversed
+                               : ContextKind::WeightedInf);
+    const std::pair<NodeId, Weight> seeds[] = {{source, kInfWeight}};
+    auto outcome =
+        runSemiring<algorithms::SswpSemiring>(ctx, seeds, false);
+
+    WidthsResult result;
+    outcome.values.resize(graph_.numNodes());
+    result.values = std::move(outcome.values);
+    result.info.iterations = outcome.iterations;
+    result.info.converged = outcome.converged;
+    result.info.stats = outcome.stats;
+    fillRunInfo(result.info, ctx, Algorithm::Sswp);
+    return result;
+}
+
+LabelsResult
+GraphEngine::cc()
+{
+    Context &ctx = context(options_.direction == Direction::Pull
+                               ? ContextKind::PullReversed
+                               : ContextKind::WeightedZero);
+    std::vector<std::pair<NodeId, NodeId>> seeds;
+    seeds.reserve(graph_.numNodes());
+    for (NodeId v = 0; v < graph_.numNodes(); ++v)
+        seeds.emplace_back(v, v);
+    auto outcome =
+        runSemiring<algorithms::CcSemiring>(ctx, seeds, true);
+
+    LabelsResult result;
+    outcome.values.resize(graph_.numNodes());
+    result.values = std::move(outcome.values);
+    result.info.iterations = outcome.iterations;
+    result.info.converged = outcome.converged;
+    result.info.stats = outcome.stats;
+    fillRunInfo(result.info, ctx, Algorithm::Cc);
+    return result;
+}
+
+RanksResult
+GraphEngine::pagerank(const PageRankOptions &pr_options)
+{
+    if (options_.strategy == Strategy::TigrUdt) {
+        throw std::invalid_argument(
+            "tigr: PageRank is unsupported under the physical UDT "
+            "strategy (it changes outdegrees; see Corollary 4)");
+    }
+    // CuSha's shard engine is inherently pull-based (Section 6.2 of
+    // the paper explains its PR advantage with exactly this); the
+    // other engines, like the paper's Tigr implementation, push.
+    const bool pull = pr_options.pull ||
+                      options_.strategy == Strategy::Cusha ||
+                      options_.direction == Direction::Pull;
+    return pull ? pagerankPull(pr_options) : pagerankPush(pr_options);
+}
+
+namespace {
+
+/** Materialize the full unit list of a context, through the stored
+ *  schedule or through dynamic reasoning. */
+std::vector<WorkUnit>
+collectAllUnits(const Schedule &schedule, const graph::Csr &scheduled,
+                const EngineOptions &options)
+{
+    std::vector<WorkUnit> units;
+    if (options.dynamicMapping) {
+        const auto layout = options.strategy == Strategy::TigrVPlus
+                                ? transform::EdgeLayout::Coalesced
+                                : transform::EdgeLayout::Consecutive;
+        DynamicVirtualProvider provider(scheduled, options.degreeBound,
+                                        layout);
+        provider.forEachUnit(
+            [&](const WorkUnit &unit) { units.push_back(unit); });
+    } else {
+        schedule.forEachUnit(
+            [&](const WorkUnit &unit) { units.push_back(unit); });
+    }
+    return units;
+}
+
+/** Units of a single node, through either mapping mode. */
+void
+collectUnitsOf(const Schedule &schedule, const graph::Csr &scheduled,
+               const EngineOptions &options, NodeId v,
+               std::vector<WorkUnit> &out)
+{
+    if (options.dynamicMapping) {
+        const auto layout = options.strategy == Strategy::TigrVPlus
+                                ? transform::EdgeLayout::Coalesced
+                                : transform::EdgeLayout::Consecutive;
+        DynamicVirtualProvider provider(scheduled, options.degreeBound,
+                                        layout);
+        provider.forEachUnitOf(
+            v, [&](const WorkUnit &unit) { out.push_back(unit); });
+    } else {
+        schedule.forEachUnitOf(
+            v, [&](const WorkUnit &unit) { out.push_back(unit); });
+    }
+}
+
+} // namespace
+
+RanksResult
+GraphEngine::pagerankPush(const PageRankOptions &pr_options)
+{
+    Context &ctx = context(ContextKind::WeightedZero);
+    const graph::Csr &g = *ctx.scheduled;
+    const NodeId n = graph_.numNodes();
+
+    RanksResult result;
+    result.values.assign(n, n == 0 ? 0.0 : 1.0 / n);
+    if (n == 0)
+        return result;
+
+    std::vector<Rank> next(n);
+    const Rank base = (1.0 - pr_options.damping) / n;
+    const CostModel cost = costModelFor(options_.strategy);
+    const std::vector<WorkUnit> units =
+        collectAllUnits(ctx.schedule, g, options_);
+
+    for (unsigned iter = 0; iter < pr_options.iterations; ++iter) {
+        std::fill(next.begin(), next.end(), base);
+        result.info.stats += sim_.launch(
+            units.size(), [&](std::uint64_t tid) {
+                const WorkUnit &unit = units[tid];
+                const EdgeIndex d = graph_.degree(unit.valueNode);
+                const Rank share =
+                    d == 0 ? 0.0
+                           : pr_options.damping *
+                                 result.values[unit.valueNode] /
+                                 static_cast<Rank>(d);
+                for (std::uint32_t j = 0; j < unit.count; ++j) {
+                    const EdgeIndex e = unit.start +
+                        static_cast<EdgeIndex>(unit.stride) * j;
+                    next[g.edgeTarget(e)] += share;
+                }
+                sim::ThreadWork work;
+                work.instructions =
+                    cost.threadOverhead + cost.perEdge * unit.count;
+                work.edgeCount = unit.count;
+                work.edgeStart = unit.start;
+                work.edgeStride = unit.stride;
+                // All-active PR needs no frontier machinery, so even
+                // Gunrock's advance does one scattered atomicAdd per
+                // edge here.
+                work.scatterAccessesPerEdge = 1;
+                return work;
+            });
+        result.values.swap(next);
+        ++result.info.iterations;
+        // Optional early convergence: `next` now holds the previous
+        // ranks, so the round's L1 change is directly computable.
+        if (pr_options.epsilon > 0.0) {
+            double change = 0.0;
+            for (NodeId v = 0; v < n; ++v)
+                change += std::abs(result.values[v] - next[v]);
+            if (change < pr_options.epsilon)
+                break;
+        }
+    }
+    fillRunInfo(result.info, ctx, Algorithm::Pr);
+    return result;
+}
+
+RanksResult
+GraphEngine::pagerankPull(const PageRankOptions &pr_options)
+{
+    Context &ctx = context(ContextKind::PullReversed);
+    const graph::Csr &reversed = *ctx.scheduled;
+    const NodeId n = graph_.numNodes();
+
+    RanksResult result;
+    result.values.assign(n, n == 0 ? 0.0 : 1.0 / n);
+    if (n == 0)
+        return result;
+
+    std::vector<Rank> next(n);
+    const Rank base = (1.0 - pr_options.damping) / n;
+    const CostModel cost = costModelFor(options_.strategy);
+    const std::vector<WorkUnit> units =
+        collectAllUnits(ctx.schedule, reversed, options_);
+    // CuSha reads source values from sequential shard entries and
+    // writes windows sequentially: no scattered traffic at all. Other
+    // pull engines still gather ranks from scattered slots.
+    const std::uint32_t scatter =
+        options_.strategy == Strategy::Cusha ? 0 : 1;
+
+    for (unsigned iter = 0; iter < pr_options.iterations; ++iter) {
+        std::fill(next.begin(), next.end(), base);
+        result.info.stats += sim_.launch(
+            units.size(), [&](std::uint64_t tid) {
+                const WorkUnit &unit = units[tid];
+                Rank sum = 0.0;
+                for (std::uint32_t j = 0; j < unit.count; ++j) {
+                    const EdgeIndex e = unit.start +
+                        static_cast<EdgeIndex>(unit.stride) * j;
+                    const NodeId u = reversed.edgeTarget(e);
+                    sum += result.values[u] /
+                           static_cast<Rank>(ctx.outdegrees[u]);
+                }
+                next[unit.valueNode] += pr_options.damping * sum;
+
+                sim::ThreadWork work;
+                work.instructions =
+                    cost.threadOverhead + cost.perEdge * unit.count;
+                work.edgeCount = unit.count;
+                work.edgeStart = unit.start;
+                work.edgeStride = unit.stride;
+                work.scatterAccessesPerEdge = scatter;
+                return work;
+            });
+        result.values.swap(next);
+        ++result.info.iterations;
+        // Optional early convergence: `next` now holds the previous
+        // ranks, so the round's L1 change is directly computable.
+        if (pr_options.epsilon > 0.0) {
+            double change = 0.0;
+            for (NodeId v = 0; v < n; ++v)
+                change += std::abs(result.values[v] - next[v]);
+            if (change < pr_options.epsilon)
+                break;
+        }
+    }
+    fillRunInfo(result.info, ctx, Algorithm::Pr);
+    return result;
+}
+
+CentralityResult
+GraphEngine::bc(std::span<const NodeId> sources)
+{
+    if (options_.strategy == Strategy::TigrUdt) {
+        throw std::invalid_argument(
+            "tigr: BC is unsupported under the physical UDT strategy "
+            "(hop-count Brandes does not survive node splitting)");
+    }
+    Context &ctx = context(ContextKind::WeightedZero);
+    const graph::Csr &g = *ctx.scheduled;
+    const NodeId n = graph_.numNodes();
+    const CostModel cost = costModelFor(options_.strategy);
+
+    CentralityResult result;
+    result.values.assign(n, 0.0);
+
+    std::vector<Dist> depth(n);
+    std::vector<double> sigma(n);
+    std::vector<double> delta(n);
+
+    // Launch the units of a node set, running `body` per owned edge.
+    auto launch_nodes = [&](std::span<const NodeId> nodes, auto body) {
+        std::vector<WorkUnit> launch_units;
+        for (NodeId v : nodes)
+            collectUnitsOf(ctx.schedule, g, options_, v, launch_units);
+        result.info.stats += sim_.launch(
+            launch_units.size(), [&](std::uint64_t tid) {
+                const WorkUnit &unit = launch_units[tid];
+                for (std::uint32_t j = 0; j < unit.count; ++j) {
+                    const EdgeIndex e = unit.start +
+                        static_cast<EdgeIndex>(unit.stride) * j;
+                    body(unit.valueNode, g.edgeTarget(e));
+                }
+                sim::ThreadWork work;
+                work.instructions =
+                    cost.threadOverhead + cost.perEdge * unit.count;
+                work.edgeCount = unit.count;
+                work.edgeStart = unit.start;
+                work.edgeStride = unit.stride;
+                work.scatterAccessesPerEdge = cost.scatterPerEdge;
+                return work;
+            });
+        ++result.info.iterations;
+    };
+
+    for (NodeId source : sources) {
+        std::fill(depth.begin(), depth.end(), kInfDist);
+        std::fill(sigma.begin(), sigma.end(), 0.0);
+        std::fill(delta.begin(), delta.end(), 0.0);
+        depth[source] = 0;
+        sigma[source] = 1.0;
+
+        // Forward: level-synchronous BFS accumulating path counts.
+        std::vector<std::vector<NodeId>> levels{{source}};
+        while (!levels.back().empty()) {
+            const Dist level = levels.size() - 1;
+            std::vector<NodeId> next_level;
+            launch_nodes(levels.back(), [&](NodeId v, NodeId dst) {
+                if (depth[dst] == kInfDist) {
+                    depth[dst] = level + 1;
+                    next_level.push_back(dst);
+                }
+                if (depth[dst] == level + 1)
+                    sigma[dst] += sigma[v];
+            });
+            levels.push_back(std::move(next_level));
+        }
+
+        // Backward: dependency accumulation, deepest level first.
+        for (std::size_t l = levels.size(); l-- > 1;) {
+            const std::vector<NodeId> &level_nodes = levels[l - 1];
+            if (level_nodes.empty())
+                continue;
+            const Dist level = l - 1;
+            launch_nodes(level_nodes, [&](NodeId v, NodeId dst) {
+                if (depth[dst] == level + 1 && sigma[dst] > 0.0) {
+                    delta[v] += sigma[v] / sigma[dst] *
+                                (1.0 + delta[dst]);
+                }
+            });
+        }
+
+        for (NodeId v = 0; v < n; ++v)
+            if (v != source)
+                result.values[v] += delta[v];
+    }
+    fillRunInfo(result.info, ctx, Algorithm::Bc);
+    return result;
+}
+
+TrianglesResult
+GraphEngine::triangles()
+{
+    if (options_.strategy == Strategy::TigrUdt) {
+        throw std::invalid_argument(
+            "tigr: triangle counting is a neighborhood analysis and "
+            "does not survive physical split transformations (see the "
+            "paper's applicability discussion); use a virtual "
+            "strategy, whose physical graph is untouched");
+    }
+    Context &ctx = context(ContextKind::SortedRows);
+    const graph::Csr &g = *ctx.scheduled;
+    const NodeId n = graph_.numNodes();
+    const CostModel cost = costModelFor(options_.strategy);
+
+    TrianglesResult result;
+    result.perNode.assign(n, 0);
+
+    const std::vector<WorkUnit> units =
+        collectAllUnits(ctx.schedule, g, options_);
+
+    result.info.stats += sim_.launch(
+        units.size(), [&](std::uint64_t tid) {
+            const WorkUnit &unit = units[tid];
+            const NodeId u = unit.valueNode;
+            std::uint32_t intersect_steps = 0;
+            for (std::uint32_t j = 0; j < unit.count; ++j) {
+                const EdgeIndex e = unit.start +
+                    static_cast<EdgeIndex>(unit.stride) * j;
+                const NodeId v = g.edgeTarget(e);
+                if (v <= u)
+                    continue;
+                // Two-pointer intersection of u's and v's sorted
+                // rows, restricted to w > v so each triangle counts
+                // once at its smallest vertex ordering.
+                auto row_u = g.outNeighbors(u);
+                auto row_v = g.outNeighbors(v);
+                auto iu = std::lower_bound(row_u.begin(), row_u.end(),
+                                           v + 1);
+                auto iv = std::lower_bound(row_v.begin(), row_v.end(),
+                                           v + 1);
+                while (iu != row_u.end() && iv != row_v.end()) {
+                    ++intersect_steps;
+                    if (*iu < *iv) {
+                        ++iu;
+                    } else if (*iv < *iu) {
+                        ++iv;
+                    } else {
+                        ++result.total;
+                        ++result.perNode[u];
+                        ++result.perNode[v];
+                        ++result.perNode[*iu];
+                        ++iu;
+                        ++iv;
+                    }
+                }
+            }
+            sim::ThreadWork work;
+            work.instructions = cost.threadOverhead +
+                                cost.perEdge * unit.count +
+                                2 * intersect_steps;
+            work.edgeCount = unit.count;
+            work.edgeStart = unit.start;
+            work.edgeStride = unit.stride;
+            work.scatterAccessesPerEdge = cost.scatterPerEdge;
+            return work;
+        });
+    result.info.iterations = 1;
+    fillRunInfo(result.info, ctx, Algorithm::Cc);
+    return result;
+}
+
+std::size_t
+GraphEngine::footprintBytes(Algorithm algorithm)
+{
+    Context &ctx = context(algorithm == Algorithm::Pr
+                               ? ContextKind::PullReversed
+                               : ContextKind::WeightedZero);
+    const std::uint64_t virtual_nodes =
+        options_.dynamicMapping ? 0 : ctx.schedule.numUnits();
+    return modeledFootprintBytes(options_.strategy, algorithm,
+                                 *ctx.scheduled, virtual_nodes);
+}
+
+} // namespace tigr::engine

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * GraphEngine: the public entry point of the Tigr library.
+ *
+ * Construct one over a CSR graph with an EngineOptions (which picks the
+ * scheduling strategy — baseline, Tigr physical/virtual, or one of the
+ * modeled competing frameworks) and call the analysis you need. The
+ * engine lazily builds and caches whatever the strategy requires (UDT
+ * transformed graphs per weight policy, virtual node arrays, reversed
+ * graphs for pull) and reports per-run simulator counters alongside the
+ * results.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "engine/push_engine.hpp"
+#include "engine/schedule.hpp"
+#include "engine/strategy.hpp"
+#include "graph/csr.hpp"
+
+namespace tigr::engine {
+
+/** Execution metadata attached to every analysis result. */
+struct RunInfo
+{
+    /** BSP iterations (or rounds/levels for PR/BC) executed. */
+    unsigned iterations = 0;
+    /** True when the analysis converged before the iteration cap. */
+    bool converged = true;
+    /** Aggregated simulator counters. */
+    sim::KernelStats stats;
+    /** Host milliseconds spent building the strategy's structures
+     *  (UDT graph or virtual node array); 0 for the baseline. Cached
+     *  structures report their original build time. */
+    double transformMs = 0.0;
+    /** Modeled device-memory footprint (see modeledFootprintBytes). */
+    std::size_t footprintBytes = 0;
+
+    /** Simulated kernel time in milliseconds. */
+    double simulatedMs() const { return cyclesToMs(stats.cycles); }
+};
+
+/** Result of a distance analysis (BFS hop counts or SSSP distances),
+ *  one value per node of the *original* graph; kInfDist = unreached. */
+struct DistancesResult
+{
+    std::vector<Dist> values;
+    RunInfo info;
+};
+
+/** Result of SSWP: widest-path width per node; 0 = unreached,
+ *  kInfWeight = the source itself. */
+struct WidthsResult
+{
+    std::vector<Weight> values;
+    RunInfo info;
+};
+
+/** Result of CC: smallest reachable node id per node. */
+struct LabelsResult
+{
+    std::vector<NodeId> values;
+    RunInfo info;
+};
+
+/** Result of PageRank. */
+struct RanksResult
+{
+    std::vector<Rank> values;
+    RunInfo info;
+};
+
+/** Result of betweenness centrality. */
+struct CentralityResult
+{
+    std::vector<double> values;
+    RunInfo info;
+};
+
+/** Result of triangle counting. */
+struct TrianglesResult
+{
+    /** Total number of distinct triangles {u, v, w}. */
+    std::uint64_t total = 0;
+    /** Number of triangles each node participates in. */
+    std::vector<std::uint64_t> perNode;
+    RunInfo info;
+};
+
+/** PageRank iteration parameters. */
+struct PageRankOptions
+{
+    double damping = 0.85;     ///< Damping factor.
+    unsigned iterations = 20;  ///< Synchronous rounds.
+    /** Force the pull-based (gather over incoming edges) formulation;
+     *  by default only CuSha pulls (its shard engine is pull by
+     *  construction) and every other strategy pushes, matching the
+     *  implementations the paper compares. Both formulations compute
+     *  identical ranks (Theorems 2 and 3). */
+    bool pull = false;
+    /** When positive, stop as soon as the L1 rank change of a round
+     *  drops below this threshold (still capped by `iterations`);
+     *  0 runs exactly `iterations` rounds. */
+    double epsilon = 0.0;
+};
+
+/**
+ * Vertex-centric graph analytics engine over the simulated GPU.
+ *
+ * The referenced graph must outlive the engine. All analyses are
+ * deterministic: the same graph and options produce bit-identical
+ * results and identical simulator counters.
+ */
+class GraphEngine
+{
+  public:
+    /**
+     * @param graph Input graph (kept by reference).
+     * @param options Strategy and tuning; see EngineOptions.
+     */
+    explicit GraphEngine(const graph::Csr &graph,
+                         EngineOptions options = {});
+
+    ~GraphEngine();
+    GraphEngine(const GraphEngine &) = delete;
+    GraphEngine &operator=(const GraphEngine &) = delete;
+
+    /** The input graph. */
+    const graph::Csr &graph() const { return graph_; }
+
+    /** The options the engine was built with. */
+    const EngineOptions &options() const { return options_; }
+
+    /**
+     * Single-source shortest paths over the graph's edge weights.
+     * Under TigrUdt the graph is physically transformed with zero dumb
+     * weights (Corollary 2), so results match the original graph.
+     */
+    DistancesResult sssp(NodeId source);
+
+    /** Breadth-first search hop counts (SSSP over unit weights). */
+    DistancesResult bfs(NodeId source);
+
+    /** Single-source widest paths; under TigrUdt the transformation
+     *  uses infinite dumb weights (Corollary 3). */
+    WidthsResult sswp(NodeId source);
+
+    /**
+     * Connected components by min-label propagation. Labels propagate
+     * along directed edges, so pass a symmetrized graph to compute the
+     * usual weak connectivity (the evaluation datasets are loaded
+     * undirected, as in the paper).
+     */
+    LabelsResult cc();
+
+    /**
+     * PageRank, pull-based over the reversed graph with the original
+     * outdegrees (Corollary 4); the vertex function is associative as
+     * Theorem 3 requires. Unsupported under TigrUdt (the physical
+     * transformation changes outdegrees) — throws std::invalid_argument.
+     */
+    RanksResult pagerank(const PageRankOptions &pr_options = {});
+
+    /**
+     * Betweenness centrality accumulated from @p sources (Brandes
+     * forward/backward over hop-count shortest paths). Unsupported
+     * under TigrUdt — throws std::invalid_argument.
+     */
+    CentralityResult bc(std::span<const NodeId> sources);
+
+    /**
+     * Count triangles (pass a symmetric, deduplicated graph). This is
+     * a *neighborhood* analysis: physical split transformations
+     * destroy it (the paper's applicability discussion), so TigrUdt
+     * throws std::invalid_argument; every other strategy — including
+     * the virtual ones, whose physical graph is untouched — computes
+     * the exact count.
+     */
+    TrianglesResult triangles();
+
+    /** Modeled device footprint for running @p algorithm under the
+     *  engine's strategy. */
+    std::size_t footprintBytes(Algorithm algorithm);
+
+  private:
+    struct Context;
+
+    /** Which cached schedule context an analysis needs. */
+    enum class ContextKind
+    {
+        WeightedZero,     ///< Graph weights, zero dumb weights
+                          ///< (SSSP, CC, BC, push PR).
+        UnitZero,         ///< Unit weights, zero dumb weights (BFS).
+        WeightedInf,      ///< Graph weights, infinite dumb weights
+                          ///< (SSWP).
+        PullReversed,     ///< Reversed graph (pull analyses, pull PR).
+        PullReversedUnit, ///< Reversed unit-weight graph (pull BFS).
+        SortedRows,       ///< Row-sorted copy (triangle counting).
+    };
+
+    Context &context(ContextKind kind);
+    PushOptions pushOptions() const;
+
+    /** Run a semiring analysis through the configured direction and
+     *  mapping mode (stored schedule or dynamic reasoning). */
+    template <typename Semiring>
+    PushOutcome<Semiring>
+    runSemiring(Context &ctx,
+                std::span<const std::pair<
+                    NodeId, typename Semiring::Value>> seeds,
+                bool all_active);
+
+    /** Push-based PR over the forward graph (the paper's Tigr PR). */
+    RanksResult pagerankPush(const PageRankOptions &pr_options);
+    /** Pull-based PR over the reversed graph (CuSha's shard PR, also
+     *  selectable via PageRankOptions::pull). */
+    RanksResult pagerankPull(const PageRankOptions &pr_options);
+
+    /** Fill the strategy/transform metadata of @p info from @p ctx. */
+    void fillRunInfo(RunInfo &info, const Context &ctx,
+                     Algorithm algorithm) const;
+
+    const graph::Csr &graph_;
+    EngineOptions options_;
+    sim::WarpSimulator sim_;
+    std::map<ContextKind, std::unique_ptr<Context>> contexts_;
+};
+
+} // namespace tigr::engine

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * The generic BSP drivers: push (Algorithm 2 / Algorithm 3 of the
+ * paper, host-simulated) and pull (the gather scheme of Section 2.1,
+ * whose correctness under virtualization is Theorem 3).
+ *
+ * Both are templates over a *unit provider* — Schedule (stored work
+ * units) or DynamicVirtualProvider (on-the-fly mapping reasoning) —
+ * and over a value semiring. Semantics run on the host, so results are
+ * exact and deterministic; the WarpSimulator charges each launch's
+ * warp occupancy, coalescing, and cycles (see DESIGN.md's substitution
+ * note).
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "engine/schedule.hpp"
+#include "sim/warp_simulator.hpp"
+
+namespace tigr::engine {
+
+/** Iteration-control knobs of one push/pull run. */
+struct PushOptions
+{
+    /** Process only active nodes each iteration (push only). */
+    bool worklist = true;
+    /** Let updates from the current iteration be read within it
+     *  (synchronization relaxation); false = strict BSP. */
+    bool syncRelaxation = true;
+    /** Iteration safety cap. */
+    unsigned maxIterations = 100000;
+};
+
+/** Result of a push or pull run. */
+template <typename Semiring>
+struct PushOutcome
+{
+    /** Converged value per value node of the provider. */
+    std::vector<typename Semiring::Value> values;
+    /** BSP iterations executed. */
+    unsigned iterations = 0;
+    /** True when the run converged before hitting maxIterations. */
+    bool converged = false;
+    /** Aggregated simulator counters over all launches. */
+    sim::KernelStats stats;
+};
+
+namespace detail {
+
+/** Build the simulator descriptor for one executed unit. */
+inline sim::ThreadWork
+describeUnit(const WorkUnit &unit, const CostModel &cost)
+{
+    sim::ThreadWork work;
+    work.instructions = cost.threadOverhead + cost.perEdge * unit.count;
+    work.edgeCount = unit.count;
+    work.edgeStart = unit.start;
+    work.edgeStride = unit.stride;
+    work.scatterAccessesPerEdge = cost.scatterPerEdge;
+    return work;
+}
+
+} // namespace detail
+
+/**
+ * Run a push-based vertex-centric analysis.
+ *
+ * @tparam Semiring One of the semirings in algorithms/semirings.hpp.
+ * @tparam Provider Schedule or DynamicVirtualProvider.
+ * @param provider The work-unit decomposition to execute over.
+ * @param sim Simulator charged for every launch.
+ * @param options Iteration control.
+ * @param seeds (node, value) pairs planted before iteration 0; seeded
+ *        nodes start active.
+ * @param all_active Start with every node active (CC-style) instead of
+ *        only the seeds.
+ */
+template <typename Semiring, typename Provider>
+PushOutcome<Semiring>
+runPush(const Provider &provider, sim::WarpSimulator &sim,
+        const PushOptions &options,
+        std::span<const std::pair<NodeId, typename Semiring::Value>> seeds,
+        bool all_active = false)
+{
+    using Value = typename Semiring::Value;
+
+    const graph::Csr &graph = provider.graph();
+    const NodeId n = provider.numValueNodes();
+    const CostModel &cost = provider.cost();
+
+    PushOutcome<Semiring> outcome;
+    outcome.values.assign(n, Semiring::identity);
+    for (const auto &[node, value] : seeds)
+        outcome.values[node] = value;
+
+    std::vector<std::uint8_t> active(n, all_active ? 1 : 0);
+    if (!all_active)
+        for (const auto &[node, value] : seeds)
+            active[node] = 1;
+
+    const bool use_worklist =
+        options.worklist && !provider.ignoresWorklist();
+
+    std::vector<WorkUnit> launch_units;
+    std::vector<Value> snapshot;
+    std::vector<std::uint8_t> next_active(n, 0);
+
+    while (outcome.iterations < options.maxIterations) {
+        // Gather this iteration's units.
+        launch_units.clear();
+        std::uint64_t active_nodes = 0;
+        if (use_worklist) {
+            for (NodeId v = 0; v < n; ++v) {
+                if (!active[v])
+                    continue;
+                ++active_nodes;
+                provider.forEachUnitOf(v, [&](const WorkUnit &unit) {
+                    launch_units.push_back(unit);
+                });
+            }
+            if (launch_units.empty()) {
+                outcome.converged = true;
+                break;
+            }
+        } else {
+            active_nodes = n;
+            provider.forEachUnit([&](const WorkUnit &unit) {
+                launch_units.push_back(unit);
+            });
+        }
+
+        ++outcome.iterations;
+
+        const std::vector<Value> *read_values = &outcome.values;
+        if (!options.syncRelaxation) {
+            snapshot = outcome.values;
+            read_values = &snapshot;
+        }
+
+        std::fill(next_active.begin(), next_active.end(), 0);
+        bool changed = false;
+
+        // Execute semantics and report each thread's shape to the
+        // simulator in a single pass.
+        outcome.stats += sim.launch(
+            launch_units.size(), [&](std::uint64_t tid) {
+                const WorkUnit &unit = launch_units[tid];
+                const Value source_value =
+                    (*read_values)[unit.valueNode];
+                for (std::uint32_t j = 0; j < unit.count; ++j) {
+                    const EdgeIndex e = unit.start +
+                        static_cast<EdgeIndex>(unit.stride) * j;
+                    const NodeId dst = graph.edgeTarget(e);
+                    const Value candidate = Semiring::extend(
+                        source_value, graph.edgeWeight(e));
+                    if (Semiring::better(candidate,
+                                         outcome.values[dst])) {
+                        outcome.values[dst] = candidate;
+                        next_active[dst] = 1;
+                        changed = true;
+                    }
+                }
+                return detail::describeUnit(unit, cost);
+            });
+
+        // Model auxiliary per-iteration kernels (Gunrock's filter).
+        for (std::uint32_t extra = 0;
+             extra < cost.extraKernelsPerIteration; ++extra) {
+            outcome.stats += sim.launch(
+                active_nodes, [](std::uint64_t) {
+                    sim::ThreadWork work;
+                    work.instructions = 3;
+                    return work;
+                });
+        }
+
+        if (!changed) {
+            outcome.converged = true;
+            break;
+        }
+        if (use_worklist)
+            active.swap(next_active);
+    }
+    return outcome;
+}
+
+/**
+ * Run a pull-based vertex-centric analysis: every node gathers over
+ * its *incoming* edges and reduces into its own value slot.
+ *
+ * @p provider must be built over the REVERSED graph (an out-edge of
+ * the reversed graph is an in-edge of the original), so a unit's value
+ * node is the gathering node and its edge targets are the original
+ * in-neighbors. Virtual families of the same node reduce repeatedly
+ * into one physical slot, which is exactly the nested application
+ * Theorem 3 reduces using the semiring's associativity.
+ *
+ * Pull processes every node each iteration (no worklist), as in the
+ * pull engines the paper discusses; syncRelaxation selects whether
+ * gathers read values updated earlier in the same iteration.
+ */
+template <typename Semiring, typename Provider>
+PushOutcome<Semiring>
+runPull(const Provider &provider, sim::WarpSimulator &sim,
+        const PushOptions &options,
+        std::span<const std::pair<NodeId, typename Semiring::Value>> seeds)
+{
+    using Value = typename Semiring::Value;
+
+    const graph::Csr &reversed = provider.graph();
+    const NodeId n = provider.numValueNodes();
+    const CostModel &cost = provider.cost();
+
+    PushOutcome<Semiring> outcome;
+    outcome.values.assign(n, Semiring::identity);
+    for (const auto &[node, value] : seeds)
+        outcome.values[node] = value;
+
+    std::vector<WorkUnit> launch_units;
+    provider.forEachUnit([&](const WorkUnit &unit) {
+        launch_units.push_back(unit);
+    });
+
+    std::vector<Value> snapshot;
+
+    while (outcome.iterations < options.maxIterations) {
+        ++outcome.iterations;
+
+        const std::vector<Value> *read_values = &outcome.values;
+        if (!options.syncRelaxation) {
+            snapshot = outcome.values;
+            read_values = &snapshot;
+        }
+
+        bool changed = false;
+        outcome.stats += sim.launch(
+            launch_units.size(), [&](std::uint64_t tid) {
+                const WorkUnit &unit = launch_units[tid];
+                for (std::uint32_t j = 0; j < unit.count; ++j) {
+                    const EdgeIndex e = unit.start +
+                        static_cast<EdgeIndex>(unit.stride) * j;
+                    const NodeId src = reversed.edgeTarget(e);
+                    const Value candidate = Semiring::extend(
+                        (*read_values)[src], reversed.edgeWeight(e));
+                    if (Semiring::better(
+                            candidate,
+                            outcome.values[unit.valueNode])) {
+                        outcome.values[unit.valueNode] = candidate;
+                        changed = true;
+                    }
+                }
+                return detail::describeUnit(unit, cost);
+            });
+
+        if (!changed) {
+            outcome.converged = true;
+            break;
+        }
+    }
+    return outcome;
+}
+
+} // namespace tigr::engine

@@ -1,0 +1,93 @@
+#include "engine/schedule.hpp"
+
+#include <cassert>
+
+#include "transform/virtual_graph.hpp"
+
+namespace tigr::engine {
+
+Schedule
+Schedule::build(const graph::Csr &graph, Strategy strategy,
+                NodeId degree_bound, unsigned mw_virtual_warp)
+{
+    Schedule schedule;
+    schedule.graph_ = &graph;
+    schedule.strategy_ = strategy;
+    schedule.cost_ = costModelFor(strategy);
+
+    const NodeId n = graph.numNodes();
+    schedule.unitOffsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+
+    auto push_unit = [&schedule](NodeId v, EdgeIndex start,
+                                 std::uint32_t stride,
+                                 std::uint32_t count) {
+        schedule.units_.push_back(WorkUnit{v, start, stride, count});
+        ++schedule.unitOffsets_[v + 1];
+    };
+
+    switch (strategy) {
+      case Strategy::Baseline:
+      case Strategy::TigrUdt:
+        // One thread per node owning the whole edge segment; the
+        // transformation (if any) happened to the graph itself.
+        for (NodeId v = 0; v < n; ++v) {
+            push_unit(v, graph.edgeBegin(v), 1,
+                      static_cast<std::uint32_t>(graph.degree(v)));
+        }
+        break;
+
+      case Strategy::TigrV:
+      case Strategy::TigrVPlus: {
+        const auto layout = strategy == Strategy::TigrV
+                                ? transform::EdgeLayout::Consecutive
+                                : transform::EdgeLayout::Coalesced;
+        transform::forEachVirtualNode(
+            graph, degree_bound, layout,
+            [&](const transform::VirtualNode &node) {
+                push_unit(node.physicalId, node.start,
+                          static_cast<std::uint32_t>(node.stride),
+                          node.count);
+            });
+        break;
+      }
+
+      case Strategy::MaximumWarp: {
+        // Virtual warps of w lanes per node; lane l strip-mines edge
+        // slots begin+l, begin+l+w, ... Zero-degree nodes still get
+        // their w lanes (they idle), as on real hardware.
+        const unsigned w = mw_virtual_warp == 0 ? 1 : mw_virtual_warp;
+        for (NodeId v = 0; v < n; ++v) {
+            const EdgeIndex begin = graph.edgeBegin(v);
+            const EdgeIndex d = graph.degree(v);
+            for (unsigned lane = 0; lane < w; ++lane) {
+                std::uint32_t count =
+                    lane < d ? static_cast<std::uint32_t>(
+                                   (d - lane + w - 1) / w)
+                             : 0;
+                push_unit(v, begin + lane, w, count);
+            }
+        }
+        break;
+      }
+
+      case Strategy::Cusha:
+      case Strategy::Gunrock:
+        // Edge-parallel: one thread per edge. CuSha launches all of
+        // them every iteration (shards); Gunrock launches the frontier
+        // subset (with its filter kernel modeled separately).
+        for (NodeId v = 0; v < n; ++v) {
+            for (EdgeIndex e = graph.edgeBegin(v); e < graph.edgeEnd(v);
+                 ++e) {
+                push_unit(v, e, 1, 1);
+            }
+        }
+        break;
+    }
+
+    for (std::size_t v = 0; v < n; ++v)
+        schedule.unitOffsets_[v + 1] += schedule.unitOffsets_[v];
+    assert(schedule.unitOffsets_.back() == schedule.units_.size());
+    return schedule;
+}
+
+} // namespace tigr::engine

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Scheduling strategies and engine options.
+ *
+ * A strategy decides how graph work is mapped onto simulated GPU
+ * threads. The seven strategies reproduce the systems of Table 2 of the
+ * paper: the no-transformation baseline, Tigr's physical (UDT) and
+ * virtual (V / V+) transformations, and faithful models of the three
+ * competing frameworks' scheduling approaches (maximum warp, CuSha
+ * G-Shards, Gunrock frontiers).
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+#include "sim/gpu_config.hpp"
+
+namespace tigr::engine {
+
+/** Thread-mapping strategy (Table 2). */
+enum class Strategy
+{
+    /** One thread per node of the untouched graph — the paper's
+     *  "baseline" lightweight engine with Tigr disabled. */
+    Baseline,
+    /** Baseline scheduling on the UDT-physically-transformed graph. */
+    TigrUdt,
+    /** One thread per virtual node, consecutive edge assignment
+     *  (Figure 10 / Algorithm 2). */
+    TigrV,
+    /** One thread per virtual node with edge-array coalescing
+     *  (Figure 12 / Algorithm 3). */
+    TigrVPlus,
+    /** Maximum warp [23]: warps subdivided into virtual warps of w
+     *  lanes; a node's edges are strip-mined across its w lanes. */
+    MaximumWarp,
+    /** CuSha [32] G-Shards model: edge-parallel processing of the
+     *  whole shard set every iteration (no worklist). */
+    Cusha,
+    /** Gunrock [69] model: frontier-based advance with per-edge load
+     *  balancing plus a filter kernel per iteration. */
+    Gunrock,
+};
+
+/** All strategies, in Table 2 order. */
+inline constexpr Strategy kAllStrategies[] = {
+    Strategy::Baseline,  Strategy::TigrUdt, Strategy::TigrV,
+    Strategy::TigrVPlus, Strategy::MaximumWarp, Strategy::Cusha,
+    Strategy::Gunrock,
+};
+
+/** Short display name ("baseline", "tigr-v+", "mw", ...). */
+std::string_view strategyName(Strategy strategy);
+
+/** Parse a display name back to a Strategy. */
+std::optional<Strategy> parseStrategy(std::string_view name);
+
+/** The analyses the engine runs (used by the memory-footprint model). */
+enum class Algorithm
+{
+    Bfs,
+    Sssp,
+    Sswp,
+    Cc,
+    Pr,
+    Bc,
+};
+
+/** Display name of an algorithm ("BFS", "SSSP", ...). */
+std::string_view algorithmName(Algorithm algorithm);
+
+/**
+ * Per-strategy instruction-cost model: how many instructions a
+ * simulated thread issues as a function of the edges it processes, and
+ * how many kernels each BSP iteration costs.
+ */
+struct CostModel
+{
+    std::uint32_t threadOverhead = 4; ///< Fixed instructions per thread.
+    std::uint32_t perEdge = 3;        ///< Instructions per edge.
+    /** Extra fixed-function kernels per iteration (Gunrock's filter). */
+    std::uint32_t extraKernelsPerIteration = 0;
+    /** Scattered value accesses per edge in traversal kernels (see
+     *  ThreadWork::scatterAccessesPerEdge): 1 for plain push engines,
+     *  2 for Gunrock's frontier-atomic advance. */
+    std::uint32_t scatterPerEdge = 1;
+};
+
+/** The cost model of @p strategy (see engine/strategy.cpp for the
+ *  derivation of each constant). */
+CostModel costModelFor(Strategy strategy);
+
+/** Value-propagation scheme (Section 2.1 of the paper). */
+enum class Direction
+{
+    /** Nodes push updates to their out-neighbors (Algorithm 2); the
+     *  default, supports the worklist optimization. */
+    Push,
+    /** Nodes gather from their in-neighbors and reduce into their own
+     *  slot; requires an associative vertex function under virtual
+     *  transformation (Theorem 3) — all shipped semirings qualify. */
+    Pull,
+};
+
+/** Engine tuning knobs. */
+struct EngineOptions
+{
+    /** Thread-mapping strategy. */
+    Strategy strategy = Strategy::TigrVPlus;
+    /** Push or pull propagation for BFS/SSSP/SSWP/CC. Pull is
+     *  unsupported under TigrUdt (splitting would have to key on
+     *  indegrees; use the virtual strategies instead). */
+    Direction direction = Direction::Push;
+    /** Use on-the-fly mapping reasoning instead of the stored virtual
+     *  node array (Section 4.1's second design): zero mapping memory,
+     *  recomputed families. Only meaningful for TigrV / TigrVPlus. */
+    bool dynamicMapping = false;
+    /** Degree bound K for the virtual transformation (paper: 10). */
+    NodeId degreeBound = 10;
+    /** Degree bound for the UDT physical transformation; 0 selects the
+     *  Section 5 heuristic from the graph's max degree. */
+    NodeId udtBound = 0;
+    /** Virtual-warp width for MaximumWarp (paper sweeps 2..32). */
+    unsigned mwVirtualWarp = 8;
+    /** Track and process only active nodes (Section 5 "worklist"). */
+    bool worklist = true;
+    /** Allow updates from the current iteration to be visible within
+     *  it (Section 5 "synchronization relaxation"); false = strict
+     *  BSP reads from the previous iteration's values. */
+    bool syncRelaxation = true;
+    /** Safety cap on BSP iterations. */
+    unsigned maxIterations = 100000;
+    /** Simulated GPU. */
+    sim::GpuConfig gpu;
+};
+
+/**
+ * Modeled device-memory footprint of running @p algorithm on a graph of
+ * @p nodes nodes and @p edges edges under @p strategy, in bytes of the
+ * paper's 4-byte-entry CSR accounting. CuSha's shard replication and
+ * Gunrock's per-node frontier/label buffers multiply the base size,
+ * which is what drives their Table 4 OOMs on an 8 GB device.
+ *
+ * @param virtual_nodes Virtual-node count for TigrV/TigrVPlus
+ *        (ignored by other strategies).
+ */
+std::size_t modeledFootprintBytes(Strategy strategy, Algorithm algorithm,
+                                  std::uint64_t nodes,
+                                  std::uint64_t edges,
+                                  std::uint64_t virtual_nodes = 0);
+
+/** Convenience overload reading the node/edge counts from @p graph. */
+std::size_t modeledFootprintBytes(Strategy strategy, Algorithm algorithm,
+                                  const graph::Csr &graph,
+                                  std::uint64_t virtual_nodes = 0);
+
+/** Simulated-cycle to milliseconds conversion at the modeled clock
+ *  (1.2 GHz, roughly a Quadro P4000 boost clock). */
+double cyclesToMs(std::uint64_t cycles);
+
+} // namespace tigr::engine

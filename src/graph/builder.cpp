@@ -1,0 +1,57 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <random>
+#include <unordered_set>
+#include <utility>
+
+namespace tigr::graph {
+
+namespace {
+
+/** Pack an edge endpoint pair into one 64-bit key for dedup hashing. */
+std::uint64_t
+edgeKey(const Edge &e)
+{
+    return (static_cast<std::uint64_t>(e.src) << 32) | e.dst;
+}
+
+} // namespace
+
+void
+GraphBuilder::clean(CooEdges &coo) const
+{
+    std::vector<Edge> &edges = coo.edges();
+
+    if (options_.dropSelfLoops) {
+        std::erase_if(edges, [](const Edge &e) { return e.src == e.dst; });
+    }
+
+    if (options_.dedupEdges) {
+        std::unordered_set<std::uint64_t> seen;
+        seen.reserve(edges.size());
+        std::vector<Edge> kept;
+        kept.reserve(edges.size());
+        for (const Edge &e : edges)
+            if (seen.insert(edgeKey(e)).second)
+                kept.push_back(e);
+        edges = std::move(kept);
+    }
+
+    if (options_.randomizeWeights) {
+        std::mt19937_64 rng(options_.weightSeed);
+        std::uniform_int_distribution<Weight> dist(options_.minWeight,
+                                                   options_.maxWeight);
+        for (Edge &e : edges)
+            e.weight = dist(rng);
+    }
+}
+
+Csr
+GraphBuilder::build(CooEdges coo) const
+{
+    clean(coo);
+    return Csr::fromCoo(coo);
+}
+
+} // namespace tigr::graph

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Coordinate-format (COO) edge list: the interchange representation that
+ * generators and loaders produce and that GraphBuilder consumes.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace tigr::graph {
+
+/** A single directed, weighted edge. */
+struct Edge
+{
+    NodeId src = 0;     ///< Source node id.
+    NodeId dst = 0;     ///< Destination node id.
+    Weight weight = 1;  ///< Edge weight (1 for unweighted analyses).
+
+    friend bool operator==(const Edge &, const Edge &) = default;
+};
+
+/**
+ * A bag of directed edges plus the node-id universe they live in.
+ *
+ * COO is deliberately dumb: it owns no indexes and enforces no ordering.
+ * Use GraphBuilder to clean it (dedup, drop self loops) and convert it to
+ * the Csr form the rest of the library operates on.
+ */
+class CooEdges
+{
+  public:
+    CooEdges() = default;
+
+    /** @param num_nodes Number of nodes; ids must be < num_nodes. */
+    explicit CooEdges(NodeId num_nodes) : numNodes_(num_nodes) {}
+
+    /** Number of nodes in the id universe. */
+    NodeId numNodes() const { return numNodes_; }
+
+    /** Number of edges currently stored. */
+    std::size_t numEdges() const { return edges_.size(); }
+
+    /** True when no edges are stored. */
+    bool empty() const { return edges_.empty(); }
+
+    /** Grow the node universe to at least @p num_nodes ids. */
+    void
+    ensureNodes(NodeId num_nodes)
+    {
+        if (num_nodes > numNodes_)
+            numNodes_ = num_nodes;
+    }
+
+    /**
+     * Append one edge, growing the node universe as needed.
+     * @param src Source node id.
+     * @param dst Destination node id.
+     * @param weight Edge weight.
+     */
+    void
+    add(NodeId src, NodeId dst, Weight weight = 1)
+    {
+        edges_.push_back(Edge{src, dst, weight});
+        NodeId hi = (src > dst ? src : dst);
+        if (hi >= numNodes_)
+            numNodes_ = hi + 1;
+    }
+
+    /** Append @p edge verbatim, growing the node universe as needed. */
+    void
+    add(const Edge &edge)
+    {
+        add(edge.src, edge.dst, edge.weight);
+    }
+
+    /** Pre-allocate storage for @p n edges. */
+    void reserve(std::size_t n) { edges_.reserve(n); }
+
+    /** Read-only view of the stored edges. */
+    const std::vector<Edge> &edges() const { return edges_; }
+
+    /** Mutable view of the stored edges (used by builders/shufflers). */
+    std::vector<Edge> &edges() { return edges_; }
+
+    /**
+     * Add the reverse of every current edge, turning a directed edge list
+     * into the directed representation of an undirected graph (the paper
+     * treats undirected graphs as directed graphs with both directions).
+     */
+    void
+    symmetrize()
+    {
+        std::size_t n = edges_.size();
+        edges_.reserve(2 * n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const Edge &e = edges_[i];
+            edges_.push_back(Edge{e.dst, e.src, e.weight});
+        }
+    }
+
+  private:
+    NodeId numNodes_ = 0;
+    std::vector<Edge> edges_;
+};
+
+} // namespace tigr::graph

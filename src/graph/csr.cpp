@@ -1,0 +1,109 @@
+#include "graph/csr.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace tigr::graph {
+
+Csr::Csr(std::vector<EdgeIndex> row_offsets,
+         std::vector<NodeId> col_indices,
+         std::vector<Weight> weights)
+    : rowOffsets_(std::move(row_offsets)),
+      colIndices_(std::move(col_indices)),
+      weights_(std::move(weights))
+{
+    assert(!rowOffsets_.empty());
+    assert(rowOffsets_.front() == 0);
+    assert(rowOffsets_.back() == colIndices_.size());
+    assert(colIndices_.size() == weights_.size());
+}
+
+Csr
+Csr::fromCoo(const CooEdges &coo)
+{
+    const NodeId n = coo.numNodes();
+    const std::vector<Edge> &edges = coo.edges();
+
+    std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1, 0);
+    for (const Edge &e : edges) {
+        assert(e.src < n && e.dst < n);
+        ++offsets[e.src + 1];
+    }
+    for (std::size_t v = 0; v < n; ++v)
+        offsets[v + 1] += offsets[v];
+
+    std::vector<NodeId> cols(edges.size());
+    std::vector<Weight> weights(edges.size());
+    std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Edge &e : edges) {
+        EdgeIndex slot = cursor[e.src]++;
+        cols[slot] = e.dst;
+        weights[slot] = e.weight;
+    }
+    return Csr(std::move(offsets), std::move(cols), std::move(weights));
+}
+
+NodeId
+Csr::numNodes() const
+{
+    return static_cast<NodeId>(rowOffsets_.size() - 1);
+}
+
+EdgeIndex
+Csr::numEdges() const
+{
+    return rowOffsets_.back();
+}
+
+EdgeIndex
+Csr::maxOutDegree() const
+{
+    EdgeIndex best = 0;
+    for (NodeId v = 0; v < numNodes(); ++v)
+        best = std::max(best, degree(v));
+    return best;
+}
+
+Csr
+Csr::reversed() const
+{
+    const NodeId n = numNodes();
+    std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1, 0);
+    for (NodeId dst : colIndices_)
+        ++offsets[dst + 1];
+    for (std::size_t v = 0; v < n; ++v)
+        offsets[v + 1] += offsets[v];
+
+    std::vector<NodeId> cols(colIndices_.size());
+    std::vector<Weight> weights(colIndices_.size());
+    std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
+    for (NodeId src = 0; src < n; ++src) {
+        for (EdgeIndex e = edgeBegin(src); e < edgeEnd(src); ++e) {
+            EdgeIndex slot = cursor[colIndices_[e]]++;
+            cols[slot] = src;
+            weights[slot] = weights_[e];
+        }
+    }
+    return Csr(std::move(offsets), std::move(cols), std::move(weights));
+}
+
+CooEdges
+Csr::toCoo() const
+{
+    CooEdges coo(numNodes());
+    coo.reserve(numEdges());
+    for (NodeId v = 0; v < numNodes(); ++v)
+        for (EdgeIndex e = edgeBegin(v); e < edgeEnd(v); ++e)
+            coo.add(v, colIndices_[e], weights_[e]);
+    return coo;
+}
+
+std::size_t
+Csr::sizeInBytes() const
+{
+    return rowOffsets_.size() * sizeof(EdgeIndex) +
+           colIndices_.size() * sizeof(NodeId) +
+           weights_.size() * sizeof(Weight);
+}
+
+} // namespace tigr::graph

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Compressed-sparse-row (CSR) graph: the canonical physical representation
+ * every Tigr component operates on (Figure 10 of the paper, "CSR of
+ * Original Graph").
+ */
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/coo.hpp"
+#include "graph/types.hpp"
+
+namespace tigr::graph {
+
+/**
+ * Immutable directed weighted graph in CSR form.
+ *
+ * Layout follows the paper exactly: a node array of n+1 offsets into an
+ * edge array of destination ids, plus a parallel weight array. Node v's
+ * outgoing edges live at positions [rowOffsets()[v], rowOffsets()[v+1]).
+ *
+ * Instances are value types: transformations return new Csr objects and
+ * never mutate their input.
+ */
+class Csr
+{
+  public:
+    Csr() = default;
+
+    /**
+     * Assemble a CSR from raw arrays.
+     *
+     * @param row_offsets n+1 monotonically increasing edge offsets.
+     * @param col_indices Destination node of each edge.
+     * @param weights Weight of each edge; must match col_indices in size.
+     */
+    Csr(std::vector<EdgeIndex> row_offsets,
+        std::vector<NodeId> col_indices,
+        std::vector<Weight> weights);
+
+    /**
+     * Build a CSR from a COO edge list. Edges are counting-sorted by
+     * source; the relative order of a node's edges follows their order in
+     * the COO input (stable), which the virtual transformation relies on
+     * for its implicit edge mapping.
+     */
+    static Csr fromCoo(const CooEdges &coo);
+
+    /** Number of nodes. */
+    NodeId numNodes() const;
+
+    /** Number of directed edges. */
+    EdgeIndex numEdges() const;
+
+    /** True when the graph has no nodes. */
+    bool empty() const { return numNodes() == 0; }
+
+    /** Outdegree of node @p v. */
+    EdgeIndex
+    degree(NodeId v) const
+    {
+        return rowOffsets_[v + 1] - rowOffsets_[v];
+    }
+
+    /** First edge index of node @p v. */
+    EdgeIndex edgeBegin(NodeId v) const { return rowOffsets_[v]; }
+
+    /** One-past-last edge index of node @p v. */
+    EdgeIndex edgeEnd(NodeId v) const { return rowOffsets_[v + 1]; }
+
+    /** Destination node of edge @p e. */
+    NodeId edgeTarget(EdgeIndex e) const { return colIndices_[e]; }
+
+    /** Weight of edge @p e. */
+    Weight edgeWeight(EdgeIndex e) const { return weights_[e]; }
+
+    /** Destinations of node @p v's outgoing edges. */
+    std::span<const NodeId>
+    outNeighbors(NodeId v) const
+    {
+        return {colIndices_.data() + rowOffsets_[v],
+                static_cast<std::size_t>(degree(v))};
+    }
+
+    /** Weights of node @p v's outgoing edges, parallel to outNeighbors. */
+    std::span<const Weight>
+    outWeights(NodeId v) const
+    {
+        return {weights_.data() + rowOffsets_[v],
+                static_cast<std::size_t>(degree(v))};
+    }
+
+    /** The full n+1 offset array. */
+    const std::vector<EdgeIndex> &rowOffsets() const { return rowOffsets_; }
+
+    /** The full destination array. */
+    const std::vector<NodeId> &colIndices() const { return colIndices_; }
+
+    /** The full weight array. */
+    const std::vector<Weight> &weights() const { return weights_; }
+
+    /** Largest outdegree over all nodes (0 for an empty graph). */
+    EdgeIndex maxOutDegree() const;
+
+    /**
+     * The transposed graph: every edge u->v becomes v->u with the same
+     * weight. Pull-based engines run on the transpose of the push graph.
+     */
+    Csr reversed() const;
+
+    /** Convert back to a COO edge list (edges in CSR storage order). */
+    CooEdges toCoo() const;
+
+    /**
+     * Storage footprint of the CSR arrays in bytes. This is the quantity
+     * Tables 5 and 6 of the paper report space costs against.
+     */
+    std::size_t sizeInBytes() const;
+
+    /**
+     * Structural + weight equality. Note this compares storage order, so
+     * two graphs with identical edge sets but different intra-node edge
+     * order compare unequal; use for exact round-trip checks.
+     */
+    friend bool operator==(const Csr &, const Csr &) = default;
+
+  private:
+    std::vector<EdgeIndex> rowOffsets_ = {0};
+    std::vector<NodeId> colIndices_;
+    std::vector<Weight> weights_;
+};
+
+} // namespace tigr::graph

@@ -1,0 +1,232 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <random>
+
+namespace tigr::graph {
+
+namespace {
+
+/** Smallest power of two >= @p n (and >= 1). */
+NodeId
+roundUpPow2(NodeId n)
+{
+    if (n <= 1)
+        return 1;
+    return std::bit_ceil(n);
+}
+
+} // namespace
+
+CooEdges
+rmat(const RmatParams &params)
+{
+    assert(params.a + params.b + params.c <= 1.0 + 1e-9);
+    const NodeId n = roundUpPow2(params.nodes);
+    const int levels = std::countr_zero(n);
+
+    std::mt19937_64 rng(params.seed);
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    std::uniform_real_distribution<double> jitter(0.9, 1.1);
+
+    CooEdges coo(params.nodes);
+    coo.reserve(params.edges);
+    for (EdgeIndex i = 0; i < params.edges; ++i) {
+        NodeId src = 0;
+        NodeId dst = 0;
+        for (int level = 0; level < levels; ++level) {
+            double a = params.a;
+            double b = params.b;
+            double c = params.c;
+            if (params.noise) {
+                a *= jitter(rng);
+                b *= jitter(rng);
+                c *= jitter(rng);
+                double d = (1.0 - params.a - params.b - params.c)
+                    * jitter(rng);
+                double norm = a + b + c + d;
+                a /= norm;
+                b /= norm;
+                c /= norm;
+            }
+            double r = uni(rng);
+            src <<= 1;
+            dst <<= 1;
+            if (r < a) {
+                // top-left: both bits zero
+            } else if (r < a + b) {
+                dst |= 1;
+            } else if (r < a + b + c) {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        // Fold ids generated in the power-of-two universe back into the
+        // requested node range so no id is out of bounds.
+        src %= params.nodes;
+        dst %= params.nodes;
+        coo.add(src, dst);
+    }
+    return coo;
+}
+
+CooEdges
+barabasiAlbert(NodeId nodes, unsigned edges_per_node, std::uint64_t seed)
+{
+    assert(edges_per_node >= 1);
+    assert(nodes > edges_per_node);
+
+    std::mt19937_64 rng(seed);
+
+    // targets[i] is an endpoint list where each node appears once per
+    // incident edge; sampling uniformly from it is preferential
+    // attachment.
+    std::vector<NodeId> endpoints;
+    endpoints.reserve(static_cast<std::size_t>(nodes) * edges_per_node * 2);
+
+    CooEdges coo(nodes);
+    coo.reserve(static_cast<std::size_t>(nodes) * edges_per_node * 2);
+
+    // Seed clique over the first edges_per_node + 1 nodes.
+    const NodeId seed_nodes = edges_per_node + 1;
+    for (NodeId u = 0; u < seed_nodes; ++u) {
+        for (NodeId v = u + 1; v < seed_nodes; ++v) {
+            coo.add(u, v);
+            coo.add(v, u);
+            endpoints.push_back(u);
+            endpoints.push_back(v);
+        }
+    }
+
+    for (NodeId v = seed_nodes; v < nodes; ++v) {
+        std::vector<NodeId> chosen;
+        chosen.reserve(edges_per_node);
+        while (chosen.size() < edges_per_node) {
+            std::uniform_int_distribution<std::size_t> pick(
+                0, endpoints.size() - 1);
+            NodeId u = endpoints[pick(rng)];
+            if (std::find(chosen.begin(), chosen.end(), u) == chosen.end())
+                chosen.push_back(u);
+        }
+        for (NodeId u : chosen) {
+            coo.add(v, u);
+            coo.add(u, v);
+            endpoints.push_back(u);
+            endpoints.push_back(v);
+        }
+    }
+    return coo;
+}
+
+CooEdges
+erdosRenyi(NodeId nodes, EdgeIndex edges, std::uint64_t seed)
+{
+    assert(nodes > 1);
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<NodeId> pick(0, nodes - 1);
+
+    CooEdges coo(nodes);
+    coo.reserve(edges);
+    for (EdgeIndex i = 0; i < edges; ++i)
+        coo.add(pick(rng), pick(rng));
+    return coo;
+}
+
+CooEdges
+ring(NodeId nodes)
+{
+    CooEdges coo(nodes);
+    coo.reserve(nodes);
+    for (NodeId v = 0; v < nodes; ++v)
+        coo.add(v, (v + 1) % nodes);
+    return coo;
+}
+
+CooEdges
+path(NodeId nodes)
+{
+    CooEdges coo(nodes);
+    if (nodes < 2)
+        return coo;
+    coo.reserve(nodes - 1);
+    for (NodeId v = 0; v + 1 < nodes; ++v)
+        coo.add(v, v + 1);
+    return coo;
+}
+
+CooEdges
+grid2d(NodeId rows, NodeId cols)
+{
+    CooEdges coo(rows * cols);
+    auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+    for (NodeId r = 0; r < rows; ++r) {
+        for (NodeId c = 0; c < cols; ++c) {
+            if (c + 1 < cols) {
+                coo.add(id(r, c), id(r, c + 1));
+                coo.add(id(r, c + 1), id(r, c));
+            }
+            if (r + 1 < rows) {
+                coo.add(id(r, c), id(r + 1, c));
+                coo.add(id(r + 1, c), id(r, c));
+            }
+        }
+    }
+    return coo;
+}
+
+CooEdges
+star(NodeId nodes)
+{
+    assert(nodes >= 1);
+    CooEdges coo(nodes);
+    coo.reserve(nodes - 1);
+    for (NodeId v = 1; v < nodes; ++v)
+        coo.add(0, v);
+    return coo;
+}
+
+CooEdges
+wattsStrogatz(NodeId nodes, unsigned neighbors_per_side, double beta,
+              std::uint64_t seed)
+{
+    assert(nodes > 2 * neighbors_per_side);
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    std::uniform_int_distribution<NodeId> pick(0, nodes - 1);
+
+    CooEdges coo(nodes);
+    coo.reserve(static_cast<std::size_t>(nodes) * neighbors_per_side *
+                2);
+    for (NodeId v = 0; v < nodes; ++v) {
+        for (unsigned offset = 1; offset <= neighbors_per_side;
+             ++offset) {
+            NodeId target = (v + offset) % nodes;
+            if (uni(rng) < beta) {
+                do {
+                    target = pick(rng);
+                } while (target == v);
+            }
+            coo.add(v, target);
+            coo.add(target, v);
+        }
+    }
+    return coo;
+}
+
+CooEdges
+complete(NodeId nodes)
+{
+    CooEdges coo(nodes);
+    coo.reserve(static_cast<std::size_t>(nodes) * (nodes - 1));
+    for (NodeId u = 0; u < nodes; ++u)
+        for (NodeId v = 0; v < nodes; ++v)
+            if (u != v)
+                coo.add(u, v);
+    return coo;
+}
+
+} // namespace tigr::graph

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Seeded synthetic graph generators.
+ *
+ * Power-law generators (RMAT, Barabasi-Albert) provide the irregular
+ * inputs Tigr targets; regular generators (ring, grid, complete) provide
+ * the already-regular controls that transformations must leave unchanged.
+ * Every generator is deterministic in its seed.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "graph/coo.hpp"
+
+namespace tigr::graph {
+
+/** Parameters of the recursive-matrix (R-MAT) generator. */
+struct RmatParams
+{
+    NodeId nodes = 1024;      ///< Number of nodes (rounded up to 2^k).
+    EdgeIndex edges = 8192;   ///< Number of directed edges to emit.
+    double a = 0.57;          ///< Probability mass of the top-left cell.
+    double b = 0.19;          ///< Probability mass of the top-right cell.
+    double c = 0.19;          ///< Probability mass of the bottom-left cell.
+    /// Bottom-right mass is 1-a-b-c.
+    std::uint64_t seed = 1;   ///< RNG seed.
+    /// Jitter the quadrant probabilities per level (smoothes the
+    /// staircase artifacts of pure R-MAT, as in the original paper).
+    bool noise = true;
+};
+
+/**
+ * R-MAT power-law graph (Chakrabarti et al.). The default (a, b, c)
+ * parameters are the classic "social network" setting and give the
+ * heavy-tailed outdegree distribution the Tigr paper studies.
+ */
+CooEdges rmat(const RmatParams &params);
+
+/**
+ * Barabasi-Albert preferential-attachment graph. Each new node attaches
+ * @p edges_per_node edges to existing nodes picked proportionally to
+ * their current degree; emitted directed both ways (undirected network).
+ *
+ * @param nodes Total number of nodes.
+ * @param edges_per_node Edges added per arriving node (>= 1).
+ * @param seed RNG seed.
+ */
+CooEdges barabasiAlbert(NodeId nodes, unsigned edges_per_node,
+                        std::uint64_t seed);
+
+/**
+ * Erdos-Renyi G(n, m): @p edges directed edges chosen uniformly at
+ * random. Degree distribution is binomial, i.e. regular in the paper's
+ * sense — a control input where Tigr should win little.
+ */
+CooEdges erdosRenyi(NodeId nodes, EdgeIndex edges, std::uint64_t seed);
+
+/** Directed ring 0 -> 1 -> ... -> n-1 -> 0: every outdegree is one. */
+CooEdges ring(NodeId nodes);
+
+/** Directed path 0 -> 1 -> ... -> n-1. */
+CooEdges path(NodeId nodes);
+
+/**
+ * 4-neighbor grid of @p rows x @p cols nodes with edges both directions:
+ * a perfectly regular mesh (outdegree 2..4).
+ */
+CooEdges grid2d(NodeId rows, NodeId cols);
+
+/**
+ * Star: the hub (node 0) points at every other node. The most extreme
+ * irregular input — one node of degree n-1, all others of degree 0.
+ */
+CooEdges star(NodeId nodes);
+
+/** Complete directed graph on @p nodes nodes (no self loops). */
+CooEdges complete(NodeId nodes);
+
+/**
+ * Watts-Strogatz small-world graph: a ring lattice where every node
+ * links to its @p neighbors_per_side nearest neighbors on each side,
+ * with each edge's far endpoint rewired to a uniform random node with
+ * probability @p beta. Emitted directed both ways. Degrees stay nearly
+ * regular for any beta — a control input with small diameter but no
+ * power-law tail, where Tigr should win little.
+ */
+CooEdges wattsStrogatz(NodeId nodes, unsigned neighbors_per_side,
+                       double beta, std::uint64_t seed);
+
+} // namespace tigr::graph

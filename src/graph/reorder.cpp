@@ -1,0 +1,55 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace tigr::graph {
+
+Reordering
+applyPermutation(const Csr &graph, std::vector<NodeId> new_id)
+{
+    const NodeId n = graph.numNodes();
+    assert(new_id.size() == n);
+
+    Reordering result;
+    result.newId = std::move(new_id);
+    result.oldId.resize(n);
+    for (NodeId old = 0; old < n; ++old) {
+        assert(result.newId[old] < n);
+        result.oldId[result.newId[old]] = old;
+    }
+
+    CooEdges coo(n);
+    coo.reserve(graph.numEdges());
+    // Emit edges in new-id source order so the CSR's intra-node edge
+    // order matches the original node's order.
+    for (NodeId v = 0; v < n; ++v) {
+        NodeId old = result.oldId[v];
+        for (EdgeIndex e = graph.edgeBegin(old); e < graph.edgeEnd(old);
+             ++e) {
+            coo.add(v, result.newId[graph.edgeTarget(e)],
+                    graph.edgeWeight(e));
+        }
+    }
+    result.graph = Csr::fromCoo(coo);
+    return result;
+}
+
+Reordering
+sortByDegreeDescending(const Csr &graph)
+{
+    const NodeId n = graph.numNodes();
+    std::vector<NodeId> order(n);
+    std::iota(order.begin(), order.end(), NodeId{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&graph](NodeId a, NodeId b) {
+                         return graph.degree(a) > graph.degree(b);
+                     });
+    std::vector<NodeId> new_id(n);
+    for (NodeId rank = 0; rank < n; ++rank)
+        new_id[order[rank]] = rank;
+    return applyPermutation(graph, std::move(new_id));
+}
+
+} // namespace tigr::graph

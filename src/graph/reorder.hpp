@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Node reordering utilities. Degree sorting is the classic *alternative*
+ * mitigation for warp load imbalance (group similar-degree nodes so
+ * warps are internally balanced); the ablation benchmark compares it
+ * against Tigr's transformations.
+ */
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace tigr::graph {
+
+/** A relabeled graph plus both directions of the id mapping. */
+struct Reordering
+{
+    /** The relabeled graph. */
+    Csr graph;
+    /** newId[old] = new id of the node formerly known as `old`. */
+    std::vector<NodeId> newId;
+    /** oldId[new] = original id of node `new` in the result. */
+    std::vector<NodeId> oldId;
+};
+
+/**
+ * Relabel nodes by non-increasing outdegree (ties by original id, so
+ * the result is deterministic). Edges keep their weights; each node's
+ * out-edges keep their relative order.
+ */
+Reordering sortByDegreeDescending(const Csr &graph);
+
+/**
+ * Relabel nodes with an arbitrary permutation.
+ * @param new_id new_id[old] = new id; must be a permutation of
+ *        [0, numNodes).
+ */
+Reordering applyPermutation(const Csr &graph,
+                            std::vector<NodeId> new_id);
+
+} // namespace tigr::graph

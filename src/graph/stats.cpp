@@ -1,0 +1,179 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <random>
+
+namespace tigr::graph {
+
+namespace {
+
+std::vector<EdgeIndex>
+sortedDegrees(const Csr &graph)
+{
+    std::vector<EdgeIndex> degrees(graph.numNodes());
+    for (NodeId v = 0; v < graph.numNodes(); ++v)
+        degrees[v] = graph.degree(v);
+    std::sort(degrees.begin(), degrees.end());
+    return degrees;
+}
+
+/** BFS hop distances from @p source; kInvalidNode marks unreachable. */
+std::vector<NodeId>
+bfsHops(const Csr &graph, NodeId source)
+{
+    std::vector<NodeId> hops(graph.numNodes(), kInvalidNode);
+    std::deque<NodeId> frontier{source};
+    hops[source] = 0;
+    while (!frontier.empty()) {
+        NodeId v = frontier.front();
+        frontier.pop_front();
+        for (NodeId nbr : graph.outNeighbors(v)) {
+            if (hops[nbr] == kInvalidNode) {
+                hops[nbr] = hops[v] + 1;
+                frontier.push_back(nbr);
+            }
+        }
+    }
+    return hops;
+}
+
+} // namespace
+
+DegreeStats
+degreeStats(const Csr &graph)
+{
+    DegreeStats stats;
+    stats.numNodes = graph.numNodes();
+    stats.numEdges = graph.numEdges();
+    if (graph.numNodes() == 0)
+        return stats;
+
+    std::vector<EdgeIndex> degrees = sortedDegrees(graph);
+    const std::size_t n = degrees.size();
+
+    stats.minDegree = degrees.front();
+    stats.maxDegree = degrees.back();
+    stats.meanDegree =
+        static_cast<double>(graph.numEdges()) / static_cast<double>(n);
+    stats.medianDegree = degrees[n / 2];
+    stats.p90Degree = degrees[static_cast<std::size_t>(0.90 * (n - 1))];
+    stats.p99Degree = degrees[static_cast<std::size_t>(0.99 * (n - 1))];
+
+    // Gini over the sorted degrees:
+    //   G = (2 * sum_i i*d_i) / (n * sum_i d_i) - (n + 1) / n
+    // with 1-based i over ascending d_i.
+    double weighted = 0.0;
+    double total = 0.0;
+    double variance = 0.0;
+    std::uint64_t below20 = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double d = static_cast<double>(degrees[i]);
+        weighted += static_cast<double>(i + 1) * d;
+        total += d;
+        double delta = d - stats.meanDegree;
+        variance += delta * delta;
+        if (degrees[i] < 20)
+            ++below20;
+    }
+    variance /= static_cast<double>(n);
+    if (total > 0.0) {
+        stats.gini = (2.0 * weighted) / (static_cast<double>(n) * total) -
+                     (static_cast<double>(n) + 1.0) /
+                         static_cast<double>(n);
+    }
+    if (stats.meanDegree > 0.0)
+        stats.coefficientOfVariation = std::sqrt(variance) /
+            stats.meanDegree;
+    stats.fractionBelow20 =
+        static_cast<double>(below20) / static_cast<double>(n);
+    return stats;
+}
+
+std::vector<std::uint64_t>
+degreeHistogram(const Csr &graph)
+{
+    std::vector<std::uint64_t> histogram(
+        static_cast<std::size_t>(graph.maxOutDegree()) + 1, 0);
+    for (NodeId v = 0; v < graph.numNodes(); ++v)
+        ++histogram[graph.degree(v)];
+    return histogram;
+}
+
+double
+powerLawExponent(const Csr &graph, EdgeIndex d_min)
+{
+    double log_sum = 0.0;
+    std::uint64_t count = 0;
+    for (NodeId v = 0; v < graph.numNodes(); ++v) {
+        EdgeIndex d = graph.degree(v);
+        if (d >= d_min) {
+            log_sum += std::log(static_cast<double>(d) /
+                                (static_cast<double>(d_min) - 0.5));
+            ++count;
+        }
+    }
+    if (count < 2 || log_sum <= 0.0)
+        return 0.0;
+    return 1.0 + static_cast<double>(count) / log_sum;
+}
+
+NodeId
+estimateDiameter(const Csr &graph, unsigned samples, std::uint64_t seed)
+{
+    if (graph.numNodes() == 0)
+        return 0;
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<NodeId> pick(0, graph.numNodes() - 1);
+
+    NodeId best = 0;
+    // Start from node 0 deterministically (covers sources of DAG-like
+    // graphs such as directed paths), then double-sweep with random
+    // restarts.
+    NodeId start = 0;
+    for (unsigned i = 0; i < samples; ++i) {
+        std::vector<NodeId> hops = bfsHops(graph, start);
+        NodeId farthest = start;
+        NodeId ecc = 0;
+        for (NodeId v = 0; v < graph.numNodes(); ++v) {
+            if (hops[v] != kInvalidNode && hops[v] > ecc) {
+                ecc = hops[v];
+                farthest = v;
+            }
+        }
+        best = std::max(best, ecc);
+        // Double sweep: restart from the farthest node found, falling
+        // back to a random restart when the sweep stalls.
+        start = (farthest == start) ? pick(rng) : farthest;
+    }
+    return best;
+}
+
+double
+warpLoadImbalance(const Csr &graph, unsigned warp_width)
+{
+    const NodeId n = graph.numNodes();
+    if (n == 0 || warp_width == 0)
+        return 0.0;
+
+    double useful = 0.0;
+    double occupied = 0.0;
+    for (NodeId base = 0; base < n; base += warp_width) {
+        EdgeIndex warp_max = 0;
+        EdgeIndex warp_sum = 0;
+        NodeId end = std::min<NodeId>(base + warp_width, n);
+        for (NodeId v = base; v < end; ++v) {
+            EdgeIndex d = graph.degree(v);
+            warp_max = std::max(warp_max, d);
+            warp_sum += d;
+        }
+        useful += static_cast<double>(warp_sum);
+        occupied += static_cast<double>(warp_max) * warp_width;
+    }
+    if (occupied == 0.0)
+        return 0.0;
+    return 1.0 - useful / occupied;
+}
+
+} // namespace tigr::graph

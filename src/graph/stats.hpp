@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Degree-distribution statistics and irregularity metrics.
+ *
+ * These quantify the "power-law skew" that motivates Tigr (Section 2.3 of
+ * the paper) and let tests and benchmarks assert that a transformation
+ * actually made a graph more regular.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace tigr::graph {
+
+/** Summary of a graph's outdegree distribution. */
+struct DegreeStats
+{
+    NodeId numNodes = 0;        ///< Node count.
+    EdgeIndex numEdges = 0;     ///< Directed edge count.
+    EdgeIndex minDegree = 0;    ///< Smallest outdegree.
+    EdgeIndex maxDegree = 0;    ///< Largest outdegree.
+    double meanDegree = 0.0;    ///< Average outdegree.
+    EdgeIndex medianDegree = 0; ///< 50th-percentile outdegree.
+    EdgeIndex p90Degree = 0;    ///< 90th-percentile outdegree.
+    EdgeIndex p99Degree = 0;    ///< 99th-percentile outdegree.
+
+    /**
+     * Gini coefficient of the outdegree distribution, in [0, 1].
+     * 0 = perfectly regular (all degrees equal), values near 1 = a few
+     * nodes own nearly all edges. Our primary irregularity metric.
+     */
+    double gini = 0.0;
+
+    /** Coefficient of variation (stddev / mean) of outdegrees. */
+    double coefficientOfVariation = 0.0;
+
+    /** Fraction of nodes with outdegree < 20 (the paper quotes >90%
+     *  for its real-world inputs). */
+    double fractionBelow20 = 0.0;
+};
+
+/** Compute DegreeStats over @p graph's outdegrees. */
+DegreeStats degreeStats(const Csr &graph);
+
+/**
+ * Histogram of outdegrees: result[d] = number of nodes with outdegree d,
+ * for d in [0, maxOutDegree].
+ */
+std::vector<std::uint64_t> degreeHistogram(const Csr &graph);
+
+/**
+ * Maximum-likelihood power-law exponent of the outdegree tail
+ * (Clauset-Shalizi-Newman estimator restricted to degrees >= @p d_min).
+ * Returns 0 when fewer than two nodes qualify.
+ */
+double powerLawExponent(const Csr &graph, EdgeIndex d_min = 2);
+
+/**
+ * Pseudo-diameter: run BFS (hop counts, ignoring weights) from
+ * @p samples start nodes spread over the graph and return the largest
+ * finite eccentricity observed. A lower bound on the true diameter, the
+ * quantity Table 3 of the paper reports as "d".
+ */
+NodeId estimateDiameter(const Csr &graph, unsigned samples = 8,
+                        std::uint64_t seed = 42);
+
+/**
+ * Estimated SIMD-lane waste of mapping one node per lane in warps of
+ * @p warp_width: 1 - sum(deg) / (warps * warp_width * max_deg_in_warp).
+ * Mirrors the intra-warp load-imbalance argument of Section 2.3; lower
+ * is better, 0 means perfectly balanced warps.
+ */
+double warpLoadImbalance(const Csr &graph, unsigned warp_width = 32);
+
+} // namespace tigr::graph

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fundamental scalar types and constants shared across the Tigr library.
+ *
+ * All graph containers, transformations, engines and algorithms agree on
+ * these definitions, so a node id or an edge weight means the same thing
+ * in every module.
+ */
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tigr {
+
+/** Identifier of a node (physical or virtual). 32 bits is plenty for the
+ *  scaled-down datasets this repository ships; all containers index nodes
+ *  with this type. */
+using NodeId = std::uint32_t;
+
+/** Index into an edge array. 64 bits so that offset arithmetic never
+ *  overflows even for graphs near the NodeId limit. */
+using EdgeIndex = std::uint64_t;
+
+/** Weight attached to a single edge. Unsigned integral weights keep the
+ *  shortest/widest path algebra exact (no floating point drift) and match
+ *  the paper's SSSP/SSWP formulation. */
+using Weight = std::uint32_t;
+
+/** Accumulated path distance (sum of weights along a path). Kept wider
+ *  than Weight so long paths cannot overflow. */
+using Dist = std::uint64_t;
+
+/** Node value used by rank-style analytics (PageRank). */
+using Rank = double;
+
+/** Sentinel: an unreachable/unknown node. */
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/** Sentinel: "no edge" / invalid edge position. */
+inline constexpr EdgeIndex kInvalidEdge =
+    std::numeric_limits<EdgeIndex>::max();
+
+/** Sentinel: infinite distance (node not yet reached by SSSP/BFS). */
+inline constexpr Dist kInfDist = std::numeric_limits<Dist>::max();
+
+/** Maximum representable weight. Doubles as the "dumb weight" that makes
+ *  UDT-introduced edges neutral for widest-path analyses (Corollary 3). */
+inline constexpr Weight kInfWeight = std::numeric_limits<Weight>::max();
+
+/** The "dumb weight" that makes UDT-introduced edges neutral for
+ *  distance-based analyses (Corollary 2). */
+inline constexpr Weight kZeroWeight = 0;
+
+/**
+ * Saturating addition for path distances: adding anything to an infinite
+ * distance stays infinite, and the sum never wraps around.
+ *
+ * @param a Current path distance (possibly kInfDist).
+ * @param w Edge weight to extend the path with.
+ * @return a + w, saturated at kInfDist.
+ */
+inline constexpr Dist
+saturatingAdd(Dist a, Weight w)
+{
+    if (a == kInfDist)
+        return kInfDist;
+    Dist sum = a + static_cast<Dist>(w);
+    return sum < a ? kInfDist : sum;
+}
+
+} // namespace tigr

@@ -1,0 +1,54 @@
+#include "graph/validate.hpp"
+
+#include <sstream>
+
+namespace tigr::graph {
+
+std::optional<std::string>
+validateCoo(const CooEdges &coo)
+{
+    const NodeId n = coo.numNodes();
+    for (std::size_t i = 0; i < coo.edges().size(); ++i) {
+        const Edge &e = coo.edges()[i];
+        if (e.src >= n || e.dst >= n) {
+            std::ostringstream out;
+            out << "edge " << i << " (" << e.src << " -> " << e.dst
+                << ") outside node universe of size " << n;
+            return out.str();
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+validateCsr(const Csr &graph)
+{
+    const auto &offsets = graph.rowOffsets();
+    if (offsets.empty())
+        return "offset array is empty";
+    if (offsets.front() != 0)
+        return "offset array does not start at 0";
+    for (std::size_t v = 1; v < offsets.size(); ++v) {
+        if (offsets[v] < offsets[v - 1]) {
+            std::ostringstream out;
+            out << "offset array decreases at node " << v - 1;
+            return out.str();
+        }
+    }
+    if (offsets.back() != graph.colIndices().size())
+        return "offset array does not end at the edge count";
+    if (graph.colIndices().size() != graph.weights().size())
+        return "weight array not parallel to edge array";
+    const NodeId n = graph.numNodes();
+    for (std::size_t e = 0; e < graph.colIndices().size(); ++e) {
+        if (graph.colIndices()[e] >= n) {
+            std::ostringstream out;
+            out << "edge " << e << " targets node "
+                << graph.colIndices()[e] << " >= " << n;
+            return out.str();
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace tigr::graph

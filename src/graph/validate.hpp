@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Structural validation of graph containers. Loaders and tools call
+ * these before trusting external data; tests use them for failure
+ * injection.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "graph/coo.hpp"
+#include "graph/csr.hpp"
+
+namespace tigr::graph {
+
+/**
+ * Check that every edge of @p coo stays inside its node universe.
+ * @return std::nullopt when valid, otherwise a human-readable
+ *         description of the first violation.
+ */
+std::optional<std::string> validateCoo(const CooEdges &coo);
+
+/**
+ * Check the CSR invariants: non-empty monotone offset array starting
+ * at 0 and ending at the edge count, every target below the node
+ * count, and weight array parallel to the targets.
+ * @return std::nullopt when valid, otherwise a description of the
+ *         first violation.
+ */
+std::optional<std::string> validateCsr(const Csr &graph);
+
+} // namespace tigr::graph

@@ -1,0 +1,115 @@
+#include "hardwired/hardwired.hpp"
+
+#include <algorithm>
+
+namespace tigr::hardwired {
+
+namespace {
+
+/** ThreadWork of a full-row relaxation thread. */
+sim::ThreadWork
+rowWork(const graph::Csr &graph, NodeId v)
+{
+    sim::ThreadWork work;
+    const auto degree = static_cast<std::uint32_t>(graph.degree(v));
+    work.instructions = 4 + 3 * degree;
+    work.edgeCount = degree;
+    work.edgeStart = graph.edgeBegin(v);
+    work.edgeStride = 1;
+    return work;
+}
+
+} // namespace
+
+HardwiredResult<Dist>
+deltaSteppingSssp(const graph::Csr &graph, NodeId source, Weight delta,
+                  sim::WarpSimulator &sim)
+{
+    const NodeId n = graph.numNodes();
+    HardwiredResult<Dist> result;
+    result.values.assign(n, kInfDist);
+    if (n == 0)
+        return result;
+
+    if (delta == 0) {
+        // Heuristic: twice the mean edge weight (Davidson et al. tune
+        // per graph; this lands in their reported sweet spot).
+        std::uint64_t total = 0;
+        for (Weight w : graph.weights())
+            total += w;
+        delta = graph.numEdges() == 0
+                    ? 1
+                    : static_cast<Weight>(std::max<std::uint64_t>(
+                          1, 2 * total / graph.numEdges()));
+    }
+
+    std::vector<Dist> &dist = result.values;
+    dist[source] = 0;
+
+    std::vector<std::vector<NodeId>> buckets(1);
+    buckets[0].push_back(source);
+    auto bucketOf = [delta](Dist d) {
+        return static_cast<std::size_t>(d / delta);
+    };
+    auto place = [&](NodeId v) {
+        std::size_t b = bucketOf(dist[v]);
+        if (b >= buckets.size())
+            buckets.resize(b + 1);
+        buckets[b].push_back(v);
+    };
+
+    // Relax the light (w <= delta) or heavy edges of a request set.
+    auto relax = [&](const std::vector<NodeId> &request, bool light) {
+        std::vector<NodeId> improved;
+        result.stats += sim.launch(
+            request.size(), [&](std::uint64_t tid) {
+                NodeId v = request[tid];
+                for (EdgeIndex e = graph.edgeBegin(v);
+                     e < graph.edgeEnd(v); ++e) {
+                    Weight w = graph.edgeWeight(e);
+                    if ((w <= delta) != light)
+                        continue;
+                    NodeId dst = graph.edgeTarget(e);
+                    Dist candidate = saturatingAdd(dist[v], w);
+                    if (candidate < dist[dst]) {
+                        dist[dst] = candidate;
+                        improved.push_back(dst);
+                    }
+                }
+                return rowWork(graph, v);
+            });
+        ++result.iterations;
+        return improved;
+    };
+
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        std::vector<NodeId> settled;
+        // Light-edge phases: nodes may re-enter bucket i.
+        while (!buckets[i].empty()) {
+            std::vector<NodeId> request;
+            request.swap(buckets[i]);
+            // Skip stale entries whose distance moved to a later
+            // bucket (or was improved below this one already).
+            std::erase_if(request, [&](NodeId v) {
+                return dist[v] == kInfDist || bucketOf(dist[v]) != i;
+            });
+            if (request.empty())
+                break;
+            settled.insert(settled.end(), request.begin(),
+                           request.end());
+            for (NodeId v : relax(request, /*light=*/true))
+                place(v);
+        }
+        if (settled.empty())
+            continue;
+        // One heavy-edge phase over everything settled in bucket i.
+        std::sort(settled.begin(), settled.end());
+        settled.erase(std::unique(settled.begin(), settled.end()),
+                      settled.end());
+        for (NodeId v : relax(settled, /*light=*/false))
+            place(v);
+    }
+    return result;
+}
+
+} // namespace tigr::hardwired

@@ -1,0 +1,87 @@
+#include "hardwired/hardwired.hpp"
+
+namespace tigr::hardwired {
+
+namespace {
+
+/** Chase parent pointers to the representative (host semantics of the
+ *  GPU's intermediate pointer jumping). */
+NodeId
+findRoot(const std::vector<NodeId> &parent, NodeId v)
+{
+    while (parent[v] != v)
+        v = parent[v];
+    return v;
+}
+
+} // namespace
+
+HardwiredResult<NodeId>
+eclCc(const graph::Csr &graph, sim::WarpSimulator &sim)
+{
+    const NodeId n = graph.numNodes();
+    HardwiredResult<NodeId> result;
+    result.values.resize(n);
+    for (NodeId v = 0; v < n; ++v)
+        result.values[v] = v;
+    std::vector<NodeId> &parent = result.values;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+
+        // Hooking kernel: edge-parallel; attach the larger root under
+        // the smaller one (min-id wins, so labels match the oracle).
+        result.stats += sim.launch(
+            graph.numEdges(), [&](std::uint64_t e) {
+                // Reconstruct the source of edge e via the unit shape
+                // only for accounting; semantics use the arrays.
+                NodeId dst = graph.edgeTarget(e);
+                // Find the edge's source by scanning is wasteful; the
+                // simulator only needs the access shape, so semantics
+                // iterate via a captured cursor below.
+                (void)dst;
+                sim::ThreadWork work;
+                work.instructions = 6; // two finds + CAS hook
+                work.edgeCount = 1;
+                work.edgeStart = e;
+                work.edgeStride = 1;
+                // After the first round almost every find hits the
+                // already-compressed (cached) root: one scattered
+                // access per edge on average.
+                work.scatterAccessesPerEdge = 1;
+                return work;
+            });
+        // Semantics of the hooking pass (host-exact, same order).
+        for (NodeId v = 0; v < n; ++v) {
+            for (EdgeIndex e = graph.edgeBegin(v);
+                 e < graph.edgeEnd(v); ++e) {
+                NodeId ru = findRoot(parent, v);
+                NodeId rv = findRoot(parent, graph.edgeTarget(e));
+                if (ru == rv)
+                    continue;
+                if (ru > rv)
+                    std::swap(ru, rv);
+                parent[rv] = ru;
+                changed = true;
+            }
+        }
+
+        // Compression kernel: node-parallel pointer jumping.
+        result.stats += sim.launch(n, [&](std::uint64_t v) {
+            parent[v] = findRoot(parent, static_cast<NodeId>(v));
+            sim::ThreadWork work;
+            work.instructions = 4;
+            work.edgeCount = 1;
+            work.edgeStart = v; // coalesced parent-array sweep
+            work.edgeStride = 1;
+            work.bytesPerEdge = 4;
+            return work;
+        });
+
+        ++result.iterations;
+    }
+    return result;
+}
+
+} // namespace tigr::hardwired

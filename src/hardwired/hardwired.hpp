@@ -1,0 +1,78 @@
+/**
+ * @file
+ * "Hardwired" specialized GPU graph algorithms — the low-level
+ * single-primitive implementations the paper's methodology compares
+ * against (Section 6.1): Davidson et al.'s delta-stepping SSSP [11],
+ * Merrill et al.'s scan-based BFS [44], ECL-CC [25], and Elsen &
+ * Vaidyanathan's gather-apply-scatter PageRank [13].
+ *
+ * Each runs its published kernel structure on the WarpSimulator, so
+ * they are directly comparable with the general frameworks in the
+ * hardwired_comparison benchmark.
+ */
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+#include "sim/warp_simulator.hpp"
+
+namespace tigr::hardwired {
+
+/** Result of a hardwired run: values plus simulator accounting. */
+template <typename Value>
+struct HardwiredResult
+{
+    std::vector<Value> values;   ///< One value per node.
+    unsigned iterations = 0;     ///< Phases / levels / rounds executed.
+    sim::KernelStats stats;      ///< Aggregated simulator counters.
+};
+
+/**
+ * Delta-stepping SSSP (Davidson et al. [11], Meyer & Sanders [45]):
+ * nodes are bucketed by floor(dist/delta); each bucket settles by
+ * repeated light-edge (weight <= delta) relaxations, then releases its
+ * heavy edges once. delta = 0 picks a heuristic (twice the mean edge
+ * weight).
+ */
+HardwiredResult<Dist> deltaSteppingSssp(const graph::Csr &graph,
+                                        NodeId source, Weight delta,
+                                        sim::WarpSimulator &sim);
+
+/**
+ * Scan-based BFS (Merrill et al. [44]): level-synchronous expansion
+ * with a prefix-sum gather per level, so edge work is perfectly load
+ * balanced and status checks are cheap bitmask probes.
+ */
+HardwiredResult<Dist> merrillBfs(const graph::Csr &graph,
+                                 NodeId source,
+                                 sim::WarpSimulator &sim);
+
+/**
+ * ECL-CC (Jaiganesh & Burtscher [25]): connected components by
+ * min-id hooking over the edges plus pointer-jumping compression,
+ * converging in a handful of rounds. Pass a symmetrized graph for the
+ * usual weak connectivity; labels are the component's minimum node id
+ * (comparable with ref::connectedComponents).
+ */
+HardwiredResult<NodeId> eclCc(const graph::Csr &graph,
+                              sim::WarpSimulator &sim);
+
+/** Parameters for elsenPagerank. */
+struct GasPrParams
+{
+    double damping = 0.85;    ///< Damping factor.
+    unsigned iterations = 20; ///< Synchronous rounds.
+};
+
+/**
+ * Gather-apply-scatter PageRank (Elsen & Vaidyanathan's vertexAPI2
+ * [13]): an edge-parallel gather over incoming edges followed by a
+ * node-parallel apply, two kernels per round.
+ */
+HardwiredResult<Rank> elsenPagerank(const graph::Csr &graph,
+                                    const GasPrParams &params,
+                                    sim::WarpSimulator &sim);
+
+} // namespace tigr::hardwired

@@ -1,0 +1,65 @@
+#include "hardwired/hardwired.hpp"
+
+namespace tigr::hardwired {
+
+HardwiredResult<Dist>
+merrillBfs(const graph::Csr &graph, NodeId source,
+           sim::WarpSimulator &sim)
+{
+    const NodeId n = graph.numNodes();
+    HardwiredResult<Dist> result;
+    result.values.assign(n, kInfDist);
+    if (n == 0)
+        return result;
+
+    std::vector<Dist> &depth = result.values;
+    depth[source] = 0;
+    std::vector<NodeId> frontier{source};
+
+    while (!frontier.empty()) {
+        const Dist level = result.iterations;
+
+        // Setup kernel: per-node degree scan / prefix sum that load
+        // balances the expansion (cheap, frontier-sized).
+        result.stats += sim.launch(
+            frontier.size(), [&](std::uint64_t tid) {
+                (void)tid;
+                sim::ThreadWork work;
+                work.instructions = 3;
+                return work;
+            });
+
+        // Expansion kernel: perfectly edge-parallel gather — one
+        // thread per frontier edge, consecutive threads read
+        // consecutive edge slots (Merrill's fine-grained gather).
+        std::vector<std::pair<NodeId, EdgeIndex>> edges;
+        for (NodeId v : frontier)
+            for (EdgeIndex e = graph.edgeBegin(v);
+                 e < graph.edgeEnd(v); ++e)
+                edges.emplace_back(v, e);
+
+        std::vector<NodeId> next;
+        result.stats += sim.launch(
+            edges.size(), [&](std::uint64_t tid) {
+                auto [v, e] = edges[tid];
+                (void)v;
+                NodeId dst = graph.edgeTarget(e);
+                if (depth[dst] == kInfDist) {
+                    depth[dst] = level + 1;
+                    next.push_back(dst);
+                }
+                sim::ThreadWork work;
+                work.instructions = 4; // status probe + enqueue
+                work.edgeCount = 1;
+                work.edgeStart = e;
+                work.edgeStride = 1;
+                return work;
+            });
+
+        frontier.swap(next);
+        ++result.iterations;
+    }
+    return result;
+}
+
+} // namespace tigr::hardwired

@@ -1,0 +1,352 @@
+#include "ref/oracles.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <numeric>
+#include <queue>
+
+namespace tigr::ref {
+
+using graph::Csr;
+
+std::vector<Dist>
+bfsHops(const Csr &graph, NodeId source)
+{
+    std::vector<Dist> hops(graph.numNodes(), kInfDist);
+    std::deque<NodeId> frontier{source};
+    hops[source] = 0;
+    while (!frontier.empty()) {
+        NodeId v = frontier.front();
+        frontier.pop_front();
+        for (NodeId nbr : graph.outNeighbors(v)) {
+            if (hops[nbr] == kInfDist) {
+                hops[nbr] = hops[v] + 1;
+                frontier.push_back(nbr);
+            }
+        }
+    }
+    return hops;
+}
+
+std::vector<Dist>
+dijkstra(const Csr &graph, NodeId source)
+{
+    std::vector<Dist> dist(graph.numNodes(), kInfDist);
+    using Entry = std::pair<Dist, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    dist[source] = 0;
+    heap.emplace(0, source);
+    while (!heap.empty()) {
+        auto [d, v] = heap.top();
+        heap.pop();
+        if (d > dist[v])
+            continue;
+        for (EdgeIndex e = graph.edgeBegin(v); e < graph.edgeEnd(v); ++e) {
+            NodeId nbr = graph.edgeTarget(e);
+            Dist alt = saturatingAdd(d, graph.edgeWeight(e));
+            if (alt < dist[nbr]) {
+                dist[nbr] = alt;
+                heap.emplace(alt, nbr);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<Weight>
+widestPath(const Csr &graph, NodeId source)
+{
+    std::vector<Weight> width(graph.numNodes(), 0);
+    using Entry = std::pair<Weight, NodeId>;
+    std::priority_queue<Entry> heap; // max-heap on width
+    width[source] = kInfWeight;
+    heap.emplace(kInfWeight, source);
+    while (!heap.empty()) {
+        auto [w, v] = heap.top();
+        heap.pop();
+        if (w < width[v])
+            continue;
+        for (EdgeIndex e = graph.edgeBegin(v); e < graph.edgeEnd(v); ++e) {
+            NodeId nbr = graph.edgeTarget(e);
+            Weight alt = std::min(w, graph.edgeWeight(e));
+            if (alt > width[nbr]) {
+                width[nbr] = alt;
+                heap.emplace(alt, nbr);
+            }
+        }
+    }
+    return width;
+}
+
+namespace {
+
+/** Union-find with path compression and union by size. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(NodeId n) : parent_(n), size_(n, 1)
+    {
+        std::iota(parent_.begin(), parent_.end(), NodeId{0});
+    }
+
+    NodeId
+    find(NodeId v)
+    {
+        while (parent_[v] != v) {
+            parent_[v] = parent_[parent_[v]];
+            v = parent_[v];
+        }
+        return v;
+    }
+
+    void
+    unite(NodeId a, NodeId b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return;
+        if (size_[a] < size_[b])
+            std::swap(a, b);
+        parent_[b] = a;
+        size_[a] += size_[b];
+    }
+
+  private:
+    std::vector<NodeId> parent_;
+    std::vector<NodeId> size_;
+};
+
+} // namespace
+
+std::vector<NodeId>
+connectedComponents(const Csr &graph)
+{
+    const NodeId n = graph.numNodes();
+    UnionFind uf(n);
+    for (NodeId v = 0; v < n; ++v)
+        for (NodeId nbr : graph.outNeighbors(v))
+            uf.unite(v, nbr);
+
+    // Label every node with the smallest node id of its component.
+    std::vector<NodeId> label(n, kInvalidNode);
+    for (NodeId v = 0; v < n; ++v) {
+        NodeId root = uf.find(v);
+        label[root] = std::min(label[root], v);
+    }
+    std::vector<NodeId> result(n);
+    for (NodeId v = 0; v < n; ++v)
+        result[v] = label[uf.find(v)];
+    return result;
+}
+
+std::vector<Rank>
+pageRank(const Csr &graph, const PageRankParams &params)
+{
+    const NodeId n = graph.numNodes();
+    if (n == 0)
+        return {};
+    std::vector<Rank> rank(n, 1.0 / n);
+    std::vector<Rank> next(n);
+    const Rank base = (1.0 - params.damping) / n;
+    for (unsigned iter = 0; iter < params.iterations; ++iter) {
+        std::fill(next.begin(), next.end(), base);
+        for (NodeId v = 0; v < n; ++v) {
+            EdgeIndex d = graph.degree(v);
+            if (d == 0)
+                continue;
+            Rank share = params.damping * rank[v] / static_cast<Rank>(d);
+            for (NodeId nbr : graph.outNeighbors(v))
+                next[nbr] += share;
+        }
+        rank.swap(next);
+    }
+    return rank;
+}
+
+std::vector<double>
+betweennessCentrality(const Csr &graph, std::span<const NodeId> sources)
+{
+    const NodeId n = graph.numNodes();
+    std::vector<double> centrality(n, 0.0);
+
+    // Brandes' algorithm, one forward BFS + one backward dependency
+    // accumulation per source.
+    std::vector<std::int64_t> sigma(n);
+    std::vector<Dist> depth(n);
+    std::vector<double> delta(n);
+    std::vector<NodeId> order; // nodes in non-decreasing BFS depth
+    order.reserve(n);
+
+    for (NodeId source : sources) {
+        std::fill(sigma.begin(), sigma.end(), 0);
+        std::fill(depth.begin(), depth.end(), kInfDist);
+        std::fill(delta.begin(), delta.end(), 0.0);
+        order.clear();
+
+        sigma[source] = 1;
+        depth[source] = 0;
+        std::deque<NodeId> frontier{source};
+        while (!frontier.empty()) {
+            NodeId v = frontier.front();
+            frontier.pop_front();
+            order.push_back(v);
+            for (NodeId nbr : graph.outNeighbors(v)) {
+                if (depth[nbr] == kInfDist) {
+                    depth[nbr] = depth[v] + 1;
+                    frontier.push_back(nbr);
+                }
+                if (depth[nbr] == depth[v] + 1)
+                    sigma[nbr] += sigma[v];
+            }
+        }
+        for (auto it = order.rbegin(); it != order.rend(); ++it) {
+            NodeId v = *it;
+            for (NodeId nbr : graph.outNeighbors(v)) {
+                if (depth[nbr] == depth[v] + 1 && sigma[nbr] > 0) {
+                    delta[v] += (static_cast<double>(sigma[v]) /
+                                 static_cast<double>(sigma[nbr])) *
+                                (1.0 + delta[nbr]);
+                }
+            }
+            if (v != source)
+                centrality[v] += delta[v];
+        }
+    }
+    return centrality;
+}
+
+std::vector<double>
+weightedBetweennessCentrality(const Csr &graph,
+                              std::span<const NodeId> sources,
+                              NodeId endpoint_limit)
+{
+    const NodeId n = graph.numNodes();
+    std::vector<double> centrality(n, 0.0);
+
+    // Brandes over weighted shortest paths. Zero-weight edges (UDT's
+    // dumb weights) make equal-distance predecessors legal, so path
+    // counting and dependency accumulation run over an explicit
+    // topological order of the shortest-path DAG rather than settle
+    // order. Zero-weight *cycles* would make path counts ill-defined;
+    // such inputs are rejected by the topological sort below.
+    std::vector<double> sigma(n);
+    std::vector<double> delta(n);
+    std::vector<std::uint32_t> indegree(n);
+
+    for (NodeId source : sources) {
+        std::vector<Dist> dist = dijkstra(graph, source);
+
+        // Shortest-path DAG: edge u->v qualifies iff it tightens v.
+        auto on_dag = [&](NodeId u, EdgeIndex e) {
+            NodeId v = graph.edgeTarget(e);
+            return dist[u] != kInfDist &&
+                   saturatingAdd(dist[u], graph.edgeWeight(e)) ==
+                       dist[v] &&
+                   dist[v] != kInfDist;
+        };
+
+        std::fill(indegree.begin(), indegree.end(), 0);
+        for (NodeId u = 0; u < n; ++u)
+            for (EdgeIndex e = graph.edgeBegin(u);
+                 e < graph.edgeEnd(u); ++e)
+                if (on_dag(u, e))
+                    ++indegree[graph.edgeTarget(e)];
+
+        // Kahn topological order over reachable nodes.
+        std::vector<NodeId> order;
+        order.reserve(n);
+        std::deque<NodeId> ready;
+        for (NodeId v = 0; v < n; ++v)
+            if (dist[v] != kInfDist && indegree[v] == 0)
+                ready.push_back(v);
+        while (!ready.empty()) {
+            NodeId u = ready.front();
+            ready.pop_front();
+            order.push_back(u);
+            for (EdgeIndex e = graph.edgeBegin(u);
+                 e < graph.edgeEnd(u); ++e) {
+                if (on_dag(u, e) && --indegree[graph.edgeTarget(e)] == 0)
+                    ready.push_back(graph.edgeTarget(e));
+            }
+        }
+        // A zero-weight cycle on a shortest path leaves nodes queued.
+        std::size_t reachable = 0;
+        for (NodeId v = 0; v < n; ++v)
+            reachable += dist[v] != kInfDist;
+        assert(order.size() == reachable &&
+               "zero-weight cycle on a shortest path");
+        (void)reachable;
+
+        // Forward: path counts in topological order.
+        std::fill(sigma.begin(), sigma.end(), 0.0);
+        sigma[source] = 1.0;
+        for (NodeId u : order)
+            for (EdgeIndex e = graph.edgeBegin(u);
+                 e < graph.edgeEnd(u); ++e)
+                if (on_dag(u, e))
+                    sigma[graph.edgeTarget(e)] += sigma[u];
+
+        // Backward: dependency accumulation in reverse order. A node
+        // past the endpoint limit (a transformation-introduced split
+        // node) contributes no endpoint term of its own — only the
+        // dependencies flowing through it.
+        std::fill(delta.begin(), delta.end(), 0.0);
+        for (auto it = order.rbegin(); it != order.rend(); ++it) {
+            NodeId u = *it;
+            for (EdgeIndex e = graph.edgeBegin(u);
+                 e < graph.edgeEnd(u); ++e) {
+                NodeId v = graph.edgeTarget(e);
+                if (on_dag(u, e) && sigma[v] > 0.0) {
+                    double endpoint = v < endpoint_limit ? 1.0 : 0.0;
+                    delta[u] += sigma[u] / sigma[v] *
+                                (endpoint + delta[v]);
+                }
+            }
+            if (u != source)
+                centrality[u] += delta[u];
+        }
+    }
+    return centrality;
+}
+
+std::uint64_t
+triangleCount(const Csr &graph)
+{
+    const NodeId n = graph.numNodes();
+    // Sorted adjacency per node for two-pointer intersections.
+    std::vector<std::vector<NodeId>> sorted(n);
+    for (NodeId v = 0; v < n; ++v) {
+        auto nbrs = graph.outNeighbors(v);
+        sorted[v].assign(nbrs.begin(), nbrs.end());
+        std::sort(sorted[v].begin(), sorted[v].end());
+    }
+
+    std::uint64_t total = 0;
+    for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v : sorted[u]) {
+            if (v <= u)
+                continue;
+            // Count w > v present in both u's and v's adjacency.
+            auto iu = std::lower_bound(sorted[u].begin(),
+                                       sorted[u].end(), v + 1);
+            auto iv = std::lower_bound(sorted[v].begin(),
+                                       sorted[v].end(), v + 1);
+            while (iu != sorted[u].end() && iv != sorted[v].end()) {
+                if (*iu < *iv) {
+                    ++iu;
+                } else if (*iv < *iu) {
+                    ++iv;
+                } else {
+                    ++total;
+                    ++iu;
+                    ++iv;
+                }
+            }
+        }
+    }
+    return total;
+}
+
+} // namespace tigr::ref

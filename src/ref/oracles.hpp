@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Sequential reference implementations ("oracles") of the six graph
+ * analyses the paper evaluates. Deliberately simple, textbook versions —
+ * they define correct answers for the engine, transformation, and
+ * benchmark correctness checks (the executable form of Theorems 1-3).
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace tigr::ref {
+
+/**
+ * Breadth-first search hop counts from @p source along outgoing edges.
+ * Unreachable nodes get kInfDist.
+ */
+std::vector<Dist> bfsHops(const graph::Csr &graph, NodeId source);
+
+/**
+ * Single-source shortest path distances (Dijkstra) from @p source.
+ * Unreachable nodes get kInfDist.
+ */
+std::vector<Dist> dijkstra(const graph::Csr &graph, NodeId source);
+
+/**
+ * Single-source widest path: widths[v] is the maximum over paths from
+ * @p source to v of the minimum edge weight along the path. The source
+ * has width kInfWeight; unreachable nodes have width 0.
+ */
+std::vector<Weight> widestPath(const graph::Csr &graph, NodeId source);
+
+/**
+ * Connected components of the graph with edge directions ignored
+ * (weak connectivity), computed with union-find. Each node is labelled
+ * with the smallest node id in its component — the same fixpoint
+ * min-label propagation reaches, so engine results compare bit-exactly.
+ */
+std::vector<NodeId> connectedComponents(const graph::Csr &graph);
+
+/** Parameters of the PageRank iteration. */
+struct PageRankParams
+{
+    double damping = 0.85; ///< Damping factor d.
+    unsigned iterations = 20; ///< Fixed number of synchronous rounds.
+};
+
+/**
+ * PageRank by synchronous power iteration:
+ *   r'(v) = (1 - d)/n + d * sum_{u -> v} r(u) / outdeg(u).
+ * Runs exactly params.iterations rounds from the uniform vector (no
+ * dangling-mass redistribution, matching the GPU frameworks the paper
+ * compares against).
+ */
+std::vector<Rank> pageRank(const graph::Csr &graph,
+                           const PageRankParams &params = {});
+
+/**
+ * Betweenness centrality accumulated from the given @p sources with
+ * Brandes' algorithm over unweighted (hop-count) shortest paths. Pass
+ * every node as a source for exact BC; a sample for approximate BC (the
+ * paper's GPU BC, like Gunrock's, is source-sampled Brandes).
+ */
+std::vector<double> betweennessCentrality(const graph::Csr &graph,
+                                          std::span<const NodeId> sources);
+
+/**
+ * Betweenness centrality over *weighted* shortest paths (Brandes with
+ * a Dijkstra forward phase). This is the variant that survives the UDT
+ * physical transformation: with zero dumb weights, distances and
+ * shortest-path multiplicities through a family are preserved
+ * (Corollary 2 + property P2), so original nodes keep their exact
+ * centrality — the executable form of the paper's BC claim.
+ *
+ * @param endpoint_limit Only nodes with id < endpoint_limit count as
+ *        path *endpoints* (they always count as intermediates).
+ *        kInvalidNode = every node. When evaluating a transformed
+ *        graph, pass the original node count so paths "ending" at
+ *        UDT-introduced split nodes do not inflate dependencies —
+ *        BC is defined over pairs of original nodes.
+ */
+std::vector<double>
+weightedBetweennessCentrality(const graph::Csr &graph,
+                              std::span<const NodeId> sources,
+                              NodeId endpoint_limit = kInvalidNode);
+
+/**
+ * Count undirected triangles: unordered node triples {u, v, w} that
+ * are pairwise connected. Expects a symmetric simple graph (dedup
+ * parallel edges first); each triangle is counted exactly once via
+ * the u < v < w ordering.
+ *
+ * Triangle counting is the paper's canonical example of an analysis a
+ * *physical* split transformation cannot preserve (it destroys
+ * neighborhoods) while the *virtual* transformation trivially can
+ * (the graph is untouched) — tests pin both directions.
+ */
+std::uint64_t triangleCount(const graph::Csr &graph);
+
+} // namespace tigr::ref

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The lockstep warp execution model: the accounting core of the GPU
+ * substitute substrate.
+ *
+ * Engines execute graph semantics themselves (on the host) and describe
+ * each simulated thread's work to the simulator as a ThreadWork record;
+ * the simulator derives warp occupancy, SIMD-lane idling, coalesced
+ * memory transactions, per-SM load, and total kernel cycles from those
+ * records. This keeps simulation O(total work) while charging exactly
+ * the costs the paper's analysis is about.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/gpu_config.hpp"
+
+namespace tigr::sim {
+
+/**
+ * One simulated thread's work in a kernel launch.
+ *
+ * Edge-array accesses are described compactly as an arithmetic sequence
+ * of slots (start + stride * j, j < edgeCount), which covers the
+ * baseline (stride 1, count = degree), Tigr-V (stride 1, count <= K) and
+ * Tigr-V+ (stride = family size) access patterns alike.
+ */
+struct ThreadWork
+{
+    /** Instructions this lane issues (edge loop + epilogue). */
+    std::uint32_t instructions = 0;
+    /** Number of edge-array slots the lane reads. */
+    std::uint32_t edgeCount = 0;
+    /** First edge-array slot. */
+    std::uint64_t edgeStart = 0;
+    /** Distance between consecutive slots. */
+    std::uint64_t edgeStride = 1;
+    /** Bytes per edge record (target id + weight). */
+    std::uint32_t bytesPerEdge = 8;
+    /** Scattered value-array accesses per edge: 1 for a plain push
+     *  (the atomicMin on distance[nbr]), 2 for engines that also touch
+     *  scattered bookkeeping per edge (Gunrock's frontier atomics and
+     *  label checks), 0 for windowed/sequential value updates (CuSha's
+     *  shard windows), which coalesce instead. */
+    std::uint32_t scatterAccessesPerEdge = 1;
+};
+
+/** Counters produced by one kernel launch (or aggregated over many). */
+struct KernelStats
+{
+    std::uint64_t launches = 0;        ///< Kernel launches accounted.
+    std::uint64_t threads = 0;         ///< Threads scheduled.
+    std::uint64_t warps = 0;           ///< Warps scheduled.
+    std::uint64_t cycles = 0;          ///< Total kernel cycles.
+    std::uint64_t instructions = 0;    ///< Useful lane instructions.
+    std::uint64_t laneSlots = 0;       ///< Issued lane-cycles
+                                       ///< (warps x warpSize x depth).
+    std::uint64_t memTransactions = 0; ///< Coalesced edge-array
+                                       ///< transactions.
+    std::uint64_t memAccesses = 0;     ///< Lane-level edge accesses.
+    std::uint64_t valueTransactions = 0; ///< Scattered value-array
+                                         ///< transactions (1 per edge
+                                         ///< when modeled).
+    std::uint64_t busiestSmCycles = 0;   ///< Cycles of the most loaded
+                                         ///< SM (summed over launches).
+    std::uint64_t totalSmCycles = 0;     ///< Cycles summed over all SMs.
+    std::uint32_t smCount = 0;           ///< SMs in the configuration.
+
+    /** SIMD efficiency: useful lane instructions over issued lane
+     *  slots — the paper's "warp efficiency" (Table 8). */
+    double
+    warpEfficiency() const
+    {
+        return laneSlots == 0
+                   ? 1.0
+                   : static_cast<double>(instructions) /
+                         static_cast<double>(laneSlots);
+    }
+
+    /** Average memory accesses served per transaction (32 = perfectly
+     *  coalesced 4-byte loads, 1 = fully scattered). */
+    double
+    coalescingFactor() const
+    {
+        return memTransactions == 0
+                   ? 1.0
+                   : static_cast<double>(memAccesses) /
+                         static_cast<double>(memTransactions);
+    }
+
+    /** Inter-warp (SM-level) load imbalance, Section 2.3's second
+     *  effect: 0 = every SM equally busy, values toward 1 = one SM
+     *  did nearly all the work while others idled. */
+    double
+    smImbalance() const
+    {
+        if (busiestSmCycles == 0 || smCount == 0)
+            return 0.0;
+        double ideal = static_cast<double>(totalSmCycles) /
+                       static_cast<double>(smCount);
+        return 1.0 - ideal / static_cast<double>(busiestSmCycles);
+    }
+
+    /** Accumulate another launch's counters. */
+    KernelStats &operator+=(const KernelStats &other);
+};
+
+/**
+ * Lockstep warp simulator.
+ *
+ * launch() groups consecutive thread ids into warps of warpSize lanes,
+ * charges each warp max-over-lanes instruction depth (idle lanes burn
+ * issue slots — Figure 3 of the paper), counts one memory transaction
+ * per distinct memSegmentBytes-aligned segment touched by the warp per
+ * lockstep edge access, assigns warps round-robin to SMs, and reports
+ * kernel cycles as the busiest SM's total plus launch overhead.
+ */
+class WarpSimulator
+{
+  public:
+    explicit WarpSimulator(const GpuConfig &config = {})
+        : config_(config)
+    {
+    }
+
+    /** The configuration in use. */
+    const GpuConfig &config() const { return config_; }
+
+    /**
+     * Simulate a kernel of @p num_threads threads. @p work_of is called
+     * once per thread id, in order, and must return that thread's
+     * ThreadWork.
+     */
+    template <typename WorkFn>
+    KernelStats
+    launch(std::uint64_t num_threads, WorkFn &&work_of)
+    {
+        KernelStats stats;
+        stats.launches = 1;
+        stats.threads = num_threads;
+
+        const unsigned warp_size = config_.warpSize;
+        smCycles_.assign(config_.numSms, 0);
+        warpLanes_.resize(warp_size);
+
+        std::uint64_t warp_index = 0;
+        for (std::uint64_t base = 0; base < num_threads;
+             base += warp_size, ++warp_index) {
+            const unsigned lanes = static_cast<unsigned>(
+                std::min<std::uint64_t>(warp_size, num_threads - base));
+            for (unsigned lane = 0; lane < lanes; ++lane)
+                warpLanes_[lane] = work_of(base + lane);
+            std::uint64_t warp_cycles =
+                simulateWarp(lanes, warp_size, stats);
+            smCycles_[warp_index % config_.numSms] += warp_cycles;
+            ++stats.warps;
+        }
+
+        stats.cycles = config_.kernelLaunchCycles;
+        stats.smCount = config_.numSms;
+        if (!smCycles_.empty()) {
+            stats.busiestSmCycles =
+                *std::max_element(smCycles_.begin(), smCycles_.end());
+            stats.cycles += stats.busiestSmCycles;
+            for (std::uint64_t sm : smCycles_)
+                stats.totalSmCycles += sm;
+        }
+        return stats;
+    }
+
+  private:
+    /** Charge one warp; returns the warp's cycle cost. */
+    std::uint64_t simulateWarp(unsigned lanes, unsigned warp_size,
+                               KernelStats &stats);
+
+    GpuConfig config_;
+    std::vector<std::uint64_t> smCycles_;
+    std::vector<ThreadWork> warpLanes_;
+    std::vector<std::uint64_t> segmentScratch_;
+};
+
+} // namespace tigr::sim

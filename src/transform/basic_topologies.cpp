@@ -1,0 +1,117 @@
+#include "transform/basic_topologies.hpp"
+
+#include <cassert>
+
+namespace tigr::transform {
+
+namespace {
+
+/** ceil(degree / k): the paper's family size |B| (Definition 2). */
+std::uint32_t
+familySize(EdgeIndex degree, NodeId k)
+{
+    return static_cast<std::uint32_t>((degree + k - 1) / k);
+}
+
+/** Deal edges blockwise: edge i belongs to member i / k. */
+std::vector<std::uint32_t>
+blockOwners(EdgeIndex degree, NodeId k)
+{
+    std::vector<std::uint32_t> owners(degree);
+    for (EdgeIndex i = 0; i < degree; ++i)
+        owners[i] = static_cast<std::uint32_t>(i / k);
+    return owners;
+}
+
+} // namespace
+
+SplitPlan
+CliqueTransform::plan(EdgeIndex degree, NodeId degree_bound) const
+{
+    assert(degree > degree_bound);
+    SplitPlan result;
+    const std::uint32_t p = familySize(degree, degree_bound);
+    result.memberCount = p;
+    result.ownerOfEdge = blockOwners(degree, degree_bound);
+    result.internalEdges.reserve(
+        static_cast<std::size_t>(p) * (p - 1));
+    for (std::uint32_t a = 0; a < p; ++a)
+        for (std::uint32_t b = 0; b < p; ++b)
+            if (a != b)
+                result.internalEdges.emplace_back(a, b);
+    return result;
+}
+
+SplitPlan
+CircularTransform::plan(EdgeIndex degree, NodeId degree_bound) const
+{
+    assert(degree > degree_bound);
+    SplitPlan result;
+    const std::uint32_t p = familySize(degree, degree_bound);
+    result.memberCount = p;
+    result.ownerOfEdge = blockOwners(degree, degree_bound);
+    result.internalEdges.reserve(p);
+    for (std::uint32_t a = 0; a < p; ++a)
+        result.internalEdges.emplace_back(a, (a + 1) % p);
+    return result;
+}
+
+SplitPlan
+RecursiveStarTransform::plan(EdgeIndex degree, NodeId degree_bound) const
+{
+    assert(degree > degree_bound);
+    assert(degree_bound >= 2 &&
+           "recursive star needs K >= 2 to shrink each level");
+    SplitPlan result;
+    result.ownerOfEdge.resize(degree);
+
+    // Level 0: satellites own the original edges blockwise.
+    std::uint32_t next_member = 1; // 0 is the root hub
+    std::vector<std::uint32_t> level;
+    for (EdgeIndex i = 0; i < degree; i += degree_bound) {
+        std::uint32_t member = next_member++;
+        EdgeIndex end = std::min<EdgeIndex>(i + degree_bound, degree);
+        for (EdgeIndex j = i; j < end; ++j)
+            result.ownerOfEdge[j] = member;
+        level.push_back(member);
+    }
+
+    // Recursively star the hub: while the current level's fanout still
+    // exceeds K, interpose a level of intermediate hubs.
+    while (level.size() > degree_bound) {
+        std::vector<std::uint32_t> parents;
+        for (std::size_t i = 0; i < level.size(); i += degree_bound) {
+            std::uint32_t hub = next_member++;
+            std::size_t end =
+                std::min<std::size_t>(i + degree_bound, level.size());
+            for (std::size_t j = i; j < end; ++j)
+                result.internalEdges.emplace_back(hub, level[j]);
+            parents.push_back(hub);
+        }
+        level = std::move(parents);
+    }
+    for (std::uint32_t member : level)
+        result.internalEdges.emplace_back(0, member);
+    result.memberCount = next_member;
+    return result;
+}
+
+SplitPlan
+StarTransform::plan(EdgeIndex degree, NodeId degree_bound) const
+{
+    assert(degree > degree_bound);
+    SplitPlan result;
+    const std::uint32_t satellites = familySize(degree, degree_bound);
+    result.memberCount = satellites + 1; // member 0 is the hub (root)
+    result.ownerOfEdge.resize(degree);
+    for (EdgeIndex i = 0; i < degree; ++i) {
+        result.ownerOfEdge[i] =
+            1 + static_cast<std::uint32_t>(i / degree_bound);
+    }
+    result.internalEdges.reserve(satellites);
+    for (std::uint32_t s = 1; s <= satellites; ++s)
+        result.internalEdges.emplace_back(0, s);
+    return result;
+}
+
+} // namespace tigr::transform

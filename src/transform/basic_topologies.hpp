@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The three illustrative split-transformation topologies of Section 3.1
+ * (Figure 5): clique, circular, and star. They exist to reproduce the
+ * design-tradeoff study of Table 1; UDT (udt.hpp) is the one the paper
+ * actually deploys.
+ */
+#pragma once
+
+#include "transform/split_transform.hpp"
+
+namespace tigr::transform {
+
+/**
+ * Tcliq: ceil(d/K) family members (root included) each own up to K
+ * original edges; every member links to every other member. One hop
+ * covers the family, but the (p-1)*p internal edges make it the most
+ * space-hungry design. Incoming edges land on a random member.
+ */
+class CliqueTransform : public SplitTransform
+{
+  public:
+    std::string_view name() const override { return "cliq"; }
+    SplitPlan plan(EdgeIndex degree, NodeId degree_bound) const override;
+    bool entryAtRoot() const override { return false; }
+};
+
+/**
+ * Tcirc: ceil(d/K) members in a directed ring. Cheapest in space
+ * (p internal edges) and best irregularity reduction (degree K+1), but a
+ * value may need p-1 hops to circle the family — the slow-propagation
+ * extreme of the trade-off. Incoming edges land on a random member.
+ */
+class CircularTransform : public SplitTransform
+{
+  public:
+    std::string_view name() const override { return "circ"; }
+    SplitPlan plan(EdgeIndex degree, NodeId degree_bound) const override;
+    bool entryAtRoot() const override { return false; }
+};
+
+/**
+ * Tstar: the root becomes a hub pointing at ceil(d/K) fresh members that
+ * own the original edges. One hop, p internal edges, but the hub's own
+ * degree ceil(d/K) can still be huge — the "hub node issue" that
+ * motivates UDT. Incoming edges stay on the hub.
+ */
+class StarTransform : public SplitTransform
+{
+  public:
+    std::string_view name() const override { return "star"; }
+    SplitPlan plan(EdgeIndex degree, NodeId degree_bound) const override;
+    bool entryAtRoot() const override { return true; }
+};
+
+/**
+ * Recursive Tstar: the "straightforward solution to the hub node
+ * issue" Section 3.2 considers and rejects — when the hub's fanout
+ * ceil(d/K) still exceeds K, apply Tstar to the hub again, producing a
+ * hierarchy of intermediate hubs until the root's degree drops to K.
+ *
+ * It bounds every degree at K like UDT, but each grouping level can
+ * leave a residual member (degree < K), so it wastes nodes compared to
+ * UDT's at-most-one residual (Figure 6) — the tests quantify this.
+ * Kept in the library as the paper's explicit design foil.
+ */
+class RecursiveStarTransform : public SplitTransform
+{
+  public:
+    std::string_view name() const override { return "rstar"; }
+    SplitPlan plan(EdgeIndex degree, NodeId degree_bound) const override;
+    bool entryAtRoot() const override { return true; }
+};
+
+} // namespace tigr::transform

@@ -1,0 +1,169 @@
+#include "transform/properties.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <memory>
+
+#include "transform/basic_topologies.hpp"
+#include "transform/udt.hpp"
+
+namespace tigr::transform {
+
+namespace {
+
+std::uint64_t
+ceilDiv(EdgeIndex d, NodeId k)
+{
+    return (d + k - 1) / k;
+}
+
+} // namespace
+
+TopologyProperties
+analyticProperties(Topology topology, EdgeIndex d, NodeId k)
+{
+    assert(d > k);
+    const std::uint64_t p = ceilDiv(d, k);
+    TopologyProperties props;
+    switch (topology) {
+      case Topology::Clique:
+        // Table 1 row 1: p-1 new nodes, (p-1)*p new edges, degree
+        // K + p - 1, one hop.
+        props.newNodes = p - 1;
+        props.newEdges = (p - 1) * p;
+        props.newDegree = k + p - 1;
+        props.maxHops = 1;
+        break;
+      case Topology::Circular:
+        // Table 1 row 2: p-1 new nodes, ring wiring, degree K + 1,
+        // up to p-1 hops. (The paper counts p-1 new edges; a closed
+        // directed ring over p members has p — we report the ring.)
+        props.newNodes = p - 1;
+        props.newEdges = p;
+        props.newDegree = k + 1;
+        props.maxHops = static_cast<unsigned>(p - 1);
+        break;
+      case Topology::Star:
+        // Table 1 row 3: p new satellite nodes, p hub->satellite edges,
+        // family degree max(K, p) (hub owns p edges, satellites K),
+        // one hop.
+        props.newNodes = p;
+        props.newEdges = p;
+        props.newDegree = std::max<EdgeIndex>(k, p);
+        props.maxHops = 1;
+        break;
+      case Topology::Udt:
+        // Section 3.2: every non-root member has degree exactly K; the
+        // tree height grows as O(log_K d). Nodes/edges follow from the
+        // queue recurrence; compute them exactly by replaying it.
+        {
+            // Each new node removes K queue items and re-enters as one,
+            // shrinking the queue by K-1; splitting stops at size <= K:
+            //   newNodes = ceil((d - K) / (K - 1)).
+            // Every new node is later adopted exactly once (by a newer
+            // node or the root), costing exactly one internal edge.
+            assert(k >= 2);
+            std::uint64_t members = (d - k + (k - 2)) / (k - 1);
+            props.newNodes = members;
+            props.newEdges = members;
+            props.newDegree = k;
+            props.maxHops = UdtTransform::treeHeight(d, k);
+        }
+        break;
+    }
+    return props;
+}
+
+TopologyProperties
+measuredProperties(const SplitTransform &transform, EdgeIndex d, NodeId k)
+{
+    assert(d > k);
+    SplitPlan plan = transform.plan(d, k);
+
+    TopologyProperties props;
+    props.newNodes = plan.memberCount - 1;
+    props.newEdges = plan.internalEdges.size();
+
+    // Member outdegrees: owned original edges + internal out-edges.
+    std::vector<EdgeIndex> degree(plan.memberCount, 0);
+    for (std::uint32_t owner : plan.ownerOfEdge)
+        ++degree[owner];
+    for (auto [from, to] : plan.internalEdges) {
+        (void)to;
+        ++degree[from];
+    }
+    props.newDegree = *std::max_element(degree.begin(), degree.end());
+
+    // Worst-case hops: BFS over internal edges from each possible entry
+    // member (root only when entryAtRoot()) to every edge owner.
+    std::vector<std::vector<std::uint32_t>> internal(plan.memberCount);
+    for (auto [from, to] : plan.internalEdges)
+        internal[from].push_back(to);
+
+    std::vector<bool> owns_edge(plan.memberCount, false);
+    for (std::uint32_t owner : plan.ownerOfEdge)
+        owns_edge[owner] = true;
+
+    unsigned worst = 0;
+    const std::uint32_t entry_count =
+        transform.entryAtRoot() ? 1 : plan.memberCount;
+    for (std::uint32_t entry = 0; entry < entry_count; ++entry) {
+        std::vector<unsigned> hops(plan.memberCount, ~0u);
+        std::deque<std::uint32_t> frontier{entry};
+        hops[entry] = 0;
+        while (!frontier.empty()) {
+            std::uint32_t m = frontier.front();
+            frontier.pop_front();
+            for (std::uint32_t next : internal[m]) {
+                if (hops[next] == ~0u) {
+                    hops[next] = hops[m] + 1;
+                    frontier.push_back(next);
+                }
+            }
+        }
+        for (std::uint32_t m = 0; m < plan.memberCount; ++m) {
+            if (owns_edge[m]) {
+                assert(hops[m] != ~0u &&
+                       "every edge owner must be reachable from entry");
+                worst = std::max(worst, hops[m]);
+            }
+        }
+    }
+    props.maxHops = worst;
+    return props;
+}
+
+std::unique_ptr<SplitTransform>
+makeTransform(Topology topology)
+{
+    switch (topology) {
+      case Topology::Clique:
+        return std::make_unique<CliqueTransform>();
+      case Topology::Circular:
+        return std::make_unique<CircularTransform>();
+      case Topology::Star:
+        return std::make_unique<StarTransform>();
+      case Topology::Udt:
+        return std::make_unique<UdtTransform>();
+    }
+    return nullptr;
+}
+
+std::string_view
+topologyName(Topology topology)
+{
+    switch (topology) {
+      case Topology::Clique:
+        return "cliq";
+      case Topology::Circular:
+        return "circ";
+      case Topology::Star:
+        return "star";
+      case Topology::Udt:
+        return "udt";
+    }
+    return "?";
+}
+
+} // namespace tigr::transform

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Split-transformation property calculators reproducing Table 1: for a
+ * single node of degree d under bound K, the number of new nodes and
+ * edges, the resulting family degree, and the maximum number of internal
+ * hops needed to propagate a value through the family.
+ *
+ * Both the paper's closed forms and measurements taken from an actual
+ * SplitPlan are provided, so tests can pin one against the other.
+ */
+#pragma once
+
+#include <memory>
+
+#include "transform/split_transform.hpp"
+
+namespace tigr::transform {
+
+/** One row of Table 1 for a concrete (topology, d, K). */
+struct TopologyProperties
+{
+    std::uint64_t newNodes = 0;  ///< Split nodes introduced.
+    std::uint64_t newEdges = 0;  ///< Internal edges introduced.
+    EdgeIndex newDegree = 0;     ///< Max outdegree within the family.
+    unsigned maxHops = 0;        ///< Worst value-propagation hops from
+                                 ///< an entry member to any edge owner.
+};
+
+/** The topologies Table 1 compares (plus the paper's UDT). */
+enum class Topology
+{
+    Clique,
+    Circular,
+    Star,
+    Udt,
+};
+
+/** Closed-form Table 1 row for @p topology at degree @p d, bound @p k.
+ *  For UDT the hop count is the exact tree height (the paper states the
+ *  asymptotic O(log_K d)). */
+TopologyProperties analyticProperties(Topology topology, EdgeIndex d,
+                                      NodeId k);
+
+/**
+ * Measure the same properties from the SplitPlan the transformation
+ * actually produces: counts members and internal edges, derives member
+ * degrees, and BFS-es the internal wiring from every possible entry
+ * member to find the worst hop distance to an edge owner.
+ */
+TopologyProperties measuredProperties(const SplitTransform &transform,
+                                      EdgeIndex d, NodeId k);
+
+/** Construct the transformation object for @p topology. The returned
+ *  pointer is owned by the caller. */
+std::unique_ptr<SplitTransform> makeTransform(Topology topology);
+
+/** Short name used in tables ("cliq", "circ", "star", "udt"). */
+std::string_view topologyName(Topology topology);
+
+} // namespace tigr::transform

@@ -1,0 +1,166 @@
+#include "transform/split_transform.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <random>
+#include <thread>
+#include <utility>
+
+namespace tigr::transform {
+
+Weight
+dumbWeight(DumbWeightPolicy policy)
+{
+    switch (policy) {
+      case DumbWeightPolicy::Zero:
+        return kZeroWeight;
+      case DumbWeightPolicy::Infinity:
+        return kInfWeight;
+      case DumbWeightPolicy::One:
+        return 1;
+    }
+    return 0;
+}
+
+PhysicalTransformResult
+SplitTransform::apply(const graph::Csr &input,
+                      const SplitOptions &options) const
+{
+    const NodeId n = input.numNodes();
+    const NodeId k = options.degreeBound;
+    const Weight internal_weight = dumbWeight(options.weightPolicy);
+    assert(k >= 1);
+
+    PhysicalTransformResult result;
+    result.originalNodes = n;
+    result.stats.maxDegreeBefore = input.maxOutDegree();
+
+    // Pass 1: plan every family and allocate split-node ids. Plans
+    // are independent per node, so planning parallelizes across host
+    // threads with a deterministic outcome (ids are assigned by a
+    // serial sweep afterwards).
+    result.rootOf.resize(n);
+    for (NodeId v = 0; v < n; ++v)
+        result.rootOf[v] = v;
+
+    struct PlannedFamily
+    {
+        NodeId root;
+        SplitPlan plan;
+        NodeId firstNewId; // ids firstNewId .. firstNewId+memberCount-2
+    };
+    std::vector<PlannedFamily> planned;
+    // memberId(f, m): global node id of member m of family f.
+    auto memberId = [](const PlannedFamily &f, std::uint32_t m) {
+        return m == 0 ? f.root : f.firstNewId + (m - 1);
+    };
+
+    std::vector<NodeId> high_degree;
+    for (NodeId v = 0; v < n; ++v)
+        if (input.degree(v) > k)
+            high_degree.push_back(v);
+
+    std::vector<SplitPlan> plans(high_degree.size());
+    const unsigned worker_count = std::max(1u, options.threads);
+    if (worker_count > 1 && high_degree.size() > 1) {
+        std::vector<std::thread> workers;
+        std::atomic<std::size_t> cursor{0};
+        for (unsigned t = 0; t < worker_count; ++t) {
+            workers.emplace_back([&] {
+                for (;;) {
+                    std::size_t i = cursor.fetch_add(64);
+                    if (i >= high_degree.size())
+                        return;
+                    std::size_t end = std::min(
+                        i + 64, high_degree.size());
+                    for (; i < end; ++i)
+                        plans[i] = plan(input.degree(high_degree[i]),
+                                        k);
+                }
+            });
+        }
+        for (std::thread &worker : workers)
+            worker.join();
+    } else {
+        for (std::size_t i = 0; i < high_degree.size(); ++i)
+            plans[i] = plan(input.degree(high_degree[i]), k);
+    }
+
+    NodeId next_id = n;
+    std::vector<NodeId> family_index(n, kInvalidNode);
+    planned.reserve(high_degree.size());
+    for (std::size_t i = 0; i < high_degree.size(); ++i) {
+        NodeId v = high_degree[i];
+        SplitPlan &p = plans[i];
+        assert(p.memberCount >= 1);
+        assert(p.ownerOfEdge.size() == input.degree(v));
+        family_index[v] = static_cast<NodeId>(planned.size());
+        planned.push_back({v, std::move(p), next_id});
+        next_id += planned.back().plan.memberCount - 1;
+    }
+
+    const NodeId total_nodes = next_id;
+    result.rootOf.resize(total_nodes);
+    result.families.reserve(planned.size());
+    for (const PlannedFamily &f : planned) {
+        FamilyInfo info;
+        info.root = f.root;
+        info.members.reserve(f.plan.memberCount);
+        for (std::uint32_t m = 0; m < f.plan.memberCount; ++m) {
+            NodeId id = memberId(f, m);
+            info.members.push_back(id);
+            result.rootOf[id] = f.root;
+        }
+        result.families.push_back(std::move(info));
+    }
+
+    // Entry selection: where an incoming edge of original node v lands.
+    std::mt19937_64 rng(options.seed);
+    auto entryOf = [&](NodeId v) -> NodeId {
+        NodeId fi = family_index[v];
+        if (fi == kInvalidNode || entryAtRoot())
+            return v;
+        const std::vector<NodeId> &members = result.families[fi].members;
+        std::uniform_int_distribution<std::size_t> pick(
+            0, members.size() - 1);
+        return members[pick(rng)];
+    };
+
+    // Pass 2: emit all edges of the transformed graph.
+    graph::CooEdges coo(total_nodes);
+    coo.reserve(input.numEdges());
+    for (NodeId v = 0; v < n; ++v) {
+        NodeId fi = family_index[v];
+        if (fi == kInvalidNode) {
+            // Untouched node: copy edges, retargeting split targets.
+            for (EdgeIndex e = input.edgeBegin(v); e < input.edgeEnd(v);
+                 ++e) {
+                coo.add(v, entryOf(input.edgeTarget(e)),
+                        input.edgeWeight(e));
+            }
+            continue;
+        }
+        const PlannedFamily &f = planned[fi];
+        // Original out-edges, each owned by its planned member.
+        EdgeIndex base = input.edgeBegin(v);
+        for (EdgeIndex i = 0; i < input.degree(v); ++i) {
+            NodeId owner = memberId(f, f.plan.ownerOfEdge[i]);
+            coo.add(owner, entryOf(input.edgeTarget(base + i)),
+                    input.edgeWeight(base + i));
+        }
+        // Internal family edges with the dumb weight.
+        for (auto [from, to] : f.plan.internalEdges) {
+            coo.add(memberId(f, from), memberId(f, to), internal_weight);
+        }
+        result.stats.newEdges += f.plan.internalEdges.size();
+        result.stats.newNodes += f.plan.memberCount - 1;
+        ++result.stats.highDegreeNodes;
+    }
+
+    result.graph = graph::Csr::fromCoo(coo);
+    result.stats.maxDegreeAfter = result.graph.maxOutDegree();
+    return result;
+}
+
+} // namespace tigr::transform

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Uniform-degree tree (UDT) transformation — Algorithm 1 of the paper.
+ */
+#pragma once
+
+#include "transform/split_transform.hpp"
+
+namespace tigr::transform {
+
+/**
+ * The paper's headline physical transformation (Section 3.2).
+ *
+ * A high-degree node becomes a K-ary tree built bottom-up from a queue:
+ * the queue starts with all original out-edges; while more than K items
+ * remain, a fresh node adopts K of them and is pushed back; the root
+ * adopts the final <= K items. Properties (all tested):
+ *  - P1: it is a split transformation per Definition 2;
+ *  - P2: each original out-edge is reachable from the root by a unique
+ *    path (the root keeps all incoming edges);
+ *  - P3: the tree height grows only as O(log_K d);
+ *  - every non-root member has outdegree exactly K — at most the root is
+ *    "residual" (degree < K), unlike recursive Tstar (Figure 6).
+ *
+ * Requires K >= 2: with K = 1 the queue never shrinks and the algorithm
+ * cannot terminate.
+ */
+class UdtTransform : public SplitTransform
+{
+  public:
+    std::string_view name() const override { return "udt"; }
+
+    SplitPlan plan(EdgeIndex degree, NodeId degree_bound) const override;
+
+    /** The root keeps all incoming edges (P2). */
+    bool entryAtRoot() const override { return true; }
+
+    /**
+     * Height of the uniform-degree tree that UDT builds for a node of
+     * outdegree @p degree under bound @p degree_bound: the maximum
+     * number of internal hops a value takes from the root to an
+     * original out-edge owner. 0 when the node is not split.
+     */
+    static unsigned treeHeight(EdgeIndex degree, NodeId degree_bound);
+};
+
+} // namespace tigr::transform

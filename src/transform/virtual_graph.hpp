@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Virtual split transformation (Section 4): the virtual node array that
+ * makes an irregular CSR *look* regular to the programming model while
+ * leaving the physical graph — and therefore value propagation and
+ * convergence — untouched.
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace tigr::transform {
+
+/**
+ * How a family's edges are dealt to its virtual nodes (Section 4.4).
+ *
+ * Consecutive reproduces Figure 10 / Algorithm 2: virtual node r of a
+ * family owns edge-array slots [begin + r*K, begin + (r+1)*K). From a
+ * warp's view these accesses are strided by K.
+ *
+ * Coalesced reproduces Figure 12 / Algorithm 3 (edge-array coalescing):
+ * virtual node r owns slots {begin + r + F*j} where F is the family
+ * size, so the 32 lanes of a warp touch consecutive slots on each step.
+ */
+enum class EdgeLayout
+{
+    Consecutive,
+    Coalesced,
+};
+
+/**
+ * One entry of the virtual node array. start/stride/count describe the
+ * owned edge-array slots uniformly for both layouts:
+ * slot(j) = start + stride * j, j in [0, count).
+ */
+struct VirtualNode
+{
+    NodeId physicalId = 0;   ///< The physical node this maps to.
+    EdgeIndex start = 0;     ///< First owned edge-array slot.
+    EdgeIndex stride = 1;    ///< Distance between owned slots.
+    std::uint32_t count = 0; ///< Number of owned slots (<= K).
+};
+
+/**
+ * The virtually transformed graph: an untouched physical CSR plus the
+ * virtual node array scheduled threads iterate over. Values live in one
+ * slot per *physical* node, which is exactly the implicit value
+ * synchronization that keeps convergence identical to the original
+ * graph (Theorem 2).
+ */
+class VirtualGraph
+{
+  public:
+    VirtualGraph() = default;
+
+    /**
+     * Build the virtual node array over @p physical with degree bound
+     * @p degree_bound and the given edge @p layout. A node of outdegree
+     * d becomes max(1, ceil(d/K)) virtual nodes; zero-degree nodes keep
+     * one virtual node so every physical node is scheduled at least
+     * once (initialization, PR-style per-node work).
+     *
+     * @param threads Host threads for the array fill. Per-node entry
+     *        offsets are prefix-summed first, so any thread count
+     *        produces a bit-identical array (the parallelization the
+     *        paper's Table 7 discussion anticipates). 0/1 = serial.
+     */
+    VirtualGraph(const graph::Csr &physical, NodeId degree_bound,
+                 EdgeLayout layout = EdgeLayout::Coalesced,
+                 unsigned threads = 1);
+
+    /** The untouched physical graph. */
+    const graph::Csr &physical() const { return *physical_; }
+
+    /** Degree bound K the array was built with. */
+    NodeId degreeBound() const { return degreeBound_; }
+
+    /** The layout the array was built with. */
+    EdgeLayout layout() const { return layout_; }
+
+    /** Number of virtual nodes (= number of schedulable threads). */
+    NodeId numVirtualNodes() const
+    {
+        return static_cast<NodeId>(nodes_.size());
+    }
+
+    /** The virtual node array (Figure 10). */
+    std::span<const VirtualNode> virtualNodes() const { return nodes_; }
+
+    /** Entry for virtual node @p v. */
+    const VirtualNode &virtualNode(NodeId v) const { return nodes_[v]; }
+
+    /**
+     * Space cost of the virtually transformed graph in the paper's CSR
+     * accounting (Table 6): 4-byte edge entries and weights, and one
+     * {physicalId, edgePointer} 8-byte record per virtual node in place
+     * of the original 4-byte node-offset array.
+     */
+    std::size_t paperBytes() const;
+
+    /** Same accounting for the *original* graph (4-byte offsets). */
+    static std::size_t paperBytesOriginal(const graph::Csr &physical);
+
+  private:
+    const graph::Csr *physical_ = nullptr;
+    NodeId degreeBound_ = 0;
+    EdgeLayout layout_ = EdgeLayout::Coalesced;
+    std::vector<VirtualNode> nodes_;
+};
+
+/**
+ * On-the-fly mapping reasoning for a single node: recompute node
+ * @p v's family decomposition from its degree and @p degree_bound and
+ * call @p fn once per virtual node, with the same VirtualNode record
+ * VirtualGraph would store.
+ */
+template <typename Fn>
+void
+forEachVirtualNodeOf(const graph::Csr &physical, NodeId v,
+                     NodeId degree_bound, EdgeLayout layout, Fn &&fn)
+{
+    const EdgeIndex begin = physical.edgeBegin(v);
+    const EdgeIndex d = physical.degree(v);
+    const EdgeIndex family =
+        d == 0 ? 1 : (d + degree_bound - 1) / degree_bound;
+    for (EdgeIndex r = 0; r < family; ++r) {
+        VirtualNode node;
+        node.physicalId = v;
+        if (layout == EdgeLayout::Consecutive) {
+            node.start = begin + r * degree_bound;
+            node.stride = 1;
+            node.count = static_cast<std::uint32_t>(
+                std::min<EdgeIndex>(degree_bound,
+                                    d - r * degree_bound));
+        } else {
+            node.start = begin + r;
+            node.stride = family;
+            // Slots r, r+F, r+2F, ... below d.
+            node.count = static_cast<std::uint32_t>(
+                d == 0 ? 0 : (d - r + family - 1) / family);
+        }
+        if (d == 0)
+            node.count = 0;
+        fn(node);
+    }
+}
+
+/**
+ * On-the-fly mapping reasoning (Section 4.1, second design): stream the
+ * virtual nodes of @p physical without materializing any array, trading
+ * recomputation for zero memory. Calls @p fn once per virtual node with
+ * the same VirtualNode record VirtualGraph would store.
+ */
+template <typename Fn>
+void
+forEachVirtualNode(const graph::Csr &physical, NodeId degree_bound,
+                   EdgeLayout layout, Fn &&fn)
+{
+    for (NodeId v = 0; v < physical.numNodes(); ++v)
+        forEachVirtualNodeOf(physical, v, degree_bound, layout, fn);
+}
+
+} // namespace tigr::transform

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Correctness matrix of the push engine: every (semiring x strategy x
+ * iteration-mode) combination must match the sequential oracle — the
+ * executable form of Theorem 2 for the virtual strategies.
+ */
+#include <gtest/gtest.h>
+
+#include "algorithms/semirings.hpp"
+#include "engine/push_engine.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "ref/oracles.hpp"
+
+namespace tigr::engine {
+namespace {
+
+graph::Csr
+weightedGraph(std::uint64_t seed)
+{
+    graph::BuildOptions options;
+    options.randomizeWeights = true;
+    options.maxWeight = 40;
+    options.weightSeed = seed;
+    return graph::GraphBuilder(options).build(
+        graph::rmat({.nodes = 384, .edges = 5000, .seed = seed}));
+}
+
+graph::Csr
+symmetricGraph(std::uint64_t seed)
+{
+    graph::CooEdges coo =
+        graph::rmat({.nodes = 256, .edges = 2500, .seed = seed});
+    coo.symmetrize();
+    return graph::GraphBuilder().build(std::move(coo));
+}
+
+struct ModeParam
+{
+    bool worklist;
+    bool syncRelaxation;
+};
+
+class PushMatrix
+    : public ::testing::TestWithParam<std::tuple<Strategy, ModeParam>>
+{
+  protected:
+    Strategy strategy() const { return std::get<0>(GetParam()); }
+
+    PushOptions
+    pushOptions() const
+    {
+        const ModeParam &mode = std::get<1>(GetParam());
+        return {mode.worklist, mode.syncRelaxation, 100000};
+    }
+};
+
+TEST_P(PushMatrix, SsspMatchesDijkstra)
+{
+    graph::Csr g = weightedGraph(31);
+    Schedule schedule = Schedule::build(g, strategy(), 8, 4);
+    sim::WarpSimulator sim;
+    const std::pair<NodeId, Dist> seeds[] = {{0, 0}};
+    auto outcome = runPush<algorithms::SsspSemiring>(schedule, sim,
+                                                     pushOptions(), seeds);
+    ASSERT_TRUE(outcome.converged);
+    auto oracle = ref::dijkstra(g, 0);
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        ASSERT_EQ(outcome.values[v], oracle[v]) << "node " << v;
+}
+
+TEST_P(PushMatrix, SswpMatchesOracle)
+{
+    graph::Csr g = weightedGraph(32);
+    Schedule schedule = Schedule::build(g, strategy(), 8, 4);
+    sim::WarpSimulator sim;
+    const std::pair<NodeId, Weight> seeds[] = {{0, kInfWeight}};
+    auto outcome = runPush<algorithms::SswpSemiring>(schedule, sim,
+                                                     pushOptions(), seeds);
+    ASSERT_TRUE(outcome.converged);
+    auto oracle = ref::widestPath(g, 0);
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        ASSERT_EQ(outcome.values[v], oracle[v]) << "node " << v;
+}
+
+TEST_P(PushMatrix, CcMatchesUnionFind)
+{
+    graph::Csr g = symmetricGraph(33);
+    Schedule schedule = Schedule::build(g, strategy(), 8, 4);
+    sim::WarpSimulator sim;
+    std::vector<std::pair<NodeId, NodeId>> seeds;
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        seeds.emplace_back(v, v);
+    auto outcome = runPush<algorithms::CcSemiring>(
+        schedule, sim, pushOptions(), seeds, /*all_active=*/true);
+    ASSERT_TRUE(outcome.converged);
+    auto oracle = ref::connectedComponents(g);
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        ASSERT_EQ(outcome.values[v], oracle[v]) << "node " << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategyByMode, PushMatrix,
+    ::testing::Combine(
+        ::testing::ValuesIn(kAllStrategies),
+        ::testing::Values(ModeParam{true, true}, ModeParam{true, false},
+                          ModeParam{false, true},
+                          ModeParam{false, false})),
+    [](const auto &info) {
+        std::string name(strategyName(std::get<0>(info.param)));
+        for (char &c : name)
+            if (c == '-' || c == '+')
+                c = '_';
+        const ModeParam &mode = std::get<1>(info.param);
+        name += mode.worklist ? "_wl" : "_nowl";
+        name += mode.syncRelaxation ? "_relaxed" : "_bsp";
+        return name;
+    });
+
+TEST(PushEngine, UnreachableNodesKeepIdentity)
+{
+    // Two disconnected rings; BFS from ring 1 never reaches ring 2.
+    graph::CooEdges coo(8);
+    for (NodeId v = 0; v < 4; ++v)
+        coo.add(v, (v + 1) % 4);
+    for (NodeId v = 4; v < 8; ++v)
+        coo.add(v, 4 + (v + 1) % 4);
+    graph::Csr g = graph::Csr::fromCoo(coo);
+    Schedule schedule = Schedule::build(g, Strategy::Baseline);
+    sim::WarpSimulator sim;
+    const std::pair<NodeId, Dist> seeds[] = {{0, 0}};
+    auto outcome = runPush<algorithms::SsspSemiring>(schedule, sim, {},
+                                                     seeds);
+    for (NodeId v = 4; v < 8; ++v)
+        EXPECT_EQ(outcome.values[v], kInfDist);
+}
+
+TEST(PushEngine, IterationCapReported)
+{
+    graph::Csr g = graph::Csr::fromCoo(graph::path(100));
+    Schedule schedule = Schedule::build(g, Strategy::Baseline);
+    sim::WarpSimulator sim;
+    PushOptions options;
+    options.maxIterations = 5; // far below the 99 needed
+    const std::pair<NodeId, Dist> seeds[] = {{0, 0}};
+    auto outcome = runPush<algorithms::SsspSemiring>(schedule, sim,
+                                                     options, seeds);
+    EXPECT_FALSE(outcome.converged);
+    EXPECT_EQ(outcome.iterations, 5u);
+}
+
+TEST(PushEngine, BspIterationsMatchBfsDepthOnPath)
+{
+    // Strict BSP SSSP is Bellman-Ford: a directed path of length L
+    // needs L propagation iterations.
+    graph::Csr g = graph::Csr::fromCoo(graph::path(33));
+    Schedule schedule = Schedule::build(g, Strategy::Baseline);
+    sim::WarpSimulator sim;
+    PushOptions options;
+    options.syncRelaxation = false;
+    const std::pair<NodeId, Dist> seeds[] = {{0, 0}};
+    auto outcome = runPush<algorithms::SsspSemiring>(schedule, sim,
+                                                     options, seeds);
+    EXPECT_TRUE(outcome.converged);
+    // 32 propagation iterations plus the final one that processes the
+    // last activated node (the sink) and finds nothing changed.
+    EXPECT_EQ(outcome.iterations, 33u);
+}
+
+TEST(PushEngine, WorklistReducesInstructions)
+{
+    // With a worklist only active nodes are processed; without it every
+    // node runs every iteration (Table 8's #instr. contrast).
+    graph::Csr g = weightedGraph(34);
+    Schedule schedule = Schedule::build(g, Strategy::Baseline);
+    sim::WarpSimulator sim;
+    const std::pair<NodeId, Dist> seeds[] = {{0, 0}};
+
+    PushOptions with{true, true, 100000};
+    PushOptions without{false, true, 100000};
+    auto wl = runPush<algorithms::SsspSemiring>(schedule, sim, with,
+                                                seeds);
+    auto nowl = runPush<algorithms::SsspSemiring>(schedule, sim, without,
+                                                  seeds);
+    EXPECT_EQ(wl.values, nowl.values);
+    EXPECT_LT(wl.stats.instructions, nowl.stats.instructions);
+}
+
+TEST(PushEngine, VirtualScheduleImprovesWarpEfficiency)
+{
+    // The headline mechanism: bounding per-thread work at K evens out
+    // the warp (Table 8's warp-efficiency column).
+    graph::Csr g = weightedGraph(35);
+    sim::WarpSimulator sim_base;
+    sim::WarpSimulator sim_virtual;
+    Schedule baseline = Schedule::build(g, Strategy::Baseline);
+    Schedule virt = Schedule::build(g, Strategy::TigrV, 10);
+    PushOptions options{false, true, 100000};
+    const std::pair<NodeId, Dist> seeds[] = {{0, 0}};
+    auto base = runPush<algorithms::SsspSemiring>(baseline, sim_base,
+                                                  options, seeds);
+    auto tigr = runPush<algorithms::SsspSemiring>(virt, sim_virtual,
+                                                  options, seeds);
+    EXPECT_EQ(base.values, tigr.values);
+    EXPECT_GT(tigr.stats.warpEfficiency(),
+              base.stats.warpEfficiency() + 0.2);
+}
+
+TEST(PushEngine, CoalescingReducesMemoryTransactions)
+{
+    graph::Csr g = weightedGraph(36);
+    sim::WarpSimulator sim_v;
+    sim::WarpSimulator sim_vplus;
+    Schedule consecutive = Schedule::build(g, Strategy::TigrV, 10);
+    Schedule coalesced = Schedule::build(g, Strategy::TigrVPlus, 10);
+    PushOptions options{false, true, 100000};
+    const std::pair<NodeId, Dist> seeds[] = {{0, 0}};
+    auto v = runPush<algorithms::SsspSemiring>(consecutive, sim_v,
+                                               options, seeds);
+    auto vplus = runPush<algorithms::SsspSemiring>(coalesced, sim_vplus,
+                                                   options, seeds);
+    EXPECT_EQ(v.values, vplus.values);
+    EXPECT_LT(vplus.stats.memTransactions, v.stats.memTransactions);
+}
+
+} // namespace
+} // namespace tigr::engine

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for GraphBuilder cleaning: self loops, dedup, weight
+ * randomization, determinism.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+
+namespace tigr::graph {
+namespace {
+
+CooEdges
+messyGraph()
+{
+    CooEdges coo(4);
+    coo.add(0, 0, 1); // self loop
+    coo.add(0, 1, 1);
+    coo.add(0, 1, 2); // duplicate pair with different weight
+    coo.add(1, 2, 3);
+    coo.add(2, 2, 9); // self loop
+    coo.add(3, 0, 4);
+    return coo;
+}
+
+TEST(GraphBuilder, DropsSelfLoopsByDefault)
+{
+    Csr g = GraphBuilder().build(messyGraph());
+    EXPECT_EQ(g.numEdges(), 4u);
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        for (NodeId nbr : g.outNeighbors(v))
+            EXPECT_NE(nbr, v);
+}
+
+TEST(GraphBuilder, KeepsSelfLoopsWhenAsked)
+{
+    BuildOptions options;
+    options.dropSelfLoops = false;
+    Csr g = GraphBuilder(options).build(messyGraph());
+    EXPECT_EQ(g.numEdges(), 6u);
+}
+
+TEST(GraphBuilder, DedupKeepsFirstOccurrence)
+{
+    BuildOptions options;
+    options.dedupEdges = true;
+    Csr g = GraphBuilder(options).build(messyGraph());
+    // 0->1 kept once with the first weight.
+    EXPECT_EQ(g.degree(0), 1u);
+    EXPECT_EQ(g.outWeights(0)[0], 1u);
+}
+
+TEST(GraphBuilder, RandomWeightsWithinRangeAndDeterministic)
+{
+    BuildOptions options;
+    options.randomizeWeights = true;
+    options.minWeight = 5;
+    options.maxWeight = 9;
+    options.weightSeed = 77;
+    Csr a = GraphBuilder(options).build(messyGraph());
+    Csr b = GraphBuilder(options).build(messyGraph());
+    EXPECT_EQ(a, b);
+    for (NodeId v = 0; v < a.numNodes(); ++v) {
+        for (Weight w : a.outWeights(v)) {
+            EXPECT_GE(w, 5u);
+            EXPECT_LE(w, 9u);
+        }
+    }
+}
+
+TEST(GraphBuilder, DifferentSeedsGiveDifferentWeights)
+{
+    BuildOptions options;
+    options.randomizeWeights = true;
+    options.maxWeight = 1000000;
+    options.weightSeed = 1;
+    Csr a = GraphBuilder(options).build(messyGraph());
+    options.weightSeed = 2;
+    Csr b = GraphBuilder(options).build(messyGraph());
+    EXPECT_NE(a, b);
+}
+
+TEST(GraphBuilder, CleanPreservesSurvivingEdgeOrder)
+{
+    CooEdges coo = messyGraph();
+    GraphBuilder().clean(coo);
+    ASSERT_EQ(coo.numEdges(), 4u);
+    EXPECT_EQ(coo.edges()[0], (Edge{0, 1, 1}));
+    EXPECT_EQ(coo.edges()[1], (Edge{0, 1, 2}));
+    EXPECT_EQ(coo.edges()[2], (Edge{1, 2, 3}));
+    EXPECT_EQ(coo.edges()[3], (Edge{3, 0, 4}));
+}
+
+TEST(CooEdges, SymmetrizeDoublesEdges)
+{
+    CooEdges coo(3);
+    coo.add(0, 1, 4);
+    coo.add(1, 2, 5);
+    coo.symmetrize();
+    ASSERT_EQ(coo.numEdges(), 4u);
+    EXPECT_EQ(coo.edges()[2], (Edge{1, 0, 4}));
+    EXPECT_EQ(coo.edges()[3], (Edge{2, 1, 5}));
+}
+
+TEST(CooEdges, AddGrowsNodeUniverse)
+{
+    CooEdges coo;
+    coo.add(5, 2);
+    EXPECT_EQ(coo.numNodes(), 6u);
+    coo.add(1, 9);
+    EXPECT_EQ(coo.numNodes(), 10u);
+}
+
+} // namespace
+} // namespace tigr::graph

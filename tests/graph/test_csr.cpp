@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the CSR container: construction from COO, accessors,
+ * transpose, round-trips, and size accounting.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+
+namespace tigr::graph {
+namespace {
+
+CooEdges
+diamondGraph()
+{
+    // 0 -> 1 (w2), 0 -> 2 (w3), 1 -> 3 (w4), 2 -> 3 (w5)
+    CooEdges coo(4);
+    coo.add(0, 1, 2);
+    coo.add(0, 2, 3);
+    coo.add(1, 3, 4);
+    coo.add(2, 3, 5);
+    return coo;
+}
+
+TEST(Csr, EmptyGraphHasNoNodesOrEdges)
+{
+    Csr g;
+    EXPECT_EQ(g.numNodes(), 0u);
+    EXPECT_EQ(g.numEdges(), 0u);
+    EXPECT_TRUE(g.empty());
+    EXPECT_EQ(g.maxOutDegree(), 0u);
+}
+
+TEST(Csr, FromCooBasicShape)
+{
+    Csr g = Csr::fromCoo(diamondGraph());
+    EXPECT_EQ(g.numNodes(), 4u);
+    EXPECT_EQ(g.numEdges(), 4u);
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(1), 1u);
+    EXPECT_EQ(g.degree(2), 1u);
+    EXPECT_EQ(g.degree(3), 0u);
+    EXPECT_EQ(g.maxOutDegree(), 2u);
+}
+
+TEST(Csr, FromCooPreservesEdgeOrderWithinNode)
+{
+    // The virtual transformation depends on stable intra-node order.
+    CooEdges coo(3);
+    coo.add(0, 2, 7);
+    coo.add(0, 1, 9);
+    Csr g = Csr::fromCoo(coo);
+    auto nbrs = g.outNeighbors(0);
+    ASSERT_EQ(nbrs.size(), 2u);
+    EXPECT_EQ(nbrs[0], 2u);
+    EXPECT_EQ(nbrs[1], 1u);
+    EXPECT_EQ(g.outWeights(0)[0], 7u);
+    EXPECT_EQ(g.outWeights(0)[1], 9u);
+}
+
+TEST(Csr, WeightsParallelToNeighbors)
+{
+    Csr g = Csr::fromCoo(diamondGraph());
+    auto nbrs = g.outNeighbors(0);
+    auto weights = g.outWeights(0);
+    ASSERT_EQ(nbrs.size(), weights.size());
+    EXPECT_EQ(nbrs[0], 1u);
+    EXPECT_EQ(weights[0], 2u);
+    EXPECT_EQ(nbrs[1], 2u);
+    EXPECT_EQ(weights[1], 3u);
+}
+
+TEST(Csr, EdgeLevelAccessors)
+{
+    Csr g = Csr::fromCoo(diamondGraph());
+    EXPECT_EQ(g.edgeBegin(0), 0u);
+    EXPECT_EQ(g.edgeEnd(0), 2u);
+    EXPECT_EQ(g.edgeTarget(2), 3u);
+    EXPECT_EQ(g.edgeWeight(2), 4u);
+}
+
+TEST(Csr, IsolatedNodesKeepZeroDegree)
+{
+    CooEdges coo(10);
+    coo.add(0, 9, 1);
+    Csr g = Csr::fromCoo(coo);
+    EXPECT_EQ(g.numNodes(), 10u);
+    for (NodeId v = 1; v < 9; ++v)
+        EXPECT_EQ(g.degree(v), 0u) << "node " << v;
+}
+
+TEST(Csr, ReversedFlipsEveryEdge)
+{
+    Csr g = Csr::fromCoo(diamondGraph());
+    Csr r = g.reversed();
+    EXPECT_EQ(r.numNodes(), g.numNodes());
+    EXPECT_EQ(r.numEdges(), g.numEdges());
+    EXPECT_EQ(r.degree(3), 2u);
+    EXPECT_EQ(r.degree(0), 0u);
+    // 3's incoming edges 1->3 (w4), 2->3 (w5) become outgoing.
+    auto nbrs = r.outNeighbors(3);
+    auto weights = r.outWeights(3);
+    ASSERT_EQ(nbrs.size(), 2u);
+    EXPECT_EQ(nbrs[0], 1u);
+    EXPECT_EQ(weights[0], 4u);
+    EXPECT_EQ(nbrs[1], 2u);
+    EXPECT_EQ(weights[1], 5u);
+}
+
+TEST(Csr, DoubleReverseIsIdentityUpToEdgeOrder)
+{
+    // Transposing twice may permute edges within a node, so compare the
+    // sorted edge multisets, not raw storage.
+    auto sorted_edges = [](const Csr &g) {
+        auto edges = g.toCoo().edges();
+        std::sort(edges.begin(), edges.end(),
+                  [](const Edge &a, const Edge &b) {
+                      return std::tie(a.src, a.dst, a.weight) <
+                             std::tie(b.src, b.dst, b.weight);
+                  });
+        return edges;
+    };
+    Csr g = Csr::fromCoo(rmat({.nodes = 256, .edges = 2048, .seed = 7}));
+    Csr rr = g.reversed().reversed();
+    EXPECT_EQ(rr.numNodes(), g.numNodes());
+    EXPECT_EQ(sorted_edges(rr), sorted_edges(g));
+}
+
+TEST(Csr, CooRoundTrip)
+{
+    Csr g = Csr::fromCoo(diamondGraph());
+    Csr h = Csr::fromCoo(g.toCoo());
+    EXPECT_EQ(g, h);
+}
+
+TEST(Csr, SizeInBytesAccountsAllThreeArrays)
+{
+    Csr g = Csr::fromCoo(diamondGraph());
+    std::size_t expected = 5 * sizeof(EdgeIndex)  // offsets: n+1
+        + 4 * sizeof(NodeId)                      // targets
+        + 4 * sizeof(Weight);                     // weights
+    EXPECT_EQ(g.sizeInBytes(), expected);
+}
+
+TEST(Csr, ParallelEdgesAreKept)
+{
+    CooEdges coo(2);
+    coo.add(0, 1, 1);
+    coo.add(0, 1, 2);
+    Csr g = Csr::fromCoo(coo);
+    EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(Csr, RowOffsetsMonotone)
+{
+    Csr g = Csr::fromCoo(rmat({.nodes = 512, .edges = 4096, .seed = 3}));
+    const auto &offsets = g.rowOffsets();
+    for (std::size_t i = 1; i < offsets.size(); ++i)
+        EXPECT_LE(offsets[i - 1], offsets[i]);
+    EXPECT_EQ(offsets.back(), g.numEdges());
+}
+
+TEST(Csr, DegreeSumEqualsEdgeCount)
+{
+    Csr g = Csr::fromCoo(rmat({.nodes = 512, .edges = 4096, .seed = 5}));
+    EdgeIndex total = 0;
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        total += g.degree(v);
+    EXPECT_EQ(total, g.numEdges());
+}
+
+} // namespace
+} // namespace tigr::graph

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the synthetic generators: shape invariants, determinism, and
+ * the skew properties Tigr depends on.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace tigr::graph {
+namespace {
+
+TEST(Generators, RmatEmitsRequestedEdgeCount)
+{
+    CooEdges coo = rmat({.nodes = 300, .edges = 5000, .seed = 11});
+    EXPECT_EQ(coo.numEdges(), 5000u);
+    EXPECT_EQ(coo.numNodes(), 300u);
+    for (const Edge &e : coo.edges()) {
+        EXPECT_LT(e.src, 300u);
+        EXPECT_LT(e.dst, 300u);
+    }
+}
+
+TEST(Generators, RmatDeterministicInSeed)
+{
+    RmatParams params{.nodes = 256, .edges = 2000, .seed = 9};
+    CooEdges a = rmat(params);
+    CooEdges b = rmat(params);
+    EXPECT_EQ(a.edges(), b.edges());
+    params.seed = 10;
+    CooEdges c = rmat(params);
+    EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(Generators, RmatSkewExceedsErdosRenyi)
+{
+    Csr skewed = GraphBuilder().build(
+        rmat({.nodes = 4096, .edges = 40000, .seed = 1}));
+    Csr uniform = GraphBuilder().build(erdosRenyi(4096, 40000, 1));
+    DegreeStats s = degreeStats(skewed);
+    DegreeStats u = degreeStats(uniform);
+    EXPECT_GT(s.gini, u.gini);
+    EXPECT_GT(s.maxDegree, 4 * u.maxDegree);
+}
+
+TEST(Generators, BarabasiAlbertShape)
+{
+    CooEdges coo = barabasiAlbert(500, 3, 21);
+    // Seed clique of 4 nodes contributes 4*3 directed edges; each of the
+    // remaining 496 nodes adds 3 undirected = 6 directed edges.
+    EXPECT_EQ(coo.numEdges(), 12u + 496u * 6u);
+    EXPECT_EQ(coo.numNodes(), 500u);
+}
+
+TEST(Generators, BarabasiAlbertHasHeavyTail)
+{
+    Csr g = GraphBuilder().build(barabasiAlbert(2000, 4, 5));
+    DegreeStats s = degreeStats(g);
+    EXPECT_GT(static_cast<double>(s.maxDegree), 5.0 * s.meanDegree);
+}
+
+TEST(Generators, ErdosRenyiBounds)
+{
+    CooEdges coo = erdosRenyi(100, 1000, 3);
+    EXPECT_EQ(coo.numEdges(), 1000u);
+    for (const Edge &e : coo.edges()) {
+        EXPECT_LT(e.src, 100u);
+        EXPECT_LT(e.dst, 100u);
+    }
+}
+
+TEST(Generators, RingEveryNodeDegreeOne)
+{
+    Csr g = Csr::fromCoo(ring(64));
+    for (NodeId v = 0; v < 64; ++v) {
+        EXPECT_EQ(g.degree(v), 1u);
+        EXPECT_EQ(g.outNeighbors(v)[0], (v + 1) % 64);
+    }
+}
+
+TEST(Generators, PathIsOpenRing)
+{
+    Csr g = Csr::fromCoo(path(10));
+    EXPECT_EQ(g.numEdges(), 9u);
+    EXPECT_EQ(g.degree(9), 0u);
+}
+
+TEST(Generators, Grid2dDegrees)
+{
+    Csr g = Csr::fromCoo(grid2d(4, 5));
+    EXPECT_EQ(g.numNodes(), 20u);
+    // Interior nodes have outdegree 4, corners 2, edges 3.
+    EXPECT_EQ(g.degree(0), 2u);        // corner
+    EXPECT_EQ(g.degree(1), 3u);        // top edge
+    EXPECT_EQ(g.degree(6), 4u);        // interior
+    EXPECT_EQ(g.numEdges(), 2u * (4u * 4u + 3u * 5u));
+}
+
+TEST(Generators, StarIsMaximallyIrregular)
+{
+    Csr g = Csr::fromCoo(star(100));
+    EXPECT_EQ(g.degree(0), 99u);
+    for (NodeId v = 1; v < 100; ++v)
+        EXPECT_EQ(g.degree(v), 0u);
+    EXPECT_GT(degreeStats(g).gini, 0.95);
+}
+
+TEST(Generators, WattsStrogatzShape)
+{
+    CooEdges coo = wattsStrogatz(500, 3, 0.1, 17);
+    EXPECT_EQ(coo.numEdges(), 500u * 3u * 2u);
+    EXPECT_EQ(coo.numNodes(), 500u);
+}
+
+TEST(Generators, WattsStrogatzStaysNearlyRegular)
+{
+    // Small-world rewiring keeps the degree distribution tight: a
+    // control input without a power-law tail.
+    Csr g = GraphBuilder().build(wattsStrogatz(2000, 4, 0.2, 3));
+    DegreeStats s = degreeStats(g);
+    EXPECT_LT(static_cast<double>(s.maxDegree), 3.0 * s.meanDegree);
+    EXPECT_LT(s.gini, 0.2);
+}
+
+TEST(Generators, WattsStrogatzZeroBetaIsLattice)
+{
+    Csr g = Csr::fromCoo(wattsStrogatz(100, 2, 0.0, 1));
+    // Pure ring lattice: every node has exactly 2*2 edges.
+    for (NodeId v = 0; v < 100; ++v)
+        EXPECT_EQ(g.degree(v), 4u) << "node " << v;
+}
+
+TEST(Generators, WattsStrogatzRewiringShortensDiameter)
+{
+    Csr lattice = GraphBuilder().build(wattsStrogatz(1024, 2, 0.0, 9));
+    Csr small_world =
+        GraphBuilder().build(wattsStrogatz(1024, 2, 0.3, 9));
+    EXPECT_LT(estimateDiameter(small_world, 12),
+              estimateDiameter(lattice, 12));
+}
+
+TEST(Generators, CompleteGraphDegrees)
+{
+    Csr g = Csr::fromCoo(complete(9));
+    EXPECT_EQ(g.numEdges(), 72u);
+    for (NodeId v = 0; v < 9; ++v)
+        EXPECT_EQ(g.degree(v), 8u);
+    EXPECT_NEAR(degreeStats(g).gini, 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace tigr::graph

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for degree statistics and irregularity metrics, including the
+ * warp-load-imbalance estimator that motivates the whole paper.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace tigr::graph {
+namespace {
+
+TEST(Stats, EmptyGraph)
+{
+    DegreeStats s = degreeStats(Csr{});
+    EXPECT_EQ(s.numNodes, 0u);
+    EXPECT_EQ(s.gini, 0.0);
+}
+
+TEST(Stats, RegularGraphHasZeroGiniAndCv)
+{
+    DegreeStats s = degreeStats(Csr::fromCoo(ring(128)));
+    EXPECT_EQ(s.minDegree, 1u);
+    EXPECT_EQ(s.maxDegree, 1u);
+    EXPECT_NEAR(s.gini, 0.0, 1e-9);
+    EXPECT_NEAR(s.coefficientOfVariation, 0.0, 1e-9);
+}
+
+TEST(Stats, StarGraphGiniApproachesOne)
+{
+    DegreeStats s = degreeStats(Csr::fromCoo(star(1000)));
+    EXPECT_GT(s.gini, 0.99);
+    EXPECT_EQ(s.maxDegree, 999u);
+    EXPECT_EQ(s.medianDegree, 0u);
+}
+
+TEST(Stats, MeanDegreeMatchesEdgeCount)
+{
+    Csr g = GraphBuilder().build(erdosRenyi(100, 700, 1));
+    DegreeStats s = degreeStats(g);
+    EXPECT_NEAR(s.meanDegree,
+                static_cast<double>(g.numEdges()) / 100.0, 1e-12);
+}
+
+TEST(Stats, PercentilesOrdered)
+{
+    Csr g = GraphBuilder().build(
+        rmat({.nodes = 2048, .edges = 30000, .seed = 6}));
+    DegreeStats s = degreeStats(g);
+    EXPECT_LE(s.minDegree, s.medianDegree);
+    EXPECT_LE(s.medianDegree, s.p90Degree);
+    EXPECT_LE(s.p90Degree, s.p99Degree);
+    EXPECT_LE(s.p99Degree, s.maxDegree);
+}
+
+TEST(Stats, HistogramSumsToNodeCount)
+{
+    Csr g = GraphBuilder().build(erdosRenyi(500, 3000, 9));
+    auto histogram = degreeHistogram(g);
+    auto total = std::accumulate(histogram.begin(), histogram.end(),
+                                 std::uint64_t{0});
+    EXPECT_EQ(total, 500u);
+    EXPECT_EQ(histogram.size(), g.maxOutDegree() + 1);
+}
+
+TEST(Stats, PowerLawExponentOfRmatInPlausibleRange)
+{
+    Csr g = GraphBuilder().build(
+        rmat({.nodes = 8192, .edges = 120000, .seed = 2}));
+    double alpha = powerLawExponent(g, 4);
+    EXPECT_GT(alpha, 1.2);
+    EXPECT_LT(alpha, 4.0);
+}
+
+TEST(Stats, DiameterOfPath)
+{
+    Csr g = Csr::fromCoo(path(50));
+    // The directed path's longest shortest path is 49 hops.
+    EXPECT_EQ(estimateDiameter(g, 16), 49u);
+}
+
+TEST(Stats, DiameterOfCompleteGraphIsOne)
+{
+    Csr g = Csr::fromCoo(complete(32));
+    EXPECT_EQ(estimateDiameter(g), 1u);
+}
+
+TEST(Stats, WarpImbalanceZeroForRegularGraph)
+{
+    Csr g = Csr::fromCoo(ring(256));
+    EXPECT_NEAR(warpLoadImbalance(g), 0.0, 1e-12);
+}
+
+TEST(Stats, WarpImbalanceHighForSkewedGraph)
+{
+    // One hub of degree 999 shares a warp with 31 degree-0 nodes.
+    Csr g = Csr::fromCoo(star(1000));
+    double imbalance = warpLoadImbalance(g);
+    EXPECT_GT(imbalance, 0.9);
+}
+
+TEST(Stats, WarpImbalanceSkewedAboveUniform)
+{
+    Csr skewed = GraphBuilder().build(
+        rmat({.nodes = 4096, .edges = 40000, .seed = 1}));
+    Csr uniform = GraphBuilder().build(erdosRenyi(4096, 40000, 1));
+    EXPECT_GT(warpLoadImbalance(skewed), warpLoadImbalance(uniform));
+}
+
+} // namespace
+} // namespace tigr::graph

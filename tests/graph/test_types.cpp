@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Unit tests for the fundamental scalar helpers in graph/types.hpp —
+ * chiefly the saturating distance arithmetic every shortest-path
+ * component relies on.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/types.hpp"
+
+namespace tigr {
+namespace {
+
+TEST(Types, SaturatingAddBasics)
+{
+    EXPECT_EQ(saturatingAdd(0, 5), 5u);
+    EXPECT_EQ(saturatingAdd(10, 0), 10u);
+    EXPECT_EQ(saturatingAdd(7, 8), 15u);
+}
+
+TEST(Types, SaturatingAddFromInfinityStaysInfinite)
+{
+    EXPECT_EQ(saturatingAdd(kInfDist, 0), kInfDist);
+    EXPECT_EQ(saturatingAdd(kInfDist, 1), kInfDist);
+    EXPECT_EQ(saturatingAdd(kInfDist, kInfWeight), kInfDist);
+}
+
+TEST(Types, SaturatingAddNearTheTopClamps)
+{
+    EXPECT_EQ(saturatingAdd(kInfDist - 1, 1), kInfDist);
+    EXPECT_EQ(saturatingAdd(kInfDist - 1, kInfWeight), kInfDist);
+    EXPECT_EQ(saturatingAdd(kInfDist - 2, 1), kInfDist - 1);
+}
+
+TEST(Types, SaturatingAddIsMonotone)
+{
+    // a <= b implies add(a, w) <= add(b, w): the property Bellman-Ford
+    // convergence rests on.
+    const Dist values[] = {0, 1, 1000, kInfDist - 2, kInfDist - 1,
+                           kInfDist};
+    const Weight weights[] = {0, 1, 64, kInfWeight};
+    for (Weight w : weights) {
+        for (std::size_t i = 1; i < std::size(values); ++i) {
+            EXPECT_LE(saturatingAdd(values[i - 1], w),
+                      saturatingAdd(values[i], w));
+        }
+    }
+}
+
+TEST(Types, SentinelsAreExtremes)
+{
+    EXPECT_EQ(kInvalidNode, std::numeric_limits<NodeId>::max());
+    EXPECT_EQ(kInfDist, std::numeric_limits<Dist>::max());
+    EXPECT_EQ(kInfWeight, std::numeric_limits<Weight>::max());
+    EXPECT_EQ(kZeroWeight, 0u);
+}
+
+TEST(Types, ConstexprUsable)
+{
+    static_assert(saturatingAdd(1, 2) == 3);
+    static_assert(saturatingAdd(kInfDist, 9) == kInfDist);
+}
+
+} // namespace
+} // namespace tigr

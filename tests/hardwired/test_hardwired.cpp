@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests of the hardwired specialized implementations: each must agree
+ * exactly with its sequential oracle across randomized power-law
+ * graphs, be deterministic, and exhibit its published cost signature.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "hardwired/hardwired.hpp"
+#include "ref/oracles.hpp"
+
+namespace tigr::hardwired {
+namespace {
+
+graph::Csr
+weightedGraph(std::uint64_t seed)
+{
+    graph::BuildOptions options;
+    options.randomizeWeights = true;
+    options.maxWeight = 30;
+    options.weightSeed = seed;
+    return graph::GraphBuilder(options).build(
+        graph::rmat({.nodes = 400, .edges = 4800, .seed = seed}));
+}
+
+graph::Csr
+symmetricGraph(std::uint64_t seed)
+{
+    graph::CooEdges coo =
+        graph::rmat({.nodes = 300, .edges = 2400, .seed = seed});
+    coo.symmetrize();
+    return graph::GraphBuilder().build(std::move(coo));
+}
+
+class HardwiredSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(HardwiredSeeds, DeltaSteppingMatchesDijkstra)
+{
+    graph::Csr g = weightedGraph(GetParam());
+    sim::WarpSimulator sim;
+    auto result = deltaSteppingSssp(g, 0, 0, sim);
+    auto oracle = ref::dijkstra(g, 0);
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        ASSERT_EQ(result.values[v], oracle[v]) << "node " << v;
+}
+
+TEST_P(HardwiredSeeds, MerrillBfsMatchesOracle)
+{
+    graph::Csr g = weightedGraph(GetParam());
+    sim::WarpSimulator sim;
+    auto result = merrillBfs(g, 0, sim);
+    auto oracle = ref::bfsHops(g, 0);
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        ASSERT_EQ(result.values[v], oracle[v]) << "node " << v;
+}
+
+TEST_P(HardwiredSeeds, EclCcMatchesUnionFind)
+{
+    graph::Csr g = symmetricGraph(GetParam());
+    sim::WarpSimulator sim;
+    auto result = eclCc(g, sim);
+    auto oracle = ref::connectedComponents(g);
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        ASSERT_EQ(result.values[v], oracle[v]) << "node " << v;
+}
+
+TEST_P(HardwiredSeeds, ElsenPagerankMatchesPowerIteration)
+{
+    graph::Csr g = weightedGraph(GetParam());
+    sim::WarpSimulator sim;
+    auto result = elsenPagerank(
+        g, {.damping = 0.85, .iterations = 15}, sim);
+    auto oracle =
+        ref::pageRank(g, {.damping = 0.85, .iterations = 15});
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        ASSERT_NEAR(result.values[v], oracle[v], 1e-9) << "node " << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, HardwiredSeeds,
+                         ::testing::Values(11, 22, 33, 44, 55),
+                         [](const auto &info) {
+                             return "seed" +
+                                    std::to_string(info.param);
+                         });
+
+TEST(DeltaStepping, ExplicitDeltaSweepStaysCorrect)
+{
+    graph::Csr g = weightedGraph(9);
+    auto oracle = ref::dijkstra(g, 3);
+    for (Weight delta : {1u, 5u, 20u, 1000u}) {
+        sim::WarpSimulator sim;
+        auto result = deltaSteppingSssp(g, 3, delta, sim);
+        for (NodeId v = 0; v < g.numNodes(); ++v)
+            ASSERT_EQ(result.values[v], oracle[v])
+                << "delta " << delta << " node " << v;
+    }
+}
+
+TEST(DeltaStepping, SmallerDeltaMeansMorePhases)
+{
+    graph::Csr g = weightedGraph(10);
+    sim::WarpSimulator sim_fine;
+    sim::WarpSimulator sim_coarse;
+    auto fine = deltaSteppingSssp(g, 0, 1, sim_fine);
+    auto coarse = deltaSteppingSssp(g, 0, 1000, sim_coarse);
+    EXPECT_GT(fine.iterations, coarse.iterations);
+}
+
+TEST(MerrillBfs, LevelCountMatchesEccentricity)
+{
+    graph::Csr g = graph::Csr::fromCoo(graph::path(20));
+    sim::WarpSimulator sim;
+    auto result = merrillBfs(g, 0, sim);
+    // 19 expansion levels (the last frontier has no out-edges).
+    EXPECT_EQ(result.iterations, 20u);
+    EXPECT_EQ(result.values[19], 19u);
+}
+
+TEST(EclCc, ConvergesInFewRounds)
+{
+    graph::Csr g = symmetricGraph(12);
+    sim::WarpSimulator sim;
+    auto result = eclCc(g, sim);
+    // Min-id hooking with immediate compression settles fast — the
+    // property that makes ECL-CC the fastest CC on GPUs.
+    EXPECT_LE(result.iterations, 4u);
+}
+
+TEST(EclCc, HandlesIsolatedNodesAndSelfComponents)
+{
+    graph::CooEdges coo(6);
+    coo.add(4, 5);
+    coo.add(5, 4);
+    graph::Csr g = graph::Csr::fromCoo(coo);
+    sim::WarpSimulator sim;
+    auto result = eclCc(g, sim);
+    for (NodeId v = 0; v < 4; ++v)
+        EXPECT_EQ(result.values[v], v);
+    EXPECT_EQ(result.values[4], 4u);
+    EXPECT_EQ(result.values[5], 4u);
+}
+
+TEST(ElsenPr, SequentialApplyPhaseIsCoalesced)
+{
+    graph::Csr g = weightedGraph(13);
+    sim::WarpSimulator sim;
+    auto result = elsenPagerank(g, {.iterations = 5}, sim);
+    // Two kernels per round.
+    EXPECT_EQ(result.stats.launches, 10u);
+    EXPECT_GT(result.stats.coalescingFactor(), 1.5);
+}
+
+TEST(Hardwired, Deterministic)
+{
+    graph::Csr g = weightedGraph(14);
+    sim::WarpSimulator sim_a;
+    sim::WarpSimulator sim_b;
+    auto a = deltaSteppingSssp(g, 0, 0, sim_a);
+    auto b = deltaSteppingSssp(g, 0, 0, sim_b);
+    EXPECT_EQ(a.values, b.values);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+}
+
+} // namespace
+} // namespace tigr::hardwired

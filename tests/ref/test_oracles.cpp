@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests of the sequential oracles themselves — cross-checks between
+ * algorithms, hand-computed examples, and the weighted-Brandes
+ * BC-preservation property of UDT (the executable form of the paper's
+ * "UDT preserves BC" claim).
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "ref/oracles.hpp"
+#include "transform/udt.hpp"
+
+namespace tigr::ref {
+namespace {
+
+graph::Csr
+weightedGraph(std::uint64_t seed)
+{
+    graph::BuildOptions options;
+    options.randomizeWeights = true;
+    options.maxWeight = 25;
+    options.weightSeed = seed;
+    return graph::GraphBuilder(options).build(
+        graph::rmat({.nodes = 300, .edges = 3500, .seed = seed}));
+}
+
+TEST(Oracles, DijkstraEqualsBfsOnUnitWeights)
+{
+    graph::Csr g = graph::GraphBuilder().build(
+        graph::rmat({.nodes = 256, .edges = 2500, .seed = 21}));
+    EXPECT_EQ(dijkstra(g, 0), bfsHops(g, 0));
+}
+
+TEST(Oracles, DijkstraHandExample)
+{
+    // 0 -2-> 1 -3-> 3, 0 -7-> 2 -1-> 3: shortest to 3 is 5.
+    graph::CooEdges coo(4);
+    coo.add(0, 1, 2);
+    coo.add(1, 3, 3);
+    coo.add(0, 2, 7);
+    coo.add(2, 3, 1);
+    auto dist = dijkstra(graph::Csr::fromCoo(coo), 0);
+    EXPECT_EQ(dist[0], 0u);
+    EXPECT_EQ(dist[1], 2u);
+    EXPECT_EQ(dist[2], 7u);
+    EXPECT_EQ(dist[3], 5u);
+}
+
+TEST(Oracles, WidestPathHandExample)
+{
+    // Two routes to 2: width min(10, 3) = 3 vs min(5, 5) = 5.
+    graph::CooEdges coo(4);
+    coo.add(0, 1, 10);
+    coo.add(1, 2, 3);
+    coo.add(0, 3, 5);
+    coo.add(3, 2, 5);
+    auto width = widestPath(graph::Csr::fromCoo(coo), 0);
+    EXPECT_EQ(width[0], kInfWeight);
+    EXPECT_EQ(width[2], 5u);
+}
+
+TEST(Oracles, PageRankMassStaysBounded)
+{
+    graph::Csr g = weightedGraph(22);
+    auto ranks = pageRank(g);
+    double total = std::accumulate(ranks.begin(), ranks.end(), 0.0);
+    // Dangling nodes leak mass, so total is at most 1 and at least
+    // the teleport share.
+    EXPECT_LE(total, 1.0 + 1e-9);
+    EXPECT_GE(total, 0.15 - 1e-9);
+}
+
+TEST(Oracles, BcOnPathIsInterior)
+{
+    // On a directed path, every interior node lies on all paths
+    // between its ancestors and descendants.
+    graph::Csr g = graph::Csr::fromCoo(graph::path(5));
+    std::vector<NodeId> sources(5);
+    std::iota(sources.begin(), sources.end(), NodeId{0});
+    auto bc = betweennessCentrality(g, sources);
+    // Node 2 carries pairs (0,3),(0,4),(1,3),(1,4),(1? ...): from
+    // source 0: deps over 3 descendants beyond 2... check symmetry:
+    EXPECT_DOUBLE_EQ(bc[0], 0.0);
+    EXPECT_DOUBLE_EQ(bc[4], 0.0);
+    EXPECT_GT(bc[2], bc[1] - 1e12);
+    // Exact values: bc[i] = (#ancestors)*(#descendants).
+    EXPECT_DOUBLE_EQ(bc[1], 1.0 * 3.0);
+    EXPECT_DOUBLE_EQ(bc[2], 2.0 * 2.0);
+    EXPECT_DOUBLE_EQ(bc[3], 3.0 * 1.0);
+}
+
+TEST(Oracles, WeightedBcEqualsHopBcOnUnitWeights)
+{
+    graph::Csr g = graph::GraphBuilder().build(
+        graph::rmat({.nodes = 200, .edges = 1800, .seed = 23}));
+    const NodeId sources[] = {0, 3, 17, 42};
+    auto hop = betweennessCentrality(g, sources);
+    auto weighted = weightedBetweennessCentrality(g, sources);
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        ASSERT_NEAR(weighted[v], hop[v], 1e-9) << "node " << v;
+}
+
+TEST(Oracles, WeightedBcHandExample)
+{
+    // 0 -1-> 1 -1-> 2 and a heavy bypass 0 -5-> 2: all shortest paths
+    // to 2 run through 1.
+    graph::CooEdges coo(3);
+    coo.add(0, 1, 1);
+    coo.add(1, 2, 1);
+    coo.add(0, 2, 5);
+    graph::Csr g = graph::Csr::fromCoo(coo);
+    const NodeId sources[] = {0, 1, 2};
+    auto bc = weightedBetweennessCentrality(g, sources);
+    EXPECT_DOUBLE_EQ(bc[1], 1.0);
+    EXPECT_DOUBLE_EQ(bc[0], 0.0);
+    EXPECT_DOUBLE_EQ(bc[2], 0.0);
+}
+
+TEST(Oracles, WeightedBcSplitsOverEqualPaths)
+{
+    // Diamond with equal path weights: node 1 and 2 each carry half
+    // of the 0 -> 3 dependency.
+    graph::CooEdges coo(4);
+    coo.add(0, 1, 2);
+    coo.add(0, 2, 2);
+    coo.add(1, 3, 2);
+    coo.add(2, 3, 2);
+    const NodeId sources[] = {0};
+    auto bc = weightedBetweennessCentrality(
+        graph::Csr::fromCoo(coo), sources);
+    EXPECT_DOUBLE_EQ(bc[1], 0.5);
+    EXPECT_DOUBLE_EQ(bc[2], 0.5);
+}
+
+TEST(Oracles, UdtPreservesWeightedBcOfOriginalNodes)
+{
+    // The paper's BC claim, executable: zero dumb weights preserve
+    // both distances (Corollary 2) and path multiplicities (P2), so
+    // every original node keeps its exact weighted centrality.
+    graph::Csr g = weightedGraph(24);
+    const NodeId sources[] = {0, 7, 99};
+    auto original = weightedBetweennessCentrality(g, sources);
+
+    transform::UdtTransform udt;
+    transform::SplitOptions options;
+    options.degreeBound = 8;
+    options.weightPolicy = transform::DumbWeightPolicy::Zero;
+    auto result = udt.apply(g, options);
+    ASSERT_GT(result.stats.newNodes, 0u);
+
+    // Split nodes are intermediates, never endpoints: restrict the
+    // endpoint universe to the original node ids.
+    auto transformed = weightedBetweennessCentrality(
+        result.graph, sources, g.numNodes());
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        ASSERT_NEAR(transformed[v], original[v],
+                    1e-6 * (1.0 + std::abs(original[v])))
+            << "node " << v;
+    }
+}
+
+TEST(Oracles, ConnectedComponentsLabelIsComponentMinimum)
+{
+    graph::CooEdges coo(7);
+    coo.add(5, 3);
+    coo.add(3, 5);
+    coo.add(2, 6);
+    graph::Csr g = graph::Csr::fromCoo(coo);
+    auto labels = connectedComponents(g);
+    EXPECT_EQ(labels[5], 3u);
+    EXPECT_EQ(labels[3], 3u);
+    EXPECT_EQ(labels[2], 2u);
+    EXPECT_EQ(labels[6], 2u);
+    EXPECT_EQ(labels[0], 0u);
+}
+
+} // namespace
+} // namespace tigr::ref

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests of the GPU-SIMD cost model: lockstep lane accounting, warp
+ * efficiency, coalescing transaction counting, SM load distribution,
+ * and counter aggregation.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/warp_simulator.hpp"
+
+namespace tigr::sim {
+namespace {
+
+GpuConfig
+smallGpu()
+{
+    GpuConfig config;
+    config.warpSize = 4;
+    config.numSms = 2;
+    config.memSegmentBytes = 32;
+    config.cyclesPerInstruction = 1;
+    config.cyclesPerTransaction = 10;
+    config.kernelLaunchCycles = 0;
+    return config;
+}
+
+ThreadWork
+uniformWork(std::uint32_t instructions)
+{
+    ThreadWork work;
+    work.instructions = instructions;
+    return work;
+}
+
+TEST(WarpSimulator, BalancedWarpIsFullyEfficient)
+{
+    WarpSimulator sim(smallGpu());
+    KernelStats stats =
+        sim.launch(4, [](std::uint64_t) { return uniformWork(10); });
+    EXPECT_EQ(stats.warps, 1u);
+    EXPECT_EQ(stats.instructions, 40u);
+    EXPECT_EQ(stats.laneSlots, 40u);
+    EXPECT_DOUBLE_EQ(stats.warpEfficiency(), 1.0);
+}
+
+TEST(WarpSimulator, OneHotLaneWastesTheWarp)
+{
+    // One lane with 100 instructions, three idle: the warp still issues
+    // 100 steps on all four lanes.
+    WarpSimulator sim(smallGpu());
+    KernelStats stats = sim.launch(4, [](std::uint64_t tid) {
+        return uniformWork(tid == 0 ? 100 : 0);
+    });
+    EXPECT_EQ(stats.instructions, 100u);
+    EXPECT_EQ(stats.laneSlots, 400u);
+    EXPECT_DOUBLE_EQ(stats.warpEfficiency(), 0.25);
+}
+
+TEST(WarpSimulator, PartialLastWarpStillChargesFullWidth)
+{
+    WarpSimulator sim(smallGpu());
+    KernelStats stats =
+        sim.launch(5, [](std::uint64_t) { return uniformWork(8); });
+    EXPECT_EQ(stats.warps, 2u);
+    EXPECT_EQ(stats.threads, 5u);
+    // Warp 2 has one active lane but still occupies 4 lanes.
+    EXPECT_EQ(stats.laneSlots, 2u * 4u * 8u);
+}
+
+TEST(WarpSimulator, CyclesAreMaxOverSms)
+{
+    // Two warps of different depth land on different SMs; the kernel
+    // takes as long as the slower one (inter-warp imbalance).
+    WarpSimulator sim(smallGpu());
+    KernelStats stats = sim.launch(8, [](std::uint64_t tid) {
+        return uniformWork(tid < 4 ? 100 : 10);
+    });
+    EXPECT_EQ(stats.cycles, 100u);
+}
+
+TEST(WarpSimulator, SameSmWorkloadsSerialize)
+{
+    // Three warps over two SMs: SM0 runs warps 0 and 2.
+    WarpSimulator sim(smallGpu());
+    KernelStats stats = sim.launch(12, [](std::uint64_t tid) {
+        return uniformWork(tid < 4 ? 50 : (tid < 8 ? 30 : 20));
+    });
+    EXPECT_EQ(stats.cycles, 70u); // 50 + 20 on SM0 vs 30 on SM1
+}
+
+TEST(WarpSimulator, LaunchOverheadCharged)
+{
+    GpuConfig config = smallGpu();
+    config.kernelLaunchCycles = 12345;
+    WarpSimulator sim(config);
+    KernelStats stats =
+        sim.launch(0, [](std::uint64_t) { return ThreadWork{}; });
+    EXPECT_EQ(stats.cycles, 12345u);
+}
+
+TEST(Coalescing, ConsecutiveLaneAccessesMerge)
+{
+    // 4 lanes read slots 0..3 of an 8-byte-record array in lockstep:
+    // addresses 0,8,16,24 share one 32-byte segment -> 1 transaction
+    // per step.
+    WarpSimulator sim(smallGpu());
+    KernelStats stats = sim.launch(4, [](std::uint64_t tid) {
+        ThreadWork work;
+        work.instructions = 3;
+        work.edgeCount = 3;
+        work.edgeStart = tid;     // lane-consecutive slots
+        work.edgeStride = 4;      // family-size stride (coalesced)
+        return work;
+    });
+    // Steps access slots {0,1,2,3}, {4,5,6,7}, {8,9,10,11}: each step's
+    // 4 addresses span exactly one 32-byte segment.
+    EXPECT_EQ(stats.memTransactions, 3u);
+    EXPECT_EQ(stats.memAccesses, 12u);
+    EXPECT_DOUBLE_EQ(stats.coalescingFactor(), 4.0);
+}
+
+TEST(Coalescing, StridedLaneAccessesDoNot)
+{
+    // The Figure 10 (consecutive/strided) pattern: lane t reads slots
+    // t*K + j. With K=4 and 8-byte records, lanes are 32 bytes apart:
+    // every lane touches its own segment -> 4 transactions per step.
+    WarpSimulator sim(smallGpu());
+    KernelStats stats = sim.launch(4, [](std::uint64_t tid) {
+        ThreadWork work;
+        work.instructions = 3;
+        work.edgeCount = 3;
+        work.edgeStart = tid * 4;
+        work.edgeStride = 1;
+        return work;
+    });
+    EXPECT_EQ(stats.memTransactions, 12u);
+    EXPECT_DOUBLE_EQ(stats.coalescingFactor(), 1.0);
+}
+
+TEST(Coalescing, RaggedLanesOnlyChargeActiveOnes)
+{
+    WarpSimulator sim(smallGpu());
+    KernelStats stats = sim.launch(2, [](std::uint64_t tid) {
+        ThreadWork work;
+        work.instructions = static_cast<std::uint32_t>(1 + tid);
+        work.edgeCount = static_cast<std::uint32_t>(1 + tid);
+        work.edgeStart = tid * 100; // far apart
+        return work;
+    });
+    // Step 0: both lanes -> 2 segments. Step 1: lane 1 only -> 1.
+    EXPECT_EQ(stats.memTransactions, 3u);
+}
+
+TEST(KernelStatsAggregation, PlusEqualsSumsAllCounters)
+{
+    WarpSimulator sim(smallGpu());
+    KernelStats total;
+    KernelStats a =
+        sim.launch(4, [](std::uint64_t) { return uniformWork(10); });
+    KernelStats b =
+        sim.launch(8, [](std::uint64_t) { return uniformWork(5); });
+    total += a;
+    total += b;
+    EXPECT_EQ(total.launches, 2u);
+    EXPECT_EQ(total.threads, 12u);
+    EXPECT_EQ(total.warps, 3u);
+    EXPECT_EQ(total.instructions,
+              a.instructions + b.instructions);
+    EXPECT_EQ(total.cycles, a.cycles + b.cycles);
+}
+
+TEST(KernelStats, EmptyStatsAreNeutral)
+{
+    KernelStats stats;
+    EXPECT_DOUBLE_EQ(stats.warpEfficiency(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.coalescingFactor(), 1.0);
+}
+
+TEST(SmImbalance, ZeroWhenSmsEquallyLoaded)
+{
+    WarpSimulator sim(smallGpu());
+    // Two warps of equal depth on the two SMs.
+    KernelStats stats =
+        sim.launch(8, [](std::uint64_t) { return uniformWork(10); });
+    EXPECT_DOUBLE_EQ(stats.smImbalance(), 0.0);
+    EXPECT_EQ(stats.busiestSmCycles, 10u);
+    EXPECT_EQ(stats.totalSmCycles, 20u);
+}
+
+TEST(SmImbalance, HighWhenOneSmDoesEverything)
+{
+    WarpSimulator sim(smallGpu());
+    // Warp 0 (SM0) heavy, warp 1 (SM1) idle.
+    KernelStats stats = sim.launch(8, [](std::uint64_t tid) {
+        return uniformWork(tid < 4 ? 100 : 0);
+    });
+    EXPECT_NEAR(stats.smImbalance(), 0.5, 1e-12);
+}
+
+TEST(SmImbalance, NeutralOnEmptyStats)
+{
+    KernelStats stats;
+    EXPECT_DOUBLE_EQ(stats.smImbalance(), 0.0);
+}
+
+TEST(WarpSimulator, DefaultConfigMatchesP4000Shape)
+{
+    WarpSimulator sim;
+    EXPECT_EQ(sim.config().warpSize, 32u);
+    EXPECT_EQ(sim.config().numSms, 14u);
+}
+
+} // namespace
+} // namespace tigr::sim

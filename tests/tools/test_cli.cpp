@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests of the `tigr` command-line tool: argument parsing, file-format
+ * dispatch, and end-to-end command execution through temp files.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cli.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace tigr::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** RAII temp directory for command round-trips. */
+class TempDir
+{
+  public:
+    TempDir()
+        : path_(fs::temp_directory_path() /
+                ("tigr_cli_test_" +
+                 std::to_string(::testing::UnitTest::GetInstance()
+                                    ->random_seed()) +
+                 "_" + std::to_string(counter_++)))
+    {
+        fs::create_directories(path_);
+    }
+    ~TempDir() { fs::remove_all(path_); }
+    fs::path operator/(const std::string &name) const
+    {
+        return path_ / name;
+    }
+
+  private:
+    static inline int counter_ = 0;
+    fs::path path_;
+};
+
+TEST(CliParse, SplitsPositionalAndFlags)
+{
+    CommandLine cmd = parse({"run", "graph.el", "--algo", "bfs",
+                             "--pull", "--source", "7"});
+    EXPECT_EQ(cmd.command, "run");
+    ASSERT_EQ(cmd.positional.size(), 1u);
+    EXPECT_EQ(cmd.positional[0], "graph.el");
+    EXPECT_EQ(cmd.option("algo"), "bfs");
+    EXPECT_TRUE(cmd.has("pull"));
+    EXPECT_EQ(cmd.optionU64("source", 0), 7u);
+}
+
+TEST(CliParse, FlagFollowedByFlagHasEmptyValue)
+{
+    CommandLine cmd = parse({"run", "--pull", "--dynamic"});
+    EXPECT_TRUE(cmd.has("pull"));
+    EXPECT_TRUE(cmd.has("dynamic"));
+    EXPECT_EQ(*cmd.option("pull"), "");
+}
+
+TEST(CliParse, MissingCommandThrows)
+{
+    EXPECT_THROW(parse({}), std::invalid_argument);
+}
+
+TEST(CliParse, DefaultsApplyWhenOptionAbsent)
+{
+    CommandLine cmd = parse({"run"});
+    EXPECT_EQ(cmd.optionU64("k", 10), 10u);
+    EXPECT_FALSE(cmd.option("algo").has_value());
+}
+
+TEST(CliFiles, EdgeListRoundTrip)
+{
+    TempDir dir;
+    auto path = dir / "g.el";
+    graph::Csr g = graph::GraphBuilder().build(
+        graph::erdosRenyi(64, 400, 3));
+    saveGraphFile(g, path.string());
+    graph::Csr loaded = loadGraphFile(path.string());
+    EXPECT_EQ(loaded, g);
+}
+
+TEST(CliFiles, BinaryRoundTrip)
+{
+    TempDir dir;
+    auto path = dir / "g.csr";
+    graph::Csr g = graph::GraphBuilder().build(
+        graph::rmat({.nodes = 64, .edges = 500, .seed = 2}));
+    saveGraphFile(g, path.string());
+    EXPECT_EQ(loadGraphFile(path.string()), g);
+}
+
+TEST(CliFiles, MatrixMarketLoads)
+{
+    TempDir dir;
+    auto path = dir / "g.mtx";
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate pattern general\n"
+        << "3 3 2\n"
+        << "1 2\n"
+        << "2 3\n";
+    out.close();
+    graph::Csr g = loadGraphFile(path.string());
+    EXPECT_EQ(g.numNodes(), 3u);
+    EXPECT_EQ(g.numEdges(), 2u);
+}
+
+TEST(CliFiles, UnknownExtensionThrows)
+{
+    EXPECT_THROW(loadGraphFile("graph.gexf"), std::runtime_error);
+    graph::Csr g;
+    EXPECT_THROW(saveGraphFile(g, "graph.gexf"), std::runtime_error);
+}
+
+TEST(CliCommands, GenerateThenStats)
+{
+    TempDir dir;
+    auto path = dir / "g.csr";
+    std::ostringstream out;
+    int code = runCommand(
+        parse({"generate", "--type", "rmat", "--nodes", "256",
+               "--edges", "4096", "--seed", "5", "--out",
+               path.string()}),
+        out);
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.str().find("generated rmat graph"),
+              std::string::npos);
+
+    std::ostringstream stats;
+    code = runCommand(parse({"stats", path.string()}), stats);
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(stats.str().find("gini:"), std::string::npos);
+    EXPECT_NE(stats.str().find("suggested K(udt):"),
+              std::string::npos);
+}
+
+TEST(CliCommands, TransformBoundsDegrees)
+{
+    TempDir dir;
+    auto input = dir / "in.csr";
+    auto output = dir / "out.csr";
+    graph::Csr g = graph::GraphBuilder().build(
+        graph::rmat({.nodes = 256, .edges = 4000, .seed = 6}));
+    graph::saveCsrBinaryFile(g, input);
+
+    std::ostringstream out;
+    int code = runCommand(
+        parse({"transform", input.string(), "--out", output.string(),
+               "--k", "8", "--topology", "udt"}),
+        out);
+    EXPECT_EQ(code, 0);
+    graph::Csr transformed = graph::loadCsrBinaryFile(output);
+    EXPECT_LE(transformed.maxOutDegree(), 8u);
+    EXPECT_GT(transformed.numNodes(), g.numNodes());
+}
+
+TEST(CliCommands, RunAllAlgorithms)
+{
+    TempDir dir;
+    auto path = dir / "g.csr";
+    graph::CooEdges coo =
+        graph::rmat({.nodes = 200, .edges = 2500, .seed = 7});
+    coo.symmetrize();
+    graph::saveCsrBinaryFile(
+        graph::GraphBuilder().build(std::move(coo)), path);
+
+    for (const char *algo : {"bfs", "sssp", "sswp", "cc", "pr", "bc"}) {
+        std::ostringstream out;
+        int code = runCommand(
+            parse({"run", path.string(), "--algo", algo, "--strategy",
+                   "tigr-v+"}),
+            out);
+        EXPECT_EQ(code, 0) << algo;
+        EXPECT_NE(out.str().find("warp efficiency"),
+                  std::string::npos)
+            << algo;
+    }
+}
+
+TEST(CliCommands, RunWithPullAndDynamicFlags)
+{
+    TempDir dir;
+    auto path = dir / "g.csr";
+    graph::saveCsrBinaryFile(
+        graph::GraphBuilder().build(
+            graph::rmat({.nodes = 128, .edges = 1500, .seed = 8})),
+        path);
+    std::ostringstream out;
+    int code = runCommand(parse({"run", path.string(), "--algo",
+                                 "sssp", "--pull"}),
+                          out);
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.str().find("(pull)"), std::string::npos);
+
+    std::ostringstream dynamic_out;
+    code = runCommand(parse({"run", path.string(), "--algo", "sssp",
+                             "--dynamic"}),
+                      dynamic_out);
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(dynamic_out.str().find("(dynamic mapping)"),
+              std::string::npos);
+}
+
+TEST(CliCommands, ErrorsAreReported)
+{
+    std::ostringstream out;
+    EXPECT_THROW(runCommand(parse({"bogus"}), out),
+                 std::runtime_error);
+    EXPECT_THROW(runCommand(parse({"stats"}), out),
+                 std::runtime_error);
+    EXPECT_THROW(runCommand(parse({"run", "nonexistent.el"}), out),
+                 std::runtime_error);
+}
+
+TEST(CliCommands, HelpPrintsUsage)
+{
+    std::ostringstream out;
+    EXPECT_EQ(runCommand(parse({"help"}), out), 0);
+    EXPECT_NE(out.str().find("tigr run"), std::string::npos);
+}
+
+TEST(CliCommands, RunRejectsBadStrategyAndSource)
+{
+    TempDir dir;
+    auto path = dir / "g.csr";
+    graph::saveCsrBinaryFile(
+        graph::GraphBuilder().build(
+            graph::erdosRenyi(32, 100, 1)),
+        path);
+    std::ostringstream out;
+    EXPECT_THROW(runCommand(parse({"run", path.string(), "--strategy",
+                                   "warpspeed"}),
+                            out),
+                 std::runtime_error);
+    EXPECT_THROW(runCommand(parse({"run", path.string(), "--source",
+                                   "99999"}),
+                            out),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace tigr::cli

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Randomized property sweeps ("fuzz" tests) over the transformation
+ * stack: many (generator, seed, K, topology) combinations, each
+ * checked against the invariants the paper's theorems promise. These
+ * are the broad-coverage complement to the targeted unit tests.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "ref/oracles.hpp"
+#include "transform/properties.hpp"
+#include "transform/virtual_graph.hpp"
+
+namespace tigr::transform {
+namespace {
+
+enum class GenKind
+{
+    Rmat,
+    Ba,
+    Er,
+    Ws,
+    Star,
+};
+
+struct FuzzCase
+{
+    GenKind generator;
+    std::uint64_t seed;
+    NodeId degreeBound;
+    Topology topology;
+};
+
+std::string
+caseName(const FuzzCase &fuzz)
+{
+    const char *gen = nullptr;
+    switch (fuzz.generator) {
+      case GenKind::Rmat: gen = "rmat"; break;
+      case GenKind::Ba: gen = "ba"; break;
+      case GenKind::Er: gen = "er"; break;
+      case GenKind::Ws: gen = "ws"; break;
+      case GenKind::Star: gen = "star"; break;
+    }
+    return std::string(gen) + "_s" + std::to_string(fuzz.seed) + "_K" +
+           std::to_string(fuzz.degreeBound) + "_" +
+           std::string(topologyName(fuzz.topology));
+}
+
+graph::Csr
+makeGraph(GenKind kind, std::uint64_t seed)
+{
+    graph::CooEdges coo;
+    switch (kind) {
+      case GenKind::Rmat:
+        coo = graph::rmat({.nodes = 200, .edges = 2400, .seed = seed});
+        break;
+      case GenKind::Ba:
+        coo = graph::barabasiAlbert(200, 5, seed);
+        break;
+      case GenKind::Er:
+        coo = graph::erdosRenyi(200, 2400, seed);
+        break;
+      case GenKind::Ws:
+        coo = graph::wattsStrogatz(200, 4, 0.3, seed);
+        break;
+      case GenKind::Star:
+        coo = graph::star(150);
+        break;
+    }
+    graph::BuildOptions options;
+    options.randomizeWeights = true;
+    options.maxWeight = 16;
+    options.weightSeed = seed * 3 + 1;
+    return graph::GraphBuilder(options).build(std::move(coo));
+}
+
+class TransformFuzz : public ::testing::TestWithParam<FuzzCase>
+{
+  protected:
+    graph::Csr input() const
+    {
+        return makeGraph(GetParam().generator, GetParam().seed);
+    }
+};
+
+TEST_P(TransformFuzz, EdgeConservation)
+{
+    graph::Csr g = input();
+    auto transform = makeTransform(GetParam().topology);
+    auto result = transform->apply(
+        g, {.degreeBound = GetParam().degreeBound});
+    // Original edges survive exactly; only internal edges are added.
+    EXPECT_EQ(result.graph.numEdges(),
+              g.numEdges() + result.stats.newEdges);
+    EXPECT_EQ(result.graph.numNodes(),
+              g.numNodes() + result.stats.newNodes);
+}
+
+TEST_P(TransformFuzz, DegreeBoundRespected)
+{
+    graph::Csr g = input();
+    if (g.maxOutDegree() <= GetParam().degreeBound)
+        GTEST_SKIP() << "nothing to split";
+    auto transform = makeTransform(GetParam().topology);
+    auto result = transform->apply(
+        g, {.degreeBound = GetParam().degreeBound});
+    TopologyProperties worst = analyticProperties(
+        GetParam().topology, g.maxOutDegree(),
+        GetParam().degreeBound);
+    EXPECT_LE(result.graph.maxOutDegree(),
+              std::max<EdgeIndex>(worst.newDegree,
+                                  GetParam().degreeBound));
+}
+
+TEST_P(TransformFuzz, DistancePreservation)
+{
+    graph::Csr g = input();
+    auto transform = makeTransform(GetParam().topology);
+    auto result = transform->apply(
+        g, {.degreeBound = GetParam().degreeBound,
+            .weightPolicy = DumbWeightPolicy::Zero});
+    auto original = ref::dijkstra(g, 0);
+    auto transformed = ref::dijkstra(result.graph, 0);
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        ASSERT_EQ(transformed[v], original[v])
+            << caseName(GetParam()) << " node " << v;
+}
+
+TEST_P(TransformFuzz, VirtualArrayPartitionsEdges)
+{
+    graph::Csr g = input();
+    VirtualGraph vg(g, GetParam().degreeBound);
+    std::vector<unsigned> owned(g.numEdges(), 0);
+    for (const VirtualNode &node : vg.virtualNodes())
+        for (std::uint32_t j = 0; j < node.count; ++j)
+            ++owned[node.start + node.stride * j];
+    for (EdgeIndex e = 0; e < g.numEdges(); ++e)
+        ASSERT_EQ(owned[e], 1u) << caseName(GetParam());
+}
+
+std::vector<FuzzCase>
+fuzzCases()
+{
+    std::vector<FuzzCase> cases;
+    const GenKind generators[] = {GenKind::Rmat, GenKind::Ba,
+                                  GenKind::Er, GenKind::Ws,
+                                  GenKind::Star};
+    const Topology topologies[] = {Topology::Clique, Topology::Circular,
+                                   Topology::Star, Topology::Udt};
+    std::uint64_t seed = 100;
+    for (GenKind gen : generators)
+        for (Topology topology : topologies)
+            cases.push_back(
+                {gen, ++seed,
+                 static_cast<NodeId>(3 + (seed * 7) % 14), topology});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TransformFuzz,
+                         ::testing::ValuesIn(fuzzCases()),
+                         [](const auto &info) {
+                             return caseName(info.param);
+                         });
+
+} // namespace
+} // namespace tigr::transform

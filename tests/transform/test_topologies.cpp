@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests of the clique/circular/star topologies against the Table 1
+ * closed forms, and of the analytic-vs-measured property calculators.
+ */
+#include <gtest/gtest.h>
+
+#include "transform/basic_topologies.hpp"
+#include "transform/properties.hpp"
+
+namespace tigr::transform {
+namespace {
+
+class TopologySweep
+    : public ::testing::TestWithParam<
+          std::tuple<Topology, EdgeIndex, NodeId>>
+{
+  protected:
+    Topology topology() const { return std::get<0>(GetParam()); }
+    EdgeIndex degree() const { return std::get<1>(GetParam()); }
+    NodeId bound() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(TopologySweep, MeasuredMatchesAnalytic)
+{
+    if (degree() <= bound())
+        GTEST_SKIP() << "node not high-degree; nothing to split";
+    auto transform = makeTransform(topology());
+    TopologyProperties analytic =
+        analyticProperties(topology(), degree(), bound());
+    TopologyProperties measured =
+        measuredProperties(*transform, degree(), bound());
+    EXPECT_EQ(measured.newNodes, analytic.newNodes);
+    EXPECT_EQ(measured.newEdges, analytic.newEdges);
+    EXPECT_EQ(measured.newDegree, analytic.newDegree);
+    EXPECT_EQ(measured.maxHops, analytic.maxHops);
+}
+
+TEST_P(TopologySweep, EveryEdgeOwned)
+{
+    if (degree() <= bound())
+        GTEST_SKIP() << "node not high-degree; nothing to split";
+    auto transform = makeTransform(topology());
+    SplitPlan plan = transform->plan(degree(), bound());
+    ASSERT_EQ(plan.ownerOfEdge.size(), degree());
+    for (std::uint32_t owner : plan.ownerOfEdge)
+        EXPECT_LT(owner, plan.memberCount);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, TopologySweep,
+    ::testing::Combine(
+        ::testing::Values(Topology::Clique, Topology::Circular,
+                          Topology::Star, Topology::Udt),
+        ::testing::Values<EdgeIndex>(5, 12, 100, 1000, 12345),
+        ::testing::Values<NodeId>(3, 4, 10, 32)),
+    [](const auto &info) {
+        return std::string(topologyName(std::get<0>(info.param))) + "_d" +
+               std::to_string(std::get<1>(info.param)) + "_K" +
+               std::to_string(std::get<2>(info.param));
+    });
+
+TEST(Table1, CliqueQuadraticEdges)
+{
+    // d=1000, K=10 -> p=100 members; clique wires 100*99 new edges.
+    auto props = analyticProperties(Topology::Clique, 1000, 10);
+    EXPECT_EQ(props.newNodes, 99u);
+    EXPECT_EQ(props.newEdges, 9900u);
+    EXPECT_EQ(props.newDegree, 109u);
+    EXPECT_EQ(props.maxHops, 1u);
+}
+
+TEST(Table1, CircularBestDegreeWorstHops)
+{
+    auto props = analyticProperties(Topology::Circular, 1000, 10);
+    EXPECT_EQ(props.newDegree, 11u); // K + 1: best irregularity
+    EXPECT_EQ(props.maxHops, 99u);   // p - 1: worst propagation
+}
+
+TEST(Table1, StarHubDegreeIssue)
+{
+    // The hub's degree ceil(d/K) = 100 still dwarfs K = 10: the "hub
+    // node issue" that motivates UDT.
+    auto props = analyticProperties(Topology::Star, 1000, 10);
+    EXPECT_EQ(props.newDegree, 100u);
+    EXPECT_EQ(props.maxHops, 1u);
+}
+
+TEST(Table1, UdtBalancesAllThreeAxes)
+{
+    auto udt = analyticProperties(Topology::Udt, 1000, 10);
+    auto circ = analyticProperties(Topology::Circular, 1000, 10);
+    auto cliq = analyticProperties(Topology::Clique, 1000, 10);
+    // Degree as good as K (better than clique and star)...
+    EXPECT_EQ(udt.newDegree, 10u);
+    // ...space linear, far below clique...
+    EXPECT_LT(udt.newEdges, cliq.newEdges / 10);
+    // ...and hops logarithmic, far below circular.
+    EXPECT_LT(udt.maxHops, circ.maxHops / 10);
+}
+
+TEST(Table1, StarResidualsVsUdt)
+{
+    // Figure 6: star on d=5, K=3 leaves satellite(s) below K while UDT
+    // leaves none.
+    StarTransform star;
+    SplitPlan plan = star.plan(5, 3);
+    std::vector<EdgeIndex> degree(plan.memberCount, 0);
+    for (std::uint32_t owner : plan.ownerOfEdge)
+        ++degree[owner];
+    for (auto [from, to] : plan.internalEdges) {
+        (void)to;
+        ++degree[from];
+    }
+    unsigned residual = 0;
+    for (std::uint32_t m = 1; m < plan.memberCount; ++m)
+        if (degree[m] < 3)
+            ++residual;
+    EXPECT_GE(residual, 1u);
+}
+
+TEST(Properties, MakeTransformRoundTrip)
+{
+    for (Topology t : {Topology::Clique, Topology::Circular,
+                       Topology::Star, Topology::Udt}) {
+        auto transform = makeTransform(t);
+        ASSERT_NE(transform, nullptr);
+        EXPECT_EQ(transform->name(), topologyName(t));
+    }
+}
+
+} // namespace
+} // namespace tigr::transform

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests of the virtual split transformation: virtual node array
+ * construction (Figure 10), edge-array coalescing assignment
+ * (Figure 12), on-the-fly mapping reasoning, and space accounting.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "transform/virtual_graph.hpp"
+
+namespace tigr::transform {
+namespace {
+
+graph::Csr
+testGraph(std::uint64_t seed)
+{
+    return graph::GraphBuilder().build(
+        graph::rmat({.nodes = 256, .edges = 4000, .seed = seed}));
+}
+
+class LayoutSweep : public ::testing::TestWithParam<EdgeLayout>
+{
+};
+
+TEST_P(LayoutSweep, VirtualNodeCountMatchesFormula)
+{
+    graph::Csr g = testGraph(1);
+    VirtualGraph vg(g, 8, GetParam());
+    std::size_t expected = 0;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        EdgeIndex d = g.degree(v);
+        expected += d == 0 ? 1 : (d + 7) / 8;
+    }
+    EXPECT_EQ(vg.numVirtualNodes(), expected);
+}
+
+TEST_P(LayoutSweep, EveryEdgeSlotOwnedExactlyOnce)
+{
+    graph::Csr g = testGraph(2);
+    VirtualGraph vg(g, 8, GetParam());
+    std::vector<unsigned> owned(g.numEdges(), 0);
+    for (const VirtualNode &node : vg.virtualNodes()) {
+        for (std::uint32_t j = 0; j < node.count; ++j) {
+            EdgeIndex slot = node.start + node.stride * j;
+            ASSERT_LT(slot, g.numEdges());
+            // Slot must belong to the virtual node's physical segment.
+            EXPECT_GE(slot, g.edgeBegin(node.physicalId));
+            EXPECT_LT(slot, g.edgeEnd(node.physicalId));
+            ++owned[slot];
+        }
+    }
+    for (EdgeIndex e = 0; e < g.numEdges(); ++e)
+        EXPECT_EQ(owned[e], 1u) << "slot " << e;
+}
+
+TEST_P(LayoutSweep, NoVirtualNodeExceedsDegreeBound)
+{
+    graph::Csr g = testGraph(3);
+    VirtualGraph vg(g, 10, GetParam());
+    for (const VirtualNode &node : vg.virtualNodes())
+        EXPECT_LE(node.count, 10u);
+}
+
+TEST_P(LayoutSweep, PhysicalGraphUntouched)
+{
+    graph::Csr g = testGraph(4);
+    graph::Csr copy = g;
+    VirtualGraph vg(g, 4, GetParam());
+    EXPECT_EQ(g, copy);
+    EXPECT_EQ(&vg.physical(), &g);
+}
+
+TEST_P(LayoutSweep, ZeroDegreeNodesGetOneEmptyVirtualNode)
+{
+    graph::CooEdges coo(5);
+    coo.add(0, 1);
+    graph::Csr g = graph::Csr::fromCoo(coo);
+    VirtualGraph vg(g, 4, GetParam());
+    EXPECT_EQ(vg.numVirtualNodes(), 5u);
+    unsigned empty = 0;
+    for (const VirtualNode &node : vg.virtualNodes())
+        if (node.count == 0)
+            ++empty;
+    EXPECT_EQ(empty, 4u);
+}
+
+TEST_P(LayoutSweep, VirtualNodesOrderedByPhysicalId)
+{
+    // Families occupy consecutive virtual ids — this is what lets warps
+    // schedule whole families together (Section 4.4).
+    graph::Csr g = testGraph(5);
+    VirtualGraph vg(g, 8, GetParam());
+    NodeId prev = 0;
+    for (const VirtualNode &node : vg.virtualNodes()) {
+        EXPECT_GE(node.physicalId, prev);
+        prev = node.physicalId;
+    }
+}
+
+TEST_P(LayoutSweep, StreamingMapperMatchesStoredArray)
+{
+    graph::Csr g = testGraph(6);
+    VirtualGraph vg(g, 6, GetParam());
+    std::vector<VirtualNode> streamed;
+    forEachVirtualNode(g, 6, GetParam(),
+                       [&](const VirtualNode &node) {
+                           streamed.push_back(node);
+                       });
+    ASSERT_EQ(streamed.size(), vg.numVirtualNodes());
+    for (std::size_t i = 0; i < streamed.size(); ++i) {
+        EXPECT_EQ(streamed[i].physicalId, vg.virtualNode(i).physicalId);
+        EXPECT_EQ(streamed[i].start, vg.virtualNode(i).start);
+        EXPECT_EQ(streamed[i].stride, vg.virtualNode(i).stride);
+        EXPECT_EQ(streamed[i].count, vg.virtualNode(i).count);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothLayouts, LayoutSweep,
+    ::testing::Values(EdgeLayout::Consecutive, EdgeLayout::Coalesced),
+    [](const auto &info) {
+        return info.param == EdgeLayout::Consecutive ? "consecutive"
+                                                     : "coalesced";
+    });
+
+TEST(VirtualGraphFigure10, ConsecutiveAssignment)
+{
+    // Figure 10: node v2 with 6 edges under K=3 becomes two virtual
+    // nodes owning edge slots {0,1,2} and {3,4,5} of its segment.
+    graph::CooEdges coo(3);
+    for (int i = 0; i < 6; ++i)
+        coo.add(0, 1);
+    graph::Csr g = graph::Csr::fromCoo(coo);
+    VirtualGraph vg(g, 3, EdgeLayout::Consecutive);
+    // Node 0 -> 2 virtual nodes; nodes 1, 2 -> one empty each.
+    ASSERT_EQ(vg.numVirtualNodes(), 4u);
+    EXPECT_EQ(vg.virtualNode(0).start, 0u);
+    EXPECT_EQ(vg.virtualNode(0).stride, 1u);
+    EXPECT_EQ(vg.virtualNode(0).count, 3u);
+    EXPECT_EQ(vg.virtualNode(1).start, 3u);
+    EXPECT_EQ(vg.virtualNode(1).count, 3u);
+}
+
+TEST(VirtualGraphFigure12, CoalescedAssignment)
+{
+    // Figure 12: the second virtual node of a 6-edge family (K=3) gets
+    // slots 1, 3, 5 — offset 1, stride 2.
+    graph::CooEdges coo(3);
+    for (int i = 0; i < 6; ++i)
+        coo.add(0, 1);
+    graph::Csr g = graph::Csr::fromCoo(coo);
+    VirtualGraph vg(g, 3, EdgeLayout::Coalesced);
+    EXPECT_EQ(vg.virtualNode(0).start, 0u);
+    EXPECT_EQ(vg.virtualNode(0).stride, 2u);
+    EXPECT_EQ(vg.virtualNode(0).count, 3u);
+    EXPECT_EQ(vg.virtualNode(1).start, 1u);
+    EXPECT_EQ(vg.virtualNode(1).stride, 2u);
+    EXPECT_EQ(vg.virtualNode(1).count, 3u);
+}
+
+TEST(VirtualGraphFigure12, UnevenFamilyCounts)
+{
+    // 7 edges, K=3 -> family of 3 virtual nodes with counts 3, 2, 2
+    // under the coalesced layout (slots 0/3/6, 1/4, 2/5).
+    graph::CooEdges coo(2);
+    for (int i = 0; i < 7; ++i)
+        coo.add(0, 1);
+    graph::Csr g = graph::Csr::fromCoo(coo);
+    VirtualGraph vg(g, 3, EdgeLayout::Coalesced);
+    EXPECT_EQ(vg.virtualNode(0).count, 3u);
+    EXPECT_EQ(vg.virtualNode(1).count, 2u);
+    EXPECT_EQ(vg.virtualNode(2).count, 2u);
+    EXPECT_EQ(vg.virtualNode(2).start, 2u);
+    EXPECT_EQ(vg.virtualNode(2).stride, 3u);
+}
+
+TEST(VirtualGraphParallel, AnyThreadCountBuildsIdenticalArray)
+{
+    graph::Csr g = testGraph(9);
+    for (auto layout : {EdgeLayout::Consecutive, EdgeLayout::Coalesced}) {
+        VirtualGraph serial(g, 7, layout, 1);
+        for (unsigned threads : {2u, 4u, 8u}) {
+            VirtualGraph parallel(g, 7, layout, threads);
+            ASSERT_EQ(parallel.numVirtualNodes(),
+                      serial.numVirtualNodes());
+            for (NodeId i = 0; i < serial.numVirtualNodes(); ++i) {
+                EXPECT_EQ(parallel.virtualNode(i).physicalId,
+                          serial.virtualNode(i).physicalId);
+                EXPECT_EQ(parallel.virtualNode(i).start,
+                          serial.virtualNode(i).start);
+                EXPECT_EQ(parallel.virtualNode(i).stride,
+                          serial.virtualNode(i).stride);
+                EXPECT_EQ(parallel.virtualNode(i).count,
+                          serial.virtualNode(i).count);
+            }
+        }
+    }
+}
+
+TEST(VirtualGraphSpace, OverheadShrinksWithK)
+{
+    graph::Csr g = testGraph(7);
+    double prev_ratio = 10.0;
+    for (NodeId k : {4u, 8u, 16u, 32u, 100u}) {
+        VirtualGraph vg(g, k);
+        double ratio = static_cast<double>(vg.paperBytes()) /
+                       static_cast<double>(
+                           VirtualGraph::paperBytesOriginal(g));
+        EXPECT_GT(ratio, 1.0);
+        EXPECT_LT(ratio, prev_ratio);
+        prev_ratio = ratio;
+    }
+}
+
+TEST(VirtualGraphSpace, Table6BallparkAtK8)
+{
+    // The paper reports ~125% total size at K=8 on power-law graphs.
+    graph::Csr g = testGraph(8);
+    VirtualGraph vg(g, 8);
+    double ratio = static_cast<double>(vg.paperBytes()) /
+                   static_cast<double>(VirtualGraph::paperBytesOriginal(g));
+    EXPECT_GT(ratio, 1.05);
+    EXPECT_LT(ratio, 1.6);
+}
+
+} // namespace
+} // namespace tigr::transform

@@ -1,0 +1,382 @@
+#include "cli.hpp"
+
+#include <filesystem>
+#include <set>
+#include <stdexcept>
+
+#include "engine/graph_engine.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/datasets.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "graph/validate.hpp"
+#include "transform/basic_topologies.hpp"
+#include "transform/udt.hpp"
+
+namespace tigr::cli {
+
+namespace {
+
+std::string
+extensionOf(const std::string &path)
+{
+    return std::filesystem::path(path).extension().string();
+}
+
+/** Pick the split transformation named by --topology. */
+std::unique_ptr<transform::SplitTransform>
+makeTopology(const std::string &name)
+{
+    if (name == "udt")
+        return std::make_unique<transform::UdtTransform>();
+    if (name == "star")
+        return std::make_unique<transform::StarTransform>();
+    if (name == "rstar")
+        return std::make_unique<transform::RecursiveStarTransform>();
+    if (name == "cliq")
+        return std::make_unique<transform::CliqueTransform>();
+    if (name == "circ")
+        return std::make_unique<transform::CircularTransform>();
+    throw std::runtime_error("tigr: unknown topology '" + name +
+                             "' (udt|star|rstar|cliq|circ)");
+}
+
+int
+cmdStats(const CommandLine &cmd, std::ostream &out)
+{
+    if (cmd.positional.empty())
+        throw std::runtime_error("tigr stats: missing graph file");
+    graph::Csr g = loadGraphFile(cmd.positional[0]);
+    graph::DegreeStats s = graph::degreeStats(g);
+    out << "nodes:            " << s.numNodes << "\n"
+        << "edges:            " << s.numEdges << "\n"
+        << "degree mean:      " << s.meanDegree << "\n"
+        << "degree median:    " << s.medianDegree << "\n"
+        << "degree p90/p99:   " << s.p90Degree << " / " << s.p99Degree
+        << "\n"
+        << "degree max:       " << s.maxDegree << "\n"
+        << "gini:             " << s.gini << "\n"
+        << "nodes < deg 20:   " << 100.0 * s.fractionBelow20 << "%\n"
+        << "power-law alpha:  " << graph::powerLawExponent(g) << "\n"
+        << "pseudo-diameter:  " << graph::estimateDiameter(g) << "\n"
+        << "warp-32 waste:    "
+        << 100.0 * graph::warpLoadImbalance(g) << "%\n"
+        << "suggested K(udt): " << graph::chooseUdtK(s.maxDegree)
+        << "\n";
+    return 0;
+}
+
+int
+cmdGenerate(const CommandLine &cmd, std::ostream &out)
+{
+    const std::string type =
+        cmd.option("type").value_or("rmat");
+    const auto nodes =
+        static_cast<NodeId>(cmd.optionU64("nodes", 1024));
+    const auto edges = cmd.optionU64("edges", nodes * 16ULL);
+    const auto seed = cmd.optionU64("seed", 1);
+    const auto output = cmd.option("out");
+    if (!output)
+        throw std::runtime_error("tigr generate: missing --out file");
+
+    graph::CooEdges coo;
+    if (type == "rmat") {
+        coo = graph::rmat({.nodes = nodes, .edges = edges,
+                           .seed = seed});
+    } else if (type == "ba") {
+        coo = graph::barabasiAlbert(
+            nodes,
+            static_cast<unsigned>(cmd.optionU64("attach", 4)), seed);
+    } else if (type == "er") {
+        coo = graph::erdosRenyi(nodes, edges, seed);
+    } else if (type == "ws") {
+        coo = graph::wattsStrogatz(
+            nodes, static_cast<unsigned>(cmd.optionU64("k", 2)), 0.2,
+            seed);
+    } else {
+        throw std::runtime_error("tigr generate: unknown --type '" +
+                                 type + "' (rmat|ba|er|ws)");
+    }
+
+    graph::BuildOptions build;
+    build.randomizeWeights = cmd.has("weighted");
+    build.weightSeed = seed * 77 + 1;
+    graph::Csr g = graph::GraphBuilder(build).build(std::move(coo));
+    saveGraphFile(g, *output);
+    out << "generated " << type << " graph: " << g.numNodes()
+        << " nodes, " << g.numEdges() << " edges -> " << *output
+        << "\n";
+    return 0;
+}
+
+int
+cmdTransform(const CommandLine &cmd, std::ostream &out)
+{
+    if (cmd.positional.empty())
+        throw std::runtime_error("tigr transform: missing graph file");
+    const auto output = cmd.option("out");
+    if (!output)
+        throw std::runtime_error("tigr transform: missing --out file");
+
+    graph::Csr g = loadGraphFile(cmd.positional[0]);
+    auto topology =
+        makeTopology(cmd.option("topology").value_or("udt"));
+
+    transform::SplitOptions split;
+    split.degreeBound = static_cast<NodeId>(cmd.optionU64(
+        "k", graph::chooseUdtK(g.maxOutDegree())));
+    const std::string dumb = cmd.option("dumb").value_or("zero");
+    if (dumb == "zero")
+        split.weightPolicy = transform::DumbWeightPolicy::Zero;
+    else if (dumb == "inf")
+        split.weightPolicy = transform::DumbWeightPolicy::Infinity;
+    else if (dumb == "one")
+        split.weightPolicy = transform::DumbWeightPolicy::One;
+    else
+        throw std::runtime_error(
+            "tigr transform: unknown --dumb policy (zero|inf|one)");
+
+    auto result = topology->apply(g, split);
+    saveGraphFile(result.graph, *output);
+    out << "topology:        " << topology->name() << "\n"
+        << "degree bound K:  " << split.degreeBound << "\n"
+        << "high-deg nodes:  " << result.stats.highDegreeNodes << "\n"
+        << "new nodes:       " << result.stats.newNodes << "\n"
+        << "new edges:       " << result.stats.newEdges << "\n"
+        << "max degree:      " << result.stats.maxDegreeBefore
+        << " -> " << result.stats.maxDegreeAfter << "\n"
+        << "written to:      " << *output << "\n";
+    return 0;
+}
+
+int
+cmdRun(const CommandLine &cmd, std::ostream &out)
+{
+    if (cmd.positional.empty())
+        throw std::runtime_error("tigr run: missing graph file");
+    graph::Csr g = loadGraphFile(cmd.positional[0]);
+
+    engine::EngineOptions options;
+    const std::string strategy_name =
+        cmd.option("strategy").value_or("tigr-v+");
+    auto strategy = engine::parseStrategy(strategy_name);
+    if (!strategy)
+        throw std::runtime_error("tigr run: unknown --strategy '" +
+                                 strategy_name + "'");
+    options.strategy = *strategy;
+    options.degreeBound =
+        static_cast<NodeId>(cmd.optionU64("k", 10));
+    if (cmd.has("pull"))
+        options.direction = engine::Direction::Pull;
+    if (cmd.has("dynamic"))
+        options.dynamicMapping = true;
+    if (cmd.has("no-worklist"))
+        options.worklist = false;
+
+    const auto source =
+        static_cast<NodeId>(cmd.optionU64("source", 0));
+    if (source >= g.numNodes())
+        throw std::runtime_error("tigr run: --source out of range");
+
+    engine::GraphEngine engine(g, options);
+    const std::string algo = cmd.option("algo").value_or("sssp");
+
+    engine::RunInfo info;
+    std::string summary;
+    if (algo == "bfs") {
+        auto r = engine.bfs(source);
+        info = r.info;
+        std::size_t reached = 0;
+        Dist far = 0;
+        for (Dist d : r.values) {
+            if (d != kInfDist) {
+                ++reached;
+                far = std::max(far, d);
+            }
+        }
+        summary = "reached " + std::to_string(reached) +
+                  " nodes, max depth " + std::to_string(far);
+    } else if (algo == "sssp") {
+        auto r = engine.sssp(source);
+        info = r.info;
+        std::size_t reached = 0;
+        for (Dist d : r.values)
+            reached += d != kInfDist;
+        summary = "reached " + std::to_string(reached) + " nodes";
+    } else if (algo == "sswp") {
+        auto r = engine.sswp(source);
+        info = r.info;
+        std::size_t reached = 0;
+        for (Weight w : r.values)
+            reached += w != 0;
+        summary = "reached " + std::to_string(reached) + " nodes";
+    } else if (algo == "cc") {
+        auto r = engine.cc();
+        info = r.info;
+        std::set<NodeId> labels(r.values.begin(), r.values.end());
+        summary = std::to_string(labels.size()) + " components";
+    } else if (algo == "pr") {
+        auto r = engine.pagerank(
+            {.damping = 0.85,
+             .iterations =
+                 static_cast<unsigned>(cmd.optionU64("iters", 20))});
+        info = r.info;
+        NodeId best = 0;
+        for (NodeId v = 0; v < g.numNodes(); ++v)
+            if (r.values[v] > r.values[best])
+                best = v;
+        summary = "top node " + std::to_string(best);
+    } else if (algo == "bc") {
+        const NodeId sources[] = {source};
+        auto r = engine.bc(sources);
+        info = r.info;
+        NodeId best = 0;
+        for (NodeId v = 0; v < g.numNodes(); ++v)
+            if (r.values[v] > r.values[best])
+                best = v;
+        summary = "top broker " + std::to_string(best);
+    } else {
+        throw std::runtime_error("tigr run: unknown --algo '" + algo +
+                                 "' (bfs|sssp|sswp|cc|pr|bc)");
+    }
+
+    out << "algo:            " << algo << "\n"
+        << "strategy:        " << engine::strategyName(options.strategy)
+        << (options.dynamicMapping ? " (dynamic mapping)" : "")
+        << (options.direction == engine::Direction::Pull ? " (pull)"
+                                                         : "")
+        << "\n"
+        << "result:          " << summary << "\n"
+        << "iterations:      " << info.iterations << "\n"
+        << "simulated ms:    " << info.simulatedMs() << "\n"
+        << "warp efficiency: "
+        << 100.0 * info.stats.warpEfficiency() << "%\n"
+        << "SM imbalance:    " << 100.0 * info.stats.smImbalance()
+        << "%\n"
+        << "transform ms:    " << info.transformMs << "\n";
+    return 0;
+}
+
+} // namespace
+
+std::optional<std::string>
+CommandLine::option(const std::string &key) const
+{
+    auto it = options.find(key);
+    if (it == options.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::uint64_t
+CommandLine::optionU64(const std::string &key,
+                       std::uint64_t fallback) const
+{
+    auto value = option(key);
+    if (!value)
+        return fallback;
+    return std::stoull(*value);
+}
+
+bool
+CommandLine::has(const std::string &key) const
+{
+    return options.count(key) > 0;
+}
+
+CommandLine
+parse(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        throw std::invalid_argument("tigr: missing command");
+    CommandLine cmd;
+    cmd.command = args[0];
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg.rfind("--", 0) == 0) {
+            std::string key = arg.substr(2);
+            if (i + 1 < args.size() &&
+                args[i + 1].rfind("--", 0) != 0) {
+                cmd.options[key] = args[++i];
+            } else {
+                cmd.options[key] = "";
+            }
+        } else {
+            cmd.positional.push_back(arg);
+        }
+    }
+    return cmd;
+}
+
+graph::Csr
+loadGraphFile(const std::string &path)
+{
+    const std::string ext = extensionOf(path);
+    graph::Csr g;
+    if (ext == ".csr") {
+        g = graph::loadCsrBinaryFile(path);
+    } else if (ext == ".mtx") {
+        g = graph::Csr::fromCoo(graph::loadMatrixMarketFile(path));
+    } else if (ext == ".el" || ext == ".txt" || ext == ".snap") {
+        g = graph::Csr::fromCoo(graph::loadEdgeListFile(path));
+    } else {
+        throw std::runtime_error(
+            "tigr: unknown graph extension '" + ext +
+            "' (.el/.txt/.snap/.mtx/.csr)");
+    }
+    if (auto error = graph::validateCsr(g))
+        throw std::runtime_error("tigr: invalid graph: " + *error);
+    return g;
+}
+
+void
+saveGraphFile(const graph::Csr &graph, const std::string &path)
+{
+    const std::string ext = extensionOf(path);
+    if (ext == ".csr") {
+        graph::saveCsrBinaryFile(graph, path);
+    } else if (ext == ".el" || ext == ".txt" || ext == ".snap") {
+        graph::saveEdgeListFile(graph.toCoo(), path);
+    } else {
+        throw std::runtime_error("tigr: cannot write extension '" +
+                                 ext + "' (.el/.txt/.snap/.csr)");
+    }
+}
+
+std::string
+usage()
+{
+    return "usage:\n"
+           "  tigr stats <graph>\n"
+           "  tigr generate --type rmat|ba|er|ws --nodes N "
+           "[--edges M] [--seed S] [--weighted] --out FILE\n"
+           "  tigr transform <graph> --out FILE [--k N] "
+           "[--topology udt|star|rstar|cliq|circ] "
+           "[--dumb zero|inf|one]\n"
+           "  tigr run <graph> [--algo bfs|sssp|sswp|cc|pr|bc] "
+           "[--strategy baseline|tigr-udt|tigr-v|tigr-v+|mw|cusha|"
+           "gunrock] [--source N] [--k N] [--pull] [--dynamic] "
+           "[--no-worklist]\n";
+}
+
+int
+runCommand(const CommandLine &cmd, std::ostream &out)
+{
+    if (cmd.command == "stats")
+        return cmdStats(cmd, out);
+    if (cmd.command == "generate")
+        return cmdGenerate(cmd, out);
+    if (cmd.command == "transform")
+        return cmdTransform(cmd, out);
+    if (cmd.command == "run")
+        return cmdRun(cmd, out);
+    if (cmd.command == "help") {
+        out << usage();
+        return 0;
+    }
+    throw std::runtime_error("tigr: unknown command '" + cmd.command +
+                             "'\n" + usage());
+}
+
+} // namespace tigr::cli

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The `tigr` command-line tool's argument model and command
+ * implementations, factored into a library so tests can drive them
+ * directly.
+ *
+ * Commands:
+ *   tigr stats <graph>                     degree/irregularity report
+ *   tigr generate --type T --nodes N ...   synthesize a graph file
+ *   tigr transform <graph> --out F ...     physical split transform
+ *   tigr run <graph> --algo A ...          run an analysis
+ *
+ * Graph files are recognized by extension: .el/.txt/.snap (edge list),
+ * .mtx (Matrix Market), .csr (Tigr binary).
+ */
+#pragma once
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace tigr::cli {
+
+/** A parsed command line: the subcommand, its positional arguments,
+ *  and --key value / --flag options. */
+struct CommandLine
+{
+    std::string command;                        ///< First argument.
+    std::vector<std::string> positional;        ///< Non-flag arguments.
+    std::map<std::string, std::string> options; ///< --key [value].
+
+    /** The value of --@p key, or std::nullopt. */
+    std::optional<std::string> option(const std::string &key) const;
+
+    /** The value of --@p key parsed as uint64, or @p fallback. */
+    std::uint64_t optionU64(const std::string &key,
+                            std::uint64_t fallback) const;
+
+    /** True when --@p key was given (with or without a value). */
+    bool has(const std::string &key) const;
+};
+
+/**
+ * Parse argv (excluding the program name). Flags start with "--"; a
+ * flag consumes the following token as its value unless that token is
+ * itself a flag or absent.
+ * @throws std::invalid_argument on an empty command line.
+ */
+CommandLine parse(const std::vector<std::string> &args);
+
+/** Load a graph file, dispatching on its extension.
+ *  @throws std::runtime_error on unknown extensions or bad content. */
+graph::Csr loadGraphFile(const std::string &path);
+
+/** Save @p graph to @p path, dispatching on its extension. */
+void saveGraphFile(const graph::Csr &graph, const std::string &path);
+
+/**
+ * Execute a parsed command, writing human-readable output to @p out.
+ * @return process exit code (0 = success).
+ */
+int runCommand(const CommandLine &cmd, std::ostream &out);
+
+/** Usage text for `tigr help` and errors. */
+std::string usage();
+
+} // namespace tigr::cli

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Entry point of the `tigr` command-line tool. All logic lives in
+ * cli.cpp so tests can drive it without spawning processes.
+ */
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli.hpp"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    try {
+        if (args.empty()) {
+            std::cout << tigr::cli::usage();
+            return 2;
+        }
+        return tigr::cli::runCommand(tigr::cli::parse(args), std::cout);
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+}
