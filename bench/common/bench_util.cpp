@@ -9,6 +9,7 @@
 
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
+#include "par/thread_pool.hpp"
 
 namespace tigr::bench {
 
@@ -21,6 +22,17 @@ benchScale()
             return scale;
     }
     return 1.0;
+}
+
+unsigned
+benchMaxThreads()
+{
+    if (const char *env = std::getenv("TIGR_BENCH_THREADS")) {
+        long threads = std::atol(env);
+        if (threads >= 1 && threads <= 1024)
+            return static_cast<unsigned>(threads);
+    }
+    return std::min(8u, par::defaultThreads());
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> header)

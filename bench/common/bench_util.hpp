@@ -20,6 +20,10 @@ namespace tigr::bench {
  *  stand-in sizes of Table 3; smaller values smoke-test faster). */
 double benchScale();
 
+/** Largest host thread count the scaling benchmarks sweep to, from
+ *  $TIGR_BENCH_THREADS (default min(8, hardware concurrency)). */
+unsigned benchMaxThreads();
+
 /** Aligned plain-text table printer used by every bench binary. */
 class TablePrinter
 {

@@ -7,6 +7,7 @@
 
 #include "algorithms/semirings.hpp"
 #include "engine/dynamic_provider.hpp"
+#include "par/parallel_for.hpp"
 #include "graph/datasets.hpp"
 #include "transform/udt.hpp"
 
@@ -56,6 +57,9 @@ struct GraphEngine::Context
     Schedule schedule;
     /** Host time spent building this context. */
     double buildMs = 0.0;
+    /** Set once a later analysis reuses this context (the
+     *  RunInfo::transformCached satellite fix). */
+    bool reusedFromCache = false;
     /** Outdegrees of the original graph (pull contexts only). */
     std::vector<EdgeIndex> outdegrees;
 };
@@ -63,6 +67,9 @@ struct GraphEngine::Context
 GraphEngine::GraphEngine(const graph::Csr &graph, EngineOptions options)
     : graph_(graph), options_(options), sim_(options.gpu)
 {
+    const unsigned threads = par::resolveThreads(options_.threads);
+    if (threads > 1)
+        pool_ = std::make_unique<par::ThreadPool>(threads);
     if (options_.dynamicMapping &&
         !isVirtualStrategy(options_.strategy)) {
         throw std::invalid_argument(
@@ -84,8 +91,10 @@ GraphEngine::Context &
 GraphEngine::context(ContextKind kind)
 {
     auto it = contexts_.find(kind);
-    if (it != contexts_.end())
+    if (it != contexts_.end()) {
+        it->second->reusedFromCache = true;
         return *it->second;
+    }
 
     auto start = std::chrono::steady_clock::now();
     auto ctx = std::make_unique<Context>();
@@ -156,6 +165,7 @@ GraphEngine::context(ContextKind kind)
         split.weightPolicy = kind == ContextKind::WeightedInf
                                  ? transform::DumbWeightPolicy::Infinity
                                  : transform::DumbWeightPolicy::Zero;
+        split.pool = pool_.get();
         ctx->udt = transform::UdtTransform{}.apply(*base, split);
         ctx->scheduled = &ctx->udt->graph;
     }
@@ -166,7 +176,7 @@ GraphEngine::context(ContextKind kind)
         ctx->schedule =
             Schedule::build(*ctx->scheduled, options_.strategy,
                             options_.degreeBound,
-                            options_.mwVirtualWarp);
+                            options_.mwVirtualWarp, pool_.get());
     }
     ctx->buildMs = elapsedMs(start);
 
@@ -182,6 +192,7 @@ GraphEngine::pushOptions() const
     push.worklist = options_.worklist;
     push.syncRelaxation = options_.syncRelaxation;
     push.maxIterations = options_.maxIterations;
+    push.pool = pool_.get();
     return push;
 }
 
@@ -215,6 +226,7 @@ GraphEngine::fillRunInfo(RunInfo &info, const Context &ctx,
                          Algorithm algorithm) const
 {
     info.transformMs = ctx.buildMs;
+    info.transformCached = ctx.reusedFromCache;
     // Dynamic mapping stores no virtual node array: that memory simply
     // never exists on the device.
     const std::uint64_t virtual_nodes =
@@ -226,6 +238,7 @@ GraphEngine::fillRunInfo(RunInfo &info, const Context &ctx,
 DistancesResult
 GraphEngine::sssp(NodeId source)
 {
+    const auto host_start = std::chrono::steady_clock::now();
     Context &ctx = context(options_.direction == Direction::Pull
                                ? ContextKind::PullReversed
                                : ContextKind::WeightedZero);
@@ -240,12 +253,14 @@ GraphEngine::sssp(NodeId source)
     result.info.converged = outcome.converged;
     result.info.stats = outcome.stats;
     fillRunInfo(result.info, ctx, Algorithm::Sssp);
+    result.info.hostMs = elapsedMs(host_start);
     return result;
 }
 
 DistancesResult
 GraphEngine::bfs(NodeId source)
 {
+    const auto host_start = std::chrono::steady_clock::now();
     Context &ctx = context(options_.direction == Direction::Pull
                                ? ContextKind::PullReversedUnit
                                : ContextKind::UnitZero);
@@ -260,12 +275,14 @@ GraphEngine::bfs(NodeId source)
     result.info.converged = outcome.converged;
     result.info.stats = outcome.stats;
     fillRunInfo(result.info, ctx, Algorithm::Bfs);
+    result.info.hostMs = elapsedMs(host_start);
     return result;
 }
 
 WidthsResult
 GraphEngine::sswp(NodeId source)
 {
+    const auto host_start = std::chrono::steady_clock::now();
     Context &ctx = context(options_.direction == Direction::Pull
                                ? ContextKind::PullReversed
                                : ContextKind::WeightedInf);
@@ -280,12 +297,14 @@ GraphEngine::sswp(NodeId source)
     result.info.converged = outcome.converged;
     result.info.stats = outcome.stats;
     fillRunInfo(result.info, ctx, Algorithm::Sswp);
+    result.info.hostMs = elapsedMs(host_start);
     return result;
 }
 
 LabelsResult
 GraphEngine::cc()
 {
+    const auto host_start = std::chrono::steady_clock::now();
     Context &ctx = context(options_.direction == Direction::Pull
                                ? ContextKind::PullReversed
                                : ContextKind::WeightedZero);
@@ -303,6 +322,7 @@ GraphEngine::cc()
     result.info.converged = outcome.converged;
     result.info.stats = outcome.stats;
     fillRunInfo(result.info, ctx, Algorithm::Cc);
+    result.info.hostMs = elapsedMs(host_start);
     return result;
 }
 
@@ -372,6 +392,7 @@ collectUnitsOf(const Schedule &schedule, const graph::Csr &scheduled,
 RanksResult
 GraphEngine::pagerankPush(const PageRankOptions &pr_options)
 {
+    const auto host_start = std::chrono::steady_clock::now();
     Context &ctx = context(ContextKind::WeightedZero);
     const graph::Csr &g = *ctx.scheduled;
     const NodeId n = graph_.numNodes();
@@ -387,22 +408,44 @@ GraphEngine::pagerankPush(const PageRankOptions &pr_options)
     const std::vector<WorkUnit> units =
         collectAllUnits(ctx.schedule, g, options_);
 
+    // Per-chunk add logs: the semantic pass records every (target,
+    // share) contribution instead of accumulating into shared ranks,
+    // and the serial chunk-order replay below then performs the exact
+    // same float additions in the exact same order as a sequential
+    // unit-order sweep — ranks are bit-identical at any thread count.
+    std::vector<std::vector<std::pair<NodeId, Rank>>> chunk_adds(
+        par::chunkCount(units.size(), par::kDefaultGrain));
+
     for (unsigned iter = 0; iter < pr_options.iterations; ++iter) {
         std::fill(next.begin(), next.end(), base);
-        result.info.stats += sim_.launch(
-            units.size(), [&](std::uint64_t tid) {
-                const WorkUnit &unit = units[tid];
-                const EdgeIndex d = graph_.degree(unit.valueNode);
-                const Rank share =
-                    d == 0 ? 0.0
-                           : pr_options.damping *
-                                 result.values[unit.valueNode] /
-                                 static_cast<Rank>(d);
-                for (std::uint32_t j = 0; j < unit.count; ++j) {
-                    const EdgeIndex e = unit.start +
-                        static_cast<EdgeIndex>(unit.stride) * j;
-                    next[g.edgeTarget(e)] += share;
+        par::forEachChunk(
+            pool_.get(), units.size(), par::kDefaultGrain,
+            [&](std::uint64_t chunk, std::uint64_t begin,
+                std::uint64_t end, unsigned) {
+                auto &adds = chunk_adds[chunk];
+                adds.clear();
+                for (std::uint64_t tid = begin; tid < end; ++tid) {
+                    const WorkUnit &unit = units[tid];
+                    const EdgeIndex d = graph_.degree(unit.valueNode);
+                    const Rank share =
+                        d == 0 ? 0.0
+                               : pr_options.damping *
+                                     result.values[unit.valueNode] /
+                                     static_cast<Rank>(d);
+                    for (std::uint32_t j = 0; j < unit.count; ++j) {
+                        const EdgeIndex e = unit.start +
+                            static_cast<EdgeIndex>(unit.stride) * j;
+                        adds.emplace_back(g.edgeTarget(e), share);
+                    }
                 }
+            });
+        for (const auto &adds : chunk_adds)
+            for (const auto &[target, share] : adds)
+                next[target] += share;
+        result.info.stats += sim_.launch(
+            units.size(),
+            [&](std::uint64_t tid) {
+                const WorkUnit &unit = units[tid];
                 sim::ThreadWork work;
                 work.instructions =
                     cost.threadOverhead + cost.perEdge * unit.count;
@@ -414,7 +457,8 @@ GraphEngine::pagerankPush(const PageRankOptions &pr_options)
                 // edge here.
                 work.scatterAccessesPerEdge = 1;
                 return work;
-            });
+            },
+            pool_.get());
         result.values.swap(next);
         ++result.info.iterations;
         // Optional early convergence: `next` now holds the previous
@@ -428,12 +472,14 @@ GraphEngine::pagerankPush(const PageRankOptions &pr_options)
         }
     }
     fillRunInfo(result.info, ctx, Algorithm::Pr);
+    result.info.hostMs = elapsedMs(host_start);
     return result;
 }
 
 RanksResult
 GraphEngine::pagerankPull(const PageRankOptions &pr_options)
 {
+    const auto host_start = std::chrono::steady_clock::now();
     Context &ctx = context(ContextKind::PullReversed);
     const graph::Csr &reversed = *ctx.scheduled;
     const NodeId n = graph_.numNodes();
@@ -454,21 +500,42 @@ GraphEngine::pagerankPull(const PageRankOptions &pr_options)
     const std::uint32_t scatter =
         options_.strategy == Strategy::Cusha ? 0 : 1;
 
+    // Per-chunk gather logs, replayed serially in chunk order: each
+    // unit's sum is accumulated locally in edge order (as in the
+    // serial sweep) and its single addition into the unit's own slot
+    // replays in unit order — bit-identical at any thread count.
+    std::vector<std::vector<std::pair<NodeId, Rank>>> chunk_adds(
+        par::chunkCount(units.size(), par::kDefaultGrain));
+
     for (unsigned iter = 0; iter < pr_options.iterations; ++iter) {
         std::fill(next.begin(), next.end(), base);
-        result.info.stats += sim_.launch(
-            units.size(), [&](std::uint64_t tid) {
-                const WorkUnit &unit = units[tid];
-                Rank sum = 0.0;
-                for (std::uint32_t j = 0; j < unit.count; ++j) {
-                    const EdgeIndex e = unit.start +
-                        static_cast<EdgeIndex>(unit.stride) * j;
-                    const NodeId u = reversed.edgeTarget(e);
-                    sum += result.values[u] /
-                           static_cast<Rank>(ctx.outdegrees[u]);
+        par::forEachChunk(
+            pool_.get(), units.size(), par::kDefaultGrain,
+            [&](std::uint64_t chunk, std::uint64_t begin,
+                std::uint64_t end, unsigned) {
+                auto &adds = chunk_adds[chunk];
+                adds.clear();
+                for (std::uint64_t tid = begin; tid < end; ++tid) {
+                    const WorkUnit &unit = units[tid];
+                    Rank sum = 0.0;
+                    for (std::uint32_t j = 0; j < unit.count; ++j) {
+                        const EdgeIndex e = unit.start +
+                            static_cast<EdgeIndex>(unit.stride) * j;
+                        const NodeId u = reversed.edgeTarget(e);
+                        sum += result.values[u] /
+                               static_cast<Rank>(ctx.outdegrees[u]);
+                    }
+                    adds.emplace_back(unit.valueNode,
+                                      pr_options.damping * sum);
                 }
-                next[unit.valueNode] += pr_options.damping * sum;
-
+            });
+        for (const auto &adds : chunk_adds)
+            for (const auto &[target, add] : adds)
+                next[target] += add;
+        result.info.stats += sim_.launch(
+            units.size(),
+            [&](std::uint64_t tid) {
+                const WorkUnit &unit = units[tid];
                 sim::ThreadWork work;
                 work.instructions =
                     cost.threadOverhead + cost.perEdge * unit.count;
@@ -477,7 +544,8 @@ GraphEngine::pagerankPull(const PageRankOptions &pr_options)
                 work.edgeStride = unit.stride;
                 work.scatterAccessesPerEdge = scatter;
                 return work;
-            });
+            },
+            pool_.get());
         result.values.swap(next);
         ++result.info.iterations;
         // Optional early convergence: `next` now holds the previous
@@ -491,12 +559,14 @@ GraphEngine::pagerankPull(const PageRankOptions &pr_options)
         }
     }
     fillRunInfo(result.info, ctx, Algorithm::Pr);
+    result.info.hostMs = elapsedMs(host_start);
     return result;
 }
 
 CentralityResult
 GraphEngine::bc(std::span<const NodeId> sources)
 {
+    const auto host_start = std::chrono::steady_clock::now();
     if (options_.strategy == Strategy::TigrUdt) {
         throw std::invalid_argument(
             "tigr: BC is unsupported under the physical UDT strategy "
@@ -581,12 +651,14 @@ GraphEngine::bc(std::span<const NodeId> sources)
                 result.values[v] += delta[v];
     }
     fillRunInfo(result.info, ctx, Algorithm::Bc);
+    result.info.hostMs = elapsedMs(host_start);
     return result;
 }
 
 TrianglesResult
 GraphEngine::triangles()
 {
+    const auto host_start = std::chrono::steady_clock::now();
     if (options_.strategy == Strategy::TigrUdt) {
         throw std::invalid_argument(
             "tigr: triangle counting is a neighborhood analysis and "
@@ -605,54 +677,83 @@ GraphEngine::triangles()
     const std::vector<WorkUnit> units =
         collectAllUnits(ctx.schedule, g, options_);
 
-    result.info.stats += sim_.launch(
-        units.size(), [&](std::uint64_t tid) {
-            const WorkUnit &unit = units[tid];
-            const NodeId u = unit.valueNode;
-            std::uint32_t intersect_steps = 0;
-            for (std::uint32_t j = 0; j < unit.count; ++j) {
-                const EdgeIndex e = unit.start +
-                    static_cast<EdgeIndex>(unit.stride) * j;
-                const NodeId v = g.edgeTarget(e);
-                if (v <= u)
-                    continue;
-                // Two-pointer intersection of u's and v's sorted
-                // rows, restricted to w > v so each triangle counts
-                // once at its smallest vertex ordering.
-                auto row_u = g.outNeighbors(u);
-                auto row_v = g.outNeighbors(v);
-                auto iu = std::lower_bound(row_u.begin(), row_u.end(),
-                                           v + 1);
-                auto iv = std::lower_bound(row_v.begin(), row_v.end(),
-                                           v + 1);
-                while (iu != row_u.end() && iv != row_v.end()) {
-                    ++intersect_steps;
-                    if (*iu < *iv) {
-                        ++iu;
-                    } else if (*iv < *iu) {
-                        ++iv;
-                    } else {
-                        ++result.total;
-                        ++result.perNode[u];
-                        ++result.perNode[v];
-                        ++result.perNode[*iu];
-                        ++iu;
-                        ++iv;
+    // Chunked counting pass: per-chunk triangle totals and per-node
+    // increment logs merge serially in chunk order (integer counters,
+    // so any order yields the serial result), and each unit's
+    // intersection step count lands in its private slot to keep the
+    // subsequent simulator launch pure.
+    const std::uint64_t num_chunks =
+        par::chunkCount(units.size(), par::kDefaultGrain);
+    std::vector<std::uint64_t> chunk_totals(num_chunks, 0);
+    std::vector<std::vector<NodeId>> chunk_incs(num_chunks);
+    std::vector<std::uint32_t> unit_steps(units.size(), 0);
+    par::forEachChunk(
+        pool_.get(), units.size(), par::kDefaultGrain,
+        [&](std::uint64_t chunk, std::uint64_t begin, std::uint64_t end,
+            unsigned) {
+            for (std::uint64_t tid = begin; tid < end; ++tid) {
+                const WorkUnit &unit = units[tid];
+                const NodeId u = unit.valueNode;
+                std::uint32_t intersect_steps = 0;
+                for (std::uint32_t j = 0; j < unit.count; ++j) {
+                    const EdgeIndex e = unit.start +
+                        static_cast<EdgeIndex>(unit.stride) * j;
+                    const NodeId v = g.edgeTarget(e);
+                    if (v <= u)
+                        continue;
+                    // Two-pointer intersection of u's and v's sorted
+                    // rows, restricted to w > v so each triangle counts
+                    // once at its smallest vertex ordering.
+                    auto row_u = g.outNeighbors(u);
+                    auto row_v = g.outNeighbors(v);
+                    auto iu = std::lower_bound(row_u.begin(),
+                                               row_u.end(), v + 1);
+                    auto iv = std::lower_bound(row_v.begin(),
+                                               row_v.end(), v + 1);
+                    while (iu != row_u.end() && iv != row_v.end()) {
+                        ++intersect_steps;
+                        if (*iu < *iv) {
+                            ++iu;
+                        } else if (*iv < *iu) {
+                            ++iv;
+                        } else {
+                            ++chunk_totals[chunk];
+                            auto &incs = chunk_incs[chunk];
+                            incs.push_back(u);
+                            incs.push_back(v);
+                            incs.push_back(*iu);
+                            ++iu;
+                            ++iv;
+                        }
                     }
                 }
+                unit_steps[tid] = intersect_steps;
             }
+        });
+    for (std::uint64_t chunk = 0; chunk < num_chunks; ++chunk) {
+        result.total += chunk_totals[chunk];
+        for (NodeId v : chunk_incs[chunk])
+            ++result.perNode[v];
+    }
+
+    result.info.stats += sim_.launch(
+        units.size(),
+        [&](std::uint64_t tid) {
+            const WorkUnit &unit = units[tid];
             sim::ThreadWork work;
             work.instructions = cost.threadOverhead +
                                 cost.perEdge * unit.count +
-                                2 * intersect_steps;
+                                2 * unit_steps[tid];
             work.edgeCount = unit.count;
             work.edgeStart = unit.start;
             work.edgeStride = unit.stride;
             work.scatterAccessesPerEdge = cost.scatterPerEdge;
             return work;
-        });
+        },
+        pool_.get());
     result.info.iterations = 1;
     fillRunInfo(result.info, ctx, Algorithm::Cc);
+    result.info.hostMs = elapsedMs(host_start);
     return result;
 }
 

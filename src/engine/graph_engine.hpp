@@ -21,6 +21,7 @@
 #include "engine/schedule.hpp"
 #include "engine/strategy.hpp"
 #include "graph/csr.hpp"
+#include "par/thread_pool.hpp"
 
 namespace tigr::engine {
 
@@ -35,8 +36,17 @@ struct RunInfo
     sim::KernelStats stats;
     /** Host milliseconds spent building the strategy's structures
      *  (UDT graph or virtual node array); 0 for the baseline. Cached
-     *  structures report their original build time. */
+     *  structures report their original build time — check
+     *  transformCached before charging it to a run. */
     double transformMs = 0.0;
+    /** True when this run reused structures built by an earlier run
+     *  (transformMs then repeats the original build cost and must not
+     *  be double-counted). */
+    bool transformCached = false;
+    /** Host wall-clock milliseconds of this analysis call: semantic
+     *  passes + simulation, plus the transform build when this call
+     *  was the one that triggered it (transformCached == false). */
+    double hostMs = 0.0;
     /** Modeled device-memory footprint (see modeledFootprintBytes). */
     std::size_t footprintBytes = 0;
 
@@ -135,6 +145,13 @@ class GraphEngine
     /** The options the engine was built with. */
     const EngineOptions &options() const { return options_; }
 
+    /** Host threads the engine actually runs with (after resolving
+     *  EngineOptions::threads through TIGR_THREADS / hardware). */
+    unsigned hostThreads() const
+    {
+        return pool_ ? pool_->threads() : 1;
+    }
+
     /**
      * Single-source shortest paths over the graph's edge weights.
      * Under TigrUdt the graph is physically transformed with zero dumb
@@ -227,6 +244,9 @@ class GraphEngine
     const graph::Csr &graph_;
     EngineOptions options_;
     sim::WarpSimulator sim_;
+    /** Host worker pool shared by every analysis; null when the engine
+     *  resolved to a single thread. */
+    std::unique_ptr<par::ThreadPool> pool_;
     std::map<ContextKind, std::unique_ptr<Context>> contexts_;
 };
 

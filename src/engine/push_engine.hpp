@@ -10,6 +10,22 @@
  * exact and deterministic; the WarpSimulator charges each launch's
  * warp occupancy, coalescing, and cycles (see DESIGN.md's substitution
  * note).
+ *
+ * Parallel execution model. Each iteration's unit list is cut into
+ * fixed chunks (grain units per chunk — the chunk structure depends
+ * only on the list, never on the thread count). The semantic pass runs
+ * chunks concurrently: sources are read from the iteration's frozen
+ * value array, candidate improvements accumulate in a per-worker
+ * overlay scoped to the current chunk, and each chunk emits its
+ * improvement list. A serial merge then folds the chunk lists into the
+ * global values *in ascending chunk order*. Because all shipped
+ * semirings reduce by an order-independent better()/min, the merged
+ * values, activation flags, and convergence decisions are bit-identical
+ * for every thread count — including the single-threaded run, which
+ * executes the very same chunked algorithm. Synchronization relaxation
+ * is therefore defined as *chunk-scoped* visibility: a unit sees
+ * updates made earlier within its own chunk (and all previous
+ * iterations), never concurrent chunks of the same iteration.
  */
 #pragma once
 
@@ -19,6 +35,7 @@
 #include <vector>
 
 #include "engine/schedule.hpp"
+#include "par/parallel_for.hpp"
 #include "sim/warp_simulator.hpp"
 
 namespace tigr::engine {
@@ -28,11 +45,16 @@ struct PushOptions
 {
     /** Process only active nodes each iteration (push only). */
     bool worklist = true;
-    /** Let updates from the current iteration be read within it
-     *  (synchronization relaxation); false = strict BSP. */
+    /** Let updates from earlier units of the same chunk be read within
+     *  the iteration (synchronization relaxation, chunk-scoped as
+     *  described in the file comment); false = strict BSP. */
     bool syncRelaxation = true;
     /** Iteration safety cap. */
     unsigned maxIterations = 100000;
+    /** Host thread pool for the per-iteration passes; null = run the
+     *  (identical) chunked algorithm on the calling thread. Results
+     *  never depend on the pool's size. */
+    par::ThreadPool *pool = nullptr;
 };
 
 /** Result of a push or pull run. */
@@ -64,6 +86,48 @@ describeUnit(const WorkUnit &unit, const CostModel &cost)
     return work;
 }
 
+/**
+ * Per-worker chunk-local value overlay: candidate values layered over
+ * the frozen global array, epoch-tagged so that starting a new chunk
+ * is O(1) and reset costs nothing.
+ */
+template <typename Value>
+struct ChunkOverlay
+{
+    std::vector<Value> value;
+    std::vector<std::uint64_t> epoch;
+    std::vector<NodeId> touched;
+    std::uint64_t current = 0;
+
+    void
+    ensure(NodeId n)
+    {
+        if (value.size() < n) {
+            value.resize(n);
+            epoch.resize(n, 0);
+        }
+    }
+
+    void
+    beginChunk()
+    {
+        ++current;
+        touched.clear();
+    }
+
+    bool has(NodeId v) const { return epoch[v] == current; }
+
+    void
+    set(NodeId v, const Value &candidate)
+    {
+        if (epoch[v] != current) {
+            epoch[v] = current;
+            touched.push_back(v);
+        }
+        value[v] = candidate;
+    }
+};
+
 } // namespace detail
 
 /**
@@ -91,6 +155,8 @@ runPush(const Provider &provider, sim::WarpSimulator &sim,
     const graph::Csr &graph = provider.graph();
     const NodeId n = provider.numValueNodes();
     const CostModel &cost = provider.cost();
+    par::ThreadPool *pool = options.pool;
+    const std::uint64_t grain = par::kDefaultGrain;
 
     PushOutcome<Semiring> outcome;
     outcome.values.assign(n, Semiring::identity);
@@ -104,23 +170,59 @@ runPush(const Provider &provider, sim::WarpSimulator &sim,
 
     const bool use_worklist =
         options.worklist && !provider.ignoresWorklist();
+    const bool relaxed = options.syncRelaxation;
 
     std::vector<WorkUnit> launch_units;
-    std::vector<Value> snapshot;
     std::vector<std::uint8_t> next_active(n, 0);
+
+    // Per-worker overlays and per-chunk improvement lists: the
+    // semantic pass never writes the global values, so they double as
+    // the iteration's frozen snapshot with no copy.
+    par::PerWorker<detail::ChunkOverlay<Value>> overlays(pool);
+    std::vector<std::vector<std::pair<NodeId, Value>>> chunk_updates;
+
+    // Worklist gather scratch (per node-range chunk).
+    std::vector<std::vector<WorkUnit>> gather_units;
+    std::vector<std::uint64_t> gather_active;
+
+    if (!use_worklist) {
+        provider.forEachUnit([&](const WorkUnit &unit) {
+            launch_units.push_back(unit);
+        });
+    }
 
     while (outcome.iterations < options.maxIterations) {
         // Gather this iteration's units.
-        launch_units.clear();
         std::uint64_t active_nodes = 0;
         if (use_worklist) {
-            for (NodeId v = 0; v < n; ++v) {
-                if (!active[v])
-                    continue;
-                ++active_nodes;
-                provider.forEachUnitOf(v, [&](const WorkUnit &unit) {
-                    launch_units.push_back(unit);
+            launch_units.clear();
+            const std::uint64_t node_chunks = par::chunkCount(n, grain);
+            gather_units.resize(node_chunks);
+            gather_active.assign(node_chunks, 0);
+            par::forEachChunk(
+                pool, n, grain,
+                [&](std::uint64_t chunk, std::uint64_t begin,
+                    std::uint64_t end, unsigned) {
+                    auto &units = gather_units[chunk];
+                    units.clear();
+                    std::uint64_t found = 0;
+                    for (std::uint64_t v = begin; v < end; ++v) {
+                        if (!active[v])
+                            continue;
+                        ++found;
+                        provider.forEachUnitOf(
+                            static_cast<NodeId>(v),
+                            [&](const WorkUnit &unit) {
+                                units.push_back(unit);
+                            });
+                    }
+                    gather_active[chunk] = found;
                 });
+            for (std::uint64_t chunk = 0; chunk < node_chunks; ++chunk) {
+                active_nodes += gather_active[chunk];
+                launch_units.insert(launch_units.end(),
+                                    gather_units[chunk].begin(),
+                                    gather_units[chunk].end());
             }
             if (launch_units.empty()) {
                 outcome.converged = true;
@@ -128,54 +230,86 @@ runPush(const Provider &provider, sim::WarpSimulator &sim,
             }
         } else {
             active_nodes = n;
-            provider.forEachUnit([&](const WorkUnit &unit) {
-                launch_units.push_back(unit);
-            });
         }
 
         ++outcome.iterations;
 
-        const std::vector<Value> *read_values = &outcome.values;
-        if (!options.syncRelaxation) {
-            snapshot = outcome.values;
-            read_values = &snapshot;
-        }
-
-        std::fill(next_active.begin(), next_active.end(), 0);
-        bool changed = false;
-
-        // Execute semantics and report each thread's shape to the
-        // simulator in a single pass.
-        outcome.stats += sim.launch(
-            launch_units.size(), [&](std::uint64_t tid) {
-                const WorkUnit &unit = launch_units[tid];
-                const Value source_value =
-                    (*read_values)[unit.valueNode];
-                for (std::uint32_t j = 0; j < unit.count; ++j) {
-                    const EdgeIndex e = unit.start +
-                        static_cast<EdgeIndex>(unit.stride) * j;
-                    const NodeId dst = graph.edgeTarget(e);
-                    const Value candidate = Semiring::extend(
-                        source_value, graph.edgeWeight(e));
-                    if (Semiring::better(candidate,
-                                         outcome.values[dst])) {
-                        outcome.values[dst] = candidate;
-                        next_active[dst] = 1;
-                        changed = true;
+        // Semantic pass: per chunk, compute candidate improvements
+        // against the frozen values (plus the chunk's own overlay when
+        // relaxation is on) and record them.
+        const std::uint64_t unit_chunks =
+            par::chunkCount(launch_units.size(), grain);
+        if (chunk_updates.size() < unit_chunks)
+            chunk_updates.resize(unit_chunks);
+        const std::vector<Value> &frozen = outcome.values;
+        par::forEachChunk(
+            pool, launch_units.size(), grain,
+            [&](std::uint64_t chunk, std::uint64_t begin,
+                std::uint64_t end, unsigned worker) {
+                auto &overlay = overlays[worker];
+                overlay.ensure(n);
+                overlay.beginChunk();
+                for (std::uint64_t i = begin; i < end; ++i) {
+                    const WorkUnit &unit = launch_units[i];
+                    const Value source_value =
+                        relaxed && overlay.has(unit.valueNode)
+                            ? overlay.value[unit.valueNode]
+                            : frozen[unit.valueNode];
+                    for (std::uint32_t j = 0; j < unit.count; ++j) {
+                        const EdgeIndex e = unit.start +
+                            static_cast<EdgeIndex>(unit.stride) * j;
+                        const NodeId dst = graph.edgeTarget(e);
+                        const Value candidate = Semiring::extend(
+                            source_value, graph.edgeWeight(e));
+                        const Value current = overlay.has(dst)
+                                                  ? overlay.value[dst]
+                                                  : frozen[dst];
+                        if (Semiring::better(candidate, current))
+                            overlay.set(dst, candidate);
                     }
                 }
-                return detail::describeUnit(unit, cost);
+                auto &updates = chunk_updates[chunk];
+                updates.clear();
+                updates.reserve(overlay.touched.size());
+                for (NodeId dst : overlay.touched)
+                    updates.emplace_back(dst, overlay.value[dst]);
             });
+
+        // Merge in ascending chunk order (serial; the order makes the
+        // result independent of which worker ran which chunk).
+        std::fill(next_active.begin(), next_active.end(), 0);
+        bool changed = false;
+        for (std::uint64_t chunk = 0; chunk < unit_chunks; ++chunk) {
+            for (const auto &[dst, value] : chunk_updates[chunk]) {
+                if (Semiring::better(value, outcome.values[dst])) {
+                    outcome.values[dst] = value;
+                    next_active[dst] = 1;
+                    changed = true;
+                }
+            }
+        }
+
+        // Charge the launch the semantic pass just executed. The
+        // descriptor is pure (unit shape + cost model only), so the
+        // simulation itself parallelizes over the same pool.
+        outcome.stats += sim.launch(
+            launch_units.size(),
+            [&](std::uint64_t tid) {
+                return detail::describeUnit(launch_units[tid], cost);
+            },
+            pool);
 
         // Model auxiliary per-iteration kernels (Gunrock's filter).
         for (std::uint32_t extra = 0;
              extra < cost.extraKernelsPerIteration; ++extra) {
             outcome.stats += sim.launch(
-                active_nodes, [](std::uint64_t) {
+                active_nodes,
+                [](std::uint64_t) {
                     sim::ThreadWork work;
                     work.instructions = 3;
                     return work;
-                });
+                },
+                pool);
         }
 
         if (!changed) {
@@ -201,7 +335,8 @@ runPush(const Provider &provider, sim::WarpSimulator &sim,
  *
  * Pull processes every node each iteration (no worklist), as in the
  * pull engines the paper discusses; syncRelaxation selects whether
- * gathers read values updated earlier in the same iteration.
+ * gathers read values updated earlier in the same chunk (the
+ * chunk-scoped relaxation described in the file comment).
  */
 template <typename Semiring, typename Provider>
 PushOutcome<Semiring>
@@ -214,6 +349,9 @@ runPull(const Provider &provider, sim::WarpSimulator &sim,
     const graph::Csr &reversed = provider.graph();
     const NodeId n = provider.numValueNodes();
     const CostModel &cost = provider.cost();
+    par::ThreadPool *pool = options.pool;
+    const std::uint64_t grain = par::kDefaultGrain;
+    const bool relaxed = options.syncRelaxation;
 
     PushOutcome<Semiring> outcome;
     outcome.values.assign(n, Semiring::identity);
@@ -225,36 +363,67 @@ runPull(const Provider &provider, sim::WarpSimulator &sim,
         launch_units.push_back(unit);
     });
 
-    std::vector<Value> snapshot;
+    const std::uint64_t unit_chunks =
+        par::chunkCount(launch_units.size(), grain);
+    par::PerWorker<detail::ChunkOverlay<Value>> overlays(pool);
+    std::vector<std::vector<std::pair<NodeId, Value>>> chunk_updates(
+        unit_chunks);
 
     while (outcome.iterations < options.maxIterations) {
         ++outcome.iterations;
 
-        const std::vector<Value> *read_values = &outcome.values;
-        if (!options.syncRelaxation) {
-            snapshot = outcome.values;
-            read_values = &snapshot;
-        }
-
-        bool changed = false;
-        outcome.stats += sim.launch(
-            launch_units.size(), [&](std::uint64_t tid) {
-                const WorkUnit &unit = launch_units[tid];
-                for (std::uint32_t j = 0; j < unit.count; ++j) {
-                    const EdgeIndex e = unit.start +
-                        static_cast<EdgeIndex>(unit.stride) * j;
-                    const NodeId src = reversed.edgeTarget(e);
-                    const Value candidate = Semiring::extend(
-                        (*read_values)[src], reversed.edgeWeight(e));
-                    if (Semiring::better(
-                            candidate,
-                            outcome.values[unit.valueNode])) {
-                        outcome.values[unit.valueNode] = candidate;
-                        changed = true;
+        const std::vector<Value> &frozen = outcome.values;
+        par::forEachChunk(
+            pool, launch_units.size(), grain,
+            [&](std::uint64_t chunk, std::uint64_t begin,
+                std::uint64_t end, unsigned worker) {
+                auto &overlay = overlays[worker];
+                overlay.ensure(n);
+                overlay.beginChunk();
+                for (std::uint64_t i = begin; i < end; ++i) {
+                    const WorkUnit &unit = launch_units[i];
+                    const NodeId target = unit.valueNode;
+                    for (std::uint32_t j = 0; j < unit.count; ++j) {
+                        const EdgeIndex e = unit.start +
+                            static_cast<EdgeIndex>(unit.stride) * j;
+                        const NodeId src = reversed.edgeTarget(e);
+                        const Value source_value =
+                            relaxed && overlay.has(src)
+                                ? overlay.value[src]
+                                : frozen[src];
+                        const Value candidate = Semiring::extend(
+                            source_value, reversed.edgeWeight(e));
+                        const Value current =
+                            overlay.has(target) ? overlay.value[target]
+                                                : frozen[target];
+                        if (Semiring::better(candidate, current))
+                            overlay.set(target, candidate);
                     }
                 }
-                return detail::describeUnit(unit, cost);
+                auto &updates = chunk_updates[chunk];
+                updates.clear();
+                updates.reserve(overlay.touched.size());
+                for (NodeId target : overlay.touched)
+                    updates.emplace_back(target,
+                                         overlay.value[target]);
             });
+
+        bool changed = false;
+        for (std::uint64_t chunk = 0; chunk < unit_chunks; ++chunk) {
+            for (const auto &[target, value] : chunk_updates[chunk]) {
+                if (Semiring::better(value, outcome.values[target])) {
+                    outcome.values[target] = value;
+                    changed = true;
+                }
+            }
+        }
+
+        outcome.stats += sim.launch(
+            launch_units.size(),
+            [&](std::uint64_t tid) {
+                return detail::describeUnit(launch_units[tid], cost);
+            },
+            pool);
 
         if (!changed) {
             outcome.converged = true;

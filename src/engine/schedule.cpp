@@ -2,38 +2,48 @@
 
 #include <cassert>
 
+#include "par/parallel_for.hpp"
 #include "transform/virtual_graph.hpp"
 
 namespace tigr::engine {
 
-Schedule
-Schedule::build(const graph::Csr &graph, Strategy strategy,
-                NodeId degree_bound, unsigned mw_virtual_warp)
+namespace {
+
+/** Units node @p v contributes under @p strategy. */
+std::uint64_t
+unitCountOf(const graph::Csr &graph, Strategy strategy, NodeId v,
+            NodeId degree_bound, unsigned mw_virtual_warp)
 {
-    Schedule schedule;
-    schedule.graph_ = &graph;
-    schedule.strategy_ = strategy;
-    schedule.cost_ = costModelFor(strategy);
+    const EdgeIndex d = graph.degree(v);
+    switch (strategy) {
+      case Strategy::Baseline:
+      case Strategy::TigrUdt:
+        return 1;
+      case Strategy::TigrV:
+      case Strategy::TigrVPlus:
+        return d == 0 ? 1 : (d + degree_bound - 1) / degree_bound;
+      case Strategy::MaximumWarp:
+        return mw_virtual_warp == 0 ? 1 : mw_virtual_warp;
+      case Strategy::Cusha:
+      case Strategy::Gunrock:
+        return d;
+    }
+    return 0;
+}
 
-    const NodeId n = graph.numNodes();
-    schedule.unitOffsets_.assign(static_cast<std::size_t>(n) + 1, 0);
-
-    auto push_unit = [&schedule](NodeId v, EdgeIndex start,
-                                 std::uint32_t stride,
-                                 std::uint32_t count) {
-        schedule.units_.push_back(WorkUnit{v, start, stride, count});
-        ++schedule.unitOffsets_[v + 1];
-    };
-
+/** Emit node @p v's units in order through @p emit. */
+template <typename Emit>
+void
+emitUnitsOf(const graph::Csr &graph, Strategy strategy, NodeId v,
+            NodeId degree_bound, unsigned mw_virtual_warp, Emit &&emit)
+{
     switch (strategy) {
       case Strategy::Baseline:
       case Strategy::TigrUdt:
         // One thread per node owning the whole edge segment; the
         // transformation (if any) happened to the graph itself.
-        for (NodeId v = 0; v < n; ++v) {
-            push_unit(v, graph.edgeBegin(v), 1,
-                      static_cast<std::uint32_t>(graph.degree(v)));
-        }
+        emit(WorkUnit{v, graph.edgeBegin(v), 1,
+                      static_cast<std::uint32_t>(graph.degree(v))});
         break;
 
       case Strategy::TigrV:
@@ -41,12 +51,12 @@ Schedule::build(const graph::Csr &graph, Strategy strategy,
         const auto layout = strategy == Strategy::TigrV
                                 ? transform::EdgeLayout::Consecutive
                                 : transform::EdgeLayout::Coalesced;
-        transform::forEachVirtualNode(
-            graph, degree_bound, layout,
+        transform::forEachVirtualNodeOf(
+            graph, v, degree_bound, layout,
             [&](const transform::VirtualNode &node) {
-                push_unit(node.physicalId, node.start,
-                          static_cast<std::uint32_t>(node.stride),
-                          node.count);
+                emit(WorkUnit{node.physicalId, node.start,
+                              static_cast<std::uint32_t>(node.stride),
+                              node.count});
             });
         break;
       }
@@ -56,16 +66,14 @@ Schedule::build(const graph::Csr &graph, Strategy strategy,
         // slots begin+l, begin+l+w, ... Zero-degree nodes still get
         // their w lanes (they idle), as on real hardware.
         const unsigned w = mw_virtual_warp == 0 ? 1 : mw_virtual_warp;
-        for (NodeId v = 0; v < n; ++v) {
-            const EdgeIndex begin = graph.edgeBegin(v);
-            const EdgeIndex d = graph.degree(v);
-            for (unsigned lane = 0; lane < w; ++lane) {
-                std::uint32_t count =
-                    lane < d ? static_cast<std::uint32_t>(
-                                   (d - lane + w - 1) / w)
-                             : 0;
-                push_unit(v, begin + lane, w, count);
-            }
+        const EdgeIndex begin = graph.edgeBegin(v);
+        const EdgeIndex d = graph.degree(v);
+        for (unsigned lane = 0; lane < w; ++lane) {
+            std::uint32_t count =
+                lane < d ? static_cast<std::uint32_t>(
+                               (d - lane + w - 1) / w)
+                         : 0;
+            emit(WorkUnit{v, begin + lane, w, count});
         }
         break;
       }
@@ -75,17 +83,54 @@ Schedule::build(const graph::Csr &graph, Strategy strategy,
         // Edge-parallel: one thread per edge. CuSha launches all of
         // them every iteration (shards); Gunrock launches the frontier
         // subset (with its filter kernel modeled separately).
-        for (NodeId v = 0; v < n; ++v) {
-            for (EdgeIndex e = graph.edgeBegin(v); e < graph.edgeEnd(v);
-                 ++e) {
-                push_unit(v, e, 1, 1);
-            }
+        for (EdgeIndex e = graph.edgeBegin(v); e < graph.edgeEnd(v);
+             ++e) {
+            emit(WorkUnit{v, e, 1, 1});
         }
         break;
     }
+}
 
-    for (std::size_t v = 0; v < n; ++v)
-        schedule.unitOffsets_[v + 1] += schedule.unitOffsets_[v];
+} // namespace
+
+Schedule
+Schedule::build(const graph::Csr &graph, Strategy strategy,
+                NodeId degree_bound, unsigned mw_virtual_warp,
+                par::ThreadPool *pool)
+{
+    Schedule schedule;
+    schedule.graph_ = &graph;
+    schedule.strategy_ = strategy;
+    schedule.cost_ = costModelFor(strategy);
+
+    const NodeId n = graph.numNodes();
+
+    // Pass 1: per-node unit counts, then an exclusive prefix sum fixes
+    // every node's slot range — which is what lets pass 2 fill the
+    // array in parallel with a bit-identical result at any thread
+    // count (units stay grouped by node, nodes in ascending order).
+    schedule.unitOffsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+    par::parallelFor(pool, n, par::kDefaultGrain,
+                     [&](std::uint64_t v, unsigned) {
+                         schedule.unitOffsets_[v] = unitCountOf(
+                             graph, strategy, static_cast<NodeId>(v),
+                             degree_bound, mw_virtual_warp);
+                     });
+    par::chunkedExclusiveScan(pool, schedule.unitOffsets_);
+
+    schedule.units_.resize(schedule.unitOffsets_.back());
+
+    // Pass 2: each node writes its own slot range.
+    par::parallelFor(
+        pool, n, par::kDefaultGrain, [&](std::uint64_t v, unsigned) {
+            std::uint64_t slot = schedule.unitOffsets_[v];
+            emitUnitsOf(graph, strategy, static_cast<NodeId>(v),
+                        degree_bound, mw_virtual_warp,
+                        [&](const WorkUnit &unit) {
+                            schedule.units_[slot++] = unit;
+                        });
+            assert(slot == schedule.unitOffsets_[v + 1]);
+        });
     assert(schedule.unitOffsets_.back() == schedule.units_.size());
     return schedule;
 }

@@ -18,6 +18,10 @@
 #include "engine/strategy.hpp"
 #include "graph/csr.hpp"
 
+namespace tigr::par {
+class ThreadPool;
+}
+
 namespace tigr::engine {
 
 /** One simulated thread's work: push value of valueNode along edge
@@ -50,10 +54,15 @@ class Schedule
      * @param strategy Thread-mapping strategy.
      * @param degree_bound K for the virtual strategies.
      * @param mw_virtual_warp Virtual warp width for MaximumWarp.
+     * @param pool Optional host pool: unit counting and the unit-array
+     *        fill parallelize over it (two passes around a prefix sum
+     *        of per-node unit counts), producing the identical array
+     *        at any thread count. Null = serial.
      */
     static Schedule build(const graph::Csr &graph, Strategy strategy,
                           NodeId degree_bound = 10,
-                          unsigned mw_virtual_warp = 8);
+                          unsigned mw_virtual_warp = 8,
+                          par::ThreadPool *pool = nullptr);
 
     /** The graph whose edge slots the units reference. */
     const graph::Csr &graph() const { return *graph_; }

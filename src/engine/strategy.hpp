@@ -135,6 +135,12 @@ struct EngineOptions
     bool syncRelaxation = true;
     /** Safety cap on BSP iterations. */
     unsigned maxIterations = 100000;
+    /** Host threads executing the engine's parallel passes: 0 = the
+     *  TIGR_THREADS / hardware-concurrency default, 1 = serial, N > 1
+     *  = a pool of N. Every analysis is chunk-deterministic — results,
+     *  iteration counts, and simulator counters are identical for any
+     *  value (see docs/parallelism.md). */
+    unsigned threads = 0;
     /** Simulated GPU. */
     sim::GpuConfig gpu;
 };

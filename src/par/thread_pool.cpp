@@ -1,0 +1,122 @@
+#include "par/thread_pool.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace tigr::par {
+
+unsigned
+defaultThreads()
+{
+    if (const char *env = std::getenv("TIGR_THREADS")) {
+        char *end = nullptr;
+        const unsigned long value = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && value >= 1 &&
+            value <= 1024) {
+            return static_cast<unsigned>(value);
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+unsigned
+resolveThreads(unsigned requested)
+{
+    return requested > 0 ? requested : defaultThreads();
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threadCount_(resolveThreads(threads))
+{
+    errors_.resize(threadCount_);
+    workers_.reserve(threadCount_ - 1);
+    for (unsigned id = 1; id < threadCount_; ++id)
+        workers_.emplace_back(&ThreadPool::workerMain, this, id);
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::run(const std::function<void(unsigned)> &job)
+{
+    if (active_.exchange(true, std::memory_order_acquire)) {
+        throw std::logic_error(
+            "tigr::par: nested ThreadPool::run() on the same pool");
+    }
+    struct Release
+    {
+        std::atomic<bool> &flag;
+        ~Release() { flag.store(false, std::memory_order_release); }
+    } release{active_};
+
+    if (workers_.empty()) {
+        job(0); // 1-thread pool: plain inline call, exceptions flow.
+        return;
+    }
+
+    for (std::exception_ptr &error : errors_)
+        error = nullptr;
+    {
+        std::lock_guard lock(mutex_);
+        job_ = &job;
+        pending_ = static_cast<unsigned>(workers_.size());
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    try {
+        job(0);
+    } catch (...) {
+        errors_[0] = std::current_exception();
+    }
+
+    {
+        std::unique_lock lock(mutex_);
+        done_.wait(lock, [&] { return pending_ == 0; });
+        job_ = nullptr;
+    }
+    for (std::exception_ptr &error : errors_)
+        if (error)
+            std::rethrow_exception(error);
+}
+
+void
+ThreadPool::workerMain(unsigned id)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(unsigned)> *job = nullptr;
+        {
+            std::unique_lock lock(mutex_);
+            wake_.wait(lock,
+                       [&] { return stop_ || generation_ != seen; });
+            if (stop_)
+                return;
+            seen = generation_;
+            job = job_;
+        }
+        try {
+            (*job)(id);
+        } catch (...) {
+            errors_[id] = std::current_exception();
+        }
+        {
+            std::lock_guard lock(mutex_);
+            if (--pending_ == 0)
+                done_.notify_one();
+        }
+    }
+}
+
+} // namespace tigr::par

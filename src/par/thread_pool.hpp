@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The host execution backend: a small persistent thread pool that the
+ * engines, transforms, and oracles share.
+ *
+ * The pool intentionally exposes only one primitive — run(job), which
+ * invokes job(worker) once per worker, with the caller participating as
+ * worker 0 — because every parallel loop in the code base is built on
+ * *chunked static partitioning* (see parallel_for.hpp). That discipline
+ * is what makes every parallelized result bit-identical across thread
+ * counts: work is decomposed into chunks whose structure depends only
+ * on the input, never on how many threads execute them.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tigr::par {
+
+/** Thread count used when nothing is requested: $TIGR_THREADS when set
+ *  to a positive integer, otherwise std::thread::hardware_concurrency()
+ *  (never 0). */
+unsigned defaultThreads();
+
+/** Resolve a requested thread count: a positive request wins verbatim;
+ *  0 defers to defaultThreads() (and thereby the TIGR_THREADS
+ *  override). Always >= 1. */
+unsigned resolveThreads(unsigned requested);
+
+/**
+ * Persistent worker pool. A pool of T threads owns T-1 background
+ * workers; the thread calling run() acts as worker 0, so a 1-thread
+ * pool spawns nothing and runs the job inline.
+ *
+ * run() is not reentrant: calling it from inside a job on the same pool
+ * throws std::logic_error (nested parallelism would deadlock the
+ * generation barrier). Exceptions thrown by workers are captured and
+ * the one from the lowest worker index is rethrown to the caller after
+ * every worker has finished.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads Pool size; 0 = resolveThreads(0) (the
+     *  TIGR_THREADS / hardware default). */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Workers including the caller (>= 1). */
+    unsigned threads() const { return threadCount_; }
+
+    /** Invoke job(worker) once per worker id in [0, threads()), the
+     *  caller executing worker 0. Returns after every worker finished;
+     *  rethrows the lowest-indexed captured worker exception. */
+    void run(const std::function<void(unsigned)> &job);
+
+    /** True while a run() on this pool is in flight (used by the
+     *  nested-call guard). */
+    bool inParallelRegion() const
+    {
+        return active_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void workerMain(unsigned id);
+
+    unsigned threadCount_ = 1;
+    std::vector<std::thread> workers_;
+    std::vector<std::exception_ptr> errors_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    const std::function<void(unsigned)> *job_ = nullptr;
+    std::uint64_t generation_ = 0;
+    unsigned pending_ = 0;
+    bool stop_ = false;
+    std::atomic<bool> active_{false};
+};
+
+} // namespace tigr::par

@@ -5,26 +5,63 @@
 #include <deque>
 #include <numeric>
 #include <queue>
+#include <utility>
+
+#include "par/parallel_for.hpp"
 
 namespace tigr::ref {
 
 using graph::Csr;
 
 std::vector<Dist>
-bfsHops(const Csr &graph, NodeId source)
+bfsHops(const Csr &graph, NodeId source, par::ThreadPool *pool)
 {
     std::vector<Dist> hops(graph.numNodes(), kInfDist);
-    std::deque<NodeId> frontier{source};
     hops[source] = 0;
-    while (!frontier.empty()) {
-        NodeId v = frontier.front();
-        frontier.pop_front();
-        for (NodeId nbr : graph.outNeighbors(v)) {
-            if (hops[nbr] == kInfDist) {
-                hops[nbr] = hops[v] + 1;
-                frontier.push_back(nbr);
+    if (!pool) {
+        std::deque<NodeId> frontier{source};
+        while (!frontier.empty()) {
+            NodeId v = frontier.front();
+            frontier.pop_front();
+            for (NodeId nbr : graph.outNeighbors(v)) {
+                if (hops[nbr] == kInfDist) {
+                    hops[nbr] = hops[v] + 1;
+                    frontier.push_back(nbr);
+                }
             }
         }
+        return hops;
+    }
+
+    // Level-synchronous parallel BFS: each chunk of the frontier logs
+    // its undiscovered neighbors; the serial chunk-order merge claims
+    // first sightings. A node's hop count is the level it first
+    // appears in, so this matches the queue sweep exactly.
+    std::vector<NodeId> frontier{source};
+    std::vector<std::vector<NodeId>> chunk_found;
+    Dist level = 0;
+    while (!frontier.empty()) {
+        ++level;
+        chunk_found.assign(
+            par::chunkCount(frontier.size(), par::kDefaultGrain), {});
+        par::forEachChunk(
+            pool, frontier.size(), par::kDefaultGrain,
+            [&](std::uint64_t chunk, std::uint64_t begin,
+                std::uint64_t end, unsigned) {
+                auto &found = chunk_found[chunk];
+                for (std::uint64_t i = begin; i < end; ++i)
+                    for (NodeId nbr :
+                         graph.outNeighbors(frontier[i]))
+                        if (hops[nbr] == kInfDist)
+                            found.push_back(nbr);
+            });
+        frontier.clear();
+        for (const auto &found : chunk_found)
+            for (NodeId nbr : found)
+                if (hops[nbr] == kInfDist) {
+                    hops[nbr] = level;
+                    frontier.push_back(nbr);
+                }
     }
     return hops;
 }
@@ -50,6 +87,58 @@ dijkstra(const Csr &graph, NodeId source)
                 heap.emplace(alt, nbr);
             }
         }
+    }
+    return dist;
+}
+
+std::vector<Dist>
+shortestPaths(const Csr &graph, NodeId source, par::ThreadPool *pool)
+{
+    if (!pool)
+        return dijkstra(graph, source);
+
+    // Chunk-deterministic Bellman-Ford: active nodes relax their edges
+    // into per-chunk (target, distance) logs, which min-merge serially
+    // in chunk order. Shortest distances are the unique fixpoint, so
+    // this equals dijkstra() regardless of thread count.
+    const NodeId n = graph.numNodes();
+    std::vector<Dist> dist(n, kInfDist);
+    dist[source] = 0;
+    std::vector<NodeId> active{source};
+    std::vector<std::vector<std::pair<NodeId, Dist>>> chunk_relax;
+    while (!active.empty()) {
+        chunk_relax.assign(
+            par::chunkCount(active.size(), par::kDefaultGrain), {});
+        par::forEachChunk(
+            pool, active.size(), par::kDefaultGrain,
+            [&](std::uint64_t chunk, std::uint64_t begin,
+                std::uint64_t end, unsigned) {
+                auto &relax = chunk_relax[chunk];
+                for (std::uint64_t i = begin; i < end; ++i) {
+                    const NodeId v = active[i];
+                    const Dist d = dist[v];
+                    for (EdgeIndex e = graph.edgeBegin(v);
+                         e < graph.edgeEnd(v); ++e) {
+                        Dist alt =
+                            saturatingAdd(d, graph.edgeWeight(e));
+                        if (alt < dist[graph.edgeTarget(e)])
+                            relax.emplace_back(graph.edgeTarget(e),
+                                               alt);
+                    }
+                }
+            });
+        active.clear();
+        for (const auto &relax : chunk_relax)
+            for (auto [v, alt] : relax)
+                if (alt < dist[v]) {
+                    dist[v] = alt;
+                    active.push_back(v);
+                }
+        // A node improved by several chunks is queued once per win;
+        // dedup keeps the next round linear in the frontier.
+        std::sort(active.begin(), active.end());
+        active.erase(std::unique(active.begin(), active.end()),
+                     active.end());
     }
     return dist;
 }
@@ -142,7 +231,8 @@ connectedComponents(const Csr &graph)
 }
 
 std::vector<Rank>
-pageRank(const Csr &graph, const PageRankParams &params)
+pageRank(const Csr &graph, const PageRankParams &params,
+         par::ThreadPool *pool)
 {
     const NodeId n = graph.numNodes();
     if (n == 0)
@@ -150,15 +240,44 @@ pageRank(const Csr &graph, const PageRankParams &params)
     std::vector<Rank> rank(n, 1.0 / n);
     std::vector<Rank> next(n);
     const Rank base = (1.0 - params.damping) / n;
+    // Parallel path: per-chunk (target, share) logs replayed serially
+    // in chunk order perform the exact float additions of the serial
+    // sweep, in the same order — ranks are bit-identical.
+    std::vector<std::vector<std::pair<NodeId, Rank>>> chunk_adds(
+        pool ? par::chunkCount(n, par::kDefaultGrain) : 0);
     for (unsigned iter = 0; iter < params.iterations; ++iter) {
         std::fill(next.begin(), next.end(), base);
-        for (NodeId v = 0; v < n; ++v) {
-            EdgeIndex d = graph.degree(v);
-            if (d == 0)
-                continue;
-            Rank share = params.damping * rank[v] / static_cast<Rank>(d);
-            for (NodeId nbr : graph.outNeighbors(v))
-                next[nbr] += share;
+        if (pool) {
+            par::forEachChunk(
+                pool, n, par::kDefaultGrain,
+                [&](std::uint64_t chunk, std::uint64_t begin,
+                    std::uint64_t end, unsigned) {
+                    auto &adds = chunk_adds[chunk];
+                    adds.clear();
+                    for (std::uint64_t i = begin; i < end; ++i) {
+                        const NodeId v = static_cast<NodeId>(i);
+                        EdgeIndex d = graph.degree(v);
+                        if (d == 0)
+                            continue;
+                        Rank share = params.damping * rank[v] /
+                                     static_cast<Rank>(d);
+                        for (NodeId nbr : graph.outNeighbors(v))
+                            adds.emplace_back(nbr, share);
+                    }
+                });
+            for (const auto &adds : chunk_adds)
+                for (const auto &[nbr, share] : adds)
+                    next[nbr] += share;
+        } else {
+            for (NodeId v = 0; v < n; ++v) {
+                EdgeIndex d = graph.degree(v);
+                if (d == 0)
+                    continue;
+                Rank share =
+                    params.damping * rank[v] / static_cast<Rank>(d);
+                for (NodeId nbr : graph.outNeighbors(v))
+                    next[nbr] += share;
+            }
         }
         rank.swap(next);
     }

@@ -14,19 +14,39 @@
 #include "graph/csr.hpp"
 #include "graph/types.hpp"
 
+namespace tigr::par {
+class ThreadPool;
+}
+
 namespace tigr::ref {
 
 /**
  * Breadth-first search hop counts from @p source along outgoing edges.
  * Unreachable nodes get kInfDist.
+ *
+ * @param pool Optional host pool: runs a level-synchronous chunked BFS
+ *        instead of the sequential queue sweep. Hop counts are
+ *        identical either way (a hop count is the BFS level a node is
+ *        first reached at, which no traversal order changes).
  */
-std::vector<Dist> bfsHops(const graph::Csr &graph, NodeId source);
+std::vector<Dist> bfsHops(const graph::Csr &graph, NodeId source,
+                          par::ThreadPool *pool = nullptr);
 
 /**
  * Single-source shortest path distances (Dijkstra) from @p source.
  * Unreachable nodes get kInfDist.
  */
 std::vector<Dist> dijkstra(const graph::Csr &graph, NodeId source);
+
+/**
+ * Single-source shortest path distances, selecting the implementation
+ * by @p pool: null runs dijkstra(); a pool runs a chunk-deterministic
+ * parallel Bellman-Ford (per-chunk relaxation logs min-merged in chunk
+ * order). Both compute the unique shortest-distance vector, so results
+ * are identical for any thread count.
+ */
+std::vector<Dist> shortestPaths(const graph::Csr &graph, NodeId source,
+                                par::ThreadPool *pool = nullptr);
 
 /**
  * Single-source widest path: widths[v] is the maximum over paths from
@@ -56,9 +76,16 @@ struct PageRankParams
  * Runs exactly params.iterations rounds from the uniform vector (no
  * dangling-mass redistribution, matching the GPU frameworks the paper
  * compares against).
+ *
+ * @param pool Optional host pool. The parallel path logs every
+ *        (target, share) contribution per fixed chunk of nodes and
+ *        replays the logs serially in chunk order, reproducing the
+ *        exact float additions of the sequential sweep — ranks are
+ *        bit-identical for any thread count.
  */
 std::vector<Rank> pageRank(const graph::Csr &graph,
-                           const PageRankParams &params = {});
+                           const PageRankParams &params = {},
+                           par::ThreadPool *pool = nullptr);
 
 /**
  * Betweenness centrality accumulated from the given @p sources with

@@ -22,15 +22,18 @@ KernelStats::operator+=(const KernelStats &other)
 
 std::uint64_t
 WarpSimulator::simulateWarp(unsigned lanes, unsigned warp_size,
-                            KernelStats &stats)
+                            KernelStats &stats,
+                            WarpScratch &scratch) const
 {
+    const std::vector<ThreadWork> &warp_lanes = scratch.lanes;
+    std::vector<std::uint64_t> &segment_scratch = scratch.segments;
     // SIMD lockstep: the warp issues for as many steps as its deepest
     // lane; finished lanes keep their slots occupied (Figure 3).
     std::uint32_t max_instructions = 0;
     std::uint32_t max_edges = 0;
     std::uint64_t useful = 0;
     for (unsigned lane = 0; lane < lanes; ++lane) {
-        const ThreadWork &work = warpLanes_[lane];
+        const ThreadWork &work = warp_lanes[lane];
         max_instructions = std::max(max_instructions, work.instructions);
         max_edges = std::max(max_edges, work.edgeCount);
         useful += work.instructions;
@@ -60,9 +63,9 @@ WarpSimulator::simulateWarp(unsigned lanes, unsigned warp_size,
     std::uint64_t transactions = 0;
     const std::uint64_t segment = config_.memSegmentBytes;
     for (std::uint32_t j = 0; j < max_edges; ++j) {
-        segmentScratch_.clear();
+        segment_scratch.clear();
         for (unsigned lane = 0; lane < lanes; ++lane) {
-            const ThreadWork &work = warpLanes_[lane];
+            const ThreadWork &work = warp_lanes[lane];
             if (j >= work.edgeCount || is_sequential(work))
                 continue;
             std::uint64_t address =
@@ -70,19 +73,19 @@ WarpSimulator::simulateWarp(unsigned lanes, unsigned warp_size,
                 work.bytesPerEdge;
             std::uint64_t seg = address / segment;
             bool seen = false;
-            for (std::uint64_t s : segmentScratch_) {
+            for (std::uint64_t s : segment_scratch) {
                 if (s == seg) {
                     seen = true;
                     break;
                 }
             }
             if (!seen)
-                segmentScratch_.push_back(seg);
+                segment_scratch.push_back(seg);
         }
-        transactions += segmentScratch_.size();
+        transactions += segment_scratch.size();
     }
     for (unsigned lane = 0; lane < lanes; ++lane) {
-        const ThreadWork &work = warpLanes_[lane];
+        const ThreadWork &work = warp_lanes[lane];
         if (!is_sequential(work))
             continue;
         std::uint64_t bytes = static_cast<std::uint64_t>(work.edgeCount) *
@@ -103,7 +106,7 @@ WarpSimulator::simulateWarp(unsigned lanes, unsigned warp_size,
     if (config_.modelValueScatter) {
         std::uint64_t windowed_bytes = 0;
         for (unsigned lane = 0; lane < lanes; ++lane) {
-            const ThreadWork &work = warpLanes_[lane];
+            const ThreadWork &work = warp_lanes[lane];
             if (work.scatterAccessesPerEdge > 0) {
                 value_transactions +=
                     static_cast<std::uint64_t>(work.edgeCount) *

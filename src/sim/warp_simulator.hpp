@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "par/parallel_for.hpp"
 #include "sim/gpu_config.hpp"
 
 namespace tigr::sim {
@@ -106,6 +107,9 @@ struct KernelStats
 
     /** Accumulate another launch's counters. */
     KernelStats &operator+=(const KernelStats &other);
+
+    /** Field-wise equality (the determinism tests' workhorse). */
+    bool operator==(const KernelStats &other) const = default;
 };
 
 /**
@@ -132,7 +136,8 @@ class WarpSimulator
     /**
      * Simulate a kernel of @p num_threads threads. @p work_of is called
      * once per thread id, in order, and must return that thread's
-     * ThreadWork.
+     * ThreadWork. This serial form accepts impure callbacks (callers
+     * may run graph semantics inside work_of).
      */
     template <typename WorkFn>
     KernelStats
@@ -144,7 +149,7 @@ class WarpSimulator
 
         const unsigned warp_size = config_.warpSize;
         smCycles_.assign(config_.numSms, 0);
-        warpLanes_.resize(warp_size);
+        scratch_.lanes.resize(warp_size);
 
         std::uint64_t warp_index = 0;
         for (std::uint64_t base = 0; base < num_threads;
@@ -152,9 +157,9 @@ class WarpSimulator
             const unsigned lanes = static_cast<unsigned>(
                 std::min<std::uint64_t>(warp_size, num_threads - base));
             for (unsigned lane = 0; lane < lanes; ++lane)
-                warpLanes_[lane] = work_of(base + lane);
+                scratch_.lanes[lane] = work_of(base + lane);
             std::uint64_t warp_cycles =
-                simulateWarp(lanes, warp_size, stats);
+                simulateWarp(lanes, warp_size, stats, scratch_);
             smCycles_[warp_index % config_.numSms] += warp_cycles;
             ++stats.warps;
         }
@@ -171,15 +176,113 @@ class WarpSimulator
         return stats;
     }
 
+    /**
+     * Parallel overload: simulate the launch across the pool's host
+     * threads. @p work_of MUST be pure — callable concurrently for
+     * distinct thread ids with no side effects — which is why the
+     * engines describe units instead of executing semantics here.
+     *
+     * Warps are cut into fixed chunks; each chunk produces a partial
+     * KernelStats plus a partial per-SM cycle vector, and partials are
+     * merged in chunk order. All counters are integer sums and the
+     * warp -> SM assignment (warp index mod numSms) is position-based,
+     * so the result is bit-identical to the serial overload for every
+     * pool size (including a null pool, which falls back to it).
+     */
+    template <typename WorkFn>
+    KernelStats
+    launch(std::uint64_t num_threads, WorkFn &&work_of,
+           par::ThreadPool *pool)
+    {
+        const unsigned warp_size = config_.warpSize;
+        const std::uint64_t num_warps =
+            (num_threads + warp_size - 1) / warp_size;
+        if (pool == nullptr || pool->threads() <= 1 ||
+            num_warps <= kWarpGrain) {
+            return launch(num_threads, work_of);
+        }
+
+        struct Partial
+        {
+            KernelStats stats;
+            std::vector<std::uint64_t> smCycles;
+        };
+        const std::uint64_t chunks =
+            par::chunkCount(num_warps, kWarpGrain);
+        std::vector<Partial> partials(chunks);
+        par::PerWorker<WarpScratch> scratch(pool);
+
+        par::forEachChunk(
+            pool, num_warps, kWarpGrain,
+            [&](std::uint64_t chunk, std::uint64_t warp_begin,
+                std::uint64_t warp_end, unsigned worker) {
+                Partial &part = partials[chunk];
+                part.smCycles.assign(config_.numSms, 0);
+                WarpScratch &ws = scratch[worker];
+                ws.lanes.resize(warp_size);
+                for (std::uint64_t w = warp_begin; w < warp_end; ++w) {
+                    const std::uint64_t base =
+                        w * static_cast<std::uint64_t>(warp_size);
+                    const unsigned lanes = static_cast<unsigned>(
+                        std::min<std::uint64_t>(warp_size,
+                                                num_threads - base));
+                    for (unsigned lane = 0; lane < lanes; ++lane)
+                        ws.lanes[lane] = work_of(base + lane);
+                    const std::uint64_t warp_cycles =
+                        simulateWarp(lanes, warp_size, part.stats, ws);
+                    part.smCycles[w % config_.numSms] += warp_cycles;
+                }
+            });
+
+        KernelStats stats;
+        stats.launches = 1;
+        stats.threads = num_threads;
+        stats.warps = num_warps;
+        smCycles_.assign(config_.numSms, 0);
+        for (const Partial &part : partials) {
+            stats.instructions += part.stats.instructions;
+            stats.laneSlots += part.stats.laneSlots;
+            stats.memTransactions += part.stats.memTransactions;
+            stats.memAccesses += part.stats.memAccesses;
+            stats.valueTransactions += part.stats.valueTransactions;
+            for (std::uint32_t sm = 0; sm < config_.numSms; ++sm)
+                smCycles_[sm] += part.smCycles[sm];
+        }
+        stats.cycles = config_.kernelLaunchCycles;
+        stats.smCount = config_.numSms;
+        if (!smCycles_.empty()) {
+            stats.busiestSmCycles =
+                *std::max_element(smCycles_.begin(), smCycles_.end());
+            stats.cycles += stats.busiestSmCycles;
+            for (std::uint64_t sm : smCycles_)
+                stats.totalSmCycles += sm;
+        }
+        return stats;
+    }
+
   private:
-    /** Charge one warp; returns the warp's cycle cost. */
+    /** Reusable per-warp simulation buffers (one per host worker in
+     *  the parallel overload). */
+    struct WarpScratch
+    {
+        std::vector<ThreadWork> lanes;
+        std::vector<std::uint64_t> segments;
+    };
+
+    /** Warps per parallel-simulation chunk (4096 threads at warp 32);
+     *  fixed so the chunk structure never depends on thread count. */
+    static constexpr std::uint64_t kWarpGrain = 128;
+
+    /** Charge one warp; returns the warp's cycle cost. Reads only the
+     *  configuration, so it is safe to call concurrently with distinct
+     *  scratch and stats objects. */
     std::uint64_t simulateWarp(unsigned lanes, unsigned warp_size,
-                               KernelStats &stats);
+                               KernelStats &stats,
+                               WarpScratch &scratch) const;
 
     GpuConfig config_;
     std::vector<std::uint64_t> smCycles_;
-    std::vector<ThreadWork> warpLanes_;
-    std::vector<std::uint64_t> segmentScratch_;
+    WarpScratch scratch_;
 };
 
 } // namespace tigr::sim

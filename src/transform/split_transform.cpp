@@ -1,11 +1,12 @@
 #include "transform/split_transform.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
+#include <memory>
 #include <random>
-#include <thread>
 #include <utility>
+
+#include "par/parallel_for.hpp"
 
 namespace tigr::transform {
 
@@ -61,31 +62,21 @@ SplitTransform::apply(const graph::Csr &input,
         if (input.degree(v) > k)
             high_degree.push_back(v);
 
+    // Each plan lands in its own slot, so the loop is deterministic
+    // for any worker count. An engine-owned pool is reused when given;
+    // otherwise `threads` spins up a transient one.
     std::vector<SplitPlan> plans(high_degree.size());
-    const unsigned worker_count = std::max(1u, options.threads);
-    if (worker_count > 1 && high_degree.size() > 1) {
-        std::vector<std::thread> workers;
-        std::atomic<std::size_t> cursor{0};
-        for (unsigned t = 0; t < worker_count; ++t) {
-            workers.emplace_back([&] {
-                for (;;) {
-                    std::size_t i = cursor.fetch_add(64);
-                    if (i >= high_degree.size())
-                        return;
-                    std::size_t end = std::min(
-                        i + 64, high_degree.size());
-                    for (; i < end; ++i)
-                        plans[i] = plan(input.degree(high_degree[i]),
-                                        k);
-                }
-            });
-        }
-        for (std::thread &worker : workers)
-            worker.join();
-    } else {
-        for (std::size_t i = 0; i < high_degree.size(); ++i)
-            plans[i] = plan(input.degree(high_degree[i]), k);
-    }
+    std::unique_ptr<par::ThreadPool> local_pool;
+    par::ThreadPool *pool = options.pool;
+    if (!pool && options.threads > 1 && high_degree.size() > 1)
+        pool = (local_pool =
+                    std::make_unique<par::ThreadPool>(options.threads))
+                   .get();
+    par::parallelFor(pool, high_degree.size(), 64,
+                     [&](std::uint64_t i, unsigned) {
+                         plans[i] =
+                             plan(input.degree(high_degree[i]), k);
+                     });
 
     NodeId next_id = n;
     std::vector<NodeId> family_index(n, kInvalidNode);

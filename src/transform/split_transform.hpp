@@ -20,6 +20,10 @@
 #include "graph/csr.hpp"
 #include "graph/types.hpp"
 
+namespace tigr::par {
+class ThreadPool;
+}
+
 namespace tigr::transform {
 
 /**
@@ -55,8 +59,11 @@ struct SplitOptions
     /** Host threads for the planning phase (per-family plans are
      *  independent, so this parallelizes deterministically — the
      *  paper's Table 7 notes the transformation "can be
-     *  parallelized"). 0 or 1 = serial. */
+     *  parallelized"). 0 or 1 = serial. Ignored when `pool` is set. */
     unsigned threads = 1;
+    /** Existing worker pool to plan on (takes precedence over
+     *  `threads`); null = spin up `threads` workers, or run serial. */
+    par::ThreadPool *pool = nullptr;
 };
 
 /** One transformed high-degree node: its root and all family members. */

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <thread>
+#include <memory>
+
+#include "par/parallel_for.hpp"
 
 namespace tigr::transform {
 
@@ -14,43 +16,37 @@ VirtualGraph::VirtualGraph(const graph::Csr &physical,
     assert(degree_bound >= 1);
     const NodeId n = physical.numNodes();
 
-    // Per-node entry counts, then exclusive prefix sums: with entry
+    std::unique_ptr<par::ThreadPool> local_pool;
+    par::ThreadPool *pool = nullptr;
+    if (threads > 1)
+        pool = (local_pool = std::make_unique<par::ThreadPool>(threads))
+                   .get();
+
+    // Per-node entry counts, then an exclusive prefix sum: with entry
     // positions fixed up front, the fill parallelizes with a
     // bit-identical result for any thread count.
     std::vector<std::size_t> offset(static_cast<std::size_t>(n) + 1, 0);
-    for (NodeId v = 0; v < n; ++v) {
-        EdgeIndex d = physical.degree(v);
-        offset[v + 1] =
-            d == 0 ? 1 : (d + degree_bound - 1) / degree_bound;
-    }
-    for (NodeId v = 0; v < n; ++v)
-        offset[v + 1] += offset[v];
+    par::parallelFor(pool, n, par::kDefaultGrain,
+                     [&](std::uint64_t v, unsigned) {
+                         EdgeIndex d =
+                             physical.degree(static_cast<NodeId>(v));
+                         offset[v] = d == 0 ? 1
+                                            : (d + degree_bound - 1) /
+                                                  degree_bound;
+                     });
+    par::chunkedExclusiveScan(pool, offset);
     nodes_.resize(offset[n]);
 
-    auto fill_range = [&](NodeId begin, NodeId end) {
-        for (NodeId v = begin; v < end; ++v) {
-            std::size_t slot = offset[v];
-            forEachVirtualNodeOf(physical, v, degreeBound_, layout_,
-                                 [&](const VirtualNode &node) {
-                                     nodes_[slot++] = node;
-                                 });
-        }
-    };
-
-    const unsigned worker_count = std::max(1u, threads);
-    if (worker_count > 1 && n > worker_count) {
-        std::vector<std::thread> workers;
-        const NodeId chunk = (n + worker_count - 1) / worker_count;
-        for (unsigned t = 0; t < worker_count; ++t) {
-            NodeId begin = std::min<NodeId>(n, t * chunk);
-            NodeId end = std::min<NodeId>(n, begin + chunk);
-            workers.emplace_back(fill_range, begin, end);
-        }
-        for (std::thread &worker : workers)
-            worker.join();
-    } else {
-        fill_range(0, n);
-    }
+    par::parallelFor(pool, n, par::kDefaultGrain,
+                     [&](std::uint64_t i, unsigned) {
+                         const NodeId v = static_cast<NodeId>(i);
+                         std::size_t slot = offset[v];
+                         forEachVirtualNodeOf(
+                             physical, v, degreeBound_, layout_,
+                             [&](const VirtualNode &node) {
+                                 nodes_[slot++] = node;
+                             });
+                     });
 }
 
 std::size_t

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * The determinism contract, executed: every strategy × analysis pair
+ * must produce bit-identical values, iteration counts, convergence
+ * flags, and simulator counters at 1, 2, and 8 host threads — on a
+ * skewed RMAT graph and on a star-heavy graph whose hub makes chunk
+ * boundaries cut through one node's units. See docs/parallelism.md
+ * for why this holds by construction.
+ */
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/graph_engine.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace tigr::engine {
+namespace {
+
+graph::Csr
+rmatGraph(std::uint64_t seed)
+{
+    graph::BuildOptions options;
+    options.randomizeWeights = true;
+    options.maxWeight = 24;
+    options.weightSeed = seed;
+    return graph::GraphBuilder(options).build(
+        graph::rmat({.nodes = 600, .edges = 6000, .seed = seed}));
+}
+
+/** A few hubs of outdegree ~1000 over a sparse ring: the hub families
+ *  span many work units, so fixed-grain chunks split single nodes. */
+graph::Csr
+starHeavyGraph()
+{
+    const NodeId n = 1500;
+    graph::CooEdges coo(n);
+    for (NodeId v = 0; v < n; ++v)
+        coo.add(v, (v + 1) % n, 1 + v % 7);
+    for (NodeId hub : {NodeId{0}, NodeId{7}, NodeId{800}})
+        for (NodeId v = 0; v < 1000; ++v)
+            if (v != hub)
+                coo.add(hub, (v * 13 + 5) % n, 1 + v % 11);
+    return graph::GraphBuilder(graph::BuildOptions{}).build(std::move(coo));
+}
+
+EngineOptions
+optionsFor(Strategy strategy)
+{
+    EngineOptions options;
+    options.strategy = strategy;
+    options.degreeBound = 8;
+    options.udtBound = 16;
+    options.mwVirtualWarp = 4;
+    return options;
+}
+
+/** Run @p run at 1 thread, then insist 2 and 8 threads replay it. */
+template <typename Run>
+void
+expectThreadCountInvariant(const graph::Csr &g, EngineOptions base,
+                           Run &&run)
+{
+    base.threads = 1;
+    GraphEngine sequential(g, base);
+    const auto expected = run(sequential);
+    ASSERT_EQ(sequential.hostThreads(), 1u);
+
+    for (unsigned threads : {2u, 8u}) {
+        EngineOptions options = base;
+        options.threads = threads;
+        GraphEngine parallel(g, options);
+        EXPECT_EQ(parallel.hostThreads(), threads);
+        const auto got = run(parallel);
+        EXPECT_EQ(got.values, expected.values)
+            << threads << " threads";
+        EXPECT_EQ(got.info.iterations, expected.info.iterations)
+            << threads << " threads";
+        EXPECT_EQ(got.info.converged, expected.info.converged)
+            << threads << " threads";
+        EXPECT_TRUE(got.info.stats == expected.info.stats)
+            << threads << " threads: simulator counters diverged";
+    }
+}
+
+class DeterminismMatrix : public ::testing::TestWithParam<Strategy>
+{
+  protected:
+    void
+    runAll(const graph::Csr &g)
+    {
+        const Strategy strategy = GetParam();
+        expectThreadCountInvariant(
+            g, optionsFor(strategy),
+            [](GraphEngine &e) { return e.bfs(0); });
+        expectThreadCountInvariant(
+            g, optionsFor(strategy),
+            [](GraphEngine &e) { return e.sssp(0); });
+        expectThreadCountInvariant(
+            g, optionsFor(strategy),
+            [](GraphEngine &e) { return e.sswp(0); });
+        expectThreadCountInvariant(
+            g, optionsFor(strategy),
+            [](GraphEngine &e) { return e.cc(); });
+        if (strategy != Strategy::TigrUdt) {
+            expectThreadCountInvariant(
+                g, optionsFor(strategy), [](GraphEngine &e) {
+                    return e.pagerank({.iterations = 10});
+                });
+        }
+    }
+};
+
+TEST_P(DeterminismMatrix, RmatGraph) { runAll(rmatGraph(77)); }
+
+TEST_P(DeterminismMatrix, StarHeavyGraph) { runAll(starHeavyGraph()); }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, DeterminismMatrix,
+    ::testing::ValuesIn(kAllStrategies),
+    [](const ::testing::TestParamInfo<Strategy> &info) {
+        std::string name{strategyName(info.param)};
+        for (char &c : name)
+            if (c == '-' || c == '+')
+                c = c == '-' ? '_' : 'p';
+        return name;
+    });
+
+TEST(Determinism, StrictBspMode)
+{
+    graph::Csr g = rmatGraph(78);
+    EngineOptions options = optionsFor(Strategy::TigrVPlus);
+    options.syncRelaxation = false;
+    expectThreadCountInvariant(
+        g, options, [](GraphEngine &e) { return e.sssp(0); });
+}
+
+TEST(Determinism, NoWorklistMode)
+{
+    graph::Csr g = rmatGraph(79);
+    EngineOptions options = optionsFor(Strategy::TigrV);
+    options.worklist = false;
+    expectThreadCountInvariant(
+        g, options, [](GraphEngine &e) { return e.sssp(0); });
+}
+
+TEST(Determinism, PullDirection)
+{
+    graph::Csr g = rmatGraph(80);
+    EngineOptions options = optionsFor(Strategy::TigrVPlus);
+    options.direction = Direction::Pull;
+    expectThreadCountInvariant(
+        g, options, [](GraphEngine &e) { return e.bfs(0); });
+    expectThreadCountInvariant(
+        g, options, [](GraphEngine &e) { return e.sssp(0); });
+}
+
+TEST(Determinism, DynamicMapping)
+{
+    graph::Csr g = starHeavyGraph();
+    EngineOptions options = optionsFor(Strategy::TigrVPlus);
+    options.dynamicMapping = true;
+    expectThreadCountInvariant(
+        g, options, [](GraphEngine &e) { return e.sssp(0); });
+    expectThreadCountInvariant(g, options, [](GraphEngine &e) {
+        return e.pagerank({.iterations = 6});
+    });
+}
+
+TEST(Determinism, TrianglesAndBc)
+{
+    // Neither is in the five-algorithm matrix, but both got parallel
+    // passes — pin them the same way on the symmetric-ish ring.
+    graph::CooEdges coo = graph::rmat(
+        {.nodes = 300, .edges = 2400, .seed = 81});
+    coo.symmetrize();
+    graph::Csr g = graph::GraphBuilder(graph::BuildOptions{}).build(std::move(coo));
+
+    EngineOptions base = optionsFor(Strategy::TigrVPlus);
+    base.threads = 1;
+    GraphEngine sequential(g, base);
+    const auto tri = sequential.triangles();
+    const NodeId sources[] = {0, 3, 9};
+    const auto bc = sequential.bc(sources);
+
+    for (unsigned threads : {2u, 8u}) {
+        EngineOptions options = base;
+        options.threads = threads;
+        GraphEngine parallel(g, options);
+        const auto tri_par = parallel.triangles();
+        EXPECT_EQ(tri_par.total, tri.total) << threads << " threads";
+        EXPECT_EQ(tri_par.perNode, tri.perNode)
+            << threads << " threads";
+        EXPECT_TRUE(tri_par.info.stats == tri.info.stats);
+        const auto bc_par = parallel.bc(sources);
+        EXPECT_EQ(bc_par.values, bc.values) << threads << " threads";
+        EXPECT_TRUE(bc_par.info.stats == bc.info.stats);
+    }
+}
+
+TEST(Determinism, ZeroThreadsResolvesThroughEnv)
+{
+    graph::Csr g = rmatGraph(82);
+    ASSERT_EQ(setenv("TIGR_THREADS", "3", 1), 0);
+    {
+        GraphEngine engine(g, optionsFor(Strategy::TigrVPlus));
+        EXPECT_EQ(engine.hostThreads(), 3u);
+    }
+    ASSERT_EQ(unsetenv("TIGR_THREADS"), 0);
+    EngineOptions two = optionsFor(Strategy::TigrVPlus);
+    two.threads = 2;
+    GraphEngine engine(g, two);
+    EXPECT_EQ(engine.hostThreads(), 2u);
+    // And the env-resolved engine computed the same answer.
+    EngineOptions one = optionsFor(Strategy::TigrVPlus);
+    one.threads = 1;
+    GraphEngine seq(g, one);
+    EXPECT_EQ(engine.sssp(4).values, seq.sssp(4).values);
+}
+
+} // namespace
+} // namespace tigr::engine

@@ -175,6 +175,30 @@ TEST(GraphEngine, TransformCostCachedAcrossCalls)
     auto second = engine.sssp(1);
     EXPECT_GT(first.info.transformMs, 0.0);
     EXPECT_DOUBLE_EQ(first.info.transformMs, second.info.transformMs);
+    // The first call built the context, the second reused it; only the
+    // reuse is flagged, so callers can avoid double-charging the build.
+    EXPECT_FALSE(first.info.transformCached);
+    EXPECT_TRUE(second.info.transformCached);
+}
+
+TEST(GraphEngine, TransformCachedPerContextNotPerEngine)
+{
+    graph::Csr g = weightedGraph(49);
+    GraphEngine engine(g, optionsFor(Strategy::TigrVPlus));
+    auto sssp = engine.sssp(0);   // builds WeightedZero
+    auto bfs = engine.bfs(0);     // builds UnitZero — a fresh context
+    auto again = engine.bfs(1);   // reuses UnitZero
+    EXPECT_FALSE(sssp.info.transformCached);
+    EXPECT_FALSE(bfs.info.transformCached);
+    EXPECT_TRUE(again.info.transformCached);
+}
+
+TEST(GraphEngine, HostTimeReported)
+{
+    graph::Csr g = weightedGraph(49);
+    GraphEngine engine(g, optionsFor(Strategy::TigrVPlus));
+    auto result = engine.sssp(0);
+    EXPECT_GT(result.info.hostMs, 0.0);
 }
 
 TEST(GraphEngine, FootprintLargestForCusha)

@@ -126,6 +126,9 @@ cmdTransform(const CommandLine &cmd, std::ostream &out)
     transform::SplitOptions split;
     split.degreeBound = static_cast<NodeId>(cmd.optionU64(
         "k", graph::chooseUdtK(g.maxOutDegree())));
+    split.threads =
+        par::resolveThreads(static_cast<unsigned>(
+            cmd.optionU64("threads", 0)));
     const std::string dumb = cmd.option("dumb").value_or("zero");
     if (dumb == "zero")
         split.weightPolicy = transform::DumbWeightPolicy::Zero;
@@ -173,6 +176,8 @@ cmdRun(const CommandLine &cmd, std::ostream &out)
         options.dynamicMapping = true;
     if (cmd.has("no-worklist"))
         options.worklist = false;
+    options.threads =
+        static_cast<unsigned>(cmd.optionU64("threads", 0));
 
     const auto source =
         static_cast<NodeId>(cmd.optionU64("source", 0));
@@ -254,7 +259,10 @@ cmdRun(const CommandLine &cmd, std::ostream &out)
         << 100.0 * info.stats.warpEfficiency() << "%\n"
         << "SM imbalance:    " << 100.0 * info.stats.smImbalance()
         << "%\n"
-        << "transform ms:    " << info.transformMs << "\n";
+        << "transform ms:    " << info.transformMs
+        << (info.transformCached ? " (cached)" : "") << "\n"
+        << "host ms:         " << info.hostMs << "\n"
+        << "host threads:    " << engine.hostThreads() << "\n";
     return 0;
 }
 
@@ -353,11 +361,15 @@ usage()
            "[--edges M] [--seed S] [--weighted] --out FILE\n"
            "  tigr transform <graph> --out FILE [--k N] "
            "[--topology udt|star|rstar|cliq|circ] "
-           "[--dumb zero|inf|one]\n"
+           "[--dumb zero|inf|one] [--threads N]\n"
            "  tigr run <graph> [--algo bfs|sssp|sswp|cc|pr|bc] "
            "[--strategy baseline|tigr-udt|tigr-v|tigr-v+|mw|cusha|"
            "gunrock] [--source N] [--k N] [--pull] [--dynamic] "
-           "[--no-worklist]\n";
+           "[--no-worklist] [--threads N]\n"
+           "\n"
+           "--threads 0 (the default) resolves through TIGR_THREADS "
+           "or the hardware concurrency; results are identical for "
+           "any value.\n";
 }
 
 int
