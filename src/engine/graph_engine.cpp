@@ -52,10 +52,15 @@ struct GraphEngine::Context
     std::optional<transform::PhysicalTransformResult> udt;
     /** The graph whose edges the schedule indexes. */
     const graph::Csr *scheduled = nullptr;
-    /** Work-unit decomposition (empty under dynamic mapping, which
-     *  recomputes units instead of storing them). */
-    Schedule schedule;
-    /** Host time spent building this context. */
+    /** Locally built work-unit decomposition (empty under dynamic
+     *  mapping, which recomputes units instead of storing them, and
+     *  when a shared schedule is in use). */
+    Schedule ownedSchedule;
+    /** The decomposition analyses run over: &ownedSchedule, or an
+     *  externally cached SharedSchedule's. */
+    const Schedule *schedule = &ownedSchedule;
+    /** Host time spent building this context (a shared schedule
+     *  reports its original build cost). */
     double buildMs = 0.0;
     /** Set once a later analysis reuses this context (the
      *  RunInfo::transformCached satellite fix). */
@@ -64,8 +69,10 @@ struct GraphEngine::Context
     std::vector<EdgeIndex> outdegrees;
 };
 
-GraphEngine::GraphEngine(const graph::Csr &graph, EngineOptions options)
-    : graph_(graph), options_(options), sim_(options.gpu)
+GraphEngine::GraphEngine(const graph::Csr &graph, EngineOptions options,
+                         std::shared_ptr<const SharedSchedule> shared)
+    : graph_(graph), options_(std::move(options)),
+      shared_(std::move(shared)), sim_(options_.gpu)
 {
     const unsigned threads = par::resolveThreads(options_.threads);
     if (threads > 1)
@@ -173,16 +180,36 @@ GraphEngine::context(ContextKind kind)
     // Under dynamic mapping the whole point is to store no unit array;
     // the provider recomputes families per use.
     if (!options_.dynamicMapping) {
-        ctx->schedule =
-            Schedule::build(*ctx->scheduled, options_.strategy,
-                            options_.degreeBound,
-                            options_.mwVirtualWarp, pool_.get());
+        if (shared_ && sharedApplies(*ctx)) {
+            ctx->schedule = &shared_->schedule;
+            ctx->buildMs = shared_->buildMs;
+            // The decomposition was built by an earlier engine: every
+            // analysis over this context reuses cached structures.
+            ctx->reusedFromCache = true;
+        } else {
+            ctx->ownedSchedule =
+                Schedule::build(*ctx->scheduled, options_.strategy,
+                                options_.degreeBound,
+                                options_.mwVirtualWarp, pool_.get());
+            ctx->buildMs = elapsedMs(start);
+        }
+    } else {
+        ctx->buildMs = elapsedMs(start);
     }
-    ctx->buildMs = elapsedMs(start);
 
     Context &ref = *ctx;
     contexts_.emplace(kind, std::move(ctx));
     return ref;
+}
+
+bool
+GraphEngine::sharedApplies(const Context &ctx) const
+{
+    const Schedule &s = shared_->schedule;
+    return ctx.scheduled == &graph_ && &s.graph() == &graph_ &&
+           s.strategy() == options_.strategy &&
+           s.degreeBound() == options_.degreeBound &&
+           s.mwVirtualWarp() == options_.mwVirtualWarp;
 }
 
 PushOptions
@@ -193,6 +220,7 @@ GraphEngine::pushOptions() const
     push.syncRelaxation = options_.syncRelaxation;
     push.maxIterations = options_.maxIterations;
     push.pool = pool_.get();
+    push.cancel = options_.cancel;
     return push;
 }
 
@@ -215,9 +243,9 @@ GraphEngine::runSemiring(
                     : runPush<Semiring>(provider, sim_, pushOptions(),
                                         seeds, all_active);
     }
-    return pull ? runPull<Semiring>(ctx.schedule, sim_, pushOptions(),
+    return pull ? runPull<Semiring>(*ctx.schedule, sim_, pushOptions(),
                                     seeds)
-                : runPush<Semiring>(ctx.schedule, sim_, pushOptions(),
+                : runPush<Semiring>(*ctx.schedule, sim_, pushOptions(),
                                     seeds, all_active);
 }
 
@@ -230,7 +258,7 @@ GraphEngine::fillRunInfo(RunInfo &info, const Context &ctx,
     // Dynamic mapping stores no virtual node array: that memory simply
     // never exists on the device.
     const std::uint64_t virtual_nodes =
-        options_.dynamicMapping ? 0 : ctx.schedule.numUnits();
+        options_.dynamicMapping ? 0 : ctx.schedule->numUnits();
     info.footprintBytes = modeledFootprintBytes(
         options_.strategy, algorithm, *ctx.scheduled, virtual_nodes);
 }
@@ -251,6 +279,7 @@ GraphEngine::sssp(NodeId source)
     result.values = std::move(outcome.values);
     result.info.iterations = outcome.iterations;
     result.info.converged = outcome.converged;
+    result.info.cancelled = outcome.cancelled;
     result.info.stats = outcome.stats;
     fillRunInfo(result.info, ctx, Algorithm::Sssp);
     result.info.hostMs = elapsedMs(host_start);
@@ -273,6 +302,7 @@ GraphEngine::bfs(NodeId source)
     result.values = std::move(outcome.values);
     result.info.iterations = outcome.iterations;
     result.info.converged = outcome.converged;
+    result.info.cancelled = outcome.cancelled;
     result.info.stats = outcome.stats;
     fillRunInfo(result.info, ctx, Algorithm::Bfs);
     result.info.hostMs = elapsedMs(host_start);
@@ -295,6 +325,7 @@ GraphEngine::sswp(NodeId source)
     result.values = std::move(outcome.values);
     result.info.iterations = outcome.iterations;
     result.info.converged = outcome.converged;
+    result.info.cancelled = outcome.cancelled;
     result.info.stats = outcome.stats;
     fillRunInfo(result.info, ctx, Algorithm::Sswp);
     result.info.hostMs = elapsedMs(host_start);
@@ -320,6 +351,7 @@ GraphEngine::cc()
     result.values = std::move(outcome.values);
     result.info.iterations = outcome.iterations;
     result.info.converged = outcome.converged;
+    result.info.cancelled = outcome.cancelled;
     result.info.stats = outcome.stats;
     fillRunInfo(result.info, ctx, Algorithm::Cc);
     result.info.hostMs = elapsedMs(host_start);
@@ -406,7 +438,7 @@ GraphEngine::pagerankPush(const PageRankOptions &pr_options)
     const Rank base = (1.0 - pr_options.damping) / n;
     const CostModel cost = costModelFor(options_.strategy);
     const std::vector<WorkUnit> units =
-        collectAllUnits(ctx.schedule, g, options_);
+        collectAllUnits(*ctx.schedule, g, options_);
 
     // Per-chunk add logs: the semantic pass records every (target,
     // share) contribution instead of accumulating into shared ranks,
@@ -417,6 +449,13 @@ GraphEngine::pagerankPush(const PageRankOptions &pr_options)
         par::chunkCount(units.size(), par::kDefaultGrain));
 
     for (unsigned iter = 0; iter < pr_options.iterations; ++iter) {
+        if (options_.cancel &&
+            options_.cancel(result.info.iterations,
+                            result.info.stats.cycles)) {
+            result.info.cancelled = true;
+            result.info.converged = false;
+            break;
+        }
         std::fill(next.begin(), next.end(), base);
         par::forEachChunk(
             pool_.get(), units.size(), par::kDefaultGrain,
@@ -493,7 +532,7 @@ GraphEngine::pagerankPull(const PageRankOptions &pr_options)
     const Rank base = (1.0 - pr_options.damping) / n;
     const CostModel cost = costModelFor(options_.strategy);
     const std::vector<WorkUnit> units =
-        collectAllUnits(ctx.schedule, reversed, options_);
+        collectAllUnits(*ctx.schedule, reversed, options_);
     // CuSha reads source values from sequential shard entries and
     // writes windows sequentially: no scattered traffic at all. Other
     // pull engines still gather ranks from scattered slots.
@@ -508,6 +547,13 @@ GraphEngine::pagerankPull(const PageRankOptions &pr_options)
         par::chunkCount(units.size(), par::kDefaultGrain));
 
     for (unsigned iter = 0; iter < pr_options.iterations; ++iter) {
+        if (options_.cancel &&
+            options_.cancel(result.info.iterations,
+                            result.info.stats.cycles)) {
+            result.info.cancelled = true;
+            result.info.converged = false;
+            break;
+        }
         std::fill(next.begin(), next.end(), base);
         par::forEachChunk(
             pool_.get(), units.size(), par::kDefaultGrain,
@@ -588,7 +634,7 @@ GraphEngine::bc(std::span<const NodeId> sources)
     auto launch_nodes = [&](std::span<const NodeId> nodes, auto body) {
         std::vector<WorkUnit> launch_units;
         for (NodeId v : nodes)
-            collectUnitsOf(ctx.schedule, g, options_, v, launch_units);
+            collectUnitsOf(*ctx.schedule, g, options_, v, launch_units);
         result.info.stats += sim_.launch(
             launch_units.size(), [&](std::uint64_t tid) {
                 const WorkUnit &unit = launch_units[tid];
@@ -610,6 +656,16 @@ GraphEngine::bc(std::span<const NodeId> sources)
     };
 
     for (NodeId source : sources) {
+        // Cancellation boundary: completed sources stay accumulated,
+        // the remaining ones are skipped (the source list order is
+        // fixed, so which sources completed is deterministic).
+        if (options_.cancel &&
+            options_.cancel(result.info.iterations,
+                            result.info.stats.cycles)) {
+            result.info.cancelled = true;
+            result.info.converged = false;
+            break;
+        }
         std::fill(depth.begin(), depth.end(), kInfDist);
         std::fill(sigma.begin(), sigma.end(), 0.0);
         std::fill(delta.begin(), delta.end(), 0.0);
@@ -675,7 +731,7 @@ GraphEngine::triangles()
     result.perNode.assign(n, 0);
 
     const std::vector<WorkUnit> units =
-        collectAllUnits(ctx.schedule, g, options_);
+        collectAllUnits(*ctx.schedule, g, options_);
 
     // Chunked counting pass: per-chunk triangle totals and per-node
     // increment logs merge serially in chunk order (integer counters,
@@ -764,7 +820,7 @@ GraphEngine::footprintBytes(Algorithm algorithm)
                                ? ContextKind::PullReversed
                                : ContextKind::WeightedZero);
     const std::uint64_t virtual_nodes =
-        options_.dynamicMapping ? 0 : ctx.schedule.numUnits();
+        options_.dynamicMapping ? 0 : ctx.schedule->numUnits();
     return modeledFootprintBytes(options_.strategy, algorithm,
                                  *ctx.scheduled, virtual_nodes);
 }

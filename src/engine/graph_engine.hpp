@@ -32,6 +32,10 @@ struct RunInfo
     unsigned iterations = 0;
     /** True when the analysis converged before the iteration cap. */
     bool converged = true;
+    /** True when EngineOptions::cancel stopped the analysis early (the
+     *  service layer's deadline-exceeded signal); the values are the
+     *  well-defined state after the completed iterations. */
+    bool cancelled = false;
     /** Aggregated simulator counters. */
     sim::KernelStats stats;
     /** Host milliseconds spent building the strategy's structures
@@ -119,6 +123,24 @@ struct PageRankOptions
 };
 
 /**
+ * A work-unit schedule shared across engines, with the host cost of
+ * its original build. The service layer's TransformCache hands these
+ * to every engine it creates over the same (graph, strategy, K)
+ * triple, so repeated queries reuse the virtual-node decomposition
+ * instead of rebuilding it (the amortization Table 7 of the paper is
+ * about). The schedule must have been built over the exact Csr object
+ * the engine is constructed with; the engine verifies this plus the
+ * strategy/K/warp parameters and silently builds its own schedule on
+ * any mismatch — a stale injection can cost time, never correctness.
+ */
+struct SharedSchedule
+{
+    Schedule schedule;
+    /** Host milliseconds of the original Schedule::build. */
+    double buildMs = 0.0;
+};
+
+/**
  * Vertex-centric graph analytics engine over the simulated GPU.
  *
  * The referenced graph must outlive the engine. All analyses are
@@ -131,9 +153,14 @@ class GraphEngine
     /**
      * @param graph Input graph (kept by reference).
      * @param options Strategy and tuning; see EngineOptions.
+     * @param shared Optional externally cached forward schedule (see
+     *        SharedSchedule); engines use it for analyses scheduled
+     *        directly over @p graph when it matches the options.
      */
     explicit GraphEngine(const graph::Csr &graph,
-                         EngineOptions options = {});
+                         EngineOptions options = {},
+                         std::shared_ptr<const SharedSchedule> shared =
+                             nullptr);
 
     ~GraphEngine();
     GraphEngine(const GraphEngine &) = delete;
@@ -222,6 +249,10 @@ class GraphEngine
     Context &context(ContextKind kind);
     PushOptions pushOptions() const;
 
+    /** True when the injected shared schedule matches @p ctx (same
+     *  scheduled graph object and build parameters). */
+    bool sharedApplies(const Context &ctx) const;
+
     /** Run a semiring analysis through the configured direction and
      *  mapping mode (stored schedule or dynamic reasoning). */
     template <typename Semiring>
@@ -243,6 +274,8 @@ class GraphEngine
 
     const graph::Csr &graph_;
     EngineOptions options_;
+    /** Externally cached forward schedule (may be null). */
+    std::shared_ptr<const SharedSchedule> shared_;
     sim::WarpSimulator sim_;
     /** Host worker pool shared by every analysis; null when the engine
      *  resolved to a single thread. */

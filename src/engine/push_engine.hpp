@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -55,6 +56,8 @@ struct PushOptions
      *  (identical) chunked algorithm on the calling thread. Results
      *  never depend on the pool's size. */
     par::ThreadPool *pool = nullptr;
+    /** Optional cancellation hook (deadline budgets); null = never. */
+    CancelCheck cancel;
 };
 
 /** Result of a push or pull run. */
@@ -67,6 +70,8 @@ struct PushOutcome
     unsigned iterations = 0;
     /** True when the run converged before hitting maxIterations. */
     bool converged = false;
+    /** True when PushOptions::cancel stopped the run early. */
+    bool cancelled = false;
     /** Aggregated simulator counters over all launches. */
     sim::KernelStats stats;
 };
@@ -192,6 +197,12 @@ runPush(const Provider &provider, sim::WarpSimulator &sim,
     }
 
     while (outcome.iterations < options.maxIterations) {
+        if (options.cancel &&
+            options.cancel(outcome.iterations, outcome.stats.cycles)) {
+            outcome.cancelled = true;
+            break;
+        }
+
         // Gather this iteration's units.
         std::uint64_t active_nodes = 0;
         if (use_worklist) {
@@ -370,6 +381,11 @@ runPull(const Provider &provider, sim::WarpSimulator &sim,
         unit_chunks);
 
     while (outcome.iterations < options.maxIterations) {
+        if (options.cancel &&
+            options.cancel(outcome.iterations, outcome.stats.cycles)) {
+            outcome.cancelled = true;
+            break;
+        }
         ++outcome.iterations;
 
         const std::vector<Value> &frozen = outcome.values;

@@ -101,6 +101,8 @@ Schedule::build(const graph::Csr &graph, Strategy strategy,
     Schedule schedule;
     schedule.graph_ = &graph;
     schedule.strategy_ = strategy;
+    schedule.degreeBound_ = degree_bound;
+    schedule.mwVirtualWarp_ = mw_virtual_warp;
     schedule.cost_ = costModelFor(strategy);
 
     const NodeId n = graph.numNodes();

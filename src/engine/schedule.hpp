@@ -70,6 +70,23 @@ class Schedule
     /** Strategy this schedule implements. */
     Strategy strategy() const { return strategy_; }
 
+    /** Degree bound K the decomposition was built with (meaningful for
+     *  the virtual strategies; stored for all so a cached schedule's
+     *  compatibility can be checked exactly). */
+    NodeId degreeBound() const { return degreeBound_; }
+
+    /** Virtual-warp width the decomposition was built with. */
+    unsigned mwVirtualWarp() const { return mwVirtualWarp_; }
+
+    /** Heap bytes of the stored decomposition (units + offsets): the
+     *  quantity the service transform cache budgets against. */
+    std::size_t
+    sizeInBytes() const
+    {
+        return units_.size() * sizeof(WorkUnit) +
+               unitOffsets_.size() * sizeof(std::uint64_t);
+    }
+
     /** Number of value nodes (= nodes of the scheduled graph). */
     NodeId numValueNodes() const
     {
@@ -127,6 +144,8 @@ class Schedule
   private:
     const graph::Csr *graph_ = nullptr;
     Strategy strategy_ = Strategy::Baseline;
+    NodeId degreeBound_ = 0;
+    unsigned mwVirtualWarp_ = 0;
     CostModel cost_;
     std::vector<WorkUnit> units_;
     std::vector<std::uint64_t> unitOffsets_; // per value node, n+1

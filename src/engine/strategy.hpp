@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -21,6 +22,19 @@
 #include "sim/gpu_config.hpp"
 
 namespace tigr::engine {
+
+/**
+ * Cooperative cancellation hook, polled between BSP iterations with
+ * the iterations executed and simulated cycles charged so far.
+ * Returning true stops the run before the next iteration starts; the
+ * result then reports cancelled = true and converged = false, and the
+ * values are the (well-defined) state after the completed iterations.
+ * A check keyed on iterations or cycles is deterministic at any host
+ * thread count — both are thread-count-invariant by the determinism
+ * contract; a wall-clock check is inherently not.
+ */
+using CancelCheck =
+    std::function<bool(unsigned iterations, std::uint64_t cycles)>;
 
 /** Thread-mapping strategy (Table 2). */
 enum class Strategy
@@ -135,6 +149,9 @@ struct EngineOptions
     bool syncRelaxation = true;
     /** Safety cap on BSP iterations. */
     unsigned maxIterations = 100000;
+    /** Optional cooperative cancellation hook (see CancelCheck); the
+     *  service layer's deadline budgets plug in here. Null = never. */
+    CancelCheck cancel;
     /** Host threads executing the engine's parallel passes: 0 = the
      *  TIGR_THREADS / hardware-concurrency default, 1 = serial, N > 1
      *  = a pool of N. Every analysis is chunk-deterministic — results,

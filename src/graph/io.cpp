@@ -72,6 +72,18 @@ openOutput(const std::filesystem::path &path, std::ios::openmode mode)
 
 } // namespace
 
+std::uint64_t
+fnv1a64(const void *data, std::size_t size, std::uint64_t seed)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t hash = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ull; // FNV-1a 64 prime
+    }
+    return hash;
+}
+
 CooEdges
 loadEdgeList(std::istream &in)
 {

@@ -5,6 +5,8 @@
  */
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <filesystem>
 #include <istream>
 #include <ostream>
@@ -14,6 +16,20 @@
 #include "graph/csr.hpp"
 
 namespace tigr::graph {
+
+/** FNV-1a 64-bit offset basis: the seed of an unchained hash. */
+inline constexpr std::uint64_t kFnv1aBasis = 0xcbf29ce484222325ull;
+
+/**
+ * FNV-1a 64-bit hash of @p size bytes at @p data. Pass a previous
+ * digest as @p seed to chain ranges (hashing ranges A then B chained
+ * equals hashing their concatenation). This is the checksum the
+ * versioned snapshot container (service/snapshot) protects its header
+ * and payload with: cheap, streaming, and byte-order-stable on the
+ * little-endian targets the binary formats assume.
+ */
+std::uint64_t fnv1a64(const void *data, std::size_t size,
+                      std::uint64_t seed = kFnv1aBasis);
 
 /**
  * Parse a text edge list: one "src dst [weight]" triple per line,

@@ -7,15 +7,41 @@
 namespace tigr::par {
 
 unsigned
+parseThreadCount(std::string_view text, std::string_view origin)
+{
+    auto reject = [&](const char *why) {
+        throw std::invalid_argument(
+            std::string("tigr: invalid ") + std::string(origin) + " '" +
+            std::string(text) + "': " + why + " (expected an integer in "
+            "[1, " + std::to_string(kMaxThreads) + "])");
+    };
+    if (text.empty())
+        reject("empty value");
+    if (text[0] == '-')
+        reject("thread counts cannot be negative");
+    std::uint64_t value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            reject("not a plain decimal integer");
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+        if (value > kMaxThreads)
+            reject("too large");
+    }
+    if (value == 0)
+        reject("0 threads is meaningless; omit the setting to use the "
+               "default");
+    return static_cast<unsigned>(value);
+}
+
+unsigned
 defaultThreads()
 {
     if (const char *env = std::getenv("TIGR_THREADS")) {
-        char *end = nullptr;
-        const unsigned long value = std::strtoul(env, &end, 10);
-        if (end != env && *end == '\0' && value >= 1 &&
-            value <= 1024) {
-            return static_cast<unsigned>(value);
-        }
+        // An empty export is treated as unset; anything else must be a
+        // valid count — garbage fails loudly rather than silently
+        // running at the hardware default.
+        if (*env != '\0')
+            return parseThreadCount(env, "TIGR_THREADS");
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : hw;

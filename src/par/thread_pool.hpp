@@ -19,14 +19,34 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 namespace tigr::par {
 
+/** Upper bound on a requested thread count; requests beyond it are
+ *  configuration errors, not capacity hints. */
+inline constexpr unsigned kMaxThreads = 1024;
+
+/**
+ * Parse a thread-count string strictly: a plain decimal integer in
+ * [1, kMaxThreads]. Rejects 0, negatives, garbage, trailing text, and
+ * overflow — `@p origin` names the setting ("TIGR_THREADS", "--threads")
+ * in the error message.
+ *
+ * @throws std::invalid_argument with a message explaining what was
+ *         given and what is accepted.
+ */
+unsigned parseThreadCount(std::string_view text, std::string_view origin);
+
 /** Thread count used when nothing is requested: $TIGR_THREADS when set
- *  to a positive integer, otherwise std::thread::hardware_concurrency()
- *  (never 0). */
+ *  (and non-empty), otherwise std::thread::hardware_concurrency()
+ *  (never 0).
+ *  @throws std::invalid_argument when TIGR_THREADS is set to 0, a
+ *          negative number, or anything that is not a plain integer in
+ *          [1, kMaxThreads] — a misconfigured environment fails loudly
+ *          instead of silently falling back to the hardware default. */
 unsigned defaultThreads();
 
 /** Resolve a requested thread count: a positive request wins verbatim;

@@ -1,0 +1,122 @@
+#include "service/graph_store.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace tigr::service {
+
+namespace {
+
+double
+elapsedMs(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+std::optional<transform::VirtualGraph>
+StoredGraph::virtualGraph() const
+{
+    if (!hasVirtual)
+        return std::nullopt;
+    return transform::VirtualGraph::fromArrays(
+        graph, virtualDegreeBound, virtualLayout, virtualNodes);
+}
+
+const StoredGraph &
+GraphStore::add(std::string name, graph::Csr graph, std::string source)
+{
+    if (name.empty())
+        throw std::invalid_argument(
+            "tigr: graph store names cannot be empty");
+    if (entries_.count(name))
+        throw std::invalid_argument("tigr: graph '" + name +
+                                    "' is already registered");
+    const auto start = std::chrono::steady_clock::now();
+    auto entry = std::make_unique<StoredGraph>();
+    entry->name = name;
+    entry->graph = std::move(graph);
+    entry->source = std::move(source);
+    entry->loadMs = elapsedMs(start);
+    StoredGraph &ref = *entry;
+    entries_.emplace(std::move(name), std::move(entry));
+    return ref;
+}
+
+const StoredGraph &
+GraphStore::addSnapshot(std::string name,
+                        const std::filesystem::path &path,
+                        SnapshotLoadMode mode)
+{
+    if (name.empty())
+        throw std::invalid_argument(
+            "tigr: graph store names cannot be empty");
+    if (entries_.count(name))
+        throw std::invalid_argument("tigr: graph '" + name +
+                                    "' is already registered");
+    const auto start = std::chrono::steady_clock::now();
+    Snapshot snapshot = loadSnapshotFile(path, mode);
+    auto entry = std::make_unique<StoredGraph>();
+    entry->name = name;
+    entry->graph = std::move(snapshot.graph);
+    entry->hasVirtual = snapshot.hasVirtual;
+    entry->virtualDegreeBound = snapshot.virtualDegreeBound;
+    entry->virtualLayout = snapshot.virtualLayout;
+    entry->virtualNodes = std::move(snapshot.virtualNodes);
+    entry->source = path.string();
+    entry->loadMs = elapsedMs(start);
+    StoredGraph &ref = *entry;
+    entries_.emplace(std::move(name), std::move(entry));
+    return ref;
+}
+
+const StoredGraph *
+GraphStore::find(std::string_view name) const
+{
+    auto it = entries_.find(name);
+    return it == entries_.end() ? nullptr : it->second.get();
+}
+
+const StoredGraph &
+GraphStore::at(std::string_view name) const
+{
+    const StoredGraph *entry = find(name);
+    if (!entry)
+        throw std::out_of_range("tigr: no graph named '" +
+                                std::string(name) + "' in the store");
+    return *entry;
+}
+
+bool
+GraphStore::remove(std::string_view name)
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        return false;
+    entries_.erase(it);
+    return true;
+}
+
+std::vector<std::string>
+GraphStore::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, entry] : entries_)
+        out.push_back(name);
+    return out;
+}
+
+std::size_t
+GraphStore::totalBytes() const
+{
+    std::size_t bytes = 0;
+    for (const auto &[name, entry] : entries_)
+        bytes += entry->graph.sizeInBytes();
+    return bytes;
+}
+
+} // namespace tigr::service

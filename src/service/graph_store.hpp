@@ -1,0 +1,113 @@
+/**
+ * @file
+ * GraphStore: the service's registry of named, immutable graphs.
+ *
+ * Each entry is heap-pinned, so the `const graph::Csr &` a lookup
+ * returns stays valid for the store's lifetime no matter how many
+ * graphs are added afterwards — engines, schedules, and cache entries
+ * all hold pointers into it. Entries loaded from snapshots keep the
+ * persisted virtual node array around so callers can rebind it with
+ * VirtualGraph::fromArrays instead of rebuilding.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "service/snapshot.hpp"
+
+namespace tigr::service {
+
+/** One registered graph and where it came from. */
+struct StoredGraph
+{
+    /** Registry name (unique within the store). */
+    std::string name;
+    /** The graph itself; address is stable for the store's lifetime. */
+    graph::Csr graph;
+    /** True when the source snapshot carried a virtual node array. */
+    bool hasVirtual = false;
+    /** Degree bound / layout the persisted array was built with. */
+    NodeId virtualDegreeBound = 0;
+    transform::EdgeLayout virtualLayout =
+        transform::EdgeLayout::Coalesced;
+    /** The persisted virtual node array (empty without one). */
+    std::vector<transform::VirtualNode> virtualNodes;
+    /** Provenance string for stats output ("memory", a file path). */
+    std::string source = "memory";
+    /** Host milliseconds spent loading/registering. */
+    double loadMs = 0.0;
+
+    /** Rebind the persisted virtual array to this entry's graph; empty
+     *  when the entry has none. The result references `graph`. */
+    std::optional<transform::VirtualGraph> virtualGraph() const;
+};
+
+/**
+ * Name -> graph registry. Not internally synchronized: the service
+ * mutates it only between query batches (the scheduler reads it
+ * concurrently but never during add/remove).
+ */
+class GraphStore
+{
+  public:
+    GraphStore() = default;
+    GraphStore(const GraphStore &) = delete;
+    GraphStore &operator=(const GraphStore &) = delete;
+
+    /**
+     * Register @p graph under @p name.
+     * @throws std::invalid_argument if the name is taken or empty.
+     */
+    const StoredGraph &add(std::string name, graph::Csr graph,
+                           std::string source = "memory");
+
+    /**
+     * Load the snapshot at @p path and register it under @p name,
+     * keeping any persisted virtual section.
+     * @throws SnapshotError on load failure, std::invalid_argument on
+     *         a duplicate name.
+     */
+    const StoredGraph &
+    addSnapshot(std::string name, const std::filesystem::path &path,
+                SnapshotLoadMode mode = SnapshotLoadMode::Auto);
+
+    /** Entry for @p name, or null. */
+    const StoredGraph *find(std::string_view name) const;
+
+    /** Entry for @p name. @throws std::out_of_range with the name. */
+    const StoredGraph &at(std::string_view name) const;
+
+    /** True when @p name is registered. */
+    bool contains(std::string_view name) const
+    {
+        return find(name) != nullptr;
+    }
+
+    /** Drop @p name; returns false when it was not registered. The
+     *  entry's graph memory is freed — callers must not hold engines
+     *  or cache entries over it across a remove. */
+    bool remove(std::string_view name);
+
+    /** Number of registered graphs. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** Registered names in ascending order (deterministic stats). */
+    std::vector<std::string> names() const;
+
+    /** Total heap bytes of all stored CSR arrays. */
+    std::size_t totalBytes() const;
+
+  private:
+    // unique_ptr pins each entry: map rebalancing moves pointers, not
+    // the StoredGraph (whose Csr address clients capture).
+    std::map<std::string, std::unique_ptr<StoredGraph>, std::less<>>
+        entries_;
+};
+
+} // namespace tigr::service

@@ -1,0 +1,269 @@
+#include "service/query_scheduler.hpp"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+
+#include "graph/io.hpp"
+#include "par/thread_pool.hpp"
+
+namespace tigr::service {
+
+namespace {
+
+/** FNV-1a digest of a result-value vector's raw bytes. */
+template <typename T>
+std::uint64_t
+digestOf(const std::vector<T> &values)
+{
+    return graph::fnv1a64(values.data(), values.size() * sizeof(T));
+}
+
+/** True when a cached forward schedule can ever apply to this spec:
+ *  TigrUdt engines schedule over the physically transformed graph, so
+ *  a schedule over the original could never be reused. */
+bool
+cacheable(const QuerySpec &spec)
+{
+    return spec.strategy != engine::Strategy::TigrUdt;
+}
+
+bool
+needsSource(engine::Algorithm algorithm)
+{
+    switch (algorithm) {
+      case engine::Algorithm::Bfs:
+      case engine::Algorithm::Sssp:
+      case engine::Algorithm::Sswp:
+      case engine::Algorithm::Bc:
+        return true;
+      case engine::Algorithm::Cc:
+      case engine::Algorithm::Pr:
+        return false;
+    }
+    return false;
+}
+
+} // namespace
+
+std::string_view
+queryOutcomeName(QueryOutcome outcome)
+{
+    switch (outcome) {
+      case QueryOutcome::Completed: return "completed";
+      case QueryOutcome::DeadlineExceeded: return "deadline-exceeded";
+      case QueryOutcome::Rejected: return "rejected";
+      case QueryOutcome::Error: return "error";
+    }
+    return "unknown";
+}
+
+QueryScheduler::QueryScheduler(const GraphStore &store,
+                               TransformCache &cache,
+                               SchedulerOptions options)
+    : store_(store), cache_(cache), options_(options),
+      workers_(par::resolveThreads(options.workers))
+{
+}
+
+bool
+QueryScheduler::admit(const QuerySpec &spec, QueryResult &result) const
+{
+    auto reject = [&](std::string why) {
+        result.outcome = QueryOutcome::Rejected;
+        result.message = std::move(why);
+        return false;
+    };
+    const StoredGraph *entry = store_.find(spec.graph);
+    if (!entry)
+        return reject("unknown graph '" + spec.graph + "'");
+    if (spec.strategy == engine::Strategy::TigrUdt &&
+        (spec.algorithm == engine::Algorithm::Pr ||
+         spec.algorithm == engine::Algorithm::Bc))
+        return reject(std::string(algorithmName(spec.algorithm)) +
+                      " is unsupported under the UDT strategy");
+    if (needsSource(spec.algorithm) &&
+        spec.source >= entry->graph.numNodes())
+        return reject("source " + std::to_string(spec.source) +
+                      " out of range for graph '" + spec.graph + "'");
+    if ((spec.strategy == engine::Strategy::TigrV ||
+         spec.strategy == engine::Strategy::TigrVPlus) &&
+        spec.degreeBound == 0)
+        return reject("degree bound 0 under a virtual strategy");
+    return true;
+}
+
+void
+QueryScheduler::execute(const QuerySpec &spec,
+                        QueryResult &result) const
+{
+    const StoredGraph &entry = store_.at(spec.graph);
+
+    engine::EngineOptions opts;
+    opts.strategy = spec.strategy;
+    opts.degreeBound = spec.degreeBound;
+    opts.mwVirtualWarp = spec.mwVirtualWarp;
+    // The engine itself is single-threaded: scheduler concurrency is
+    // across queries only, which the determinism contract needs.
+    opts.threads = 1;
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    const double sim_limit = spec.deadlineSimMs;
+    const double wall_limit = spec.deadlineWallMs;
+    if (sim_limit > 0.0 || wall_limit > 0.0) {
+        opts.cancel = [sim_limit, wall_limit,
+                       wall_start](unsigned, std::uint64_t cycles) {
+            if (sim_limit > 0.0 &&
+                engine::cyclesToMs(cycles) >= sim_limit)
+                return true;
+            if (wall_limit > 0.0) {
+                const double elapsed =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+                if (elapsed >= wall_limit)
+                    return true;
+            }
+            return false;
+        };
+    }
+
+    std::shared_ptr<const engine::SharedSchedule> shared;
+    if (cacheable(spec)) {
+        // Warm-up already built it; this lookup is a guaranteed hit
+        // and does not perturb the per-query hit attribution (that was
+        // fixed serially in runBatch).
+        shared = cache_.get(TransformKey{spec.graph, &entry.graph,
+                                         spec.strategy,
+                                         spec.degreeBound,
+                                         spec.mwVirtualWarp});
+    }
+
+    try {
+        engine::GraphEngine engine(entry.graph, opts, shared);
+        switch (spec.algorithm) {
+          case engine::Algorithm::Bfs: {
+            auto r = engine.bfs(spec.source);
+            result.info = r.info;
+            result.digest = digestOf(r.values);
+            result.values = r.values.size();
+            break;
+          }
+          case engine::Algorithm::Sssp: {
+            auto r = engine.sssp(spec.source);
+            result.info = r.info;
+            result.digest = digestOf(r.values);
+            result.values = r.values.size();
+            break;
+          }
+          case engine::Algorithm::Sswp: {
+            auto r = engine.sswp(spec.source);
+            result.info = r.info;
+            result.digest = digestOf(r.values);
+            result.values = r.values.size();
+            break;
+          }
+          case engine::Algorithm::Cc: {
+            auto r = engine.cc();
+            result.info = r.info;
+            result.digest = digestOf(r.values);
+            result.values = r.values.size();
+            break;
+          }
+          case engine::Algorithm::Pr: {
+            engine::PageRankOptions pr;
+            pr.iterations = spec.prIterations;
+            auto r = engine.pagerank(pr);
+            result.info = r.info;
+            result.digest = digestOf(r.values);
+            result.values = r.values.size();
+            break;
+          }
+          case engine::Algorithm::Bc: {
+            const std::array<NodeId, 1> sources{spec.source};
+            auto r = engine.bc(sources);
+            result.info = r.info;
+            result.digest = digestOf(r.values);
+            result.values = r.values.size();
+            break;
+          }
+        }
+        result.outcome = result.info.cancelled
+                             ? QueryOutcome::DeadlineExceeded
+                             : QueryOutcome::Completed;
+    } catch (const std::exception &e) {
+        result.outcome = QueryOutcome::Error;
+        result.message = e.what();
+        result.digest = 0;
+        result.values = 0;
+    }
+}
+
+std::vector<QueryResult>
+QueryScheduler::runBatch(std::span<const QuerySpec> batch)
+{
+    std::vector<QueryResult> results(batch.size());
+    std::vector<bool> admitted(batch.size(), false);
+
+    // Phase 1 — admission, in batch order: the queue bound rejects by
+    // position, never by timing.
+    std::size_t queued = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (queued >= options_.maxQueuedQueries) {
+            results[i].outcome = QueryOutcome::Rejected;
+            results[i].message =
+                "admission queue full (" +
+                std::to_string(options_.maxQueuedQueries) + " queries)";
+            continue;
+        }
+        if (admit(batch[i], results[i])) {
+            admitted[i] = true;
+            ++queued;
+        }
+    }
+
+    // Phase 2 — serial transform warm-up, in batch order: the first
+    // query of each (graph, strategy, K, warp) key is the miss that
+    // builds, every later one is a hit. Worker interleaving can no
+    // longer influence hit attribution or who pays the build.
+    std::unique_ptr<par::ThreadPool> build_pool;
+    if (par::resolveThreads(options_.buildThreads) > 1)
+        build_pool = std::make_unique<par::ThreadPool>(
+            options_.buildThreads);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (!admitted[i] || !cacheable(batch[i]))
+            continue;
+        const QuerySpec &spec = batch[i];
+        bool hit = false;
+        cache_.getOrBuild(TransformKey{spec.graph,
+                                       &store_.at(spec.graph).graph,
+                                       spec.strategy, spec.degreeBound,
+                                       spec.mwVirtualWarp},
+                          build_pool.get(), &hit);
+        results[i].cacheHit = hit;
+    }
+    build_pool.reset();
+
+    // Phase 3 — concurrent execution: workers claim batch slots via an
+    // atomic ticket. Claim order varies; each slot's result does not.
+    std::atomic<std::size_t> next{0};
+    auto drain = [&](unsigned) {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= batch.size())
+                break;
+            if (admitted[i])
+                execute(batch[i], results[i]);
+        }
+    };
+    if (workers_ > 1) {
+        par::ThreadPool pool(workers_);
+        pool.run(drain);
+    } else {
+        drain(0);
+    }
+    return results;
+}
+
+} // namespace tigr::service

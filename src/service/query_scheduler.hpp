@@ -1,0 +1,155 @@
+/**
+ * @file
+ * QueryScheduler: bounded-admission, deadline-aware batch execution of
+ * analytics queries over the GraphStore, sharing transforms through the
+ * TransformCache.
+ *
+ * Determinism contract (the property the differential tests pin): for
+ * a fixed store, cache state, and batch, runBatch() produces
+ * bit-identical per-query values, outcomes, iteration counts, and
+ * cache-hit flags at ANY worker count. Three design choices make that
+ * hold:
+ *
+ *  1. Every query executes on a single-threaded engine, whose results
+ *     are bit-identical by the repo's chunk-determinism contract —
+ *     scheduler workers add concurrency *across* queries, never inside
+ *     one.
+ *  2. Transform warm-up is serial and in batch order: each admitted
+ *     query's schedule is built (or found) in the cache before any
+ *     worker starts, so which query is the miss and which are hits is
+ *     a function of the batch alone, not of worker interleaving.
+ *  3. Deterministic deadlines are expressed in *simulated* time
+ *     (QuerySpec::deadlineSimMs): the engine's cancel hook compares
+ *     the simulated cycle counter — thread-count-invariant — so a
+ *     query exceeds its deadline identically everywhere. Wall-clock
+ *     deadlines (deadlineWallMs) are available but explicitly
+ *     best-effort.
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/strategy.hpp"
+#include "engine/graph_engine.hpp"
+#include "service/graph_store.hpp"
+#include "service/transform_cache.hpp"
+
+namespace tigr::service {
+
+/** One analytics job. */
+struct QuerySpec
+{
+    /** Store name of the graph to analyze. */
+    std::string graph;
+    /** Which analysis to run. */
+    engine::Algorithm algorithm = engine::Algorithm::Bfs;
+    /** Source node for BFS/SSSP/SSWP/BC (ignored by CC/PR). */
+    NodeId source = 0;
+    /** Scheduling strategy (Table 2). */
+    engine::Strategy strategy = engine::Strategy::TigrVPlus;
+    /** Degree bound K for the virtual strategies. */
+    NodeId degreeBound = 10;
+    /** Virtual-warp width for MaximumWarp. */
+    unsigned mwVirtualWarp = 8;
+    /** PageRank rounds (PR only). */
+    unsigned prIterations = 20;
+    /**
+     * Deterministic deadline in *simulated* milliseconds: the query is
+     * cancelled before the first BSP iteration whose accumulated
+     * simulated kernel time is >= this. 0 = no deadline. Identical at
+     * any worker count.
+     */
+    double deadlineSimMs = 0.0;
+    /**
+     * Best-effort wall-clock deadline in host milliseconds, measured
+     * from when a worker picks the query up. 0 = none. NOT
+     * deterministic — use deadlineSimMs when reproducibility matters.
+     */
+    double deadlineWallMs = 0.0;
+};
+
+/** How a query ended. */
+enum class QueryOutcome
+{
+    Completed,        ///< Ran to convergence / iteration budget.
+    DeadlineExceeded, ///< Cancelled by a deadline; partial values are
+                      ///< the well-defined state at cancellation.
+    Rejected,         ///< Never ran (admission queue full, unknown
+                      ///< graph, unsupported strategy/algorithm pair).
+    Error,            ///< The engine threw mid-run.
+};
+
+/** Display name ("completed", "deadline-exceeded", ...). */
+std::string_view queryOutcomeName(QueryOutcome outcome);
+
+/** Result of one query, in batch order. */
+struct QueryResult
+{
+    QueryOutcome outcome = QueryOutcome::Rejected;
+    /** Diagnostic for Rejected / Error outcomes. */
+    std::string message;
+    /** Engine metadata (iterations, counters, transform timing). */
+    engine::RunInfo info;
+    /** FNV-1a 64 digest over the raw result-value bytes — the compact
+     *  bit-identity witness the differential tests compare. 0 for
+     *  queries that never ran. */
+    std::uint64_t digest = 0;
+    /** Number of result values behind the digest. */
+    std::size_t values = 0;
+    /** True when the query's transform came out of the TransformCache
+     *  (deterministic: decided by the serial warm-up phase). */
+    bool cacheHit = false;
+};
+
+/** Scheduler tuning. */
+struct SchedulerOptions
+{
+    /** Concurrent query workers: 0 = the TIGR_THREADS / hardware
+     *  default, N >= 1 = exactly N. */
+    unsigned workers = 0;
+    /** Admission bound: queries beyond this many in one batch are
+     *  Rejected (deterministically, by batch position). */
+    std::size_t maxQueuedQueries = 1024;
+    /** Host threads for cache-miss transform builds during warm-up
+     *  (builds are bit-identical at any value). 0 = default. */
+    unsigned buildThreads = 1;
+};
+
+/**
+ * Executes query batches against a GraphStore + TransformCache. The
+ * store must not be mutated during runBatch(); the cache is safe to
+ * share (internally synchronized).
+ */
+class QueryScheduler
+{
+  public:
+    QueryScheduler(const GraphStore &store, TransformCache &cache,
+                   SchedulerOptions options = {});
+
+    /** Worker count batches actually run with. */
+    unsigned workers() const { return workers_; }
+
+    /**
+     * Run @p batch to completion and return per-query results in batch
+     * order. Admission, warm-up, execution — see the file comment for
+     * the determinism argument.
+     */
+    std::vector<QueryResult> runBatch(std::span<const QuerySpec> batch);
+
+  private:
+    /** Validate @p spec against the store; fills result on rejection. */
+    bool admit(const QuerySpec &spec, QueryResult &result) const;
+
+    /** Execute one admitted query (on a 1-thread engine). */
+    void execute(const QuerySpec &spec, QueryResult &result) const;
+
+    const GraphStore &store_;
+    TransformCache &cache_;
+    SchedulerOptions options_;
+    unsigned workers_;
+};
+
+} // namespace tigr::service

@@ -1,0 +1,273 @@
+#include "service/script.hpp"
+
+#include <filesystem>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/io.hpp"
+#include "graph/validate.hpp"
+#include "service/graph_store.hpp"
+#include "service/query_scheduler.hpp"
+#include "service/snapshot.hpp"
+#include "service/transform_cache.hpp"
+
+namespace tigr::service {
+
+namespace {
+
+[[noreturn]] void
+scriptFail(std::size_t line_no, const std::string &why)
+{
+    throw std::runtime_error("tigr serve: line " +
+                             std::to_string(line_no) + ": " + why);
+}
+
+std::optional<engine::Algorithm>
+parseAlgorithm(const std::string &name)
+{
+    if (name == "bfs") return engine::Algorithm::Bfs;
+    if (name == "sssp") return engine::Algorithm::Sssp;
+    if (name == "sswp") return engine::Algorithm::Sswp;
+    if (name == "cc") return engine::Algorithm::Cc;
+    if (name == "pr") return engine::Algorithm::Pr;
+    if (name == "bc") return engine::Algorithm::Bc;
+    return std::nullopt;
+}
+
+/** Load any graph file the CLI understands, snapshots included. */
+const graph::Csr &
+loadAnyGraph(GraphStore &store, const std::string &name,
+             const std::string &path, std::size_t line_no)
+{
+    const std::string ext =
+        std::filesystem::path(path).extension().string();
+    if (ext == std::string(kSnapshotExtension)) {
+        return store.addSnapshot(name, path).graph;
+    }
+    graph::Csr g;
+    if (ext == ".csr")
+        g = graph::loadCsrBinaryFile(path);
+    else if (ext == ".mtx")
+        g = graph::Csr::fromCoo(graph::loadMatrixMarketFile(path));
+    else if (ext == ".el" || ext == ".txt" || ext == ".snap")
+        g = graph::Csr::fromCoo(graph::loadEdgeListFile(path));
+    else
+        scriptFail(line_no, "unknown graph extension '" + ext + "'");
+    if (auto error = graph::validateCsr(g))
+        scriptFail(line_no, "invalid graph: " + *error);
+    return store.add(name, std::move(g), path).graph;
+}
+
+double
+parseDouble(const std::string &text, std::size_t line_no,
+            const std::string &key)
+{
+    try {
+        std::size_t used = 0;
+        const double value = std::stod(text, &used);
+        if (used != text.size() || value < 0.0)
+            throw std::invalid_argument(text);
+        return value;
+    } catch (const std::exception &) {
+        scriptFail(line_no, "bad value '" + text + "' for " + key);
+    }
+}
+
+std::uint64_t
+parseU64(const std::string &text, std::size_t line_no,
+         const std::string &key)
+{
+    try {
+        std::size_t used = 0;
+        const std::uint64_t value = std::stoull(text, &used);
+        if (used != text.size())
+            throw std::invalid_argument(text);
+        return value;
+    } catch (const std::exception &) {
+        scriptFail(line_no, "bad value '" + text + "' for " + key);
+    }
+}
+
+QuerySpec
+parseQuery(const std::vector<std::string> &tokens, std::size_t line_no)
+{
+    if (tokens.size() < 3)
+        scriptFail(line_no, "query needs: query GRAPH ALGO [k=v ...]");
+    QuerySpec spec;
+    spec.graph = tokens[1];
+    auto algorithm = parseAlgorithm(tokens[2]);
+    if (!algorithm)
+        scriptFail(line_no, "unknown algorithm '" + tokens[2] +
+                                "' (bfs|sssp|sswp|cc|pr|bc)");
+    spec.algorithm = *algorithm;
+    for (std::size_t i = 3; i < tokens.size(); ++i) {
+        const std::string &token = tokens[i];
+        const auto eq = token.find('=');
+        if (eq == std::string::npos)
+            scriptFail(line_no, "expected key=value, got '" + token +
+                                    "'");
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        if (key == "source") {
+            spec.source =
+                static_cast<NodeId>(parseU64(value, line_no, key));
+        } else if (key == "strategy") {
+            auto strategy = engine::parseStrategy(value);
+            if (!strategy)
+                scriptFail(line_no,
+                           "unknown strategy '" + value + "'");
+            spec.strategy = *strategy;
+        } else if (key == "k") {
+            spec.degreeBound =
+                static_cast<NodeId>(parseU64(value, line_no, key));
+        } else if (key == "warp") {
+            spec.mwVirtualWarp =
+                static_cast<unsigned>(parseU64(value, line_no, key));
+        } else if (key == "pr-iters") {
+            spec.prIterations =
+                static_cast<unsigned>(parseU64(value, line_no, key));
+        } else if (key == "deadline-sim-ms") {
+            spec.deadlineSimMs = parseDouble(value, line_no, key);
+        } else if (key == "deadline-wall-ms") {
+            spec.deadlineWallMs = parseDouble(value, line_no, key);
+        } else {
+            scriptFail(line_no, "unknown query key '" + key + "'");
+        }
+    }
+    return spec;
+}
+
+void
+printResults(std::ostream &out,
+             const std::vector<QuerySpec> &batch,
+             const std::vector<QueryResult> &results)
+{
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const QueryResult &r = results[i];
+        out << "query " << i << ' ' << batch[i].graph << ' '
+            << algorithmName(batch[i].algorithm) << " outcome="
+            << queryOutcomeName(r.outcome);
+        if (r.outcome == QueryOutcome::Completed ||
+            r.outcome == QueryOutcome::DeadlineExceeded) {
+            out << " iterations=" << r.info.iterations << " digest=0x"
+                << std::hex << std::setw(16) << std::setfill('0')
+                << r.digest << std::dec << std::setfill(' ')
+                << " cached=" << (r.cacheHit ? 1 : 0);
+        }
+        if (!r.message.empty())
+            out << " message=\"" << r.message << '"';
+        out << '\n';
+    }
+}
+
+} // namespace
+
+int
+runScript(std::istream &in, std::ostream &out,
+          const ScriptOptions &options)
+{
+    GraphStore store;
+    TransformCache cache(options.cacheBytes);
+    SchedulerOptions sched;
+    sched.workers = options.workers;
+    sched.maxQueuedQueries = options.maxQueuedQueries;
+    QueryScheduler scheduler(store, cache, sched);
+
+    std::vector<QuerySpec> pending;
+
+    auto flush = [&]() {
+        if (pending.empty())
+            return;
+        const std::vector<QueryResult> results =
+            scheduler.runBatch(pending);
+        printResults(out, pending, results);
+        pending.clear();
+    };
+
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream fields(line);
+        std::vector<std::string> tokens;
+        for (std::string token; fields >> token;)
+            tokens.push_back(token);
+        if (tokens.empty())
+            continue;
+
+        const std::string &command = tokens[0];
+        if (command == "load") {
+            if (tokens.size() != 3)
+                scriptFail(line_no, "load needs: load NAME PATH");
+            const graph::Csr &g =
+                loadAnyGraph(store, tokens[1], tokens[2], line_no);
+            out << "loaded " << tokens[1] << " nodes=" << g.numNodes()
+                << " edges=" << g.numEdges() << '\n';
+        } else if (command == "snapshot") {
+            if (tokens.size() < 3 || tokens.size() > 5)
+                scriptFail(line_no,
+                           "snapshot needs: snapshot NAME PATH "
+                           "[K [consecutive|coalesced]]");
+            const StoredGraph *entry = store.find(tokens[1]);
+            if (!entry)
+                scriptFail(line_no,
+                           "unknown graph '" + tokens[1] + "'");
+            Snapshot snapshot;
+            snapshot.graph = entry->graph;
+            if (tokens.size() >= 4) {
+                const NodeId k = static_cast<NodeId>(
+                    parseU64(tokens[3], line_no, "K"));
+                if (k == 0)
+                    scriptFail(line_no, "degree bound K must be >= 1");
+                auto layout = transform::EdgeLayout::Coalesced;
+                if (tokens.size() == 5) {
+                    if (tokens[4] == "consecutive")
+                        layout = transform::EdgeLayout::Consecutive;
+                    else if (tokens[4] != "coalesced")
+                        scriptFail(line_no, "unknown layout '" +
+                                                tokens[4] + "'");
+                }
+                transform::VirtualGraph vg(entry->graph, k, layout);
+                snapshot.hasVirtual = true;
+                snapshot.virtualDegreeBound = k;
+                snapshot.virtualLayout = layout;
+                snapshot.virtualNodes.assign(
+                    vg.virtualNodes().begin(), vg.virtualNodes().end());
+            }
+            saveSnapshotFile(snapshot, tokens[2]);
+            out << "snapshot " << tokens[1] << " -> " << tokens[2]
+                << " virtualNodes=" << snapshot.virtualNodes.size()
+                << '\n';
+        } else if (command == "query") {
+            pending.push_back(parseQuery(tokens, line_no));
+        } else if (command == "run") {
+            if (tokens.size() != 1)
+                scriptFail(line_no, "run takes no arguments");
+            flush();
+        } else if (command == "stats") {
+            if (tokens.size() != 1)
+                scriptFail(line_no, "stats takes no arguments");
+            const TransformCacheStats cs = cache.stats();
+            out << "stats graphs=" << store.size()
+                << " graphBytes=" << store.totalBytes()
+                << " cacheEntries=" << cs.entries
+                << " cacheBytes=" << cs.bytes << " hits=" << cs.hits
+                << " misses=" << cs.misses
+                << " evictions=" << cs.evictions
+                << " workers=" << scheduler.workers() << '\n';
+        } else {
+            scriptFail(line_no, "unknown command '" + command +
+                                    "' (load|snapshot|query|run|stats)");
+        }
+    }
+    flush();
+    return 0;
+}
+
+} // namespace tigr::service

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Line-oriented service scripts: the embeddable driver behind
+ * `tigr serve --script FILE`.
+ *
+ * Commands (one per line; '#' starts a comment):
+ *
+ *   load NAME PATH
+ *       Register a graph file under NAME. Extension-dispatched:
+ *       .el/.txt/.snap edge list, .mtx Matrix Market, .csr Tigr binary,
+ *       .tgs versioned snapshot (keeps any persisted virtual section).
+ *   snapshot NAME PATH [K [consecutive|coalesced]]
+ *       Write stored graph NAME to PATH as a snapshot; a positive K
+ *       embeds the virtual node array built with that degree bound.
+ *   query GRAPH ALGO [key=value ...]
+ *       Append a query to the pending batch. ALGO is one of
+ *       bfs|sssp|sswp|cc|pr|bc. Keys: source=N strategy=S k=N warp=N
+ *       pr-iters=N deadline-sim-ms=X deadline-wall-ms=X.
+ *   run
+ *       Execute the pending batch through the QueryScheduler and print
+ *       one result line per query, in batch order.
+ *   stats
+ *       Print store and transform-cache counters.
+ *
+ * A non-empty pending batch is flushed (as by `run`) at end of script.
+ * All output is deterministic at any worker count (timings are
+ * deliberately omitted); malformed commands throw std::runtime_error
+ * naming the line.
+ */
+#pragma once
+
+#include <cstddef>
+#include <istream>
+#include <ostream>
+
+namespace tigr::service {
+
+/** Knobs for one script execution. */
+struct ScriptOptions
+{
+    /** Scheduler workers (0 = TIGR_THREADS / hardware default). */
+    unsigned workers = 0;
+    /** Admission bound per batch. */
+    std::size_t maxQueuedQueries = 1024;
+    /** TransformCache byte budget. */
+    std::size_t cacheBytes = std::size_t{64} << 20;
+};
+
+/**
+ * Run a service script from @p in, writing results to @p out.
+ * @return 0 on success.
+ * @throws std::runtime_error on malformed commands, SnapshotError on
+ *         bad snapshot files.
+ */
+int runScript(std::istream &in, std::ostream &out,
+              const ScriptOptions &options = {});
+
+} // namespace tigr::service

@@ -1,0 +1,507 @@
+#include "service/snapshot.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <new>
+
+#include "graph/io.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TIGR_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define TIGR_HAVE_MMAP 0
+#endif
+
+namespace tigr::service {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'I', 'G', 'R', 'S', 'N', 'P', '2'};
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kFlagVirtual = 1u << 0;
+
+/** The fixed on-disk header; field order gives natural alignment, so
+ *  the struct is exactly its 80 wire bytes with no padding. */
+struct Header
+{
+    char magic[8];
+    std::uint32_t version;
+    std::uint32_t flags;
+    std::uint64_t numNodes;
+    std::uint64_t numEdges;
+    std::uint64_t numVirtualNodes;
+    std::uint32_t virtualDegreeBound;
+    std::uint32_t virtualLayout;
+    std::uint64_t payloadOffset;
+    std::uint64_t payloadBytes;
+    std::uint64_t payloadChecksum;
+    std::uint64_t headerChecksum;
+};
+
+static_assert(sizeof(Header) == 80, "snapshot header must be 80 bytes");
+static_assert(std::is_trivially_copyable_v<Header>);
+
+/** Bytes of the header covered by headerChecksum (everything before
+ *  the checksum field itself). */
+constexpr std::size_t kHeaderHashedBytes =
+    sizeof(Header) - sizeof(std::uint64_t);
+
+[[noreturn]] void
+fail(SnapshotErrorKind kind, const std::string &message)
+{
+    throw SnapshotError(kind, "tigr: " + message);
+}
+
+/** Payload size implied by the header's counts, with overflow guards
+ *  (a hostile header must not wrap these multiplications). */
+std::uint64_t
+expectedPayloadBytes(const Header &h)
+{
+    if (h.numNodes >= std::numeric_limits<NodeId>::max())
+        fail(SnapshotErrorKind::Inconsistent,
+             "snapshot declares more nodes than a 32-bit id can name");
+    if (h.numEdges > (1ull << 48) || h.numVirtualNodes > (1ull << 48))
+        fail(SnapshotErrorKind::Inconsistent,
+             "snapshot declares an implausible array size");
+    std::uint64_t bytes = (h.numNodes + 1) * sizeof(EdgeIndex) +
+                          h.numEdges * sizeof(NodeId) +
+                          h.numEdges * sizeof(Weight);
+    if (h.flags & kFlagVirtual) {
+        bytes += h.numVirtualNodes *
+                 (sizeof(NodeId) + 2 * sizeof(EdgeIndex) +
+                  sizeof(std::uint32_t));
+    }
+    return bytes;
+}
+
+/** Validate everything the header alone can prove, in diagnosis order:
+ *  magic (is this even ours), version, checksum (is it intact), then
+ *  internal consistency of the declared geometry. */
+void
+validateHeader(const Header &h)
+{
+    if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0)
+        fail(SnapshotErrorKind::BadMagic,
+             "not a TIGRSNP2 snapshot (bad magic)");
+    if (h.version != kVersion)
+        fail(SnapshotErrorKind::BadVersion,
+             "unsupported snapshot version " +
+                 std::to_string(h.version) + " (this build reads " +
+                 std::to_string(kVersion) + ")");
+    if (graph::fnv1a64(&h, kHeaderHashedBytes) != h.headerChecksum)
+        fail(SnapshotErrorKind::ChecksumMismatch,
+             "snapshot header fails its checksum");
+    if (h.flags & ~kFlagVirtual)
+        fail(SnapshotErrorKind::Inconsistent,
+             "snapshot header sets unknown flags");
+    if (!(h.flags & kFlagVirtual) && h.numVirtualNodes != 0)
+        fail(SnapshotErrorKind::Inconsistent,
+             "virtual node count without a virtual section");
+    if (h.payloadOffset != sizeof(Header))
+        fail(SnapshotErrorKind::Inconsistent,
+             "snapshot payload offset does not follow the header");
+    if (h.payloadBytes != expectedPayloadBytes(h))
+        fail(SnapshotErrorKind::Inconsistent,
+             "snapshot payload size disagrees with its array counts");
+    if (h.virtualLayout > 1)
+        fail(SnapshotErrorKind::Inconsistent,
+             "snapshot declares an unknown edge layout");
+}
+
+/** Structural validation of the decoded arrays (checksums passing only
+ *  proves the bytes are what the writer wrote, not that the writer was
+ *  sane). Everything here guards a later unchecked array index. */
+void
+validateArrays(const Header &h, const std::vector<EdgeIndex> &offsets,
+               const std::vector<transform::VirtualNode> &vnodes)
+{
+    if (offsets.front() != 0 || offsets.back() != h.numEdges)
+        fail(SnapshotErrorKind::Inconsistent,
+             "snapshot row offsets do not span the edge array");
+    for (std::size_t v = 1; v < offsets.size(); ++v)
+        if (offsets[v] < offsets[v - 1])
+            fail(SnapshotErrorKind::Inconsistent,
+                 "snapshot row offsets are not monotone");
+    // Edge targets out of range are tolerated by Csr itself but would
+    // index out of bounds in every engine; reject them here once.
+    if (h.flags & kFlagVirtual) {
+        if (h.virtualDegreeBound == 0)
+            fail(SnapshotErrorKind::Inconsistent,
+                 "snapshot virtual section with degree bound 0");
+        for (const transform::VirtualNode &node : vnodes) {
+            if (node.physicalId >= h.numNodes ||
+                node.count > h.virtualDegreeBound)
+                fail(SnapshotErrorKind::Inconsistent,
+                     "snapshot virtual node entry out of range");
+            if (node.count > 0) {
+                const EdgeIndex last =
+                    node.start + node.stride * (node.count - 1);
+                if (node.start < offsets[node.physicalId] ||
+                    last >= offsets[node.physicalId + 1])
+                    fail(SnapshotErrorKind::Inconsistent,
+                         "snapshot virtual node owns slots outside "
+                         "its node's edge segment");
+            }
+        }
+    }
+}
+
+void
+validateTargets(const Header &h, const std::vector<NodeId> &cols)
+{
+    for (NodeId target : cols)
+        if (target >= h.numNodes)
+            fail(SnapshotErrorKind::Inconsistent,
+                 "snapshot edge target out of range");
+}
+
+Header
+makeHeader(const Snapshot &snapshot)
+{
+    Header h{};
+    std::memcpy(h.magic, kMagic, sizeof(kMagic));
+    h.version = kVersion;
+    h.flags = snapshot.hasVirtual ? kFlagVirtual : 0;
+    h.numNodes = snapshot.graph.numNodes();
+    h.numEdges = snapshot.graph.numEdges();
+    h.numVirtualNodes =
+        snapshot.hasVirtual ? snapshot.virtualNodes.size() : 0;
+    h.virtualDegreeBound = snapshot.virtualDegreeBound;
+    h.virtualLayout =
+        snapshot.virtualLayout == transform::EdgeLayout::Coalesced ? 1
+                                                                   : 0;
+    h.payloadOffset = sizeof(Header);
+    h.payloadBytes = expectedPayloadBytes(h);
+    return h;
+}
+
+/** In-memory cursor over a mapped or loaded snapshot image. */
+struct MemCursor
+{
+    const unsigned char *data;
+    std::size_t size;
+    std::size_t pos = 0;
+
+    void
+    read(void *dst, std::size_t bytes)
+    {
+        if (bytes > size - pos)
+            fail(SnapshotErrorKind::Truncated,
+                 "snapshot ends mid-payload (file truncated?)");
+        std::memcpy(dst, data + pos, bytes);
+        pos += bytes;
+    }
+};
+
+/** Stream cursor for the fread-style path. */
+struct StreamCursor
+{
+    std::istream &in;
+
+    void
+    read(void *dst, std::size_t bytes)
+    {
+        in.read(reinterpret_cast<char *>(dst),
+                static_cast<std::streamsize>(bytes));
+        if (static_cast<std::size_t>(in.gcount()) != bytes)
+            fail(SnapshotErrorKind::Truncated,
+                 "snapshot ends mid-payload (file truncated?)");
+    }
+};
+
+/** Read one payload array, chaining @p checksum across its bytes. */
+template <typename Cursor, typename T>
+void
+readSection(Cursor &cursor, std::vector<T> &vec, std::uint64_t count,
+            std::uint64_t &checksum)
+{
+    try {
+        vec.resize(count);
+    } catch (const std::bad_alloc &) {
+        fail(SnapshotErrorKind::Truncated,
+             "snapshot declares arrays larger than available memory");
+    }
+    cursor.read(vec.data(), count * sizeof(T));
+    checksum = graph::fnv1a64(vec.data(), count * sizeof(T), checksum);
+}
+
+/** Decode header + payload through any cursor. The payload checksum is
+ *  chained section by section, which equals the writer's single pass
+ *  over the concatenated bytes. */
+template <typename Cursor>
+Snapshot
+decode(Cursor &cursor)
+{
+    Header h{};
+    cursor.read(&h, sizeof(Header));
+    validateHeader(h);
+
+    std::uint64_t checksum = graph::kFnv1aBasis;
+    std::vector<EdgeIndex> offsets;
+    std::vector<NodeId> cols;
+    std::vector<Weight> weights;
+    readSection(cursor, offsets, h.numNodes + 1, checksum);
+    readSection(cursor, cols, h.numEdges, checksum);
+    readSection(cursor, weights, h.numEdges, checksum);
+
+    Snapshot snapshot;
+    if (h.flags & kFlagVirtual) {
+        std::vector<NodeId> phys;
+        std::vector<EdgeIndex> starts;
+        std::vector<EdgeIndex> strides;
+        std::vector<std::uint32_t> counts;
+        readSection(cursor, phys, h.numVirtualNodes, checksum);
+        readSection(cursor, starts, h.numVirtualNodes, checksum);
+        readSection(cursor, strides, h.numVirtualNodes, checksum);
+        readSection(cursor, counts, h.numVirtualNodes, checksum);
+        snapshot.virtualNodes.resize(h.numVirtualNodes);
+        for (std::uint64_t i = 0; i < h.numVirtualNodes; ++i) {
+            snapshot.virtualNodes[i] = transform::VirtualNode{
+                phys[i], starts[i], strides[i], counts[i]};
+        }
+    }
+
+    if (checksum != h.payloadChecksum)
+        fail(SnapshotErrorKind::ChecksumMismatch,
+             "snapshot payload fails its checksum (corrupted file?)");
+
+    validateArrays(h, offsets, snapshot.virtualNodes);
+    validateTargets(h, cols);
+
+    snapshot.graph = graph::Csr(std::move(offsets), std::move(cols),
+                                std::move(weights));
+    snapshot.hasVirtual = (h.flags & kFlagVirtual) != 0;
+    snapshot.virtualDegreeBound = h.virtualDegreeBound;
+    snapshot.virtualLayout = h.virtualLayout == 1
+                                 ? transform::EdgeLayout::Coalesced
+                                 : transform::EdgeLayout::Consecutive;
+    return snapshot;
+}
+
+/** Pre-check a file's size against its header so a truncated file is
+ *  reported as Truncated before any large allocation happens. */
+void
+checkFileSize(const std::filesystem::path &path, std::uint64_t actual,
+              const Header &h)
+{
+    const std::uint64_t declared = h.payloadOffset + h.payloadBytes;
+    if (actual < declared)
+        fail(SnapshotErrorKind::Truncated,
+             "snapshot " + path.string() + " is truncated: " +
+                 std::to_string(actual) + " bytes of a declared " +
+                 std::to_string(declared));
+    if (actual > declared)
+        fail(SnapshotErrorKind::Inconsistent,
+             "snapshot " + path.string() + " has trailing bytes");
+}
+
+#if TIGR_HAVE_MMAP
+Snapshot
+loadSnapshotMmap(const std::filesystem::path &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        fail(SnapshotErrorKind::Io,
+             "cannot open " + path.string() + " for mapping");
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        fail(SnapshotErrorKind::Io, "cannot stat " + path.string());
+    }
+    const std::size_t size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+        ::close(fd);
+        fail(SnapshotErrorKind::Truncated,
+             "snapshot " + path.string() + " is empty");
+    }
+    void *mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping keeps the file alive
+    if (mapped == MAP_FAILED)
+        fail(SnapshotErrorKind::Io, "cannot mmap " + path.string());
+    struct Unmapper
+    {
+        void *addr;
+        std::size_t len;
+        ~Unmapper() { ::munmap(addr, len); }
+    } unmapper{mapped, size};
+
+    const auto *data = static_cast<const unsigned char *>(mapped);
+    if (size >= sizeof(Header)) {
+        Header h{};
+        std::memcpy(&h, data, sizeof(Header));
+        validateHeader(h);
+        checkFileSize(path, size, h);
+    }
+    return parseSnapshot(data, size);
+}
+#endif
+
+} // namespace
+
+std::string_view
+snapshotErrorKindName(SnapshotErrorKind kind)
+{
+    switch (kind) {
+      case SnapshotErrorKind::Io: return "io";
+      case SnapshotErrorKind::BadMagic: return "bad-magic";
+      case SnapshotErrorKind::BadVersion: return "bad-version";
+      case SnapshotErrorKind::Truncated: return "truncated";
+      case SnapshotErrorKind::ChecksumMismatch: return "bad-checksum";
+      case SnapshotErrorKind::Inconsistent: return "inconsistent";
+    }
+    return "unknown";
+}
+
+void
+saveSnapshot(const Snapshot &snapshot, std::ostream &out)
+{
+    if (snapshot.hasVirtual) {
+        // Reuse fromArrays' validation so a bad array is rejected at
+        // write time, not by every future load.
+        transform::VirtualGraph::fromArrays(
+            snapshot.graph, snapshot.virtualDegreeBound,
+            snapshot.virtualLayout, snapshot.virtualNodes);
+    }
+
+    Header h = makeHeader(snapshot);
+
+    // De-interleave the virtual array into the on-disk SoA sections
+    // (VirtualNode has padding; raw struct bytes would checksum
+    // indeterminate padding).
+    const std::size_t nv = snapshot.hasVirtual
+                               ? snapshot.virtualNodes.size()
+                               : 0;
+    std::vector<NodeId> phys(nv);
+    std::vector<EdgeIndex> starts(nv);
+    std::vector<EdgeIndex> strides(nv);
+    std::vector<std::uint32_t> counts(nv);
+    for (std::size_t i = 0; i < nv; ++i) {
+        const transform::VirtualNode &node = snapshot.virtualNodes[i];
+        phys[i] = node.physicalId;
+        starts[i] = node.start;
+        strides[i] = node.stride;
+        counts[i] = node.count;
+    }
+
+    const graph::Csr &g = snapshot.graph;
+    auto hash = [](std::uint64_t seed, const auto &vec) {
+        using T = typename std::decay_t<decltype(vec)>::value_type;
+        return graph::fnv1a64(vec.data(), vec.size() * sizeof(T), seed);
+    };
+    std::uint64_t checksum = graph::kFnv1aBasis;
+    checksum = hash(checksum, g.rowOffsets());
+    checksum = hash(checksum, g.colIndices());
+    checksum = hash(checksum, g.weights());
+    if (snapshot.hasVirtual) {
+        checksum = hash(checksum, phys);
+        checksum = hash(checksum, starts);
+        checksum = hash(checksum, strides);
+        checksum = hash(checksum, counts);
+    }
+    h.payloadChecksum = checksum;
+    h.headerChecksum = graph::fnv1a64(&h, kHeaderHashedBytes);
+
+    auto write = [&](const auto &vec) {
+        using T = typename std::decay_t<decltype(vec)>::value_type;
+        out.write(reinterpret_cast<const char *>(vec.data()),
+                  static_cast<std::streamsize>(vec.size() * sizeof(T)));
+    };
+    out.write(reinterpret_cast<const char *>(&h), sizeof(Header));
+    write(g.rowOffsets());
+    write(g.colIndices());
+    write(g.weights());
+    if (snapshot.hasVirtual) {
+        write(phys);
+        write(starts);
+        write(strides);
+        write(counts);
+    }
+    if (!out)
+        fail(SnapshotErrorKind::Io, "snapshot write failed");
+}
+
+void
+saveSnapshotFile(const Snapshot &snapshot,
+                 const std::filesystem::path &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fail(SnapshotErrorKind::Io,
+             "cannot open " + path.string() + " for writing");
+    saveSnapshot(snapshot, out);
+}
+
+void
+saveSnapshotFile(const graph::Csr &graph,
+                 const std::filesystem::path &path)
+{
+    Snapshot snapshot;
+    snapshot.graph = graph;
+    saveSnapshotFile(snapshot, path);
+}
+
+void
+saveSnapshotFile(const transform::VirtualGraph &vg,
+                 const std::filesystem::path &path)
+{
+    Snapshot snapshot;
+    snapshot.graph = vg.physical();
+    snapshot.hasVirtual = true;
+    snapshot.virtualDegreeBound = vg.degreeBound();
+    snapshot.virtualLayout = vg.layout();
+    snapshot.virtualNodes.assign(vg.virtualNodes().begin(),
+                                 vg.virtualNodes().end());
+    saveSnapshotFile(snapshot, path);
+}
+
+Snapshot
+loadSnapshot(std::istream &in)
+{
+    StreamCursor cursor{in};
+    return decode(cursor);
+}
+
+Snapshot
+parseSnapshot(const void *data, std::size_t size)
+{
+    MemCursor cursor{static_cast<const unsigned char *>(data), size};
+    return decode(cursor);
+}
+
+Snapshot
+loadSnapshotFile(const std::filesystem::path &path,
+                 SnapshotLoadMode mode)
+{
+#if TIGR_HAVE_MMAP
+    if (mode == SnapshotLoadMode::Mmap || mode == SnapshotLoadMode::Auto)
+        return loadSnapshotMmap(path);
+#else
+    if (mode == SnapshotLoadMode::Mmap)
+        fail(SnapshotErrorKind::Io,
+             "mmap snapshot loading is unavailable on this platform");
+#endif
+    (void)mode;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fail(SnapshotErrorKind::Io, "cannot open " + path.string());
+    // Size pre-check: truncation diagnosed up front, and a hostile
+    // header cannot demand allocations the file cannot back.
+    std::error_code ec;
+    const std::uint64_t actual =
+        std::filesystem::file_size(path, ec);
+    if (!ec && actual >= sizeof(Header)) {
+        Header h{};
+        in.read(reinterpret_cast<char *>(&h), sizeof(Header));
+        validateHeader(h);
+        checkFileSize(path, actual, h);
+        in.seekg(0);
+    }
+    return loadSnapshot(in);
+}
+
+} // namespace tigr::service

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Versioned binary snapshots: the service layer's at-rest graph format.
+ *
+ * A snapshot persists a CSR graph — and optionally a materialized
+ * virtual node array (Section 4 of the paper) — in one self-describing
+ * container that loads in O(read) with no rebuild:
+ *
+ *   header  (80 bytes, fixed)
+ *     magic            "TIGRSNP2"                       8 bytes
+ *     version          u32  (currently 2)
+ *     flags            u32  (bit 0: virtual section present)
+ *     numNodes         u64
+ *     numEdges         u64
+ *     numVirtualNodes  u64  (0 without the virtual section)
+ *     virtualDegreeBound  u32   }  build parameters of the
+ *     virtualLayout       u32   }  persisted virtual array
+ *     payloadOffset    u64  (first payload byte; = 80)
+ *     payloadBytes     u64  (total payload size)
+ *     payloadChecksum  u64  (FNV-1a 64 of the payload bytes)
+ *     headerChecksum   u64  (FNV-1a 64 of the preceding 72 bytes)
+ *   payload (little-endian arrays, in this order)
+ *     rowOffsets   (numNodes + 1) x u64
+ *     colIndices   numEdges x u32
+ *     weights      numEdges x u32
+ *     [virtual section, when flags bit 0 is set]
+ *     physicalIds  numVirtualNodes x u32
+ *     starts       numVirtualNodes x u64
+ *     strides      numVirtualNodes x u64
+ *     counts       numVirtualNodes x u32
+ *
+ * Every field is written little-endian (the only byte order the repo's
+ * binary formats target). All section offsets are 64-bit, so snapshots
+ * scale past 4 GiB. Corrupt, truncated, or foreign files are rejected
+ * with a typed SnapshotError — a snapshot load never exhibits
+ * undefined behavior on bad input.
+ */
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "transform/virtual_graph.hpp"
+
+namespace tigr::service {
+
+/** Snapshot file extension the CLI dispatches on (".snap" already
+ *  means a text edge list in this repo, so snapshots use ".tgs"). */
+inline constexpr std::string_view kSnapshotExtension = ".tgs";
+
+/** What went wrong loading a snapshot. */
+enum class SnapshotErrorKind
+{
+    Io,               ///< File unopenable / unreadable / unwritable.
+    BadMagic,         ///< Not a TIGRSNP container at all.
+    BadVersion,       ///< A TIGRSNP container of an unsupported version.
+    Truncated,        ///< File ends before the declared payload does.
+    ChecksumMismatch, ///< Header or payload bytes fail their checksum.
+    Inconsistent,     ///< Checksums pass but the arrays are invalid
+                      ///< (non-monotone offsets, out-of-range ids, ...).
+};
+
+/** Display name of @p kind ("bad-magic", "truncated", ...). */
+std::string_view snapshotErrorKindName(SnapshotErrorKind kind);
+
+/** Typed snapshot failure: catch as SnapshotError to branch on kind(),
+ *  or as std::runtime_error for a plain message. */
+class SnapshotError : public std::runtime_error
+{
+  public:
+    SnapshotError(SnapshotErrorKind kind, const std::string &message)
+        : std::runtime_error(message), kind_(kind)
+    {
+    }
+
+    SnapshotErrorKind kind() const { return kind_; }
+
+  private:
+    SnapshotErrorKind kind_;
+};
+
+/**
+ * A loaded snapshot: the graph plus the optional persisted virtual
+ * node array (as raw entries — bind them to the graph with
+ * VirtualGraph::fromArrays once the Snapshot has a stable address).
+ */
+struct Snapshot
+{
+    graph::Csr graph;
+    /** True when the container carried a virtual section. */
+    bool hasVirtual = false;
+    /** Degree bound K the persisted array was built with. */
+    NodeId virtualDegreeBound = 0;
+    /** Edge layout the persisted array was built with. */
+    transform::EdgeLayout virtualLayout =
+        transform::EdgeLayout::Coalesced;
+    /** The persisted virtual node array (empty without the section). */
+    std::vector<transform::VirtualNode> virtualNodes;
+};
+
+/** How loadSnapshotFile maps the file into memory. */
+enum class SnapshotLoadMode
+{
+    Auto,   ///< Mmap when the platform supports it, else stream.
+    Stream, ///< Buffered reads through an istream.
+    Mmap,   ///< POSIX mmap of the whole file; throws Io if unavailable.
+};
+
+/** Write @p snapshot to @p out. @throws SnapshotError (Io) on write
+ *  failure, std::invalid_argument if virtualNodes is inconsistent with
+ *  the graph. */
+void saveSnapshot(const Snapshot &snapshot, std::ostream &out);
+
+/** Write @p snapshot to @p path (conventionally "*.tgs"). */
+void saveSnapshotFile(const Snapshot &snapshot,
+                      const std::filesystem::path &path);
+
+/** Convenience: snapshot @p graph with no virtual section. */
+void saveSnapshotFile(const graph::Csr &graph,
+                      const std::filesystem::path &path);
+
+/** Convenience: snapshot @p vg's physical graph plus its array. */
+void saveSnapshotFile(const transform::VirtualGraph &vg,
+                      const std::filesystem::path &path);
+
+/** Load a snapshot from @p in. @throws SnapshotError. */
+Snapshot loadSnapshot(std::istream &in);
+
+/** Load a snapshot from @p path. @throws SnapshotError. */
+Snapshot loadSnapshotFile(const std::filesystem::path &path,
+                          SnapshotLoadMode mode = SnapshotLoadMode::Auto);
+
+/** Parse a snapshot already in memory (the mmap path bottoms out
+ *  here; also useful for in-memory round-trip tests).
+ *  @throws SnapshotError. */
+Snapshot parseSnapshot(const void *data, std::size_t size);
+
+} // namespace tigr::service

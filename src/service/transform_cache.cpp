@@ -1,0 +1,125 @@
+#include "service/transform_cache.hpp"
+
+#include <chrono>
+
+#include "par/thread_pool.hpp"
+
+namespace tigr::service {
+
+namespace {
+
+double
+elapsedMs(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+TransformCache::TransformCache(std::size_t byte_budget)
+    : byteBudget_(byte_budget)
+{
+}
+
+std::shared_ptr<const engine::SharedSchedule>
+TransformCache::get(const TransformKey &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second); // refresh to MRU
+    return it->second->schedule;
+}
+
+std::shared_ptr<const engine::SharedSchedule>
+TransformCache::getOrBuild(const TransformKey &key,
+                           par::ThreadPool *pool, bool *was_hit)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        if (was_hit)
+            *was_hit = true;
+        return it->second->schedule;
+    }
+
+    ++stats_.misses;
+    if (was_hit)
+        *was_hit = false;
+
+    const auto start = std::chrono::steady_clock::now();
+    auto shared = std::make_shared<engine::SharedSchedule>();
+    shared->schedule = engine::Schedule::build(
+        *key.graph, key.strategy, key.degreeBound, key.mwVirtualWarp,
+        pool);
+    shared->buildMs = elapsedMs(start);
+
+    const std::size_t bytes = shared->schedule.sizeInBytes();
+    if (bytes > byteBudget_)
+        return shared; // oversized: hand out, don't retain
+
+    lru_.push_front(Entry{key, shared, bytes});
+    index_[key] = lru_.begin();
+    stats_.bytes += bytes;
+    stats_.entries = lru_.size();
+    enforceBudget();
+    return shared;
+}
+
+void
+TransformCache::enforceBudget()
+{
+    while (stats_.bytes > byteBudget_ && lru_.size() > 1) {
+        const Entry &victim = lru_.back();
+        stats_.bytes -= victim.bytes;
+        ++stats_.evictions;
+        index_.erase(victim.key);
+        lru_.pop_back();
+    }
+    stats_.entries = lru_.size();
+}
+
+void
+TransformCache::invalidateGraph(const graph::Csr *graph)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = lru_.begin(); it != lru_.end();) {
+        if (it->key.graph == graph) {
+            stats_.bytes -= it->bytes;
+            ++stats_.evictions;
+            index_.erase(it->key);
+            it = lru_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    stats_.entries = lru_.size();
+}
+
+void
+TransformCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.evictions += lru_.size();
+    lru_.clear();
+    index_.clear();
+    stats_.bytes = 0;
+    stats_.entries = 0;
+}
+
+TransformCacheStats
+TransformCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace tigr::service

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "par/parallel_for.hpp"
 
@@ -47,6 +49,43 @@ VirtualGraph::VirtualGraph(const graph::Csr &physical,
                                  nodes_[slot++] = node;
                              });
                      });
+}
+
+VirtualGraph
+VirtualGraph::fromArrays(const graph::Csr &physical, NodeId degree_bound,
+                         EdgeLayout layout,
+                         std::vector<VirtualNode> nodes)
+{
+    if (degree_bound == 0)
+        throw std::invalid_argument(
+            "tigr: virtual node array with degree bound 0");
+    const NodeId n = physical.numNodes();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const VirtualNode &node = nodes[i];
+        auto bad = [&](const char *why) {
+            throw std::invalid_argument(
+                "tigr: virtual node entry " + std::to_string(i) +
+                " inconsistent with the physical graph: " + why);
+        };
+        if (node.physicalId >= n)
+            bad("physical id out of range");
+        if (node.count > degree_bound)
+            bad("owns more slots than the degree bound");
+        if (node.count > 0) {
+            const EdgeIndex last =
+                node.start + node.stride * (node.count - 1);
+            if (node.start < physical.edgeBegin(node.physicalId) ||
+                last >= physical.edgeEnd(node.physicalId))
+                bad("owned slots outside the node's edge segment");
+        }
+    }
+
+    VirtualGraph vg;
+    vg.physical_ = &physical;
+    vg.degreeBound_ = degree_bound;
+    vg.layout_ = layout;
+    vg.nodes_ = std::move(nodes);
+    return vg;
 }
 
 std::size_t

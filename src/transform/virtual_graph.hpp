@@ -74,6 +74,21 @@ class VirtualGraph
                  EdgeLayout layout = EdgeLayout::Coalesced,
                  unsigned threads = 1);
 
+    /**
+     * Reassemble a VirtualGraph from a previously materialized node
+     * array (the snapshot container persists exactly these arrays, so
+     * loading skips the build entirely). @p physical must be the graph
+     * the array was built over and must outlive the result; @p nodes
+     * is validated against it — every entry's physical id in range and
+     * owned slots inside the node's edge segment.
+     *
+     * @throws std::invalid_argument on any inconsistent entry.
+     */
+    static VirtualGraph fromArrays(const graph::Csr &physical,
+                                   NodeId degree_bound,
+                                   EdgeLayout layout,
+                                   std::vector<VirtualNode> nodes);
+
     /** The untouched physical graph. */
     const graph::Csr &physical() const { return *physical_; }
 

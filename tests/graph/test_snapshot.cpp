@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Snapshot container robustness: bit-exact round-trips for graphs with
+ * and without virtual sections, and typed rejection of every corruption
+ * mode — truncation, foreign magic, wrong version, flipped payload
+ * bytes — with no undefined behavior on the way.
+ */
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "service/snapshot.hpp"
+#include "transform/virtual_graph.hpp"
+
+namespace tigr::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("tigr_snapshot_" +
+                std::to_string(
+                    ::testing::UnitTest::GetInstance()->random_seed()) +
+                "_" + ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name());
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    fs::path path(const std::string &name) const { return dir_ / name; }
+
+    fs::path dir_;
+};
+
+using SnapshotRoundTrip = TempDir;
+using SnapshotRejection = TempDir;
+
+graph::Csr
+rmatGraph()
+{
+    graph::BuildOptions options;
+    options.randomizeWeights = true;
+    options.maxWeight = 30;
+    options.weightSeed = 11;
+    return graph::GraphBuilder(options).build(
+        graph::rmat({.nodes = 500, .edges = 5000, .seed = 11}));
+}
+
+graph::Csr
+starGraph()
+{
+    graph::CooEdges coo(600);
+    for (NodeId v = 1; v < 600; ++v)
+        coo.add(0, v, v % 9 + 1);
+    coo.add(5, 0, 3);
+    return graph::Csr::fromCoo(coo);
+}
+
+/** Expect @p mutate to make loading @p file fail with @p kind, via
+ *  both the stream and the mmap loaders. */
+void
+expectRejected(const fs::path &file, SnapshotErrorKind kind)
+{
+    for (auto mode :
+         {SnapshotLoadMode::Stream, SnapshotLoadMode::Mmap}) {
+        try {
+            (void)loadSnapshotFile(file, mode);
+            FAIL() << "expected " << snapshotErrorKindName(kind)
+                   << " rejection";
+        } catch (const SnapshotError &e) {
+            EXPECT_EQ(e.kind(), kind)
+                << "mode " << static_cast<int>(mode) << ": "
+                << e.what();
+        }
+    }
+}
+
+std::vector<char>
+readAll(const fs::path &file)
+{
+    std::ifstream in(file, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+void
+writeAll(const fs::path &file, const std::vector<char> &bytes)
+{
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST_F(SnapshotRoundTrip, EmptyGraph)
+{
+    const auto file = path("empty.tgs");
+    saveSnapshotFile(graph::Csr{}, file);
+    for (auto mode :
+         {SnapshotLoadMode::Stream, SnapshotLoadMode::Mmap}) {
+        Snapshot loaded = loadSnapshotFile(file, mode);
+        EXPECT_EQ(loaded.graph, graph::Csr{});
+        EXPECT_FALSE(loaded.hasVirtual);
+    }
+}
+
+TEST_F(SnapshotRoundTrip, StarGraphBitIdentical)
+{
+    const graph::Csr g = starGraph();
+    const auto file = path("star.tgs");
+    saveSnapshotFile(g, file);
+    for (auto mode :
+         {SnapshotLoadMode::Stream, SnapshotLoadMode::Mmap}) {
+        Snapshot loaded = loadSnapshotFile(file, mode);
+        EXPECT_EQ(loaded.graph, g);
+    }
+}
+
+TEST_F(SnapshotRoundTrip, RmatWithVirtualSection)
+{
+    const graph::Csr g = rmatGraph();
+    const transform::VirtualGraph vg(
+        g, 8, transform::EdgeLayout::Coalesced);
+    const auto file = path("rmat.tgs");
+    saveSnapshotFile(vg, file);
+
+    for (auto mode :
+         {SnapshotLoadMode::Stream, SnapshotLoadMode::Mmap}) {
+        Snapshot loaded = loadSnapshotFile(file, mode);
+        EXPECT_EQ(loaded.graph, g);
+        ASSERT_TRUE(loaded.hasVirtual);
+        EXPECT_EQ(loaded.virtualDegreeBound, 8u);
+        EXPECT_EQ(loaded.virtualLayout,
+                  transform::EdgeLayout::Coalesced);
+        ASSERT_EQ(loaded.virtualNodes.size(),
+                  vg.virtualNodes().size());
+        for (std::size_t i = 0; i < loaded.virtualNodes.size(); ++i) {
+            const auto &a = loaded.virtualNodes[i];
+            const auto &b = vg.virtualNodes()[i];
+            EXPECT_EQ(a.physicalId, b.physicalId);
+            EXPECT_EQ(a.start, b.start);
+            EXPECT_EQ(a.stride, b.stride);
+            EXPECT_EQ(a.count, b.count);
+        }
+        // The persisted array rebinds into a working VirtualGraph.
+        auto rebound = transform::VirtualGraph::fromArrays(
+            loaded.graph, loaded.virtualDegreeBound,
+            loaded.virtualLayout, loaded.virtualNodes);
+        EXPECT_EQ(rebound.numVirtualNodes(), vg.numVirtualNodes());
+    }
+}
+
+TEST_F(SnapshotRoundTrip, StreamRoundTripThroughMemory)
+{
+    const graph::Csr g = rmatGraph();
+    Snapshot snapshot;
+    snapshot.graph = g;
+    std::ostringstream out(std::ios::binary);
+    saveSnapshot(snapshot, out);
+    const std::string bytes = out.str();
+
+    std::istringstream in(bytes, std::ios::binary);
+    EXPECT_EQ(loadSnapshot(in).graph, g);
+    EXPECT_EQ(parseSnapshot(bytes.data(), bytes.size()).graph, g);
+}
+
+TEST_F(SnapshotRoundTrip, WriteIsDeterministic)
+{
+    const graph::Csr g = rmatGraph();
+    const auto a = path("a.tgs");
+    const auto b = path("b.tgs");
+    saveSnapshotFile(g, a);
+    saveSnapshotFile(g, b);
+    EXPECT_EQ(readAll(a), readAll(b));
+}
+
+TEST_F(SnapshotRejection, TruncatedFile)
+{
+    const auto file = path("t.tgs");
+    saveSnapshotFile(starGraph(), file);
+    auto bytes = readAll(file);
+    ASSERT_GT(bytes.size(), 100u);
+
+    // Cut mid-payload and mid-header.
+    for (std::size_t keep : {bytes.size() - 1, bytes.size() / 2,
+                             std::size_t{100}, std::size_t{40}}) {
+        std::vector<char> cut(bytes.begin(),
+                              bytes.begin() +
+                                  static_cast<std::ptrdiff_t>(keep));
+        writeAll(file, cut);
+        expectRejected(file, SnapshotErrorKind::Truncated);
+    }
+}
+
+TEST_F(SnapshotRejection, BadMagic)
+{
+    const auto file = path("m.tgs");
+    saveSnapshotFile(starGraph(), file);
+    auto bytes = readAll(file);
+    bytes[0] = 'X';
+    writeAll(file, bytes);
+    expectRejected(file, SnapshotErrorKind::BadMagic);
+
+    // A TIGRCSR1 binary graph is not a snapshot either.
+    const auto csr = path("g.csr");
+    graph::saveCsrBinaryFile(starGraph(), csr);
+    expectRejected(csr, SnapshotErrorKind::BadMagic);
+}
+
+TEST_F(SnapshotRejection, WrongVersion)
+{
+    const auto file = path("v.tgs");
+    saveSnapshotFile(starGraph(), file);
+    auto bytes = readAll(file);
+    bytes[8] = 99; // version field follows the 8-byte magic
+    writeAll(file, bytes);
+    expectRejected(file, SnapshotErrorKind::BadVersion);
+}
+
+TEST_F(SnapshotRejection, CorruptedPayloadChecksum)
+{
+    const auto file = path("c.tgs");
+    saveSnapshotFile(rmatGraph(), file);
+    auto bytes = readAll(file);
+    bytes[bytes.size() - 5] ^= 0x40; // flip one payload bit
+    writeAll(file, bytes);
+    expectRejected(file, SnapshotErrorKind::ChecksumMismatch);
+}
+
+TEST_F(SnapshotRejection, CorruptedHeaderChecksum)
+{
+    const auto file = path("h.tgs");
+    saveSnapshotFile(rmatGraph(), file);
+    auto bytes = readAll(file);
+    bytes[20] ^= 0x01; // flip a bit inside the node count
+    writeAll(file, bytes);
+    expectRejected(file, SnapshotErrorKind::ChecksumMismatch);
+}
+
+TEST_F(SnapshotRejection, TrailingBytes)
+{
+    const auto file = path("x.tgs");
+    saveSnapshotFile(starGraph(), file);
+    auto bytes = readAll(file);
+    bytes.push_back('z');
+    writeAll(file, bytes);
+    expectRejected(file, SnapshotErrorKind::Inconsistent);
+}
+
+TEST_F(SnapshotRejection, MissingFileIsIoError)
+{
+    try {
+        (void)loadSnapshotFile(path("nope.tgs"));
+        FAIL() << "expected io error";
+    } catch (const SnapshotError &e) {
+        EXPECT_EQ(e.kind(), SnapshotErrorKind::Io);
+    }
+}
+
+TEST(SnapshotWriter, RejectsInconsistentVirtualArray)
+{
+    const graph::Csr g = graph::Csr::fromCoo([] {
+        graph::CooEdges coo(4);
+        coo.add(0, 1, 1);
+        coo.add(1, 2, 1);
+        return coo;
+    }());
+    Snapshot snapshot;
+    snapshot.graph = g;
+    snapshot.hasVirtual = true;
+    snapshot.virtualDegreeBound = 4;
+    snapshot.virtualNodes = {
+        transform::VirtualNode{99, 0, 1, 1}}; // bad physical id
+    std::ostringstream out(std::ios::binary);
+    EXPECT_THROW(saveSnapshot(snapshot, out), std::invalid_argument);
+}
+
+TEST(SnapshotChecksum, Fnv1a64KnownVectorsAndChaining)
+{
+    // Published FNV-1a 64 test vectors.
+    EXPECT_EQ(graph::fnv1a64("", 0), 0xcbf29ce484222325ull);
+    EXPECT_EQ(graph::fnv1a64("a", 1), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(graph::fnv1a64("foobar", 6), 0x85944171f73967e8ull);
+    // Chaining ranges equals hashing the concatenation.
+    const std::uint64_t part = graph::fnv1a64("foo", 3);
+    EXPECT_EQ(graph::fnv1a64("bar", 3, part),
+              graph::fnv1a64("foobar", 6));
+}
+
+} // namespace
+} // namespace tigr::service

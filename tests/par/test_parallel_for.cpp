@@ -138,8 +138,10 @@ TEST(ResolveThreads, ZeroDefersToTigrThreadsEnv)
     ASSERT_EQ(setenv("TIGR_THREADS", "5", 1), 0);
     EXPECT_EQ(resolveThreads(0), 5u);
     EXPECT_EQ(defaultThreads(), 5u);
+    // Garbage no longer falls back silently — see
+    // tests/par/test_thread_count.cpp for the full rejection matrix.
     ASSERT_EQ(setenv("TIGR_THREADS", "not-a-number", 1), 0);
-    EXPECT_GE(resolveThreads(0), 1u); // falls back to hardware
+    EXPECT_THROW(resolveThreads(0), std::invalid_argument);
     ASSERT_EQ(unsetenv("TIGR_THREADS"), 0);
     EXPECT_GE(resolveThreads(0), 1u);
 }

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * QueryScheduler differential tests: a 50-query mixed batch (5
+ * algorithms x 2 graphs, several strategies, a few tight simulated
+ * deadlines) must produce bit-identical results at 1, 2, and 8
+ * workers, with at least one deterministic deadline-exceeded outcome
+ * and at least one transform-cache hit. Plus the admission-rejection
+ * taxonomy.
+ */
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "service/graph_store.hpp"
+#include "service/query_scheduler.hpp"
+#include "service/transform_cache.hpp"
+
+namespace tigr::service {
+namespace {
+
+graph::Csr
+rmatGraph()
+{
+    graph::BuildOptions options;
+    options.randomizeWeights = true;
+    options.maxWeight = 24;
+    options.weightSeed = 77;
+    return graph::GraphBuilder(options).build(
+        graph::rmat({.nodes = 600, .edges = 6000, .seed = 77}));
+}
+
+/** Ring plus a few heavy hubs — exercises the virtual splitting. */
+graph::Csr
+starHeavyGraph()
+{
+    const NodeId n = 1200;
+    graph::CooEdges coo(n);
+    for (NodeId v = 0; v < n; ++v)
+        coo.add(v, (v + 1) % n, v % 7 + 1);
+    for (NodeId hub : {NodeId{0}, NodeId{3}, NodeId{11}})
+        for (NodeId v = 0; v < n; v += 2)
+            if (v != hub)
+                coo.add(hub, v, (hub + v) % 11 + 1);
+    return graph::Csr::fromCoo(coo);
+}
+
+GraphStore &
+sharedStore()
+{
+    static GraphStore store;
+    static const bool initialized = [] {
+        store.add("rmat", rmatGraph());
+        store.add("star", starHeavyGraph());
+        return true;
+    }();
+    (void)initialized;
+    return store;
+}
+
+/** The acceptance-criteria batch: 50 queries, 5 algorithms, 2 graphs,
+ *  4 strategies, with two PR queries under a deadline so tight the
+ *  first iteration boundary always trips it. */
+std::vector<QuerySpec>
+mixedBatch()
+{
+    const engine::Algorithm algos[] = {
+        engine::Algorithm::Bfs, engine::Algorithm::Sssp,
+        engine::Algorithm::Sswp, engine::Algorithm::Cc,
+        engine::Algorithm::Pr};
+    const engine::Strategy strategies[] = {
+        engine::Strategy::TigrVPlus, engine::Strategy::TigrV,
+        engine::Strategy::Baseline, engine::Strategy::MaximumWarp};
+
+    std::vector<QuerySpec> batch;
+    for (std::size_t i = 0; i < 50; ++i) {
+        QuerySpec spec;
+        spec.graph = (i % 2 == 0) ? "rmat" : "star";
+        spec.algorithm = algos[i % 5];
+        spec.strategy = strategies[(i / 5) % 4];
+        spec.source = static_cast<NodeId>((i * 37) % 500);
+        spec.degreeBound = 8;
+        spec.prIterations = 15;
+        // Simulated-time deadlines are thread-count-invariant; one
+        // iteration of simulated work always exceeds 1e-7 ms.
+        if (i == 14 || i == 39) {
+            spec.algorithm = engine::Algorithm::Pr;
+            spec.deadlineSimMs = 1e-7;
+        }
+        batch.push_back(spec);
+    }
+    return batch;
+}
+
+void
+expectIdenticalResults(const std::vector<QueryResult> &a,
+                       const std::vector<QueryResult> &b,
+                       unsigned workers)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("query " + std::to_string(i) + " at " +
+                     std::to_string(workers) + " workers");
+        EXPECT_EQ(a[i].outcome, b[i].outcome);
+        EXPECT_EQ(a[i].digest, b[i].digest);
+        EXPECT_EQ(a[i].values, b[i].values);
+        EXPECT_EQ(a[i].cacheHit, b[i].cacheHit);
+        EXPECT_EQ(a[i].info.iterations, b[i].info.iterations);
+        EXPECT_EQ(a[i].info.cancelled, b[i].info.cancelled);
+        EXPECT_EQ(a[i].info.stats.cycles, b[i].info.stats.cycles);
+        EXPECT_EQ(a[i].message, b[i].message);
+    }
+}
+
+TEST(QuerySchedulerDeterminism, MixedBatchBitIdenticalAcrossWorkers)
+{
+    const std::vector<QuerySpec> batch = mixedBatch();
+
+    // Reference: strictly sequential execution with a fresh cache.
+    std::vector<QueryResult> reference;
+    {
+        TransformCache cache(std::size_t{256} << 20);
+        SchedulerOptions options;
+        options.workers = 1;
+        QueryScheduler scheduler(sharedStore(), cache, options);
+        ASSERT_EQ(scheduler.workers(), 1u);
+        reference = scheduler.runBatch(batch);
+    }
+
+    std::size_t completed = 0, deadline = 0, hits = 0;
+    for (const QueryResult &r : reference) {
+        switch (r.outcome) {
+          case QueryOutcome::Completed: ++completed; break;
+          case QueryOutcome::DeadlineExceeded: ++deadline; break;
+          default:
+            ADD_FAILURE() << "unexpected outcome: " << r.message;
+        }
+        hits += r.cacheHit ? 1u : 0u;
+        if (r.outcome == QueryOutcome::Completed) {
+            EXPECT_NE(r.digest, 0u);
+            EXPECT_GT(r.values, 0u);
+        }
+    }
+    EXPECT_EQ(completed + deadline, batch.size());
+    EXPECT_GE(deadline, 1u)
+        << "tight simulated deadlines must trip deterministically";
+    EXPECT_GE(hits, 1u) << "repeated transform keys must hit the cache";
+
+    for (unsigned workers : {2u, 8u}) {
+        TransformCache cache(std::size_t{256} << 20);
+        SchedulerOptions options;
+        options.workers = workers;
+        QueryScheduler scheduler(sharedStore(), cache, options);
+        expectIdenticalResults(scheduler.runBatch(batch), reference,
+                               workers);
+    }
+}
+
+TEST(QuerySchedulerDeterminism, RepeatedBatchIsAllCacheHits)
+{
+    TransformCache cache(std::size_t{256} << 20);
+    SchedulerOptions options;
+    options.workers = 4;
+    QueryScheduler scheduler(sharedStore(), cache, options);
+
+    const std::vector<QuerySpec> batch = mixedBatch();
+    const auto first = scheduler.runBatch(batch);
+    const auto second = scheduler.runBatch(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(second[i].outcome, first[i].outcome);
+        EXPECT_EQ(second[i].digest, first[i].digest);
+        EXPECT_TRUE(second[i].cacheHit)
+            << "query " << i << " should reuse the warm cache";
+    }
+}
+
+TEST(QueryScheduler, RejectionTaxonomy)
+{
+    TransformCache cache(std::size_t{16} << 20);
+    QueryScheduler scheduler(sharedStore(), cache, {});
+
+    std::vector<QuerySpec> batch(4);
+    batch[0].graph = "missing";
+    batch[1].graph = "rmat";
+    batch[1].algorithm = engine::Algorithm::Pr;
+    batch[1].strategy = engine::Strategy::TigrUdt;
+    batch[2].graph = "rmat";
+    batch[2].algorithm = engine::Algorithm::Bfs;
+    batch[2].source = 600; // == numNodes, one past the end
+    batch[3].graph = "rmat";
+    batch[3].strategy = engine::Strategy::TigrV;
+    batch[3].degreeBound = 0;
+
+    const auto results = scheduler.runBatch(batch);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].outcome, QueryOutcome::Rejected)
+            << "query " << i;
+        EXPECT_FALSE(results[i].message.empty());
+        EXPECT_EQ(results[i].digest, 0u);
+    }
+    EXPECT_NE(results[0].message.find("unknown graph"),
+              std::string::npos);
+    EXPECT_NE(results[2].message.find("out of range"),
+              std::string::npos);
+}
+
+TEST(QueryScheduler, AdmissionBoundRejectsByBatchPosition)
+{
+    TransformCache cache(std::size_t{16} << 20);
+    SchedulerOptions options;
+    options.workers = 4;
+    options.maxQueuedQueries = 3;
+    QueryScheduler scheduler(sharedStore(), cache, options);
+
+    std::vector<QuerySpec> batch(6);
+    for (auto &spec : batch) {
+        spec.graph = "star";
+        spec.algorithm = engine::Algorithm::Bfs;
+        spec.strategy = engine::Strategy::Baseline;
+    }
+    const auto results = scheduler.runBatch(batch);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(results[i].outcome, QueryOutcome::Completed)
+            << "query " << i;
+    for (std::size_t i = 3; i < 6; ++i) {
+        EXPECT_EQ(results[i].outcome, QueryOutcome::Rejected)
+            << "query " << i;
+        EXPECT_NE(results[i].message.find("queue full"),
+                  std::string::npos);
+    }
+}
+
+TEST(QueryScheduler, WallClockDeadlineIsBestEffort)
+{
+    TransformCache cache(std::size_t{16} << 20);
+    QueryScheduler scheduler(sharedStore(), cache, {});
+
+    QuerySpec spec;
+    spec.graph = "rmat";
+    spec.algorithm = engine::Algorithm::Pr;
+    spec.prIterations = 200;
+    spec.deadlineWallMs = 1e-6; // effectively immediate
+    const auto results =
+        scheduler.runBatch(std::vector<QuerySpec>{spec});
+    ASSERT_EQ(results.size(), 1u);
+    // Wall-clock cancellation is explicitly best-effort; either the
+    // deadline trips (overwhelmingly likely) or the query completes.
+    EXPECT_TRUE(results[0].outcome == QueryOutcome::DeadlineExceeded ||
+                results[0].outcome == QueryOutcome::Completed)
+        << results[0].message;
+}
+
+TEST(QueryScheduler, UdtQueriesRunUncached)
+{
+    TransformCache cache(std::size_t{64} << 20);
+    QueryScheduler scheduler(sharedStore(), cache, {});
+
+    QuerySpec spec;
+    spec.graph = "star";
+    spec.algorithm = engine::Algorithm::Sssp;
+    spec.strategy = engine::Strategy::TigrUdt;
+    spec.degreeBound = 16;
+    const auto results = scheduler.runBatch(
+        std::vector<QuerySpec>{spec, spec});
+    ASSERT_EQ(results.size(), 2u);
+    for (const auto &r : results) {
+        EXPECT_EQ(r.outcome, QueryOutcome::Completed) << r.message;
+        EXPECT_FALSE(r.cacheHit)
+            << "UDT schedules over the transformed graph and must "
+           "bypass the forward-transform cache";
+    }
+    EXPECT_EQ(results[0].digest, results[1].digest);
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+} // namespace
+} // namespace tigr::service

@@ -1,7 +1,9 @@
 #include "cli.hpp"
 
 #include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 
 #include "engine/graph_engine.hpp"
@@ -11,8 +13,12 @@
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
 #include "graph/validate.hpp"
+#include "par/thread_pool.hpp"
+#include "service/script.hpp"
+#include "service/snapshot.hpp"
 #include "transform/basic_topologies.hpp"
 #include "transform/udt.hpp"
+#include "transform/virtual_graph.hpp"
 
 namespace tigr::cli {
 
@@ -22,6 +28,18 @@ std::string
 extensionOf(const std::string &path)
 {
     return std::filesystem::path(path).extension().string();
+}
+
+/** Strictly parsed --threads: absent = 0 (the TIGR_THREADS / hardware
+ *  default); present = a plain integer in [1, kMaxThreads], anything
+ *  else — 0, negatives, garbage — fails loudly. */
+unsigned
+threadsOption(const CommandLine &cmd)
+{
+    auto value = cmd.option("threads");
+    if (!value)
+        return 0;
+    return par::parseThreadCount(*value, "--threads");
 }
 
 /** Pick the split transformation named by --topology. */
@@ -126,9 +144,7 @@ cmdTransform(const CommandLine &cmd, std::ostream &out)
     transform::SplitOptions split;
     split.degreeBound = static_cast<NodeId>(cmd.optionU64(
         "k", graph::chooseUdtK(g.maxOutDegree())));
-    split.threads =
-        par::resolveThreads(static_cast<unsigned>(
-            cmd.optionU64("threads", 0)));
+    split.threads = par::resolveThreads(threadsOption(cmd));
     const std::string dumb = cmd.option("dumb").value_or("zero");
     if (dumb == "zero")
         split.weightPolicy = transform::DumbWeightPolicy::Zero;
@@ -176,94 +192,191 @@ cmdRun(const CommandLine &cmd, std::ostream &out)
         options.dynamicMapping = true;
     if (cmd.has("no-worklist"))
         options.worklist = false;
-    options.threads =
-        static_cast<unsigned>(cmd.optionU64("threads", 0));
+    options.threads = threadsOption(cmd);
 
     const auto source =
         static_cast<NodeId>(cmd.optionU64("source", 0));
     if (source >= g.numNodes())
         throw std::runtime_error("tigr run: --source out of range");
 
-    engine::GraphEngine engine(g, options);
-    const std::string algo = cmd.option("algo").value_or("sssp");
-
-    engine::RunInfo info;
-    std::string summary;
-    if (algo == "bfs") {
-        auto r = engine.bfs(source);
-        info = r.info;
-        std::size_t reached = 0;
-        Dist far = 0;
-        for (Dist d : r.values) {
-            if (d != kInfDist) {
-                ++reached;
-                far = std::max(far, d);
-            }
+    // --algo accepts a comma-separated list; all algorithms run on one
+    // engine, so later runs reuse the transform the first one built
+    // (reported per run as "transform cached").
+    std::vector<std::string> algos;
+    {
+        std::istringstream list(cmd.option("algo").value_or("sssp"));
+        for (std::string name; std::getline(list, name, ',');) {
+            if (name.empty())
+                throw std::runtime_error(
+                    "tigr run: empty entry in --algo list");
+            algos.push_back(name);
         }
-        summary = "reached " + std::to_string(reached) +
-                  " nodes, max depth " + std::to_string(far);
-    } else if (algo == "sssp") {
-        auto r = engine.sssp(source);
-        info = r.info;
-        std::size_t reached = 0;
-        for (Dist d : r.values)
-            reached += d != kInfDist;
-        summary = "reached " + std::to_string(reached) + " nodes";
-    } else if (algo == "sswp") {
-        auto r = engine.sswp(source);
-        info = r.info;
-        std::size_t reached = 0;
-        for (Weight w : r.values)
-            reached += w != 0;
-        summary = "reached " + std::to_string(reached) + " nodes";
-    } else if (algo == "cc") {
-        auto r = engine.cc();
-        info = r.info;
-        std::set<NodeId> labels(r.values.begin(), r.values.end());
-        summary = std::to_string(labels.size()) + " components";
-    } else if (algo == "pr") {
-        auto r = engine.pagerank(
-            {.damping = 0.85,
-             .iterations =
-                 static_cast<unsigned>(cmd.optionU64("iters", 20))});
-        info = r.info;
-        NodeId best = 0;
-        for (NodeId v = 0; v < g.numNodes(); ++v)
-            if (r.values[v] > r.values[best])
-                best = v;
-        summary = "top node " + std::to_string(best);
-    } else if (algo == "bc") {
-        const NodeId sources[] = {source};
-        auto r = engine.bc(sources);
-        info = r.info;
-        NodeId best = 0;
-        for (NodeId v = 0; v < g.numNodes(); ++v)
-            if (r.values[v] > r.values[best])
-                best = v;
-        summary = "top broker " + std::to_string(best);
-    } else {
-        throw std::runtime_error("tigr run: unknown --algo '" + algo +
-                                 "' (bfs|sssp|sswp|cc|pr|bc)");
+        if (algos.empty())
+            throw std::runtime_error("tigr run: empty --algo list");
     }
 
-    out << "algo:            " << algo << "\n"
-        << "strategy:        " << engine::strategyName(options.strategy)
-        << (options.dynamicMapping ? " (dynamic mapping)" : "")
-        << (options.direction == engine::Direction::Pull ? " (pull)"
-                                                         : "")
-        << "\n"
-        << "result:          " << summary << "\n"
-        << "iterations:      " << info.iterations << "\n"
-        << "simulated ms:    " << info.simulatedMs() << "\n"
-        << "warp efficiency: "
-        << 100.0 * info.stats.warpEfficiency() << "%\n"
-        << "SM imbalance:    " << 100.0 * info.stats.smImbalance()
-        << "%\n"
-        << "transform ms:    " << info.transformMs
-        << (info.transformCached ? " (cached)" : "") << "\n"
-        << "host ms:         " << info.hostMs << "\n"
-        << "host threads:    " << engine.hostThreads() << "\n";
+    engine::GraphEngine engine(g, options);
+
+    auto run_one = [&](const std::string &algo, engine::RunInfo &info,
+                       std::string &summary) {
+        if (algo == "bfs") {
+            auto r = engine.bfs(source);
+            info = r.info;
+            std::size_t reached = 0;
+            Dist far = 0;
+            for (Dist d : r.values) {
+                if (d != kInfDist) {
+                    ++reached;
+                    far = std::max(far, d);
+                }
+            }
+            summary = "reached " + std::to_string(reached) +
+                      " nodes, max depth " + std::to_string(far);
+        } else if (algo == "sssp") {
+            auto r = engine.sssp(source);
+            info = r.info;
+            std::size_t reached = 0;
+            for (Dist d : r.values)
+                reached += d != kInfDist;
+            summary = "reached " + std::to_string(reached) + " nodes";
+        } else if (algo == "sswp") {
+            auto r = engine.sswp(source);
+            info = r.info;
+            std::size_t reached = 0;
+            for (Weight w : r.values)
+                reached += w != 0;
+            summary = "reached " + std::to_string(reached) + " nodes";
+        } else if (algo == "cc") {
+            auto r = engine.cc();
+            info = r.info;
+            std::set<NodeId> labels(r.values.begin(), r.values.end());
+            summary = std::to_string(labels.size()) + " components";
+        } else if (algo == "pr") {
+            auto r = engine.pagerank(
+                {.damping = 0.85,
+                 .iterations = static_cast<unsigned>(
+                     cmd.optionU64("iters", 20))});
+            info = r.info;
+            NodeId best = 0;
+            for (NodeId v = 0; v < g.numNodes(); ++v)
+                if (r.values[v] > r.values[best])
+                    best = v;
+            summary = "top node " + std::to_string(best);
+        } else if (algo == "bc") {
+            const NodeId sources[] = {source};
+            auto r = engine.bc(sources);
+            info = r.info;
+            NodeId best = 0;
+            for (NodeId v = 0; v < g.numNodes(); ++v)
+                if (r.values[v] > r.values[best])
+                    best = v;
+            summary = "top broker " + std::to_string(best);
+        } else {
+            throw std::runtime_error("tigr run: unknown --algo '" +
+                                     algo +
+                                     "' (bfs|sssp|sswp|cc|pr|bc)");
+        }
+    };
+
+    for (std::size_t i = 0; i < algos.size(); ++i) {
+        engine::RunInfo info;
+        std::string summary;
+        run_one(algos[i], info, summary);
+        if (i > 0)
+            out << "\n";
+        out << "algo:            " << algos[i] << "\n"
+            << "strategy:        "
+            << engine::strategyName(options.strategy)
+            << (options.dynamicMapping ? " (dynamic mapping)" : "")
+            << (options.direction == engine::Direction::Pull
+                    ? " (pull)"
+                    : "")
+            << "\n"
+            << "result:          " << summary << "\n"
+            << "iterations:      " << info.iterations << "\n"
+            << "simulated ms:    " << info.simulatedMs() << "\n"
+            << "warp efficiency: "
+            << 100.0 * info.stats.warpEfficiency() << "%\n"
+            << "SM imbalance:    " << 100.0 * info.stats.smImbalance()
+            << "%\n"
+            << "transform ms:    " << info.transformMs
+            << (info.transformCached ? " (cached)" : "") << "\n"
+            << "transform cached: "
+            << (info.transformCached ? "yes" : "no") << "\n"
+            << "host ms:         " << info.hostMs << "\n"
+            << "host threads:    " << engine.hostThreads() << "\n";
+    }
     return 0;
+}
+
+int
+cmdSnapshot(const CommandLine &cmd, std::ostream &out)
+{
+    if (cmd.positional.size() < 2)
+        throw std::runtime_error(
+            "tigr snapshot: usage: tigr snapshot <in> <out.tgs> "
+            "[--k N] [--layout consecutive|coalesced] [--threads N]");
+    const std::string &input = cmd.positional[0];
+    const std::string &output = cmd.positional[1];
+
+    graph::Csr g = loadGraphFile(input);
+
+    service::Snapshot snapshot;
+    snapshot.graph = std::move(g);
+    if (cmd.has("k")) {
+        const NodeId k = static_cast<NodeId>(cmd.optionU64("k", 10));
+        if (k == 0)
+            throw std::runtime_error(
+                "tigr snapshot: --k must be >= 1");
+        auto layout = transform::EdgeLayout::Coalesced;
+        const std::string layout_name =
+            cmd.option("layout").value_or("coalesced");
+        if (layout_name == "consecutive")
+            layout = transform::EdgeLayout::Consecutive;
+        else if (layout_name != "coalesced")
+            throw std::runtime_error(
+                "tigr snapshot: unknown --layout '" + layout_name +
+                "' (consecutive|coalesced)");
+        transform::VirtualGraph vg(
+            snapshot.graph, k, layout,
+            par::resolveThreads(threadsOption(cmd)));
+        snapshot.hasVirtual = true;
+        snapshot.virtualDegreeBound = k;
+        snapshot.virtualLayout = layout;
+        snapshot.virtualNodes.assign(vg.virtualNodes().begin(),
+                                     vg.virtualNodes().end());
+    }
+    service::saveSnapshotFile(snapshot, output);
+
+    out << "snapshot:        " << output << "\n"
+        << "nodes:           " << snapshot.graph.numNodes() << "\n"
+        << "edges:           " << snapshot.graph.numEdges() << "\n"
+        << "virtual nodes:   " << snapshot.virtualNodes.size() << "\n"
+        << "bytes:           "
+        << std::filesystem::file_size(output) << "\n";
+    return 0;
+}
+
+int
+cmdServe(const CommandLine &cmd, std::ostream &out)
+{
+    const auto script = cmd.option("script");
+    if (!script)
+        throw std::runtime_error(
+            "tigr serve: missing --script FILE (see `tigr help`)");
+    std::ifstream in(*script);
+    if (!in)
+        throw std::runtime_error("tigr serve: cannot open " + *script);
+
+    service::ScriptOptions options;
+    if (cmd.has("workers"))
+        options.workers = par::parseThreadCount(
+            cmd.option("workers").value_or(""), "--workers");
+    options.maxQueuedQueries =
+        cmd.optionU64("queue", options.maxQueuedQueries);
+    options.cacheBytes =
+        cmd.optionU64("cache-mb", options.cacheBytes >> 20) << 20;
+    return service::runScript(in, out, options);
 }
 
 } // namespace
@@ -284,7 +397,20 @@ CommandLine::optionU64(const std::string &key,
     auto value = option(key);
     if (!value)
         return fallback;
-    return std::stoull(*value);
+    // Strict: the whole token must be a plain decimal integer.
+    // Trailing garbage ("4x") or signs must not parse silently.
+    try {
+        std::size_t used = 0;
+        const std::uint64_t parsed = std::stoull(*value, &used);
+        if (used != value->size() || value->front() == '-' ||
+            value->front() == '+')
+            throw std::invalid_argument(*value);
+        return parsed;
+    } catch (const std::exception &) {
+        throw std::runtime_error("tigr: invalid --" + key + " '" +
+                                 *value +
+                                 "': expected a non-negative integer");
+    }
 }
 
 bool
@@ -324,6 +450,8 @@ loadGraphFile(const std::string &path)
     graph::Csr g;
     if (ext == ".csr") {
         g = graph::loadCsrBinaryFile(path);
+    } else if (ext == ".tgs") {
+        g = service::loadSnapshotFile(path).graph;
     } else if (ext == ".mtx") {
         g = graph::Csr::fromCoo(graph::loadMatrixMarketFile(path));
     } else if (ext == ".el" || ext == ".txt" || ext == ".snap") {
@@ -331,7 +459,7 @@ loadGraphFile(const std::string &path)
     } else {
         throw std::runtime_error(
             "tigr: unknown graph extension '" + ext +
-            "' (.el/.txt/.snap/.mtx/.csr)");
+            "' (.el/.txt/.snap/.mtx/.csr/.tgs)");
     }
     if (auto error = graph::validateCsr(g))
         throw std::runtime_error("tigr: invalid graph: " + *error);
@@ -344,11 +472,13 @@ saveGraphFile(const graph::Csr &graph, const std::string &path)
     const std::string ext = extensionOf(path);
     if (ext == ".csr") {
         graph::saveCsrBinaryFile(graph, path);
+    } else if (ext == ".tgs") {
+        service::saveSnapshotFile(graph, path);
     } else if (ext == ".el" || ext == ".txt" || ext == ".snap") {
         graph::saveEdgeListFile(graph.toCoo(), path);
     } else {
         throw std::runtime_error("tigr: cannot write extension '" +
-                                 ext + "' (.el/.txt/.snap/.csr)");
+                                 ext + "' (.el/.txt/.snap/.csr/.tgs)");
     }
 }
 
@@ -362,14 +492,20 @@ usage()
            "  tigr transform <graph> --out FILE [--k N] "
            "[--topology udt|star|rstar|cliq|circ] "
            "[--dumb zero|inf|one] [--threads N]\n"
-           "  tigr run <graph> [--algo bfs|sssp|sswp|cc|pr|bc] "
+           "  tigr run <graph> [--algo bfs|sssp|sswp|cc|pr|bc[,...]] "
            "[--strategy baseline|tigr-udt|tigr-v|tigr-v+|mw|cusha|"
            "gunrock] [--source N] [--k N] [--pull] [--dynamic] "
            "[--no-worklist] [--threads N]\n"
+           "  tigr snapshot <graph> <out.tgs> [--k N] "
+           "[--layout consecutive|coalesced] [--threads N]\n"
+           "  tigr serve --script FILE [--workers N] [--queue N] "
+           "[--cache-mb N]\n"
            "\n"
-           "--threads 0 (the default) resolves through TIGR_THREADS "
-           "or the hardware concurrency; results are identical for "
-           "any value.\n";
+           "--algo accepts a comma-separated list; all entries run on "
+           "one engine, so later runs reuse the cached transform.\n"
+           "--threads accepts an integer in [1, 1024]; omit it to "
+           "resolve through TIGR_THREADS or the hardware concurrency. "
+           "Results are identical for any value.\n";
 }
 
 int
@@ -383,6 +519,10 @@ runCommand(const CommandLine &cmd, std::ostream &out)
         return cmdTransform(cmd, out);
     if (cmd.command == "run")
         return cmdRun(cmd, out);
+    if (cmd.command == "snapshot")
+        return cmdSnapshot(cmd, out);
+    if (cmd.command == "serve")
+        return cmdServe(cmd, out);
     if (cmd.command == "help") {
         out << usage();
         return 0;
