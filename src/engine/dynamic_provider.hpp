@@ -57,6 +57,18 @@ class DynamicVirtualProvider
     /** Dynamic reasoning honors the worklist like the array design. */
     bool ignoresWorklist() const { return false; }
 
+    /** Units node @p v decomposes into: ceil(degree / K) virtual
+     *  nodes, with zero-degree nodes keeping one (empty) unit —
+     *  exactly what forEachVirtualNodeOf emits, recomputed in O(1). */
+    std::uint64_t
+    unitCountOf(NodeId v) const
+    {
+        const EdgeIndex d = graph_->degree(v);
+        return d == 0 ? 1
+                      : (d + degreeBound_ - 1) /
+                            static_cast<EdgeIndex>(degreeBound_);
+    }
+
     /** Recompute and visit the units of node @p v. */
     template <typename Fn>
     void

@@ -221,6 +221,9 @@ GraphEngine::pushOptions() const
     push.maxIterations = options_.maxIterations;
     push.pool = pool_.get();
     push.cancel = options_.cancel;
+    push.frontier = options_.frontier;
+    push.frontierRatio = options_.frontierRatio;
+    push.pullWorklist = options_.pullWorklist;
     return push;
 }
 
@@ -232,6 +235,11 @@ GraphEngine::runSemiring(
     bool all_active)
 {
     const bool pull = options_.direction == Direction::Pull;
+    // The pull destination filter walks forward out-neighbors of a
+    // changed node; the engine's input graph has that topology for
+    // every pull context (the unit-weight copy only rewrites weights,
+    // and pull refuses UDT up front).
+    const graph::Csr *forward = &graph_;
     if (options_.dynamicMapping) {
         const auto layout = options_.strategy == Strategy::TigrVPlus
                                 ? transform::EdgeLayout::Coalesced
@@ -239,12 +247,12 @@ GraphEngine::runSemiring(
         DynamicVirtualProvider provider(*ctx.scheduled,
                                         options_.degreeBound, layout);
         return pull ? runPull<Semiring>(provider, sim_, pushOptions(),
-                                        seeds)
+                                        seeds, forward)
                     : runPush<Semiring>(provider, sim_, pushOptions(),
                                         seeds, all_active);
     }
     return pull ? runPull<Semiring>(*ctx.schedule, sim_, pushOptions(),
-                                    seeds)
+                                    seeds, forward)
                 : runPush<Semiring>(*ctx.schedule, sim_, pushOptions(),
                                     seeds, all_active);
 }
@@ -281,6 +289,8 @@ GraphEngine::sssp(NodeId source)
     result.info.converged = outcome.converged;
     result.info.cancelled = outcome.cancelled;
     result.info.stats = outcome.stats;
+    result.info.peakFrontier = outcome.peakFrontier;
+    result.info.sparseIterations = outcome.sparseIterations;
     fillRunInfo(result.info, ctx, Algorithm::Sssp);
     result.info.hostMs = elapsedMs(host_start);
     return result;
@@ -304,6 +314,8 @@ GraphEngine::bfs(NodeId source)
     result.info.converged = outcome.converged;
     result.info.cancelled = outcome.cancelled;
     result.info.stats = outcome.stats;
+    result.info.peakFrontier = outcome.peakFrontier;
+    result.info.sparseIterations = outcome.sparseIterations;
     fillRunInfo(result.info, ctx, Algorithm::Bfs);
     result.info.hostMs = elapsedMs(host_start);
     return result;
@@ -327,6 +339,8 @@ GraphEngine::sswp(NodeId source)
     result.info.converged = outcome.converged;
     result.info.cancelled = outcome.cancelled;
     result.info.stats = outcome.stats;
+    result.info.peakFrontier = outcome.peakFrontier;
+    result.info.sparseIterations = outcome.sparseIterations;
     fillRunInfo(result.info, ctx, Algorithm::Sswp);
     result.info.hostMs = elapsedMs(host_start);
     return result;
@@ -353,6 +367,8 @@ GraphEngine::cc()
     result.info.converged = outcome.converged;
     result.info.cancelled = outcome.cancelled;
     result.info.stats = outcome.stats;
+    result.info.peakFrontier = outcome.peakFrontier;
+    result.info.sparseIterations = outcome.sparseIterations;
     fillRunInfo(result.info, ctx, Algorithm::Cc);
     result.info.hostMs = elapsedMs(host_start);
     return result;

@@ -53,6 +53,16 @@ struct RunInfo
     double hostMs = 0.0;
     /** Modeled device-memory footprint (see modeledFootprintBytes). */
     std::size_t footprintBytes = 0;
+    /** Largest per-iteration active-node count the run observed (= n
+     *  every iteration when the worklist is off); 0 for analyses that
+     *  do not track a frontier (PR, BC, triangles). */
+    std::uint64_t peakFrontier = 0;
+    /** Iterations that ran with the sparse (compacted) frontier — or,
+     *  in pull direction, with the active-destination filter. Each
+     *  charged one extra compaction launch, so stats.launches =
+     *  iterations + sparseIterations (+ extra per-iteration kernels)
+     *  for the worklist analyses. */
+    unsigned sparseIterations = 0;
 
     /** Simulated kernel time in milliseconds. */
     double simulatedMs() const { return cyclesToMs(stats.cycles); }

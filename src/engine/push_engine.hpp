@@ -11,6 +11,18 @@
  * warp occupancy, coalescing, and cycles (see DESIGN.md's substitution
  * note).
  *
+ * Worklist iterations run through the adaptive Frontier (see
+ * engine/frontier.hpp and docs/frontier.md): a dense-bitmap or
+ * compacted-list representation chosen per iteration by an occupancy
+ * threshold. Both representations enumerate the active nodes in
+ * ascending id order and materialize each node's units through an
+ * exclusive scan of exact per-node unit counts (O(frontier *
+ * units/node) in the sparse case), so the launched unit list — and
+ * with it every value, activation, and convergence decision — is
+ * identical whichever representation ran. Sparse iterations charge the
+ * simulator one extra |frontier|-thread compaction pass, keeping
+ * simulated speedups honest.
+ *
  * Parallel execution model. Each iteration's unit list is cut into
  * fixed chunks (grain units per chunk — the chunk structure depends
  * only on the list, never on the thread count). The semantic pass runs
@@ -29,12 +41,14 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "engine/frontier.hpp"
 #include "engine/schedule.hpp"
 #include "par/parallel_for.hpp"
 #include "sim/warp_simulator.hpp"
@@ -58,6 +72,17 @@ struct PushOptions
     par::ThreadPool *pool = nullptr;
     /** Optional cancellation hook (deadline budgets); null = never. */
     CancelCheck cancel;
+    /** Frontier representation of worklist iterations (push only);
+     *  values and iteration counts are identical for every mode. */
+    FrontierMode frontier = FrontierMode::Adaptive;
+    /** Occupancy threshold of the adaptive switch: an iteration runs
+     *  sparse while |frontier| <= frontierRatio * n. */
+    double frontierRatio = kDefaultFrontierRatio;
+    /** Gather only into active destinations in the pull driver (legal
+     *  for the shipped idempotent better()/min semirings — see
+     *  docs/frontier.md); false restores the classic all-nodes gather.
+     *  Requires runPull's forward-graph argument; ignored otherwise. */
+    bool pullWorklist = true;
 };
 
 /** Result of a push or pull run. */
@@ -74,6 +99,12 @@ struct PushOutcome
     bool cancelled = false;
     /** Aggregated simulator counters over all launches. */
     sim::KernelStats stats;
+    /** Largest per-iteration active-node count observed (equals n on
+     *  every iteration when the worklist is off). */
+    std::uint64_t peakFrontier = 0;
+    /** Iterations that ran with the sparse (compacted-list) frontier;
+     *  each charged one extra compaction launch. */
+    unsigned sparseIterations = 0;
 };
 
 namespace detail {
@@ -133,6 +164,87 @@ struct ChunkOverlay
     }
 };
 
+/**
+ * Materialize the units of @p nodes (ascending node ids) into
+ * @p units, in node order: an exclusive scan over exact per-node unit
+ * counts (Provider::unitCountOf, O(1) on both providers) fixes every
+ * node's output slot, then a parallel pass fills them. O(|nodes| +
+ * |units|) with no per-chunk scratch vectors, bit-identical at any
+ * thread count.
+ */
+template <typename Provider>
+void
+gatherUnitsOf(const Provider &provider, std::span<const NodeId> nodes,
+              par::ThreadPool *pool, std::vector<std::uint64_t> &offsets,
+              std::vector<WorkUnit> &units)
+{
+    offsets.assign(nodes.size() + 1, 0);
+    par::parallelFor(pool, nodes.size(), par::kDefaultGrain,
+                     [&](std::uint64_t i, unsigned) {
+                         offsets[i] = provider.unitCountOf(nodes[i]);
+                     });
+    par::chunkedExclusiveScan(pool, offsets);
+    units.resize(offsets.back());
+    par::parallelFor(pool, nodes.size(), par::kDefaultGrain,
+                     [&](std::uint64_t i, unsigned) {
+                         std::uint64_t slot = offsets[i];
+                         provider.forEachUnitOf(
+                             nodes[i], [&](const WorkUnit &unit) {
+                                 units[slot++] = unit;
+                             });
+                     });
+}
+
+/** Dense variant of gatherUnitsOf: scan the frontier bitmap over all n
+ *  nodes instead of a compacted list. Produces the identical unit
+ *  array (active nodes ascending, units in node order). */
+template <typename Provider>
+void
+gatherUnitsDense(const Provider &provider, const Frontier &frontier,
+                 par::ThreadPool *pool,
+                 std::vector<std::uint64_t> &offsets,
+                 std::vector<WorkUnit> &units)
+{
+    const NodeId n = provider.numValueNodes();
+    offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+    par::parallelFor(pool, n, par::kDefaultGrain,
+                     [&](std::uint64_t v, unsigned) {
+                         if (frontier.active(static_cast<NodeId>(v)))
+                             offsets[v] = provider.unitCountOf(
+                                 static_cast<NodeId>(v));
+                     });
+    par::chunkedExclusiveScan(pool, offsets);
+    units.resize(offsets.back());
+    par::parallelFor(pool, n, par::kDefaultGrain,
+                     [&](std::uint64_t v, unsigned) {
+                         if (!frontier.active(static_cast<NodeId>(v)))
+                             return;
+                         std::uint64_t slot = offsets[v];
+                         provider.forEachUnitOf(
+                             static_cast<NodeId>(v),
+                             [&](const WorkUnit &unit) {
+                                 units[slot++] = unit;
+                             });
+                     });
+}
+
+/** Does this iteration's frontier run sparse under @p options? Pure in
+ *  (count, n), hence thread-count-invariant; equality goes sparse, the
+ *  boundary the threshold tests pin. */
+inline bool
+sparseIteration(const PushOptions &options, std::uint64_t count,
+                NodeId n)
+{
+    switch (options.frontier) {
+      case FrontierMode::Dense: return false;
+      case FrontierMode::Sparse: return true;
+      case FrontierMode::Adaptive:
+        return static_cast<double>(count) <=
+               options.frontierRatio * static_cast<double>(n);
+    }
+    return false;
+}
+
 } // namespace detail
 
 /**
@@ -168,27 +280,30 @@ runPush(const Provider &provider, sim::WarpSimulator &sim,
     for (const auto &[node, value] : seeds)
         outcome.values[node] = value;
 
-    std::vector<std::uint8_t> active(n, all_active ? 1 : 0);
-    if (!all_active)
-        for (const auto &[node, value] : seeds)
-            active[node] = 1;
-
     const bool use_worklist =
         options.worklist && !provider.ignoresWorklist();
     const bool relaxed = options.syncRelaxation;
 
+    // Two frontiers swapped per iteration; untouched (and unpaid for)
+    // when the worklist is off.
+    Frontier frontier;
+    Frontier next_frontier;
+    if (use_worklist) {
+        frontier.reset(n, all_active);
+        next_frontier.reset(n, false);
+        if (!all_active)
+            for (const auto &[node, value] : seeds)
+                frontier.activate(node);
+    }
+
     std::vector<WorkUnit> launch_units;
-    std::vector<std::uint8_t> next_active(n, 0);
+    std::vector<std::uint64_t> gather_offsets;
 
     // Per-worker overlays and per-chunk improvement lists: the
     // semantic pass never writes the global values, so they double as
     // the iteration's frozen snapshot with no copy.
     par::PerWorker<detail::ChunkOverlay<Value>> overlays(pool);
     std::vector<std::vector<std::pair<NodeId, Value>>> chunk_updates;
-
-    // Worklist gather scratch (per node-range chunk).
-    std::vector<std::vector<WorkUnit>> gather_units;
-    std::vector<std::uint64_t> gather_active;
 
     if (!use_worklist) {
         provider.forEachUnit([&](const WorkUnit &unit) {
@@ -203,47 +318,34 @@ runPush(const Provider &provider, sim::WarpSimulator &sim,
             break;
         }
 
-        // Gather this iteration's units.
-        std::uint64_t active_nodes = 0;
+        // Gather this iteration's units. Sparse and dense materialize
+        // the identical array — active nodes ascending, units in node
+        // order — so the mode never changes what executes, only what
+        // the enumeration costs.
+        std::uint64_t active_nodes = n;
+        bool sparse = false;
         if (use_worklist) {
-            launch_units.clear();
-            const std::uint64_t node_chunks = par::chunkCount(n, grain);
-            gather_units.resize(node_chunks);
-            gather_active.assign(node_chunks, 0);
-            par::forEachChunk(
-                pool, n, grain,
-                [&](std::uint64_t chunk, std::uint64_t begin,
-                    std::uint64_t end, unsigned) {
-                    auto &units = gather_units[chunk];
-                    units.clear();
-                    std::uint64_t found = 0;
-                    for (std::uint64_t v = begin; v < end; ++v) {
-                        if (!active[v])
-                            continue;
-                        ++found;
-                        provider.forEachUnitOf(
-                            static_cast<NodeId>(v),
-                            [&](const WorkUnit &unit) {
-                                units.push_back(unit);
-                            });
-                    }
-                    gather_active[chunk] = found;
-                });
-            for (std::uint64_t chunk = 0; chunk < node_chunks; ++chunk) {
-                active_nodes += gather_active[chunk];
-                launch_units.insert(launch_units.end(),
-                                    gather_units[chunk].begin(),
-                                    gather_units[chunk].end());
+            active_nodes = frontier.count();
+            sparse = detail::sparseIteration(options, active_nodes, n);
+            if (sparse) {
+                detail::gatherUnitsOf(provider, frontier.compacted(pool),
+                                      pool, gather_offsets,
+                                      launch_units);
+            } else {
+                detail::gatherUnitsDense(provider, frontier, pool,
+                                         gather_offsets, launch_units);
             }
             if (launch_units.empty()) {
                 outcome.converged = true;
                 break;
             }
-        } else {
-            active_nodes = n;
         }
 
         ++outcome.iterations;
+        outcome.peakFrontier =
+            std::max(outcome.peakFrontier, active_nodes);
+        if (use_worklist && sparse)
+            ++outcome.sparseIterations;
 
         // Semantic pass: per chunk, compute candidate improvements
         // against the frozen values (plus the chunk's own overlay when
@@ -287,15 +389,19 @@ runPush(const Provider &provider, sim::WarpSimulator &sim,
             });
 
         // Merge in ascending chunk order (serial; the order makes the
-        // result independent of which worker ran which chunk).
-        std::fill(next_active.begin(), next_active.end(), 0);
+        // result independent of which worker ran which chunk). The
+        // next frontier clears its touched entries only and dedups
+        // activations through its bitmap.
+        if (use_worklist)
+            next_frontier.clear();
         bool changed = false;
         for (std::uint64_t chunk = 0; chunk < unit_chunks; ++chunk) {
             for (const auto &[dst, value] : chunk_updates[chunk]) {
                 if (Semiring::better(value, outcome.values[dst])) {
                     outcome.values[dst] = value;
-                    next_active[dst] = 1;
                     changed = true;
+                    if (use_worklist)
+                        next_frontier.activate(dst);
                 }
             }
         }
@@ -309,6 +415,15 @@ runPush(const Provider &provider, sim::WarpSimulator &sim,
                 return detail::describeUnit(launch_units[tid], cost);
             },
             pool);
+
+        // A sparse iteration also paid a compaction pass over the
+        // frontier: charge it at the real frontier size.
+        if (use_worklist && sparse) {
+            outcome.stats += sim.launch(
+                active_nodes,
+                [](std::uint64_t) { return sim::frontierPassWork(); },
+                pool);
+        }
 
         // Model auxiliary per-iteration kernels (Gunrock's filter).
         for (std::uint32_t extra = 0;
@@ -328,7 +443,7 @@ runPush(const Provider &provider, sim::WarpSimulator &sim,
             break;
         }
         if (use_worklist)
-            active.swap(next_active);
+            frontier.swap(next_frontier);
     }
     return outcome;
 }
@@ -344,16 +459,31 @@ runPush(const Provider &provider, sim::WarpSimulator &sim,
  * into one physical slot, which is exactly the nested application
  * Theorem 3 reduces using the semiring's associativity.
  *
- * Pull processes every node each iteration (no worklist), as in the
- * pull engines the paper discusses; syncRelaxation selects whether
- * gathers read values updated earlier in the same chunk (the
- * chunk-scoped relaxation described in the file comment).
+ * With @p forward (the original, un-reversed graph) supplied and
+ * PushOptions::pullWorklist on, iterations gather only into *active
+ * destinations*: nodes with an in-neighbor whose value changed in the
+ * previous iteration (initially, out-neighbors of the seeds). A
+ * node's gather is a pure reduction over its in-neighbor values, so
+ * recomputing it without any input change reproduces the same
+ * candidate; because the shipped semirings are idempotent better()/min
+ * reductions with monotone improvement, skipping such gathers cannot
+ * change the fixed point (the Theorem 3 argument, docs/frontier.md).
+ * The filter may converge in fewer iterations than the all-nodes
+ * gather (which spends a final no-change sweep to detect convergence);
+ * values are identical. Strategies that ignore the worklist (CuSha,
+ * MaximumWarp) always gather everywhere, as does PushOptions::
+ * pullWorklist = false.
+ *
+ * syncRelaxation selects whether gathers read values updated earlier
+ * in the same chunk (the chunk-scoped relaxation described in the file
+ * comment).
  */
 template <typename Semiring, typename Provider>
 PushOutcome<Semiring>
 runPull(const Provider &provider, sim::WarpSimulator &sim,
         const PushOptions &options,
-        std::span<const std::pair<NodeId, typename Semiring::Value>> seeds)
+        std::span<const std::pair<NodeId, typename Semiring::Value>> seeds,
+        const graph::Csr *forward = nullptr)
 {
     using Value = typename Semiring::Value;
 
@@ -363,6 +493,8 @@ runPull(const Provider &provider, sim::WarpSimulator &sim,
     par::ThreadPool *pool = options.pool;
     const std::uint64_t grain = par::kDefaultGrain;
     const bool relaxed = options.syncRelaxation;
+    const bool filtered = forward != nullptr && options.pullWorklist &&
+                          !provider.ignoresWorklist();
 
     PushOutcome<Semiring> outcome;
     outcome.values.assign(n, Semiring::identity);
@@ -370,15 +502,26 @@ runPull(const Provider &provider, sim::WarpSimulator &sim,
         outcome.values[node] = value;
 
     std::vector<WorkUnit> launch_units;
-    provider.forEachUnit([&](const WorkUnit &unit) {
-        launch_units.push_back(unit);
-    });
+    std::vector<std::uint64_t> gather_offsets;
 
-    const std::uint64_t unit_chunks =
-        par::chunkCount(launch_units.size(), grain);
+    // Active destinations of the next gather; only the out-neighbors
+    // of a changed node can compute a different reduction.
+    Frontier dests;
+    Frontier next_dests;
+    if (filtered) {
+        dests.reset(n, false);
+        next_dests.reset(n, false);
+        for (const auto &[node, value] : seeds)
+            for (NodeId t : forward->outNeighbors(node))
+                dests.activate(t);
+    } else {
+        provider.forEachUnit([&](const WorkUnit &unit) {
+            launch_units.push_back(unit);
+        });
+    }
+
     par::PerWorker<detail::ChunkOverlay<Value>> overlays(pool);
-    std::vector<std::vector<std::pair<NodeId, Value>>> chunk_updates(
-        unit_chunks);
+    std::vector<std::vector<std::pair<NodeId, Value>>> chunk_updates;
 
     while (outcome.iterations < options.maxIterations) {
         if (options.cancel &&
@@ -386,8 +529,28 @@ runPull(const Provider &provider, sim::WarpSimulator &sim,
             outcome.cancelled = true;
             break;
         }
-        ++outcome.iterations;
 
+        std::uint64_t active_dests = n;
+        if (filtered) {
+            active_dests = dests.count();
+            detail::gatherUnitsOf(provider, dests.compacted(pool), pool,
+                                  gather_offsets, launch_units);
+            if (launch_units.empty()) {
+                outcome.converged = true;
+                break;
+            }
+        }
+
+        ++outcome.iterations;
+        outcome.peakFrontier =
+            std::max(outcome.peakFrontier, active_dests);
+        if (filtered)
+            ++outcome.sparseIterations;
+
+        const std::uint64_t unit_chunks =
+            par::chunkCount(launch_units.size(), grain);
+        if (chunk_updates.size() < unit_chunks)
+            chunk_updates.resize(unit_chunks);
         const std::vector<Value> &frozen = outcome.values;
         par::forEachChunk(
             pool, launch_units.size(), grain,
@@ -424,12 +587,17 @@ runPull(const Provider &provider, sim::WarpSimulator &sim,
                                          overlay.value[target]);
             });
 
+        if (filtered)
+            next_dests.clear();
         bool changed = false;
         for (std::uint64_t chunk = 0; chunk < unit_chunks; ++chunk) {
             for (const auto &[target, value] : chunk_updates[chunk]) {
                 if (Semiring::better(value, outcome.values[target])) {
                     outcome.values[target] = value;
                     changed = true;
+                    if (filtered)
+                        for (NodeId t : forward->outNeighbors(target))
+                            next_dests.activate(t);
                 }
             }
         }
@@ -441,10 +609,21 @@ runPull(const Provider &provider, sim::WarpSimulator &sim,
             },
             pool);
 
+        // The destination filter is itself a frontier pass: charge it
+        // at the real active-destination count.
+        if (filtered) {
+            outcome.stats += sim.launch(
+                active_dests,
+                [](std::uint64_t) { return sim::frontierPassWork(); },
+                pool);
+        }
+
         if (!changed) {
             outcome.converged = true;
             break;
         }
+        if (filtered)
+            dests.swap(next_dests);
     }
     return outcome;
 }

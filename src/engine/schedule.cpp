@@ -11,7 +11,7 @@ namespace {
 
 /** Units node @p v contributes under @p strategy. */
 std::uint64_t
-unitCountOf(const graph::Csr &graph, Strategy strategy, NodeId v,
+strategyUnitCount(const graph::Csr &graph, Strategy strategy, NodeId v,
             NodeId degree_bound, unsigned mw_virtual_warp)
 {
     const EdgeIndex d = graph.degree(v);
@@ -114,7 +114,7 @@ Schedule::build(const graph::Csr &graph, Strategy strategy,
     schedule.unitOffsets_.assign(static_cast<std::size_t>(n) + 1, 0);
     par::parallelFor(pool, n, par::kDefaultGrain,
                      [&](std::uint64_t v, unsigned) {
-                         schedule.unitOffsets_[v] = unitCountOf(
+                         schedule.unitOffsets_[v] = strategyUnitCount(
                              graph, strategy, static_cast<NodeId>(v),
                              degree_bound, mw_virtual_warp);
                      });

@@ -96,6 +96,16 @@ class Schedule
     /** Total number of work units (threads in an all-active launch). */
     std::uint64_t numUnits() const { return units_.size(); }
 
+    /** Number of units owned by value node @p v, O(1) off the offset
+     *  array (provider concept shared with DynamicVirtualProvider):
+     *  what lets the drivers size a frontier's launch exactly before
+     *  filling it. */
+    std::uint64_t
+    unitCountOf(NodeId v) const
+    {
+        return unitOffsets_[v + 1] - unitOffsets_[v];
+    }
+
     /** Units owned by value node @p v. */
     std::span<const WorkUnit>
     unitsOf(NodeId v) const

@@ -17,6 +17,7 @@
 #include <string>
 #include <string_view>
 
+#include "engine/frontier.hpp"
 #include "graph/csr.hpp"
 #include "graph/types.hpp"
 #include "sim/gpu_config.hpp"
@@ -158,6 +159,18 @@ struct EngineOptions
      *  iteration counts, and simulator counters are identical for any
      *  value (see docs/parallelism.md). */
     unsigned threads = 0;
+    /** Frontier representation of worklist iterations: dense bitmap,
+     *  compacted sparse list, or the per-iteration adaptive switch.
+     *  Values and iteration counts are identical for every mode (see
+     *  docs/frontier.md); only enumeration cost differs. */
+    FrontierMode frontier = FrontierMode::Adaptive;
+    /** Occupancy threshold of the adaptive switch: iterations run
+     *  sparse while |frontier| <= frontierRatio * n. */
+    double frontierRatio = kDefaultFrontierRatio;
+    /** Gather only into active destinations in pull direction (legal
+     *  for the shipped idempotent min-reductions; see docs/frontier.md
+     *  for the Theorem 3 argument). false = classic all-nodes gather. */
+    bool pullWorklist = true;
     /** Simulated GPU. */
     sim::GpuConfig gpu;
 };

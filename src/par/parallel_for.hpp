@@ -154,4 +154,43 @@ chunkedExclusiveScan(ThreadPool *pool, std::vector<T> &values,
                  });
 }
 
+/**
+ * Deterministic parallel compaction: collect every index i of
+ * [0, count) with pred(i) true into @p out, in ascending order. Runs
+ * the classic count-then-prefix-scan scheme over the fixed chunk
+ * decomposition — per-chunk match counts, an exclusive scan fixing
+ * each chunk's output offset, and a parallel fill at exact slots — so
+ * the output vector is bit-identical at any thread count. @p pred must
+ * be pure (it is evaluated twice per index, concurrently).
+ */
+template <typename Out, typename Pred>
+void
+chunkedCompact(ThreadPool *pool, std::uint64_t count, Pred &&pred,
+               std::vector<Out> &out,
+               std::uint64_t grain = kDefaultGrain)
+{
+    const std::uint64_t chunks = chunkCount(count, grain);
+    // One slot per chunk plus a sentinel: after the exclusive scan the
+    // sentinel holds the total match count.
+    std::vector<std::uint64_t> offsets(chunks + 1, 0);
+    forEachChunk(pool, count, grain,
+                 [&](std::uint64_t chunk, std::uint64_t begin,
+                     std::uint64_t end, unsigned) {
+                     std::uint64_t found = 0;
+                     for (std::uint64_t i = begin; i < end; ++i)
+                         found += pred(i) ? 1 : 0;
+                     offsets[chunk] = found;
+                 });
+    chunkedExclusiveScan(pool, offsets, grain);
+    out.resize(offsets.back());
+    forEachChunk(pool, count, grain,
+                 [&](std::uint64_t chunk, std::uint64_t begin,
+                     std::uint64_t end, unsigned) {
+                     std::uint64_t slot = offsets[chunk];
+                     for (std::uint64_t i = begin; i < end; ++i)
+                         if (pred(i))
+                             out[slot++] = static_cast<Out>(i);
+                 });
+}
+
 } // namespace tigr::par

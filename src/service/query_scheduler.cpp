@@ -103,6 +103,8 @@ QueryScheduler::execute(const QuerySpec &spec,
     opts.strategy = spec.strategy;
     opts.degreeBound = spec.degreeBound;
     opts.mwVirtualWarp = spec.mwVirtualWarp;
+    opts.frontier = spec.frontier;
+    opts.frontierRatio = spec.frontierRatio;
     // The engine itself is single-threaded: scheduler concurrency is
     // across queries only, which the determinism contract needs.
     opts.threads = 1;

@@ -56,6 +56,11 @@ struct QuerySpec
     unsigned mwVirtualWarp = 8;
     /** PageRank rounds (PR only). */
     unsigned prIterations = 20;
+    /** Frontier representation of worklist iterations (dense, sparse,
+     *  or the adaptive switch); values are identical for every mode. */
+    engine::FrontierMode frontier = engine::FrontierMode::Adaptive;
+    /** Occupancy threshold of the adaptive frontier switch. */
+    double frontierRatio = engine::kDefaultFrontierRatio;
     /**
      * Deterministic deadline in *simulated* milliseconds: the query is
      * cancelled before the first BSP iteration whose accumulated

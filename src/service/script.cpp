@@ -92,11 +92,14 @@ parseU64(const std::string &text, std::size_t line_no,
 }
 
 QuerySpec
-parseQuery(const std::vector<std::string> &tokens, std::size_t line_no)
+parseQuery(const std::vector<std::string> &tokens, std::size_t line_no,
+           const ScriptOptions &defaults)
 {
     if (tokens.size() < 3)
         scriptFail(line_no, "query needs: query GRAPH ALGO [k=v ...]");
     QuerySpec spec;
+    spec.frontier = defaults.frontier;
+    spec.frontierRatio = defaults.frontierRatio;
     spec.graph = tokens[1];
     auto algorithm = parseAlgorithm(tokens[2]);
     if (!algorithm)
@@ -133,6 +136,17 @@ parseQuery(const std::vector<std::string> &tokens, std::size_t line_no)
             spec.deadlineSimMs = parseDouble(value, line_no, key);
         } else if (key == "deadline-wall-ms") {
             spec.deadlineWallMs = parseDouble(value, line_no, key);
+        } else if (key == "frontier") {
+            auto mode = engine::parseFrontierMode(value);
+            if (!mode)
+                scriptFail(line_no, "unknown frontier mode '" + value +
+                                        "' (dense|sparse|adaptive)");
+            spec.frontier = *mode;
+        } else if (key == "frontier-ratio") {
+            const double ratio = parseDouble(value, line_no, key);
+            if (ratio > 1.0)
+                scriptFail(line_no, "frontier-ratio must be in [0, 1]");
+            spec.frontierRatio = ratio;
         } else {
             scriptFail(line_no, "unknown query key '" + key + "'");
         }
@@ -245,7 +259,7 @@ runScript(std::istream &in, std::ostream &out,
                 << " virtualNodes=" << snapshot.virtualNodes.size()
                 << '\n';
         } else if (command == "query") {
-            pending.push_back(parseQuery(tokens, line_no));
+            pending.push_back(parseQuery(tokens, line_no, options));
         } else if (command == "run") {
             if (tokens.size() != 1)
                 scriptFail(line_no, "run takes no arguments");

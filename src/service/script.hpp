@@ -15,7 +15,8 @@
  *   query GRAPH ALGO [key=value ...]
  *       Append a query to the pending batch. ALGO is one of
  *       bfs|sssp|sswp|cc|pr|bc. Keys: source=N strategy=S k=N warp=N
- *       pr-iters=N deadline-sim-ms=X deadline-wall-ms=X.
+ *       pr-iters=N deadline-sim-ms=X deadline-wall-ms=X
+ *       frontier=dense|sparse|adaptive frontier-ratio=X.
  *   run
  *       Execute the pending batch through the QueryScheduler and print
  *       one result line per query, in batch order.
@@ -33,6 +34,8 @@
 #include <istream>
 #include <ostream>
 
+#include "engine/frontier.hpp"
+
 namespace tigr::service {
 
 /** Knobs for one script execution. */
@@ -44,6 +47,10 @@ struct ScriptOptions
     std::size_t maxQueuedQueries = 1024;
     /** TransformCache byte budget. */
     std::size_t cacheBytes = std::size_t{64} << 20;
+    /** Default frontier mode of queries that do not set frontier=. */
+    engine::FrontierMode frontier = engine::FrontierMode::Adaptive;
+    /** Default adaptive-switch ratio (frontier-ratio= overrides). */
+    double frontierRatio = engine::kDefaultFrontierRatio;
 };
 
 /**

@@ -49,6 +49,24 @@ struct ThreadWork
     std::uint32_t scatterAccessesPerEdge = 1;
 };
 
+/**
+ * The work of one lane of a frontier-maintenance pass (Gunrock-style
+ * compaction / filter): an activity-flag test plus a compacted-slot
+ * write, no edge traffic. Engines running a sparse-frontier iteration
+ * charge one extra launch of |frontier| such threads, so the simulated
+ * cost of frontier compaction scales with the real frontier size
+ * instead of being free.
+ */
+inline ThreadWork
+frontierPassWork()
+{
+    ThreadWork work;
+    work.instructions = 2;
+    work.edgeCount = 0;
+    work.scatterAccessesPerEdge = 0;
+    return work;
+}
+
 /** Counters produced by one kernel launch (or aggregated over many). */
 struct KernelStats
 {

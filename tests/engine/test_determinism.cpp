@@ -1,15 +1,16 @@
 /**
  * @file
- * The determinism contract, executed: every strategy × analysis pair
- * must produce bit-identical values, iteration counts, convergence
- * flags, and simulator counters at 1, 2, and 8 host threads — on a
- * skewed RMAT graph and on a star-heavy graph whose hub makes chunk
- * boundaries cut through one node's units. See docs/parallelism.md
- * for why this holds by construction.
+ * The determinism contract, executed: every strategy × frontier mode ×
+ * analysis triple must produce bit-identical values, iteration counts,
+ * convergence flags, and simulator counters at 1, 2, and 8 host
+ * threads — on a skewed RMAT graph and on a star-heavy graph whose hub
+ * makes chunk boundaries cut through one node's units. See
+ * docs/parallelism.md for why this holds by construction.
  */
 #include <cstdint>
 #include <cstdlib>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -49,13 +50,15 @@ starHeavyGraph()
 }
 
 EngineOptions
-optionsFor(Strategy strategy)
+optionsFor(Strategy strategy,
+           FrontierMode frontier = FrontierMode::Adaptive)
 {
     EngineOptions options;
     options.strategy = strategy;
     options.degreeBound = 8;
     options.udtBound = 16;
     options.mwVirtualWarp = 4;
+    options.frontier = frontier;
     return options;
 }
 
@@ -87,28 +90,29 @@ expectThreadCountInvariant(const graph::Csr &g, EngineOptions base,
     }
 }
 
-class DeterminismMatrix : public ::testing::TestWithParam<Strategy>
+class DeterminismMatrix
+    : public ::testing::TestWithParam<std::tuple<Strategy, FrontierMode>>
 {
   protected:
     void
     runAll(const graph::Csr &g)
     {
-        const Strategy strategy = GetParam();
+        const auto [strategy, frontier] = GetParam();
         expectThreadCountInvariant(
-            g, optionsFor(strategy),
+            g, optionsFor(strategy, frontier),
             [](GraphEngine &e) { return e.bfs(0); });
         expectThreadCountInvariant(
-            g, optionsFor(strategy),
+            g, optionsFor(strategy, frontier),
             [](GraphEngine &e) { return e.sssp(0); });
         expectThreadCountInvariant(
-            g, optionsFor(strategy),
+            g, optionsFor(strategy, frontier),
             [](GraphEngine &e) { return e.sswp(0); });
         expectThreadCountInvariant(
-            g, optionsFor(strategy),
+            g, optionsFor(strategy, frontier),
             [](GraphEngine &e) { return e.cc(); });
         if (strategy != Strategy::TigrUdt) {
             expectThreadCountInvariant(
-                g, optionsFor(strategy), [](GraphEngine &e) {
+                g, optionsFor(strategy, frontier), [](GraphEngine &e) {
                     return e.pagerank({.iterations = 10});
                 });
         }
@@ -121,14 +125,48 @@ TEST_P(DeterminismMatrix, StarHeavyGraph) { runAll(starHeavyGraph()); }
 
 INSTANTIATE_TEST_SUITE_P(
     AllStrategies, DeterminismMatrix,
-    ::testing::ValuesIn(kAllStrategies),
-    [](const ::testing::TestParamInfo<Strategy> &info) {
-        std::string name{strategyName(info.param)};
+    ::testing::Combine(::testing::ValuesIn(kAllStrategies),
+                       ::testing::ValuesIn(kAllFrontierModes)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<Strategy, FrontierMode>> &info) {
+        std::string name{strategyName(std::get<0>(info.param))};
         for (char &c : name)
             if (c == '-' || c == '+')
                 c = c == '-' ? '_' : 'p';
+        name += '_';
+        name += frontierModeName(std::get<1>(info.param));
         return name;
     });
+
+TEST(Determinism, ValuesIdenticalAcrossFrontierModes)
+{
+    // The modes must agree not only at every thread count but with
+    // each other: identical values, iteration counts, and peak
+    // frontier (the sparse/dense enumeration launches the same units).
+    graph::Csr g = rmatGraph(83);
+    for (Strategy strategy :
+         {Strategy::Baseline, Strategy::TigrVPlus, Strategy::Gunrock}) {
+        EngineOptions dense = optionsFor(strategy, FrontierMode::Dense);
+        GraphEngine dense_engine(g, dense);
+        const auto expected_sssp = dense_engine.sssp(0);
+        const auto expected_cc = dense_engine.cc();
+        for (FrontierMode mode :
+             {FrontierMode::Sparse, FrontierMode::Adaptive}) {
+            GraphEngine engine(g, optionsFor(strategy, mode));
+            const auto sssp = engine.sssp(0);
+            EXPECT_EQ(sssp.values, expected_sssp.values)
+                << strategyName(strategy) << " "
+                << frontierModeName(mode);
+            EXPECT_EQ(sssp.info.iterations,
+                      expected_sssp.info.iterations);
+            EXPECT_EQ(sssp.info.peakFrontier,
+                      expected_sssp.info.peakFrontier);
+            const auto cc = engine.cc();
+            EXPECT_EQ(cc.values, expected_cc.values);
+            EXPECT_EQ(cc.info.iterations, expected_cc.info.iterations);
+        }
+    }
+}
 
 TEST(Determinism, StrictBspMode)
 {

@@ -231,5 +231,42 @@ TEST(ScriptRunner, MalformedCommandsThrowWithLineNumbers)
     }
 }
 
+TEST(ScriptRunner, FrontierKeysParseAndMatchDenseResults)
+{
+    const fs::path file =
+        fs::temp_directory_path() / "tigr_script_frontier.tgs";
+    saveSnapshotFile(ringGraph(96), file);
+
+    // The representation is a pure perf knob: digests must match the
+    // dense run exactly.
+    std::string digests[2];
+    int i = 0;
+    for (const char *keys :
+         {"frontier=dense", "frontier=sparse frontier-ratio=0.5"}) {
+        std::istringstream in("load ring " + file.string() +
+                              "\nquery ring bfs source=0 " + keys +
+                              "\nrun\n");
+        std::ostringstream out;
+        ASSERT_EQ(runScript(in, out), 0) << keys;
+        const std::string text = out.str();
+        EXPECT_NE(text.find("outcome=completed"), std::string::npos)
+            << text;
+        const auto pos = text.find("digest=");
+        ASSERT_NE(pos, std::string::npos) << text;
+        digests[i++] = text.substr(pos, text.find(' ', pos) - pos);
+    }
+    EXPECT_EQ(digests[0], digests[1]);
+
+    for (const char *bad :
+         {"query g bfs frontier=bitmap\n",
+          "query g bfs frontier-ratio=1.5\n",
+          "query g bfs frontier-ratio=abc\n"}) {
+        std::istringstream in(bad);
+        std::ostringstream out;
+        EXPECT_THROW(runScript(in, out), std::runtime_error) << bad;
+    }
+    fs::remove(file);
+}
+
 } // namespace
 } // namespace tigr::service

@@ -207,6 +207,55 @@ TEST(CliCommands, RunWithPullAndDynamicFlags)
               std::string::npos);
 }
 
+TEST(CliCommands, RunFrontierFlags)
+{
+    TempDir dir;
+    auto path = dir / "g.csr";
+    graph::saveCsrBinaryFile(
+        graph::GraphBuilder().build(
+            graph::rmat({.nodes = 128, .edges = 1500, .seed = 9})),
+        path);
+
+    // Every mode runs and is echoed; dense reports zero sparse iters.
+    for (const char *mode : {"dense", "sparse", "adaptive"}) {
+        std::ostringstream out;
+        int code = runCommand(parse({"run", path.string(), "--algo",
+                                     "bfs", "--frontier", mode}),
+                              out);
+        EXPECT_EQ(code, 0) << mode;
+        EXPECT_NE(out.str().find(std::string("frontier:        ") +
+                                 mode),
+                  std::string::npos)
+            << mode;
+    }
+    std::ostringstream dense_out;
+    ASSERT_EQ(runCommand(parse({"run", path.string(), "--algo", "bfs",
+                                "--frontier", "dense"}),
+                         dense_out),
+              0);
+    EXPECT_NE(dense_out.str().find("sparse iters:    0"),
+              std::string::npos);
+
+    // Strict parsing, matching the --threads conventions.
+    std::ostringstream out;
+    EXPECT_THROW(runCommand(parse({"run", path.string(), "--frontier",
+                                   "bitmap"}),
+                            out),
+                 std::runtime_error);
+    for (const char *bad : {"1.5", "-0.1", "+0.3", "0.05x", "nan", ""}) {
+        EXPECT_THROW(runCommand(parse({"run", path.string(),
+                                       "--frontier-ratio", bad}),
+                                out),
+                     std::runtime_error)
+            << '\'' << bad << '\'';
+    }
+    std::ostringstream ok;
+    EXPECT_EQ(runCommand(parse({"run", path.string(), "--algo", "bfs",
+                                "--frontier-ratio", "0.25"}),
+                         ok),
+              0);
+}
+
 TEST(CliCommands, ErrorsAreReported)
 {
     std::ostringstream out;

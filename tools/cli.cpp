@@ -42,6 +42,44 @@ threadsOption(const CommandLine &cmd)
     return par::parseThreadCount(*value, "--threads");
 }
 
+/** Strictly parsed --frontier: absent leaves @p mode untouched (the
+ *  adaptive default); present must name dense|sparse|adaptive. */
+void
+frontierModeOption(const CommandLine &cmd, engine::FrontierMode &mode)
+{
+    auto value = cmd.option("frontier");
+    if (!value)
+        return;
+    auto parsed = engine::parseFrontierMode(*value);
+    if (!parsed)
+        throw std::runtime_error("tigr: unknown --frontier '" + *value +
+                                 "' (dense|sparse|adaptive)");
+    mode = *parsed;
+}
+
+/** Strictly parsed --frontier-ratio: absent leaves @p ratio untouched;
+ *  present must be a plain decimal in [0, 1] — trailing garbage,
+ *  signs, inf, and nan all fail loudly (the --threads conventions). */
+void
+frontierRatioOption(const CommandLine &cmd, double &ratio)
+{
+    auto value = cmd.option("frontier-ratio");
+    if (!value)
+        return;
+    try {
+        std::size_t used = 0;
+        const double parsed = std::stod(*value, &used);
+        if (used != value->size() || value->front() == '-' ||
+            value->front() == '+' || !(parsed >= 0.0) || parsed > 1.0)
+            throw std::invalid_argument(*value);
+        ratio = parsed;
+    } catch (const std::exception &) {
+        throw std::runtime_error(
+            "tigr: invalid --frontier-ratio '" + *value +
+            "': expected a number in [0, 1]");
+    }
+}
+
 /** Pick the split transformation named by --topology. */
 std::unique_ptr<transform::SplitTransform>
 makeTopology(const std::string &name)
@@ -193,6 +231,8 @@ cmdRun(const CommandLine &cmd, std::ostream &out)
     if (cmd.has("no-worklist"))
         options.worklist = false;
     options.threads = threadsOption(cmd);
+    frontierModeOption(cmd, options.frontier);
+    frontierRatioOption(cmd, options.frontierRatio);
 
     const auto source =
         static_cast<NodeId>(cmd.optionU64("source", 0));
@@ -293,7 +333,11 @@ cmdRun(const CommandLine &cmd, std::ostream &out)
                     : "")
             << "\n"
             << "result:          " << summary << "\n"
+            << "frontier:        "
+            << engine::frontierModeName(options.frontier) << "\n"
             << "iterations:      " << info.iterations << "\n"
+            << "sparse iters:    " << info.sparseIterations << "\n"
+            << "peak frontier:   " << info.peakFrontier << "\n"
             << "simulated ms:    " << info.simulatedMs() << "\n"
             << "warp efficiency: "
             << 100.0 * info.stats.warpEfficiency() << "%\n"
@@ -376,6 +420,8 @@ cmdServe(const CommandLine &cmd, std::ostream &out)
         cmd.optionU64("queue", options.maxQueuedQueries);
     options.cacheBytes =
         cmd.optionU64("cache-mb", options.cacheBytes >> 20) << 20;
+    frontierModeOption(cmd, options.frontier);
+    frontierRatioOption(cmd, options.frontierRatio);
     return service::runScript(in, out, options);
 }
 
@@ -495,17 +541,23 @@ usage()
            "  tigr run <graph> [--algo bfs|sssp|sswp|cc|pr|bc[,...]] "
            "[--strategy baseline|tigr-udt|tigr-v|tigr-v+|mw|cusha|"
            "gunrock] [--source N] [--k N] [--pull] [--dynamic] "
-           "[--no-worklist] [--threads N]\n"
+           "[--no-worklist] [--frontier dense|sparse|adaptive] "
+           "[--frontier-ratio F] [--threads N]\n"
            "  tigr snapshot <graph> <out.tgs> [--k N] "
            "[--layout consecutive|coalesced] [--threads N]\n"
            "  tigr serve --script FILE [--workers N] [--queue N] "
-           "[--cache-mb N]\n"
+           "[--cache-mb N] [--frontier dense|sparse|adaptive] "
+           "[--frontier-ratio F]\n"
            "\n"
            "--algo accepts a comma-separated list; all entries run on "
            "one engine, so later runs reuse the cached transform.\n"
            "--threads accepts an integer in [1, 1024]; omit it to "
            "resolve through TIGR_THREADS or the hardware concurrency. "
-           "Results are identical for any value.\n";
+           "Results are identical for any value.\n"
+           "--frontier picks the worklist representation (default "
+           "adaptive: sparse while |frontier| <= F * nodes, F from "
+           "--frontier-ratio, default 0.05). Values are identical for "
+           "every mode; see docs/frontier.md.\n";
 }
 
 int
