@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Fault-injection overhead benchmark. The resilience design note in
+ * docs/resilience.md makes two performance claims this binary pins
+ * down:
+ *
+ *  - A disarmed TIGR_FAULT_POINT is one thread-local load and a
+ *    predictable branch — cheap enough that the hooks compile into
+ *    production paths unconditionally. Measured two ways: a raw
+ *    hook microbenchmark (ns per hook, disarmed vs armed at rate 0),
+ *    and end-to-end scheduler throughput with and without an armed
+ *    zero-rate plan, which must agree within ~2%.
+ *  - At a 10% injected fault rate the scheduler keeps making progress:
+ *    every query terminates in a typed state and throughput degrades
+ *    by a bounded, reported factor (retries re-run work; nothing
+ *    crashes or hangs).
+ *
+ * Scales with $TIGR_BENCH_SCALE like every other bench binary.
+ */
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "fault/fault.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "service/graph_store.hpp"
+#include "service/query_scheduler.hpp"
+#include "service/transform_cache.hpp"
+
+namespace tigr {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+graph::Csr
+benchGraph()
+{
+    const auto nodes =
+        static_cast<NodeId>(double(1u << 16) * bench::benchScale());
+    graph::BuildOptions options;
+    options.randomizeWeights = true;
+    options.maxWeight = 48;
+    options.weightSeed = 23;
+    return graph::GraphBuilder(options).build(graph::rmat(
+        {.nodes = nodes, .edges = EdgeIndex{nodes} * 16, .seed = 23}));
+}
+
+std::vector<service::QuerySpec>
+queryBatch(std::size_t count, NodeId nodes)
+{
+    const engine::Algorithm algos[] = {
+        engine::Algorithm::Bfs, engine::Algorithm::Sssp,
+        engine::Algorithm::Sswp, engine::Algorithm::Cc,
+        engine::Algorithm::Pr};
+    std::vector<service::QuerySpec> batch;
+    for (std::size_t i = 0; i < count; ++i) {
+        service::QuerySpec spec;
+        spec.graph = "g";
+        spec.algorithm = algos[i % 5];
+        spec.strategy = (i % 2 == 0) ? engine::Strategy::TigrVPlus
+                                     : engine::Strategy::TigrV;
+        spec.source = static_cast<NodeId>((i * 97) % nodes);
+        spec.degreeBound = 10;
+        spec.prIterations = 10;
+        batch.push_back(spec);
+    }
+    return batch;
+}
+
+/** ns per TIGR_FAULT_POINT over a tight loop. The memory clobber
+ *  forces the thread-local reload a real call site pays, instead of
+ *  letting the compiler hoist it and delete the loop. */
+double
+hookNanos(std::size_t iterations)
+{
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < iterations; ++i) {
+        TIGR_FAULT_POINT(fault::Site::EngineIteration);
+        asm volatile("" ::: "memory");
+    }
+    const double ms = msSince(start);
+    return ms * 1e6 / double(iterations);
+}
+
+struct BatchRun
+{
+    double ms = 0.0;
+    std::size_t completed = 0;
+    std::size_t errors = 0;
+    std::size_t retries = 0;
+};
+
+BatchRun
+runBatch(const service::GraphStore &store,
+         const std::vector<service::QuerySpec> &batch,
+         const fault::FaultPlan &plan)
+{
+    service::TransformCache cache(std::size_t{256} << 20);
+    service::SchedulerOptions options;
+    options.workers = bench::benchMaxThreads();
+    options.faultPlan = plan;
+    service::QueryScheduler scheduler(store, cache, options);
+    (void)scheduler.runBatch(batch); // warm the transform cache
+
+    const auto start = Clock::now();
+    const auto results = scheduler.runBatch(batch);
+    BatchRun run;
+    run.ms = msSince(start);
+    for (const auto &r : results) {
+        if (r.outcome == service::QueryOutcome::Completed)
+            ++run.completed;
+        else
+            ++run.errors;
+        run.retries += r.attempts > 1 ? r.attempts - 1 : 0;
+    }
+    return run;
+}
+
+} // namespace
+} // namespace tigr
+
+int
+main()
+{
+    using namespace tigr;
+
+    // Raw hook cost. "armed, rate 0" arms a plan whose only nonzero
+    // site is never on the query path, so every hook pays the full
+    // armed lookup and still declines to fire — the worst case a
+    // production run with injection compiled in but disabled sees.
+    const std::size_t reps =
+        static_cast<std::size_t>(2e8 * bench::benchScale()) + 1000;
+    const double disarmed_ns = hookNanos(reps);
+    fault::FaultPlan armedPlan(1);
+    armedPlan.site(fault::Site::SnapshotRead, 1.0);
+    double armed_ns = 0.0;
+    {
+        fault::FaultScope scope(armedPlan, 0);
+        armed_ns = hookNanos(reps);
+    }
+    bench::TablePrinter hooks({"hook state", "ns/hook"});
+    hooks.addRow({"disarmed", bench::fmt(disarmed_ns)});
+    hooks.addRow({"armed, rate 0", bench::fmt(armed_ns)});
+    hooks.print(std::cout);
+    std::cout << '\n';
+
+    graph::Csr g = benchGraph();
+    std::cout << "graph: " << g.numNodes() << " nodes, "
+              << g.numEdges() << " edges (scale "
+              << bench::benchScale() << ")\n\n";
+    const NodeId nodes = g.numNodes();
+    service::GraphStore store;
+    store.add("g", std::move(g));
+    const auto batch = queryBatch(40, nodes);
+
+    const BatchRun clean = runBatch(store, batch, {});
+    const BatchRun armed = runBatch(store, batch, armedPlan);
+
+    fault::FaultPlan faulty(7);
+    faulty.site(fault::Site::Alloc, 0.10)
+        .site(fault::Site::EngineIteration, 0.002);
+    const BatchRun faulted = runBatch(store, batch, faulty);
+
+    bench::TablePrinter table({"scheduler run", "ms", "queries/s",
+                               "completed", "errors", "retries",
+                               "overhead"});
+    auto row = [&](const char *label, const BatchRun &run) {
+        table.addRow(
+            {label, bench::fmt(run.ms),
+             bench::fmt(1000.0 * double(batch.size()) / run.ms),
+             std::to_string(run.completed),
+             std::to_string(run.errors),
+             std::to_string(run.retries),
+             bench::fmt(100.0 * (run.ms - clean.ms) / clean.ms) +
+                 "%"});
+    };
+    row("no fault plan", clean);
+    row("armed, 0% rate", armed);
+    row("10% alloc faults", faulted);
+    table.print(std::cout);
+
+    // The armed-zero-rate run is the "<2% overhead" claim; flag loudly
+    // when a change regresses it (with slack for timer noise at small
+    // scales — CI smoke runs tiny graphs).
+    const double overhead =
+        100.0 * (armed.ms - clean.ms) / clean.ms;
+    std::cout << "\nzero-rate overhead: " << bench::fmt(overhead)
+              << "% (target < 2% at scale 1.0)\n";
+    if (faulted.completed + faulted.errors != batch.size()) {
+        std::cerr << "FAIL: a query vanished under faults\n";
+        return 1;
+    }
+    return 0;
+}

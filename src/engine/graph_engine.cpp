@@ -263,6 +263,7 @@ GraphEngine::fillRunInfo(RunInfo &info, const Context &ctx,
 {
     info.transformMs = ctx.buildMs;
     info.transformCached = ctx.reusedFromCache;
+    info.degraded = options_.degraded;
     // Dynamic mapping stores no virtual node array: that memory simply
     // never exists on the device.
     const std::uint64_t virtual_nodes =

@@ -57,6 +57,13 @@ struct RunInfo
      *  every iteration when the worklist is off); 0 for analyses that
      *  do not track a frontier (PR, BC, triangles). */
     std::uint64_t peakFrontier = 0;
+    /** True when this run executed on a degradation fallback (copied
+     *  from EngineOptions::degraded by the service layer's resilience
+     *  ladder — e.g. an on-the-fly DynamicVirtualProvider run after a
+     *  transform-cache failure). Degraded runs compute values
+     *  bit-identical to their non-degraded counterparts; only the
+     *  enumeration cost differs. */
+    bool degraded = false;
     /** Iterations that ran with the sparse (compacted) frontier — or,
      *  in pull direction, with the active-destination filter. Each
      *  charged one extra compaction launch, so stats.launches =

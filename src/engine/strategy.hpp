@@ -171,6 +171,11 @@ struct EngineOptions
      *  for the shipped idempotent min-reductions; see docs/frontier.md
      *  for the Theorem 3 argument). false = classic all-nodes gather. */
     bool pullWorklist = true;
+    /** Marks a run executed on a degradation fallback (the service
+     *  layer's resilience ladder, docs/resilience.md): copied verbatim
+     *  into RunInfo::degraded so results self-report. Changes no
+     *  engine behavior — degraded runs compute identical values. */
+    bool degraded = false;
     /** Simulated GPU. */
     sim::GpuConfig gpu;
 };

@@ -73,6 +73,20 @@ GraphStore::addSnapshot(std::string name,
     return ref;
 }
 
+SnapshotAuditReport
+GraphStore::addSnapshotDirectory(const std::filesystem::path &dir,
+                                 SnapshotLoadMode mode)
+{
+    SnapshotAuditReport report = auditSnapshotDirectory(dir);
+    for (const std::filesystem::path &path : report.intact) {
+        const std::string name = path.stem().string();
+        if (name.empty() || entries_.count(name))
+            continue; // keep the existing entry; the file is intact
+        addSnapshot(name, path, mode);
+    }
+    return report;
+}
+
 const StoredGraph *
 GraphStore::find(std::string_view name) const
 {

@@ -77,6 +77,20 @@ class GraphStore
     addSnapshot(std::string name, const std::filesystem::path &path,
                 SnapshotLoadMode mode = SnapshotLoadMode::Auto);
 
+    /**
+     * Audit @p dir (see auditSnapshotDirectory: partial "*.tgs.tmp"
+     * leftovers and corrupt ".tgs" files are quarantined aside) and
+     * register every intact snapshot under its file stem. A service
+     * opening its snapshot directory through this never trips over a
+     * half-written file from a crashed writer. A stem that collides
+     * with an already-registered name is not re-registered (the store
+     * keeps its existing entry); the file still counts as intact.
+     * @throws SnapshotError (Io) only when @p dir is unreadable.
+     */
+    SnapshotAuditReport
+    addSnapshotDirectory(const std::filesystem::path &dir,
+                         SnapshotLoadMode mode = SnapshotLoadMode::Auto);
+
     /** Entry for @p name, or null. */
     const StoredGraph *find(std::string_view name) const;
 

@@ -3,6 +3,7 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 
 #include "graph/io.hpp"
 #include "par/thread_pool.hpp"
@@ -28,6 +29,15 @@ cacheable(const QuerySpec &spec)
     return spec.strategy != engine::Strategy::TigrUdt;
 }
 
+/** True for the strategies with a zero-memory dynamic-mapping
+ *  fallback (Section 4.1's second design). */
+bool
+hasDynamicFallback(engine::Strategy strategy)
+{
+    return strategy == engine::Strategy::TigrV ||
+           strategy == engine::Strategy::TigrVPlus;
+}
+
 bool
 needsSource(engine::Algorithm algorithm)
 {
@@ -44,6 +54,13 @@ needsSource(engine::Algorithm algorithm)
     return false;
 }
 
+/** Deterministic fault-scope key: batch sequence over batch position. */
+std::uint64_t
+scopeKey(std::uint64_t batch_seq, std::size_t index)
+{
+    return (batch_seq << 32) | static_cast<std::uint64_t>(index);
+}
+
 } // namespace
 
 std::string_view
@@ -53,6 +70,7 @@ queryOutcomeName(QueryOutcome outcome)
       case QueryOutcome::Completed: return "completed";
       case QueryOutcome::DeadlineExceeded: return "deadline-exceeded";
       case QueryOutcome::Rejected: return "rejected";
+      case QueryOutcome::Quarantined: return "quarantined";
       case QueryOutcome::Error: return "error";
     }
     return "unknown";
@@ -62,7 +80,8 @@ QueryScheduler::QueryScheduler(const GraphStore &store,
                                TransformCache &cache,
                                SchedulerOptions options)
     : store_(store), cache_(cache), options_(options),
-      workers_(par::resolveThreads(options.workers))
+      workers_(par::resolveThreads(options.workers)),
+      breaker_(options.breaker)
 {
 }
 
@@ -71,12 +90,16 @@ QueryScheduler::admit(const QuerySpec &spec, QueryResult &result) const
 {
     auto reject = [&](std::string why) {
         result.outcome = QueryOutcome::Rejected;
+        result.error = ServiceError{ServiceErrorKind::InvalidQuery,
+                                    std::nullopt, why};
         result.message = std::move(why);
         return false;
     };
     const StoredGraph *entry = store_.find(spec.graph);
     if (!entry)
         return reject("unknown graph '" + spec.graph + "'");
+    if (entry->graph.numNodes() == 0)
+        return reject("graph '" + spec.graph + "' has no nodes");
     if (spec.strategy == engine::Strategy::TigrUdt &&
         (spec.algorithm == engine::Algorithm::Pr ||
          spec.algorithm == engine::Algorithm::Bc))
@@ -90,15 +113,21 @@ QueryScheduler::admit(const QuerySpec &spec, QueryResult &result) const
          spec.strategy == engine::Strategy::TigrVPlus) &&
         spec.degreeBound == 0)
         return reject("degree bound 0 under a virtual strategy");
+    if (spec.strategy == engine::Strategy::MaximumWarp &&
+        spec.mwVirtualWarp == 0)
+        return reject("virtual warp width 0 under the maximum-warp "
+                      "strategy");
+    if (!(spec.frontierRatio >= 0.0 && spec.frontierRatio <= 1.0))
+        return reject("frontier ratio outside [0, 1]"); // NaN too
     return true;
 }
 
 void
-QueryScheduler::execute(const QuerySpec &spec,
-                        QueryResult &result) const
+QueryScheduler::runAttempt(
+    const QuerySpec &spec, const StoredGraph &entry,
+    const std::shared_ptr<const engine::SharedSchedule> &shared,
+    double backoff_sim_ms, QueryResult &result) const
 {
-    const StoredGraph &entry = store_.at(spec.graph);
-
     engine::EngineOptions opts;
     opts.strategy = spec.strategy;
     opts.degreeBound = spec.degreeBound;
@@ -108,14 +137,31 @@ QueryScheduler::execute(const QuerySpec &spec,
     // The engine itself is single-threaded: scheduler concurrency is
     // across queries only, which the determinism contract needs.
     opts.threads = 1;
+    opts.degraded = result.degraded;
+    // Degraded virtual-strategy queries run the zero-memory dynamic
+    // mapping instead of a stored schedule — bit-identical values,
+    // no transform memory (the ladder's whole point).
+    if (result.degraded && hasDynamicFallback(spec.strategy))
+        opts.dynamicMapping = true;
 
     const auto wall_start = std::chrono::steady_clock::now();
-    const double sim_limit = spec.deadlineSimMs;
+    // Retry backoff is charged against the simulated-time budget:
+    // this attempt starts with the deadline moved that much closer.
+    const double sim_limit = spec.deadlineSimMs > 0.0
+                                 ? spec.deadlineSimMs - backoff_sim_ms
+                                 : 0.0;
+    const bool sim_deadline = spec.deadlineSimMs > 0.0;
     const double wall_limit = spec.deadlineWallMs;
-    if (sim_limit > 0.0 || wall_limit > 0.0) {
-        opts.cancel = [sim_limit, wall_limit,
-                       wall_start](unsigned, std::uint64_t cycles) {
-            if (sim_limit > 0.0 &&
+    const bool inject = fault::armed();
+    if (sim_deadline || wall_limit > 0.0 || inject) {
+        opts.cancel = [sim_deadline, sim_limit, wall_limit, wall_start,
+                       inject](unsigned, std::uint64_t cycles) {
+            // The engine runs serially on this thread, so the armed
+            // fault scope is visible here; a fired engine.iteration
+            // site throws out of the analysis into the retry loop.
+            if (inject)
+                fault::check(fault::Site::EngineIteration);
+            if (sim_deadline &&
                 engine::cyclesToMs(cycles) >= sim_limit)
                 return true;
             if (wall_limit > 0.0) {
@@ -130,85 +176,122 @@ QueryScheduler::execute(const QuerySpec &spec,
         };
     }
 
-    std::shared_ptr<const engine::SharedSchedule> shared;
-    if (cacheable(spec)) {
-        // Warm-up already built it; this lookup is a guaranteed hit
-        // and does not perturb the per-query hit attribution (that was
-        // fixed serially in runBatch).
-        shared = cache_.get(TransformKey{spec.graph, &entry.graph,
-                                         spec.strategy,
-                                         spec.degreeBound,
-                                         spec.mwVirtualWarp});
-    }
+    // Exercises real allocation-failure paths (raises bad_alloc).
+    TIGR_FAULT_POINT(fault::Site::Alloc);
 
-    try {
-        engine::GraphEngine engine(entry.graph, opts, shared);
-        switch (spec.algorithm) {
-          case engine::Algorithm::Bfs: {
-            auto r = engine.bfs(spec.source);
-            result.info = r.info;
-            result.digest = digestOf(r.values);
-            result.values = r.values.size();
-            break;
-          }
-          case engine::Algorithm::Sssp: {
-            auto r = engine.sssp(spec.source);
-            result.info = r.info;
-            result.digest = digestOf(r.values);
-            result.values = r.values.size();
-            break;
-          }
-          case engine::Algorithm::Sswp: {
-            auto r = engine.sswp(spec.source);
-            result.info = r.info;
-            result.digest = digestOf(r.values);
-            result.values = r.values.size();
-            break;
-          }
-          case engine::Algorithm::Cc: {
-            auto r = engine.cc();
-            result.info = r.info;
-            result.digest = digestOf(r.values);
-            result.values = r.values.size();
-            break;
-          }
-          case engine::Algorithm::Pr: {
-            engine::PageRankOptions pr;
-            pr.iterations = spec.prIterations;
-            auto r = engine.pagerank(pr);
-            result.info = r.info;
-            result.digest = digestOf(r.values);
-            result.values = r.values.size();
-            break;
-          }
-          case engine::Algorithm::Bc: {
-            const std::array<NodeId, 1> sources{spec.source};
-            auto r = engine.bc(sources);
-            result.info = r.info;
-            result.digest = digestOf(r.values);
-            result.values = r.values.size();
-            break;
-          }
-        }
-        result.outcome = result.info.cancelled
-                             ? QueryOutcome::DeadlineExceeded
-                             : QueryOutcome::Completed;
-    } catch (const std::exception &e) {
-        result.outcome = QueryOutcome::Error;
-        result.message = e.what();
+    engine::GraphEngine engine(entry.graph, opts, shared);
+    switch (spec.algorithm) {
+      case engine::Algorithm::Bfs: {
+        auto r = engine.bfs(spec.source);
+        result.info = r.info;
+        result.digest = digestOf(r.values);
+        result.values = r.values.size();
+        break;
+      }
+      case engine::Algorithm::Sssp: {
+        auto r = engine.sssp(spec.source);
+        result.info = r.info;
+        result.digest = digestOf(r.values);
+        result.values = r.values.size();
+        break;
+      }
+      case engine::Algorithm::Sswp: {
+        auto r = engine.sswp(spec.source);
+        result.info = r.info;
+        result.digest = digestOf(r.values);
+        result.values = r.values.size();
+        break;
+      }
+      case engine::Algorithm::Cc: {
+        auto r = engine.cc();
+        result.info = r.info;
+        result.digest = digestOf(r.values);
+        result.values = r.values.size();
+        break;
+      }
+      case engine::Algorithm::Pr: {
+        engine::PageRankOptions pr;
+        pr.iterations = spec.prIterations;
+        auto r = engine.pagerank(pr);
+        result.info = r.info;
+        result.digest = digestOf(r.values);
+        result.values = r.values.size();
+        break;
+      }
+      case engine::Algorithm::Bc: {
+        const std::array<NodeId, 1> sources{spec.source};
+        auto r = engine.bc(sources);
+        result.info = r.info;
+        result.digest = digestOf(r.values);
+        result.values = r.values.size();
+        break;
+      }
+    }
+}
+
+void
+QueryScheduler::execute(
+    const QuerySpec &spec, QueryResult &result,
+    std::shared_ptr<const engine::SharedSchedule> shared,
+    std::uint64_t scope_key) const
+{
+    const StoredGraph &entry = store_.at(spec.graph);
+    const RetryPolicy &retry = options_.retry;
+    // A warm-up degradation error survives a successful run (the
+    // result self-reports what it absorbed); attempt failures that a
+    // retry outlasted do not.
+    const std::optional<ServiceError> warmup_error = result.error;
+
+    for (unsigned attempt = 0;; ++attempt) {
+        result.attempts = attempt + 1;
+        // Each attempt starts from clean output state so a partial
+        // failed attempt can never leak into the result.
+        result.info = {};
         result.digest = 0;
         result.values = 0;
+
+        fault::FaultScope scope(options_.faultPlan, scope_key, attempt,
+                                &result.faultTrace);
+        try {
+            runAttempt(spec, entry, shared, result.backoffSimMs,
+                       result);
+            result.outcome = result.info.cancelled
+                                 ? QueryOutcome::DeadlineExceeded
+                                 : QueryOutcome::Completed;
+            result.error = warmup_error;
+            result.message.clear();
+            return;
+        } catch (const std::exception &e) {
+            ServiceError error = classifyFailure(e);
+            const bool give_up = !error.retryable() ||
+                                 attempt >= retry.maxRetries;
+            result.message = error.message;
+            result.error = std::move(error);
+            if (give_up) {
+                result.outcome = QueryOutcome::Error;
+                result.digest = 0;
+                result.values = 0;
+                return;
+            }
+            // Deterministic backoff in simulated time: the next
+            // attempt's deadline budget shrinks by this much.
+            result.backoffSimMs += retry.backoffSimMs(attempt);
+        }
     }
 }
 
 std::vector<QueryResult>
 QueryScheduler::runBatch(std::span<const QuerySpec> batch)
 {
+    const std::uint64_t batch_seq = batchSeq_++;
+    breaker_.beginBatch();
+
     std::vector<QueryResult> results(batch.size());
     std::vector<bool> admitted(batch.size(), false);
 
     // Phase 1 — admission, in batch order: the queue bound rejects by
-    // position, never by timing.
+    // position, never by timing, and quarantined graphs are refused
+    // before any work is spent on them.
     std::size_t queued = 0;
     for (std::size_t i = 0; i < batch.size(); ++i) {
         if (queued >= options_.maxQueuedQueries) {
@@ -216,18 +299,37 @@ QueryScheduler::runBatch(std::span<const QuerySpec> batch)
             results[i].message =
                 "admission queue full (" +
                 std::to_string(options_.maxQueuedQueries) + " queries)";
+            results[i].error =
+                ServiceError{ServiceErrorKind::InvalidQuery,
+                             std::nullopt, results[i].message};
             continue;
         }
-        if (admit(batch[i], results[i])) {
-            admitted[i] = true;
-            ++queued;
+        if (!admit(batch[i], results[i]))
+            continue;
+        if (!breaker_.admits(batch[i].graph)) {
+            results[i].outcome = QueryOutcome::Quarantined;
+            results[i].message = "graph '" + batch[i].graph +
+                                 "' is quarantined (circuit breaker "
+                                 "open)";
+            results[i].error =
+                ServiceError{ServiceErrorKind::Quarantined,
+                             std::nullopt, results[i].message};
+            continue;
         }
+        admitted[i] = true;
+        ++queued;
     }
 
     // Phase 2 — serial transform warm-up, in batch order: the first
     // query of each (graph, strategy, K, warp) key is the miss that
     // builds, every later one is a hit. Worker interleaving can no
-    // longer influence hit attribution or who pays the build.
+    // longer influence hit attribution or who pays the build. Warm-up
+    // failures never fail a query: they push it down the degradation
+    // ladder (dynamic mapping for the virtual strategies, an
+    // engine-local build otherwise) and the result self-reports
+    // `degraded`.
+    std::vector<std::shared_ptr<const engine::SharedSchedule>>
+        schedules(batch.size());
     std::unique_ptr<par::ThreadPool> build_pool;
     if (par::resolveThreads(options_.buildThreads) > 1)
         build_pool = std::make_unique<par::ThreadPool>(
@@ -236,18 +338,46 @@ QueryScheduler::runBatch(std::span<const QuerySpec> batch)
         if (!admitted[i] || !cacheable(batch[i]))
             continue;
         const QuerySpec &spec = batch[i];
+        const TransformKey key{spec.graph,
+                               &store_.at(spec.graph).graph,
+                               spec.strategy, spec.degreeBound,
+                               spec.mwVirtualWarp};
+        fault::FaultScope scope(options_.faultPlan,
+                                scopeKey(batch_seq, i), 0,
+                                &results[i].faultTrace);
         bool hit = false;
-        cache_.getOrBuild(TransformKey{spec.graph,
-                                       &store_.at(spec.graph).graph,
-                                       spec.strategy, spec.degreeBound,
-                                       spec.mwVirtualWarp},
-                          build_pool.get(), &hit);
-        results[i].cacheHit = hit;
+        bool retained = false;
+        try {
+            auto shared =
+                cache_.getOrBuild(key, build_pool.get(), &hit,
+                                  &retained);
+            results[i].cacheHit = hit;
+            if (!retained && options_.degradeOnCachePressure &&
+                hasDynamicFallback(spec.strategy)) {
+                // The cache could not keep the schedule (budget or an
+                // injected cache.insert fault): drop our copy too and
+                // run the zero-memory dynamic fallback instead of
+                // holding an uncached schedule per query.
+                results[i].degraded = true;
+                results[i].error = ServiceError{
+                    ServiceErrorKind::CacheInsert, std::nullopt,
+                    "schedule not retained; degraded to dynamic "
+                    "mapping"};
+            } else {
+                schedules[i] = std::move(shared);
+            }
+        } catch (const std::exception &e) {
+            results[i].cacheHit = false;
+            results[i].degraded = true;
+            results[i].error = classifyFailure(e);
+        }
     }
     build_pool.reset();
 
     // Phase 3 — concurrent execution: workers claim batch slots via an
-    // atomic ticket. Claim order varies; each slot's result does not.
+    // atomic ticket. Claim order varies; each slot's result does not
+    // (fault decisions are keyed by slot, the breaker is untouched
+    // until the post-pass).
     std::atomic<std::size_t> next{0};
     auto drain = [&](unsigned) {
         for (;;) {
@@ -256,7 +386,8 @@ QueryScheduler::runBatch(std::span<const QuerySpec> batch)
             if (i >= batch.size())
                 break;
             if (admitted[i])
-                execute(batch[i], results[i]);
+                execute(batch[i], results[i], schedules[i],
+                        scopeKey(batch_seq, i));
         }
     };
     if (workers_ > 1) {
@@ -264,6 +395,24 @@ QueryScheduler::runBatch(std::span<const QuerySpec> batch)
         pool.run(drain);
     } else {
         drain(0);
+    }
+
+    // Phase 4 — breaker post-pass, in batch order over terminal
+    // outcomes: deterministic because it never runs concurrently with
+    // anything. Quarantine takes effect at admission of later batches.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        switch (results[i].outcome) {
+          case QueryOutcome::Error:
+            breaker_.recordFault(batch[i].graph);
+            break;
+          case QueryOutcome::Completed:
+          case QueryOutcome::DeadlineExceeded:
+            breaker_.recordSuccess(batch[i].graph);
+            break;
+          case QueryOutcome::Rejected:
+          case QueryOutcome::Quarantined:
+            break; // never ran; says nothing about graph health
+        }
     }
     return results;
 }

@@ -1,14 +1,14 @@
 /**
  * @file
- * QueryScheduler: bounded-admission, deadline-aware batch execution of
- * analytics queries over the GraphStore, sharing transforms through the
- * TransformCache.
+ * QueryScheduler: bounded-admission, deadline-aware, fault-resilient
+ * batch execution of analytics queries over the GraphStore, sharing
+ * transforms through the TransformCache.
  *
  * Determinism contract (the property the differential tests pin): for
- * a fixed store, cache state, and batch, runBatch() produces
- * bit-identical per-query values, outcomes, iteration counts, and
- * cache-hit flags at ANY worker count. Three design choices make that
- * hold:
+ * a fixed store, cache state, batch, and fault plan, runBatch()
+ * produces bit-identical per-query values, outcomes, attempt counts,
+ * fault traces, and cache-hit flags at ANY worker count. The design
+ * choices that make that hold:
  *
  *  1. Every query executes on a single-threaded engine, whose results
  *     are bit-identical by the repo's chunk-determinism contract —
@@ -24,17 +24,46 @@
  *     query exceeds its deadline identically everywhere. Wall-clock
  *     deadlines (deadlineWallMs) are available but explicitly
  *     best-effort.
+ *  4. Injected faults (SchedulerOptions::faultPlan) are decided by a
+ *     pure function of (seed, site, scope key, attempt, hit counter),
+ *     with scope keys assigned by batch position — never by timing.
+ *     Retry backoff is charged in simulated milliseconds against the
+ *     query's deadlineSimMs budget, so no thread sleeps and a retried
+ *     query times out identically everywhere. The circuit breaker
+ *     advances only at batch boundaries and from a batch-ordered
+ *     post-pass, so quarantine decisions are a function of batch
+ *     history alone.
+ *
+ * Failure handling is layered (docs/resilience.md):
+ *
+ *  - Admission rejects invalid specs and quarantined graphs with a
+ *    typed ServiceError; nothing invalid ever reaches a worker.
+ *  - Warm-up failures (transform build faults, cache-insert faults,
+ *    budget exhaustion) never fail a query — they push it down the
+ *    degradation ladder: virtual-strategy queries fall back to the
+ *    zero-memory dynamic mapping, everything else to an engine-local
+ *    build; the result is flagged `degraded` and remains value-
+ *    identical.
+ *  - Execute-phase failures are retried up to RetryPolicy::maxRetries
+ *    with deterministic simulated-time backoff; only an exhausted
+ *    retry budget (or a non-retryable failure) surfaces as Error.
+ *  - runBatch() itself never throws: every query gets a terminal
+ *    typed outcome.
  */
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "engine/strategy.hpp"
 #include "engine/graph_engine.hpp"
+#include "fault/fault.hpp"
 #include "service/graph_store.hpp"
+#include "service/resilience.hpp"
 #include "service/transform_cache.hpp"
 
 namespace tigr::service {
@@ -64,8 +93,9 @@ struct QuerySpec
     /**
      * Deterministic deadline in *simulated* milliseconds: the query is
      * cancelled before the first BSP iteration whose accumulated
-     * simulated kernel time is >= this. 0 = no deadline. Identical at
-     * any worker count.
+     * simulated kernel time is >= this. Retry backoff is charged
+     * against the same budget. 0 = no deadline. Identical at any
+     * worker count.
      */
     double deadlineSimMs = 0.0;
     /**
@@ -76,15 +106,19 @@ struct QuerySpec
     double deadlineWallMs = 0.0;
 };
 
-/** How a query ended. */
+/** How a query ended. Every outcome is terminal: runBatch() never
+ *  throws and never leaves a query undecided. */
 enum class QueryOutcome
 {
     Completed,        ///< Ran to convergence / iteration budget.
     DeadlineExceeded, ///< Cancelled by a deadline; partial values are
                       ///< the well-defined state at cancellation.
-    Rejected,         ///< Never ran (admission queue full, unknown
-                      ///< graph, unsupported strategy/algorithm pair).
-    Error,            ///< The engine threw mid-run.
+    Rejected,         ///< Never ran (admission queue full, invalid
+                      ///< spec, unsupported strategy/algorithm pair).
+    Quarantined,      ///< Never ran: the target graph's circuit
+                      ///< breaker is open.
+    Error,            ///< Failed terminally after exhausting the retry
+                      ///< budget (or a non-retryable failure).
 };
 
 /** Display name ("completed", "deadline-exceeded", ...). */
@@ -94,8 +128,14 @@ std::string_view queryOutcomeName(QueryOutcome outcome);
 struct QueryResult
 {
     QueryOutcome outcome = QueryOutcome::Rejected;
-    /** Diagnostic for Rejected / Error outcomes. */
+    /** Diagnostic for Rejected / Quarantined / Error outcomes (the
+     *  last failure's message for Error). */
     std::string message;
+    /** Typed failure detail accompanying non-Completed terminal
+     *  failures; also set for queries that eventually succeeded after
+     *  degradation at warm-up (kind of the absorbed failure). Empty
+     *  for clean completions. */
+    std::optional<ServiceError> error;
     /** Engine metadata (iterations, counters, transform timing). */
     engine::RunInfo info;
     /** FNV-1a 64 digest over the raw result-value bytes — the compact
@@ -107,6 +147,19 @@ struct QueryResult
     /** True when the query's transform came out of the TransformCache
      *  (deterministic: decided by the serial warm-up phase). */
     bool cacheHit = false;
+    /** True when the query ran on the degradation ladder (dynamic
+     *  mapping or engine-local build after a warm-up failure). The
+     *  values are bit-identical to a non-degraded run. */
+    bool degraded = false;
+    /** Execution attempts consumed (1 = no retry; 0 = never ran). */
+    unsigned attempts = 0;
+    /** Total simulated-ms backoff charged against the query's
+     *  deadlineSimMs budget by retries. */
+    double backoffSimMs = 0.0;
+    /** Every fault the plan injected into this query (warm-up and all
+     *  attempts), in firing order. Bit-identical across runs of the
+     *  same seeded plan over the same batch at any worker count. */
+    fault::FaultTrace faultTrace;
 };
 
 /** Scheduler tuning. */
@@ -121,12 +174,26 @@ struct SchedulerOptions
     /** Host threads for cache-miss transform builds during warm-up
      *  (builds are bit-identical at any value). 0 = default. */
     unsigned buildThreads = 1;
+    /** Deterministic fault schedule; inert by default. */
+    fault::FaultPlan faultPlan;
+    /** Retry budget and simulated-time backoff for execute-phase
+     *  failures. */
+    RetryPolicy retry;
+    /** Per-graph circuit-breaker tuning. */
+    BreakerOptions breaker;
+    /** Degrade virtual-strategy queries to the zero-memory dynamic
+     *  mapping when the cache cannot retain their schedule (budget
+     *  exhaustion or an injected cache.insert fault), instead of
+     *  holding an uncached copy per query. Values are identical
+     *  either way. */
+    bool degradeOnCachePressure = true;
 };
 
 /**
  * Executes query batches against a GraphStore + TransformCache. The
  * store must not be mutated during runBatch(); the cache is safe to
- * share (internally synchronized).
+ * share (internally synchronized). runBatch() itself is not reentrant
+ * (the circuit breaker advances per batch) — serialize callers.
  */
 class QueryScheduler
 {
@@ -139,22 +206,41 @@ class QueryScheduler
 
     /**
      * Run @p batch to completion and return per-query results in batch
-     * order. Admission, warm-up, execution — see the file comment for
-     * the determinism argument.
+     * order. Admission, warm-up, execution, breaker post-pass — see
+     * the file comment for the determinism argument. Never throws:
+     * every query gets a terminal typed outcome.
      */
     std::vector<QueryResult> runBatch(std::span<const QuerySpec> batch);
+
+    /** The per-graph circuit breaker (inspection / manual reset). */
+    CircuitBreaker &breaker() { return breaker_; }
+    const CircuitBreaker &breaker() const { return breaker_; }
 
   private:
     /** Validate @p spec against the store; fills result on rejection. */
     bool admit(const QuerySpec &spec, QueryResult &result) const;
 
-    /** Execute one admitted query (on a 1-thread engine). */
-    void execute(const QuerySpec &spec, QueryResult &result) const;
+    /** Execute one admitted query (on a 1-thread engine) with the
+     *  retry loop. @p scope_key keys the fault scope; @p shared is the
+     *  warm-up's schedule (null = degraded or uncacheable). */
+    void execute(const QuerySpec &spec, QueryResult &result,
+                 std::shared_ptr<const engine::SharedSchedule> shared,
+                 std::uint64_t scope_key) const;
+
+    /** One engine run (attempt body); throws on failure. */
+    void runAttempt(const QuerySpec &spec, const StoredGraph &entry,
+                    const std::shared_ptr<const engine::SharedSchedule>
+                        &shared,
+                    double backoff_sim_ms, QueryResult &result) const;
 
     const GraphStore &store_;
     TransformCache &cache_;
     SchedulerOptions options_;
     unsigned workers_;
+    CircuitBreaker breaker_;
+    /** Monotonic batch counter: the high half of every scope key, so
+     *  fault decisions differ across batches under one seed. */
+    std::uint64_t batchSeq_ = 0;
 };
 
 } // namespace tigr::service

@@ -171,10 +171,29 @@ printResults(std::ostream &out,
                 << r.digest << std::dec << std::setfill(' ')
                 << " cached=" << (r.cacheHit ? 1 : 0);
         }
+        if (r.degraded)
+            out << " degraded=1";
+        if (r.attempts > 1)
+            out << " retries=" << (r.attempts - 1);
+        if (r.error && r.outcome != QueryOutcome::Completed &&
+            r.outcome != QueryOutcome::DeadlineExceeded)
+            out << " error=" << serviceErrorKindName(r.error->kind);
         if (!r.message.empty())
             out << " message=\"" << r.message << '"';
         out << '\n';
     }
+}
+
+/** True when @p results contains a terminally failed query (the
+ *  fail-fast trigger). */
+bool
+anyTerminalFailure(const std::vector<QueryResult> &results)
+{
+    for (const QueryResult &r : results)
+        if (r.outcome == QueryOutcome::Error ||
+            r.outcome == QueryOutcome::Quarantined)
+            return true;
+    return false;
 }
 
 } // namespace
@@ -188,9 +207,12 @@ runScript(std::istream &in, std::ostream &out,
     SchedulerOptions sched;
     sched.workers = options.workers;
     sched.maxQueuedQueries = options.maxQueuedQueries;
+    sched.retry.maxRetries = options.maxRetries;
+    sched.faultPlan = options.faultPlan;
     QueryScheduler scheduler(store, cache, sched);
 
     std::vector<QuerySpec> pending;
+    bool failed = false;
 
     auto flush = [&]() {
         if (pending.empty())
@@ -198,12 +220,14 @@ runScript(std::istream &in, std::ostream &out,
         const std::vector<QueryResult> results =
             scheduler.runBatch(pending);
         printResults(out, pending, results);
+        if (options.failFast && anyTerminalFailure(results))
+            failed = true;
         pending.clear();
     };
 
     std::string line;
     std::size_t line_no = 0;
-    while (std::getline(in, line)) {
+    while (!failed && std::getline(in, line)) {
         ++line_no;
         const auto hash = line.find('#');
         if (hash != std::string::npos)
@@ -280,8 +304,11 @@ runScript(std::istream &in, std::ostream &out,
                                     "' (load|snapshot|query|run|stats)");
         }
     }
-    flush();
-    return 0;
+    if (!failed)
+        flush();
+    if (failed)
+        out << "fail-fast: stopping after a terminally failed query\n";
+    return failed ? 1 : 0;
 }
 
 } // namespace tigr::service

@@ -35,6 +35,7 @@
 #include <ostream>
 
 #include "engine/frontier.hpp"
+#include "fault/fault.hpp"
 
 namespace tigr::service {
 
@@ -51,11 +52,22 @@ struct ScriptOptions
     engine::FrontierMode frontier = engine::FrontierMode::Adaptive;
     /** Default adaptive-switch ratio (frontier-ratio= overrides). */
     double frontierRatio = engine::kDefaultFrontierRatio;
+    /** Retry budget per query (RetryPolicy::maxRetries). */
+    unsigned maxRetries = 2;
+    /** Deterministic fault plan forwarded to the scheduler (inert by
+     *  default). Lets resilience drills and tests exercise retry and
+     *  fail-fast end-to-end through a script. */
+    fault::FaultPlan faultPlan;
+    /** Stop at the first batch containing a terminally failed
+     *  (error/quarantined) query and exit nonzero, instead of running
+     *  the script to the end. */
+    bool failFast = false;
 };
 
 /**
  * Run a service script from @p in, writing results to @p out.
- * @return 0 on success.
+ * @return 0 on success; 1 when failFast stopped the script at a batch
+ *         with a terminally failed query.
  * @throws std::runtime_error on malformed commands, SnapshotError on
  *         bad snapshot files.
  */

@@ -1,10 +1,13 @@
 #include "service/snapshot.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <limits>
 #include <new>
 
+#include "fault/fault.hpp"
 #include "graph/io.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -139,6 +142,17 @@ validateArrays(const Header &h, const std::vector<EdgeIndex> &offsets,
                 fail(SnapshotErrorKind::Inconsistent,
                      "snapshot virtual node entry out of range");
             if (node.count > 0) {
+                // Guard the stride * (count - 1) product against
+                // uint64 wraparound before trusting `last`: a hostile
+                // entry with a huge stride must not wrap back inside
+                // its segment and pass containment.
+                constexpr EdgeIndex kMax =
+                    std::numeric_limits<EdgeIndex>::max();
+                if (node.count > 1 &&
+                    node.stride > (kMax - node.start) / (node.count - 1))
+                    fail(SnapshotErrorKind::Inconsistent,
+                         "snapshot virtual node stride overflows its "
+                         "slot range");
                 const EdgeIndex last =
                     node.start + node.stride * (node.count - 1);
                 if (node.start < offsets[node.physicalId] ||
@@ -146,6 +160,27 @@ validateArrays(const Header &h, const std::vector<EdgeIndex> &offsets,
                     fail(SnapshotErrorKind::Inconsistent,
                          "snapshot virtual node owns slots outside "
                          "its node's edge segment");
+            }
+        }
+        // No two virtual nodes may claim the same edge slot (a stride-0
+        // entry with count > 1 collides with itself). Containment above
+        // bounds every mark below numEdges, so the map never overflows.
+        std::vector<unsigned char> claimed;
+        try {
+            claimed.assign(h.numEdges, 0);
+        } catch (const std::bad_alloc &) {
+            fail(SnapshotErrorKind::Truncated,
+                 "snapshot declares arrays larger than available "
+                 "memory");
+        }
+        for (const transform::VirtualNode &node : vnodes) {
+            for (std::uint32_t k = 0; k < node.count; ++k) {
+                const EdgeIndex slot = node.start + node.stride * k;
+                if (claimed[slot])
+                    fail(SnapshotErrorKind::Inconsistent,
+                         "snapshot virtual nodes claim overlapping "
+                         "edge slots");
+                claimed[slot] = 1;
             }
         }
     }
@@ -304,6 +339,10 @@ checkFileSize(const std::filesystem::path &path, std::uint64_t actual,
 Snapshot
 loadSnapshotMmap(const std::filesystem::path &path)
 {
+    // Injected mapping failure; same typed error a real one raises.
+    if (fault::armed() && fault::fired(fault::Site::SnapshotMmap))
+        fail(SnapshotErrorKind::Io,
+             "injected fault at snapshot.mmap: " + path.string());
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0)
         fail(SnapshotErrorKind::Io,
@@ -425,15 +464,73 @@ saveSnapshot(const Snapshot &snapshot, std::ostream &out)
         fail(SnapshotErrorKind::Io, "snapshot write failed");
 }
 
+namespace {
+
+/** fsync a path (file or directory) where the platform supports it;
+ *  best-effort on platforms without POSIX descriptors. */
+void
+syncPath(const std::filesystem::path &path, bool directory)
+{
+#if TIGR_HAVE_MMAP // same POSIX surface: open/fsync are available
+    const int fd =
+        ::open(path.c_str(), directory ? O_RDONLY : O_WRONLY);
+    if (fd < 0) {
+        if (directory)
+            return; // some filesystems refuse O_RDONLY on dirs; the
+                    // rename below is still ordered after the fsync
+        fail(SnapshotErrorKind::Io,
+             "cannot reopen " + path.string() + " for fsync");
+    }
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0 && !directory)
+        fail(SnapshotErrorKind::Io,
+             "fsync failed for " + path.string());
+#else
+    (void)path;
+    (void)directory;
+#endif
+}
+
+} // namespace
+
 void
 saveSnapshotFile(const Snapshot &snapshot,
                  const std::filesystem::path &path)
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out)
-        fail(SnapshotErrorKind::Io,
-             "cannot open " + path.string() + " for writing");
-    saveSnapshot(snapshot, out);
+    // Crash-consistent write: temp file + fsync + atomic rename. A
+    // crash leaves either the old snapshot intact or a "*.tgs.tmp"
+    // leftover that auditSnapshotDirectory() quarantines — a partial
+    // file never appears under the real name.
+    const std::filesystem::path tmp =
+        path.parent_path() / (path.filename().string() + ".tmp");
+    try {
+        {
+            std::ofstream out(tmp,
+                              std::ios::binary | std::ios::trunc);
+            if (!out)
+                fail(SnapshotErrorKind::Io,
+                     "cannot open " + tmp.string() + " for writing");
+            saveSnapshot(snapshot, out);
+            out.flush();
+            if (!out)
+                fail(SnapshotErrorKind::Io,
+                     "snapshot write failed for " + tmp.string());
+        }
+        syncPath(tmp, /*directory=*/false);
+        std::error_code ec;
+        std::filesystem::rename(tmp, path, ec); // atomic on POSIX
+        if (ec)
+            fail(SnapshotErrorKind::Io,
+                 "cannot rename " + tmp.string() + " over " +
+                     path.string() + ": " + ec.message());
+        const std::filesystem::path parent = path.parent_path();
+        syncPath(parent.empty() ? "." : parent, /*directory=*/true);
+    } catch (...) {
+        std::error_code ec;
+        std::filesystem::remove(tmp, ec); // best-effort cleanup
+        throw;
+    }
 }
 
 void
@@ -462,6 +559,10 @@ saveSnapshotFile(const transform::VirtualGraph &vg,
 Snapshot
 loadSnapshot(std::istream &in)
 {
+    // Injected stream-read failure; reported through the typed error
+    // like any real I/O fault would be.
+    if (fault::armed() && fault::fired(fault::Site::SnapshotRead))
+        fail(SnapshotErrorKind::Io, "injected fault at snapshot.read");
     StreamCursor cursor{in};
     return decode(cursor);
 }
@@ -470,7 +571,63 @@ Snapshot
 parseSnapshot(const void *data, std::size_t size)
 {
     MemCursor cursor{static_cast<const unsigned char *>(data), size};
-    return decode(cursor);
+    Snapshot snapshot = decode(cursor);
+    // An in-memory image knows its exact extent: bytes past the
+    // declared payload mean the writer and the header disagree.
+    if (cursor.pos != size)
+        fail(SnapshotErrorKind::Inconsistent,
+             "snapshot has trailing bytes");
+    return snapshot;
+}
+
+SnapshotAuditReport
+auditSnapshotDirectory(const std::filesystem::path &dir)
+{
+    std::error_code ec;
+    std::vector<std::filesystem::path> entries;
+    for (std::filesystem::directory_iterator
+             it(dir, ec),
+         end;
+         !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec) && !ec)
+            entries.push_back(it->path());
+        ec.clear();
+    }
+    if (ec)
+        fail(SnapshotErrorKind::Io,
+             "cannot scan snapshot directory " + dir.string() + ": " +
+                 ec.message());
+    std::sort(entries.begin(), entries.end());
+
+    auto quarantine = [](const std::filesystem::path &victim) {
+        const std::filesystem::path target =
+            victim.parent_path() /
+            (victim.filename().string() + ".quarantined");
+        std::error_code rename_ec;
+        std::filesystem::rename(victim, target, rename_ec);
+        // Unrenamable files are still reported, under the old name.
+        return rename_ec ? victim : target;
+    };
+
+    SnapshotAuditReport report;
+    for (const std::filesystem::path &entry : entries) {
+        const std::string name = entry.filename().string();
+        if (name.ends_with(std::string(kSnapshotExtension) + ".tmp")) {
+            // Leftover of an interrupted saveSnapshotFile(): by
+            // construction never complete, always quarantined.
+            report.quarantined.push_back(quarantine(entry));
+            continue;
+        }
+        if (entry.extension() != kSnapshotExtension)
+            continue;
+        try {
+            (void)loadSnapshotFile(entry);
+            report.intact.push_back(entry);
+        } catch (const SnapshotError &) {
+            report.quarantined.push_back(quarantine(entry));
+        }
+    }
+    return report;
 }
 
 Snapshot

@@ -117,7 +117,16 @@ enum class SnapshotLoadMode
  *  the graph. */
 void saveSnapshot(const Snapshot &snapshot, std::ostream &out);
 
-/** Write @p snapshot to @p path (conventionally "*.tgs"). */
+/**
+ * Write @p snapshot to @p path (conventionally "*.tgs"),
+ * crash-consistently: the bytes go to "<path>.tmp" first, are flushed
+ * and fsync'd, and the temp file is atomically renamed over @p path
+ * (with the parent directory fsync'd after, where the platform
+ * supports it). A crash at any point leaves either the old file intact
+ * or a "*.tgs.tmp" leftover that auditSnapshotDirectory() quarantines
+ * — never a partial snapshot under the real name. The temp file is
+ * removed on any failure.
+ */
 void saveSnapshotFile(const Snapshot &snapshot,
                       const std::filesystem::path &path);
 
@@ -140,5 +149,29 @@ Snapshot loadSnapshotFile(const std::filesystem::path &path,
  *  here; also useful for in-memory round-trip tests).
  *  @throws SnapshotError. */
 Snapshot parseSnapshot(const void *data, std::size_t size);
+
+/** What auditSnapshotDirectory found, in sorted path order. */
+struct SnapshotAuditReport
+{
+    /** Snapshots that load and validate cleanly. */
+    std::vector<std::filesystem::path> intact;
+    /** Files renamed aside (to "<name>.quarantined"): corrupt ".tgs"
+     *  files and "*.tgs.tmp" leftovers of interrupted writes. Holds
+     *  the new (post-rename) paths. */
+    std::vector<std::filesystem::path> quarantined;
+};
+
+/**
+ * Scan @p dir (non-recursive, sorted order) for snapshot files and
+ * quarantine everything that cannot be trusted: "*.tgs.tmp" leftovers
+ * of a crashed saveSnapshotFile() and "*.tgs" files that fail to load
+ * (truncated, corrupted, foreign) are renamed to "<name>.quarantined"
+ * so a service never repeatedly trips over a bad file at open. Intact
+ * snapshots are left untouched and listed. A file that cannot even be
+ * renamed is still reported quarantined (under its original path).
+ * @throws SnapshotError (Io) only when @p dir itself is unreadable.
+ */
+SnapshotAuditReport
+auditSnapshotDirectory(const std::filesystem::path &dir);
 
 } // namespace tigr::service

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "fault/fault.hpp"
 #include "par/thread_pool.hpp"
 
 namespace tigr::service {
@@ -39,7 +40,8 @@ TransformCache::get(const TransformKey &key)
 
 std::shared_ptr<const engine::SharedSchedule>
 TransformCache::getOrBuild(const TransformKey &key,
-                           par::ThreadPool *pool, bool *was_hit)
+                           par::ThreadPool *pool, bool *was_hit,
+                           bool *retained)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = index_.find(key);
@@ -48,12 +50,18 @@ TransformCache::getOrBuild(const TransformKey &key,
         lru_.splice(lru_.begin(), lru_, it->second);
         if (was_hit)
             *was_hit = true;
+        if (retained)
+            *retained = true;
         return it->second->schedule;
     }
 
     ++stats_.misses;
     if (was_hit)
         *was_hit = false;
+    if (retained)
+        *retained = false;
+
+    TIGR_FAULT_POINT(fault::Site::TransformBuild);
 
     const auto start = std::chrono::steady_clock::now();
     auto shared = std::make_shared<engine::SharedSchedule>();
@@ -65,12 +73,18 @@ TransformCache::getOrBuild(const TransformKey &key,
     const std::size_t bytes = shared->schedule.sizeInBytes();
     if (bytes > byteBudget_)
         return shared; // oversized: hand out, don't retain
+    // An injected insert failure likewise suppresses retention only —
+    // the built schedule is still good, so hand it out.
+    if (fault::armed() && fault::fired(fault::Site::CacheInsert))
+        return shared;
 
     lru_.push_front(Entry{key, shared, bytes});
     index_[key] = lru_.begin();
     stats_.bytes += bytes;
     stats_.entries = lru_.size();
     enforceBudget();
+    if (retained)
+        *retained = true;
     return shared;
 }
 

@@ -93,11 +93,24 @@ class TransformCache
      *        (the result is bit-identical at any thread count).
      * @param was_hit Optional out-param: true when the schedule came
      *        from the cache.
+     * @param retained Optional out-param: true when the schedule is
+     *        resident in the cache on return (a hit, or a miss that was
+     *        retained). False means the caller holds the only reference
+     *        — an oversized build, or a `cache.insert` injected fault —
+     *        and the scheduler's degradation ladder may prefer dropping
+     *        it for a zero-memory dynamic run (docs/resilience.md).
+     *
+     * Fault sites: `transform.build` fires before the build (thrown as
+     * InjectedFault); `cache.insert` fires after a successful build and
+     * suppresses retention only — the built schedule is still returned,
+     * so a single injected insert failure degrades, never fails, the
+     * query.
      */
     std::shared_ptr<const engine::SharedSchedule>
     getOrBuild(const TransformKey &key,
                par::ThreadPool *pool = nullptr,
-               bool *was_hit = nullptr);
+               bool *was_hit = nullptr,
+               bool *retained = nullptr);
 
     /** Drop every entry whose key references @p graph (call before a
      *  GraphStore::remove so no schedule outlives its graph). */

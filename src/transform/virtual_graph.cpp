@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -72,6 +73,14 @@ VirtualGraph::fromArrays(const graph::Csr &physical, NodeId degree_bound,
         if (node.count > degree_bound)
             bad("owns more slots than the degree bound");
         if (node.count > 0) {
+            // Guard stride * (count - 1) against uint64 wraparound: a
+            // hostile entry must not wrap back inside the segment and
+            // pass the containment check below.
+            constexpr EdgeIndex kMax =
+                std::numeric_limits<EdgeIndex>::max();
+            if (node.count > 1 &&
+                node.stride > (kMax - node.start) / (node.count - 1))
+                bad("stride overflows the owned slot range");
             const EdgeIndex last =
                 node.start + node.stride * (node.count - 1);
             if (node.start < physical.edgeBegin(node.physicalId) ||

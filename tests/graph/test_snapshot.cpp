@@ -6,16 +6,20 @@
  * bytes — with no undefined behavior on the way.
  */
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "fault/fault.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "service/graph_store.hpp"
 #include "service/snapshot.hpp"
 #include "transform/virtual_graph.hpp"
 
@@ -286,6 +290,248 @@ TEST(SnapshotWriter, RejectsInconsistentVirtualArray)
         transform::VirtualNode{99, 0, 1, 1}}; // bad physical id
     std::ostringstream out(std::ios::binary);
     EXPECT_THROW(saveSnapshot(snapshot, out), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Crash-consistent writes, directory audit, and hostile-byte hardening.
+
+using SnapshotDurability = TempDir;
+using SnapshotAudit = TempDir;
+using SnapshotHostileBytes = TempDir;
+
+/** A tiny graph whose node 0 splits into exactly two virtual nodes at
+ *  degree bound 2 — small enough to patch by hand. */
+graph::Csr
+splitGraph()
+{
+    graph::CooEdges coo(5);
+    for (NodeId v = 1; v < 5; ++v)
+        coo.add(0, v, 1);
+    return graph::Csr::fromCoo(coo);
+}
+
+/** Recompute both checksums after a deliberate payload patch, so the
+ *  file is "what a sane-looking writer wrote" and only the structural
+ *  validators can reject it. Offsets mirror the TIGRSNP2 header. */
+void
+rewriteChecksums(std::vector<char> &bytes)
+{
+    constexpr std::size_t kHeaderBytes = 80;
+    constexpr std::size_t kPayloadChecksumAt = 64;
+    constexpr std::size_t kHeaderChecksumAt = 72;
+    ASSERT_GE(bytes.size(), kHeaderBytes);
+    const std::uint64_t payload = graph::fnv1a64(
+        bytes.data() + kHeaderBytes, bytes.size() - kHeaderBytes);
+    std::memcpy(bytes.data() + kPayloadChecksumAt, &payload,
+                sizeof(payload));
+    const std::uint64_t header =
+        graph::fnv1a64(bytes.data(), kHeaderChecksumAt);
+    std::memcpy(bytes.data() + kHeaderChecksumAt, &header,
+                sizeof(header));
+}
+
+/** Byte offset of the virtual-node `starts` array in a splitGraph()
+ *  snapshot: header, row offsets, columns, weights, physical ids. */
+std::size_t
+splitGraphStartsOffset(std::size_t num_virtual)
+{
+    return 80 + 6 * sizeof(EdgeIndex) + 4 * sizeof(NodeId) +
+           4 * sizeof(Weight) + num_virtual * sizeof(NodeId);
+}
+
+TEST_F(SnapshotDurability, NoTempFileSurvivesASuccessfulWrite)
+{
+    const auto file = path("g.tgs");
+    saveSnapshotFile(starGraph(), file);
+    EXPECT_TRUE(fs::exists(file));
+    EXPECT_FALSE(fs::exists(path("g.tgs.tmp")));
+
+    // Overwriting an existing snapshot goes through the same rename.
+    const graph::Csr replacement = rmatGraph();
+    saveSnapshotFile(replacement, file);
+    EXPECT_FALSE(fs::exists(path("g.tgs.tmp")));
+    EXPECT_EQ(loadSnapshotFile(file).graph, replacement);
+}
+
+TEST_F(SnapshotDurability, FailedWriteLeavesNoTempFile)
+{
+    Snapshot bad;
+    bad.graph = splitGraph();
+    bad.hasVirtual = true;
+    bad.virtualDegreeBound = 2;
+    bad.virtualNodes = {transform::VirtualNode{99, 0, 1, 2}};
+    const auto file = path("bad.tgs");
+    EXPECT_THROW(saveSnapshotFile(bad, file), std::invalid_argument);
+    EXPECT_FALSE(fs::exists(file));
+    EXPECT_FALSE(fs::exists(path("bad.tgs.tmp")));
+}
+
+TEST_F(SnapshotAudit, QuarantinesPartialAndCorruptFiles)
+{
+    saveSnapshotFile(starGraph(), path("good.tgs"));
+
+    // A corrupt snapshot (as after a torn in-place write).
+    saveSnapshotFile(rmatGraph(), path("torn.tgs"));
+    auto bytes = readAll(path("torn.tgs"));
+    bytes[bytes.size() - 9] ^= 0x10;
+    writeAll(path("torn.tgs"), bytes);
+
+    // A leftover temp file (as after a crash mid-save).
+    writeAll(path("crash.tgs.tmp"), {'p', 'a', 'r', 't'});
+
+    // An unrelated file the audit must leave alone.
+    writeAll(path("notes.txt"), {'h', 'i'});
+
+    const SnapshotAuditReport report = auditSnapshotDirectory(dir_);
+    ASSERT_EQ(report.intact.size(), 1u);
+    EXPECT_EQ(report.intact[0], path("good.tgs"));
+    ASSERT_EQ(report.quarantined.size(), 2u);
+
+    EXPECT_FALSE(fs::exists(path("torn.tgs")));
+    EXPECT_TRUE(fs::exists(path("torn.tgs.quarantined")));
+    EXPECT_FALSE(fs::exists(path("crash.tgs.tmp")));
+    EXPECT_TRUE(fs::exists(path("crash.tgs.tmp.quarantined")));
+    EXPECT_TRUE(fs::exists(path("notes.txt")));
+
+    // A second audit finds a clean directory.
+    const SnapshotAuditReport again = auditSnapshotDirectory(dir_);
+    EXPECT_EQ(again.intact.size(), 1u);
+    EXPECT_TRUE(again.quarantined.empty());
+}
+
+TEST_F(SnapshotAudit, GraphStoreRegistersOnlyIntactSnapshots)
+{
+    saveSnapshotFile(starGraph(), path("star.tgs"));
+    saveSnapshotFile(rmatGraph(), path("rmat.tgs"));
+    auto bytes = readAll(path("rmat.tgs"));
+    bytes[90] ^= 0x02;
+    writeAll(path("rmat.tgs"), bytes);
+
+    GraphStore store;
+    const SnapshotAuditReport report = store.addSnapshotDirectory(dir_);
+    EXPECT_EQ(report.intact.size(), 1u);
+    EXPECT_EQ(report.quarantined.size(), 1u);
+    ASSERT_NE(store.find("star"), nullptr);
+    EXPECT_EQ(store.find("star")->graph, starGraph());
+    EXPECT_EQ(store.find("rmat"), nullptr);
+}
+
+TEST_F(SnapshotRejection, EverySingleBitFlipIsCaught)
+{
+    const graph::Csr g = rmatGraph();
+    const transform::VirtualGraph vg(
+        g, 8, transform::EdgeLayout::Coalesced);
+    const auto file = path("flip.tgs");
+    saveSnapshotFile(vg, file);
+    const std::vector<char> pristine = readAll(file);
+
+    // Every header byte, plus a stride through the payload.
+    std::vector<std::size_t> offsets;
+    for (std::size_t i = 0; i < 80; ++i)
+        offsets.push_back(i);
+    for (std::size_t i = 80; i < pristine.size(); i += 97)
+        offsets.push_back(i);
+
+    for (std::size_t offset : offsets) {
+        SCOPED_TRACE("bit flip at byte " + std::to_string(offset));
+        std::vector<char> bytes = pristine;
+        bytes[offset] ^= 0x08;
+        writeAll(file, bytes);
+        for (auto mode :
+             {SnapshotLoadMode::Stream, SnapshotLoadMode::Mmap}) {
+            EXPECT_THROW((void)loadSnapshotFile(file, mode),
+                         SnapshotError);
+        }
+    }
+
+    writeAll(file, pristine);
+    EXPECT_EQ(loadSnapshotFile(file).graph, g);
+}
+
+TEST_F(SnapshotHostileBytes, OverlappingVirtualSlotsAreRejected)
+{
+    const graph::Csr g = splitGraph();
+    const transform::VirtualGraph vg(
+        g, 2, transform::EdgeLayout::Consecutive);
+    // One virtual node per low-degree physical node plus the split of
+    // node 0 into two.
+    ASSERT_EQ(vg.numVirtualNodes(), 6u);
+    ASSERT_EQ(vg.virtualNodes()[1].physicalId, 0u);
+    const auto file = path("overlap.tgs");
+    saveSnapshotFile(vg, file);
+    auto bytes = readAll(file);
+
+    // Point the second virtual node's start at the first one's slots.
+    const std::size_t starts = splitGraphStartsOffset(6);
+    const EdgeIndex zero = 0;
+    std::memcpy(bytes.data() + starts + sizeof(EdgeIndex), &zero,
+                sizeof(zero));
+    rewriteChecksums(bytes);
+    writeAll(file, bytes);
+    expectRejected(file, SnapshotErrorKind::Inconsistent);
+}
+
+TEST_F(SnapshotHostileBytes, WrappingStrideIsRejected)
+{
+    const graph::Csr g = splitGraph();
+    const transform::VirtualGraph vg(
+        g, 2, transform::EdgeLayout::Consecutive);
+    const auto file = path("stride.tgs");
+    saveSnapshotFile(vg, file);
+    auto bytes = readAll(file);
+
+    // A stride that wraps start + stride * (count - 1) back inside the
+    // segment must not pass containment via uint64 overflow.
+    const std::size_t strides =
+        splitGraphStartsOffset(6) + 6 * sizeof(EdgeIndex);
+    const EdgeIndex huge = std::numeric_limits<EdgeIndex>::max();
+    std::memcpy(bytes.data() + strides + sizeof(EdgeIndex), &huge,
+                sizeof(huge));
+    rewriteChecksums(bytes);
+    writeAll(file, bytes);
+    expectRejected(file, SnapshotErrorKind::Inconsistent);
+}
+
+TEST_F(SnapshotHostileBytes, FromArraysRejectsWrappingStride)
+{
+    const graph::Csr g = splitGraph();
+    const transform::VirtualGraph vg(
+        g, 2, transform::EdgeLayout::Consecutive);
+    std::vector<transform::VirtualNode> nodes(
+        vg.virtualNodes().begin(), vg.virtualNodes().end());
+    ASSERT_EQ(nodes.size(), 6u);
+    ASSERT_EQ(nodes[1].physicalId, 0u);
+    ASSERT_EQ(nodes[1].count, 2u);
+    nodes[1].stride = std::numeric_limits<EdgeIndex>::max();
+    EXPECT_THROW((void)transform::VirtualGraph::fromArrays(
+                     g, 2, transform::EdgeLayout::Consecutive, nodes),
+                 std::invalid_argument);
+}
+
+TEST_F(SnapshotRejection, InjectedReadFaultsSurfaceAsIoErrors)
+{
+    const auto file = path("fault.tgs");
+    saveSnapshotFile(starGraph(), file);
+
+    fault::FaultPlan plan(31);
+    plan.site(fault::Site::SnapshotRead, 1.0);
+    plan.site(fault::Site::SnapshotMmap, 1.0);
+    {
+        fault::FaultScope scope(plan, /*scope=*/1);
+        for (auto mode :
+             {SnapshotLoadMode::Stream, SnapshotLoadMode::Mmap}) {
+            try {
+                (void)loadSnapshotFile(file, mode);
+                FAIL() << "expected an injected io error";
+            } catch (const SnapshotError &e) {
+                EXPECT_EQ(e.kind(), SnapshotErrorKind::Io);
+                EXPECT_NE(std::string(e.what()).find("injected"),
+                          std::string::npos);
+            }
+        }
+    }
+    // Disarmed again: the same file loads cleanly.
+    EXPECT_EQ(loadSnapshotFile(file).graph, starGraph());
 }
 
 TEST(SnapshotChecksum, Fnv1a64KnownVectorsAndChaining)

@@ -293,5 +293,65 @@ TEST(CliCommands, RunRejectsBadStrategyAndSource)
                  std::runtime_error);
 }
 
+TEST(CliCommands, ServeAcceptsResilienceFlags)
+{
+    TempDir dir;
+    auto graphPath = dir / "g.csr";
+    graph::saveCsrBinaryFile(
+        graph::GraphBuilder().build(graph::erdosRenyi(64, 300, 2)),
+        graphPath);
+    auto scriptPath = dir / "s.txt";
+    {
+        std::ofstream script(scriptPath);
+        script << "load g " << graphPath.string() << "\n"
+               << "query g bfs source=0\n"
+               << "run\n";
+    }
+    std::ostringstream out;
+    int code = runCommand(
+        parse({"serve", "--script", scriptPath.string(),
+               "--max-retries", "4", "--fail-fast"}),
+        out);
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.str().find("outcome=completed"), std::string::npos);
+}
+
+TEST(CliCommands, ServeRejectsMalformedResilienceFlags)
+{
+    TempDir dir;
+    auto scriptPath = dir / "s.txt";
+    {
+        std::ofstream script(scriptPath);
+        script << "# nothing to do\n";
+    }
+    std::ostringstream out;
+    // --max-retries must be a plain decimal integer.
+    EXPECT_THROW(
+        runCommand(parse({"serve", "--script", scriptPath.string(),
+                          "--max-retries", "many"}),
+                   out),
+        std::runtime_error);
+    EXPECT_THROW(
+        runCommand(parse({"serve", "--script", scriptPath.string(),
+                          "--max-retries", "4x"}),
+                   out),
+        std::runtime_error);
+    // --fail-fast is strictly a flag: an attached value would have
+    // swallowed the next script token silently.
+    EXPECT_THROW(
+        runCommand(parse({"serve", "--script", scriptPath.string(),
+                          "--fail-fast", "1"}),
+                   out),
+        std::runtime_error);
+}
+
+TEST(CliCommands, HelpDocumentsResilienceFlags)
+{
+    std::ostringstream out;
+    ASSERT_EQ(runCommand(parse({"help"}), out), 0);
+    EXPECT_NE(out.str().find("--max-retries"), std::string::npos);
+    EXPECT_NE(out.str().find("--fail-fast"), std::string::npos);
+}
+
 } // namespace
 } // namespace tigr::cli

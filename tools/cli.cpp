@@ -420,6 +420,16 @@ cmdServe(const CommandLine &cmd, std::ostream &out)
         cmd.optionU64("queue", options.maxQueuedQueries);
     options.cacheBytes =
         cmd.optionU64("cache-mb", options.cacheBytes >> 20) << 20;
+    options.maxRetries = static_cast<unsigned>(
+        cmd.optionU64("max-retries", options.maxRetries));
+    if (cmd.has("fail-fast")) {
+        // Strictly a flag: "--fail-fast 1" would silently swallow a
+        // script argument, so any attached value is an error.
+        if (!cmd.option("fail-fast")->empty())
+            throw std::runtime_error(
+                "tigr serve: --fail-fast takes no value");
+        options.failFast = true;
+    }
     frontierModeOption(cmd, options.frontier);
     frontierRatioOption(cmd, options.frontierRatio);
     return service::runScript(in, out, options);
@@ -546,7 +556,8 @@ usage()
            "  tigr snapshot <graph> <out.tgs> [--k N] "
            "[--layout consecutive|coalesced] [--threads N]\n"
            "  tigr serve --script FILE [--workers N] [--queue N] "
-           "[--cache-mb N] [--frontier dense|sparse|adaptive] "
+           "[--cache-mb N] [--max-retries N] [--fail-fast] "
+           "[--frontier dense|sparse|adaptive] "
            "[--frontier-ratio F]\n"
            "\n"
            "--algo accepts a comma-separated list; all entries run on "
@@ -557,7 +568,11 @@ usage()
            "--frontier picks the worklist representation (default "
            "adaptive: sparse while |frontier| <= F * nodes, F from "
            "--frontier-ratio, default 0.05). Values are identical for "
-           "every mode; see docs/frontier.md.\n";
+           "every mode; see docs/frontier.md.\n"
+           "--max-retries bounds per-query re-execution after "
+           "transient failures (default 2); --fail-fast stops a serve "
+           "script at the first batch containing a terminally failed "
+           "query and exits nonzero. See docs/resilience.md.\n";
 }
 
 int
