@@ -224,7 +224,75 @@ GraphEngine::pushOptions() const
     push.frontier = options_.frontier;
     push.frontierRatio = options_.frontierRatio;
     push.pullWorklist = options_.pullWorklist;
+    push.trace = options_.trace;
+    push.traceTickBase = tracedCycles_;
     return push;
+}
+
+void
+GraphEngine::traceRunBegin(Algorithm algorithm, const Context &ctx)
+{
+    if (!options_.trace)
+        return;
+    obs::TraceEvent begin;
+    begin.tick = tracedCycles_;
+    begin.kind = obs::EventKind::RunBegin;
+    begin.label[0] = algorithmName(algorithm);
+    begin.label[1] = strategyName(options_.strategy);
+    begin.label[2] =
+        options_.direction == Direction::Pull ? "pull" : "push";
+    begin.label[3] = frontierModeName(options_.frontier);
+    begin.arg[0] = graph_.numNodes();
+    begin.arg[1] = options_.worklist ? 1 : 0;
+    begin.arg[2] = options_.dynamicMapping ? 1 : 0;
+    options_.trace->record(begin);
+
+    obs::TraceEvent transform;
+    transform.tick = tracedCycles_;
+    transform.kind = obs::EventKind::Transform;
+    transform.arg[0] = ctx.reusedFromCache ? 1 : 0;
+    transform.arg[1] =
+        options_.dynamicMapping ? 0 : ctx.schedule->numUnits();
+    options_.trace->record(transform);
+}
+
+void
+GraphEngine::traceRunEnd(const RunInfo &info)
+{
+    if (!options_.trace)
+        return;
+    obs::TraceEvent end;
+    end.tick = tracedCycles_ + info.stats.cycles;
+    end.kind = obs::EventKind::RunEnd;
+    end.arg[0] = info.iterations;
+    end.arg[1] = info.converged ? 1 : 0;
+    end.arg[2] = info.cancelled ? 1 : 0;
+    end.arg[3] = info.peakFrontier;
+    end.arg[4] = info.sparseIterations;
+    end.arg[5] = info.stats.cycles;
+    options_.trace->record(end);
+    tracedCycles_ += info.stats.cycles;
+}
+
+void
+GraphEngine::traceLoopIteration(unsigned iteration,
+                                std::uint64_t frontier,
+                                std::uint64_t units,
+                                const sim::KernelStats &before,
+                                const sim::KernelStats &after)
+{
+    obs::TraceEvent event;
+    event.tick = tracedCycles_ + after.cycles;
+    event.kind = obs::EventKind::Iteration;
+    event.arg[0] = iteration;
+    event.arg[1] = frontier;
+    event.arg[2] = 0;
+    event.arg[3] = units;
+    event.arg[4] = after.cycles - before.cycles;
+    event.arg[5] = after.instructions - before.instructions;
+    event.arg[6] = after.laneSlots - before.laneSlots;
+    event.arg[7] = after.memTransactions - before.memTransactions;
+    options_.trace->record(event);
 }
 
 template <typename Semiring>
@@ -279,6 +347,7 @@ GraphEngine::sssp(NodeId source)
     Context &ctx = context(options_.direction == Direction::Pull
                                ? ContextKind::PullReversed
                                : ContextKind::WeightedZero);
+    traceRunBegin(Algorithm::Sssp, ctx);
     const std::pair<NodeId, Dist> seeds[] = {{source, 0}};
     auto outcome =
         runSemiring<algorithms::SsspSemiring>(ctx, seeds, false);
@@ -293,6 +362,7 @@ GraphEngine::sssp(NodeId source)
     result.info.peakFrontier = outcome.peakFrontier;
     result.info.sparseIterations = outcome.sparseIterations;
     fillRunInfo(result.info, ctx, Algorithm::Sssp);
+    traceRunEnd(result.info);
     result.info.hostMs = elapsedMs(host_start);
     return result;
 }
@@ -304,6 +374,7 @@ GraphEngine::bfs(NodeId source)
     Context &ctx = context(options_.direction == Direction::Pull
                                ? ContextKind::PullReversedUnit
                                : ContextKind::UnitZero);
+    traceRunBegin(Algorithm::Bfs, ctx);
     const std::pair<NodeId, Dist> seeds[] = {{source, 0}};
     auto outcome =
         runSemiring<algorithms::SsspSemiring>(ctx, seeds, false);
@@ -318,6 +389,7 @@ GraphEngine::bfs(NodeId source)
     result.info.peakFrontier = outcome.peakFrontier;
     result.info.sparseIterations = outcome.sparseIterations;
     fillRunInfo(result.info, ctx, Algorithm::Bfs);
+    traceRunEnd(result.info);
     result.info.hostMs = elapsedMs(host_start);
     return result;
 }
@@ -329,6 +401,7 @@ GraphEngine::sswp(NodeId source)
     Context &ctx = context(options_.direction == Direction::Pull
                                ? ContextKind::PullReversed
                                : ContextKind::WeightedInf);
+    traceRunBegin(Algorithm::Sswp, ctx);
     const std::pair<NodeId, Weight> seeds[] = {{source, kInfWeight}};
     auto outcome =
         runSemiring<algorithms::SswpSemiring>(ctx, seeds, false);
@@ -343,6 +416,7 @@ GraphEngine::sswp(NodeId source)
     result.info.peakFrontier = outcome.peakFrontier;
     result.info.sparseIterations = outcome.sparseIterations;
     fillRunInfo(result.info, ctx, Algorithm::Sswp);
+    traceRunEnd(result.info);
     result.info.hostMs = elapsedMs(host_start);
     return result;
 }
@@ -354,6 +428,7 @@ GraphEngine::cc()
     Context &ctx = context(options_.direction == Direction::Pull
                                ? ContextKind::PullReversed
                                : ContextKind::WeightedZero);
+    traceRunBegin(Algorithm::Cc, ctx);
     std::vector<std::pair<NodeId, NodeId>> seeds;
     seeds.reserve(graph_.numNodes());
     for (NodeId v = 0; v < graph_.numNodes(); ++v)
@@ -371,6 +446,7 @@ GraphEngine::cc()
     result.info.peakFrontier = outcome.peakFrontier;
     result.info.sparseIterations = outcome.sparseIterations;
     fillRunInfo(result.info, ctx, Algorithm::Cc);
+    traceRunEnd(result.info);
     result.info.hostMs = elapsedMs(host_start);
     return result;
 }
@@ -450,6 +526,7 @@ GraphEngine::pagerankPush(const PageRankOptions &pr_options)
     result.values.assign(n, n == 0 ? 0.0 : 1.0 / n);
     if (n == 0)
         return result;
+    traceRunBegin(Algorithm::Pr, ctx);
 
     std::vector<Rank> next(n);
     const Rank base = (1.0 - pr_options.damping) / n;
@@ -473,6 +550,7 @@ GraphEngine::pagerankPush(const PageRankOptions &pr_options)
             result.info.converged = false;
             break;
         }
+        const sim::KernelStats trace_before = result.info.stats;
         std::fill(next.begin(), next.end(), base);
         par::forEachChunk(
             pool_.get(), units.size(), par::kDefaultGrain,
@@ -517,6 +595,9 @@ GraphEngine::pagerankPush(const PageRankOptions &pr_options)
             pool_.get());
         result.values.swap(next);
         ++result.info.iterations;
+        if (options_.trace)
+            traceLoopIteration(result.info.iterations, n, units.size(),
+                               trace_before, result.info.stats);
         // Optional early convergence: `next` now holds the previous
         // ranks, so the round's L1 change is directly computable.
         if (pr_options.epsilon > 0.0) {
@@ -528,6 +609,7 @@ GraphEngine::pagerankPush(const PageRankOptions &pr_options)
         }
     }
     fillRunInfo(result.info, ctx, Algorithm::Pr);
+    traceRunEnd(result.info);
     result.info.hostMs = elapsedMs(host_start);
     return result;
 }
@@ -544,6 +626,7 @@ GraphEngine::pagerankPull(const PageRankOptions &pr_options)
     result.values.assign(n, n == 0 ? 0.0 : 1.0 / n);
     if (n == 0)
         return result;
+    traceRunBegin(Algorithm::Pr, ctx);
 
     std::vector<Rank> next(n);
     const Rank base = (1.0 - pr_options.damping) / n;
@@ -571,6 +654,7 @@ GraphEngine::pagerankPull(const PageRankOptions &pr_options)
             result.info.converged = false;
             break;
         }
+        const sim::KernelStats trace_before = result.info.stats;
         std::fill(next.begin(), next.end(), base);
         par::forEachChunk(
             pool_.get(), units.size(), par::kDefaultGrain,
@@ -611,6 +695,9 @@ GraphEngine::pagerankPull(const PageRankOptions &pr_options)
             pool_.get());
         result.values.swap(next);
         ++result.info.iterations;
+        if (options_.trace)
+            traceLoopIteration(result.info.iterations, n, units.size(),
+                               trace_before, result.info.stats);
         // Optional early convergence: `next` now holds the previous
         // ranks, so the round's L1 change is directly computable.
         if (pr_options.epsilon > 0.0) {
@@ -622,6 +709,7 @@ GraphEngine::pagerankPull(const PageRankOptions &pr_options)
         }
     }
     fillRunInfo(result.info, ctx, Algorithm::Pr);
+    traceRunEnd(result.info);
     result.info.hostMs = elapsedMs(host_start);
     return result;
 }
@@ -639,6 +727,7 @@ GraphEngine::bc(std::span<const NodeId> sources)
     const graph::Csr &g = *ctx.scheduled;
     const NodeId n = graph_.numNodes();
     const CostModel cost = costModelFor(options_.strategy);
+    traceRunBegin(Algorithm::Bc, ctx);
 
     CentralityResult result;
     result.values.assign(n, 0.0);
@@ -724,6 +813,7 @@ GraphEngine::bc(std::span<const NodeId> sources)
                 result.values[v] += delta[v];
     }
     fillRunInfo(result.info, ctx, Algorithm::Bc);
+    traceRunEnd(result.info);
     result.info.hostMs = elapsedMs(host_start);
     return result;
 }
@@ -740,6 +830,7 @@ GraphEngine::triangles()
             "strategy, whose physical graph is untouched");
     }
     Context &ctx = context(ContextKind::SortedRows);
+    traceRunBegin(Algorithm::Cc, ctx);
     const graph::Csr &g = *ctx.scheduled;
     const NodeId n = graph_.numNodes();
     const CostModel cost = costModelFor(options_.strategy);
@@ -826,6 +917,7 @@ GraphEngine::triangles()
         pool_.get());
     result.info.iterations = 1;
     fillRunInfo(result.info, ctx, Algorithm::Cc);
+    traceRunEnd(result.info);
     result.info.hostMs = elapsedMs(host_start);
     return result;
 }

@@ -289,6 +289,19 @@ class GraphEngine
     void fillRunInfo(RunInfo &info, const Context &ctx,
                      Algorithm algorithm) const;
 
+    /** Record RunBegin + Transform trace events for an analysis over
+     *  @p ctx (no-op when tracing is off). */
+    void traceRunBegin(Algorithm algorithm, const Context &ctx);
+    /** Record a RunEnd trace event and advance the engine's tick base
+     *  by the run's simulated cycles, keeping traces of consecutive
+     *  analyses on one sink monotonic. */
+    void traceRunEnd(const RunInfo &info);
+    /** Record one Iteration event of an engine-driven loop (PR). */
+    void traceLoopIteration(unsigned iteration, std::uint64_t frontier,
+                            std::uint64_t units,
+                            const sim::KernelStats &before,
+                            const sim::KernelStats &after);
+
     const graph::Csr &graph_;
     EngineOptions options_;
     /** Externally cached forward schedule (may be null). */
@@ -298,6 +311,9 @@ class GraphEngine
      *  resolved to a single thread. */
     std::unique_ptr<par::ThreadPool> pool_;
     std::map<ContextKind, std::unique_ptr<Context>> contexts_;
+    /** Simulated cycles of all completed traced runs: the tick base of
+     *  the next analysis recorded on the sink. */
+    std::uint64_t tracedCycles_ = 0;
 };
 
 } // namespace tigr::engine

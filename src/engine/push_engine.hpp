@@ -50,6 +50,7 @@
 
 #include "engine/frontier.hpp"
 #include "engine/schedule.hpp"
+#include "obs/trace.hpp"
 #include "par/parallel_for.hpp"
 #include "sim/warp_simulator.hpp"
 
@@ -83,6 +84,14 @@ struct PushOptions
      *  docs/frontier.md); false restores the classic all-nodes gather.
      *  Requires runPull's forward-graph argument; ignored otherwise. */
     bool pullWorklist = true;
+    /** Optional structured trace sink: one Iteration event per BSP
+     *  step, stamped with simulated cycles (docs/observability.md).
+     *  Null (the default) costs one pointer test per iteration. */
+    obs::TraceSink *trace = nullptr;
+    /** Tick offset added to every recorded event — lets an engine
+     *  running several analyses on one sink keep simulated time
+     *  monotonic across runs. */
+    std::uint64_t traceTickBase = 0;
 };
 
 /** Result of a push or pull run. */
@@ -228,6 +237,29 @@ gatherUnitsDense(const Provider &provider, const Frontier &frontier,
                      });
 }
 
+/** Record one Iteration trace event covering the simulator-counter
+ *  deltas between @p before and @p after (all integers, all
+ *  thread-count-invariant). */
+inline void
+traceIteration(const PushOptions &options, unsigned iteration,
+               std::uint64_t frontier_size, bool sparse,
+               std::uint64_t units, const sim::KernelStats &before,
+               const sim::KernelStats &after)
+{
+    obs::TraceEvent event;
+    event.tick = options.traceTickBase + after.cycles;
+    event.kind = obs::EventKind::Iteration;
+    event.arg[0] = iteration;
+    event.arg[1] = frontier_size;
+    event.arg[2] = sparse ? 1 : 0;
+    event.arg[3] = units;
+    event.arg[4] = after.cycles - before.cycles;
+    event.arg[5] = after.instructions - before.instructions;
+    event.arg[6] = after.laneSlots - before.laneSlots;
+    event.arg[7] = after.memTransactions - before.memTransactions;
+    options.trace->record(event);
+}
+
 /** Does this iteration's frontier run sparse under @p options? Pure in
  *  (count, n), hence thread-count-invariant; equality goes sparse, the
  *  boundary the threshold tests pin. */
@@ -317,6 +349,8 @@ runPush(const Provider &provider, sim::WarpSimulator &sim,
             outcome.cancelled = true;
             break;
         }
+
+        const sim::KernelStats trace_before = outcome.stats;
 
         // Gather this iteration's units. Sparse and dense materialize
         // the identical array — active nodes ascending, units in node
@@ -438,6 +472,12 @@ runPush(const Provider &provider, sim::WarpSimulator &sim,
                 pool);
         }
 
+        if (options.trace)
+            detail::traceIteration(options, outcome.iterations,
+                                   active_nodes, use_worklist && sparse,
+                                   launch_units.size(), trace_before,
+                                   outcome.stats);
+
         if (!changed) {
             outcome.converged = true;
             break;
@@ -530,6 +570,8 @@ runPull(const Provider &provider, sim::WarpSimulator &sim,
             break;
         }
 
+        const sim::KernelStats trace_before = outcome.stats;
+
         std::uint64_t active_dests = n;
         if (filtered) {
             active_dests = dests.count();
@@ -617,6 +659,12 @@ runPull(const Provider &provider, sim::WarpSimulator &sim,
                 [](std::uint64_t) { return sim::frontierPassWork(); },
                 pool);
         }
+
+        if (options.trace)
+            detail::traceIteration(options, outcome.iterations,
+                                   active_dests, filtered,
+                                   launch_units.size(), trace_before,
+                                   outcome.stats);
 
         if (!changed) {
             outcome.converged = true;

@@ -22,6 +22,10 @@
 #include "graph/types.hpp"
 #include "sim/gpu_config.hpp"
 
+namespace tigr::obs {
+class TraceSink;
+}
+
 namespace tigr::engine {
 
 /**
@@ -176,6 +180,13 @@ struct EngineOptions
      *  into RunInfo::degraded so results self-report. Changes no
      *  engine behavior — degraded runs compute identical values. */
     bool degraded = false;
+    /** Optional structured trace sink (docs/observability.md). Events
+     *  are stamped with simulated cycles, so the recorded trace is
+     *  bit-identical at any `threads` value. Null = tracing off, and
+     *  the instrumentation reduces to one pointer test per
+     *  iteration. The sink is not internally synchronized: use one
+     *  sink per engine. */
+    obs::TraceSink *trace = nullptr;
     /** Simulated GPU. */
     sim::GpuConfig gpu;
 };

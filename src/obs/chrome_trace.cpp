@@ -1,0 +1,222 @@
+#include "obs/chrome_trace.hpp"
+
+namespace tigr::obs {
+namespace {
+
+/// Simulator clock: 1.2 GHz -> 1200 cycles per simulated microsecond.
+constexpr std::uint64_t kCyclesPerMicro = 1200;
+
+std::uint64_t
+toMicros(std::uint64_t cycles)
+{
+    return cycles / kCyclesPerMicro;
+}
+
+void
+writeEscaped(std::ostream &out, std::string_view text)
+{
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out << '\\';
+        out << c;
+    }
+}
+
+/// The "args" object: labelled fields per kind, mirroring formatEvent.
+void
+writeArgs(std::ostream &out, const TraceEvent &e)
+{
+    struct Field
+    {
+        std::string_view key;
+        std::uint64_t value;
+    };
+    struct Label
+    {
+        std::string_view key;
+        std::string_view value;
+    };
+    Field fields[8];
+    Label labels[4];
+    std::size_t nf = 0;
+    std::size_t nl = 0;
+    switch (e.kind) {
+    case EventKind::RunBegin:
+        labels[nl++] = {"algo", e.label[0]};
+        labels[nl++] = {"strategy", e.label[1]};
+        labels[nl++] = {"direction", e.label[2]};
+        labels[nl++] = {"frontier", e.label[3]};
+        fields[nf++] = {"n", e.arg[0]};
+        fields[nf++] = {"worklist", e.arg[1]};
+        fields[nf++] = {"dynamic", e.arg[2]};
+        break;
+    case EventKind::Transform:
+        fields[nf++] = {"cached", e.arg[0]};
+        fields[nf++] = {"units", e.arg[1]};
+        break;
+    case EventKind::Iteration:
+        fields[nf++] = {"i", e.arg[0]};
+        fields[nf++] = {"frontier", e.arg[1]};
+        fields[nf++] = {"sparse", e.arg[2]};
+        fields[nf++] = {"units", e.arg[3]};
+        fields[nf++] = {"cycles", e.arg[4]};
+        fields[nf++] = {"instr", e.arg[5]};
+        fields[nf++] = {"lanes", e.arg[6]};
+        fields[nf++] = {"memtx", e.arg[7]};
+        break;
+    case EventKind::RunEnd:
+        fields[nf++] = {"iterations", e.arg[0]};
+        fields[nf++] = {"converged", e.arg[1]};
+        fields[nf++] = {"cancelled", e.arg[2]};
+        fields[nf++] = {"peak_frontier", e.arg[3]};
+        fields[nf++] = {"sparse_iters", e.arg[4]};
+        fields[nf++] = {"cycles", e.arg[5]};
+        break;
+    case EventKind::CacheLookup:
+        fields[nf++] = {"hit", e.arg[0]};
+        fields[nf++] = {"retained", e.arg[1]};
+        break;
+    case EventKind::QueryBegin:
+        labels[nl++] = {"algo", e.label[0]};
+        labels[nl++] = {"strategy", e.label[1]};
+        fields[nf++] = {"index", e.arg[0]};
+        break;
+    case EventKind::QueryEnd:
+        labels[nl++] = {"outcome", e.label[0]};
+        fields[nf++] = {"attempts", e.arg[0]};
+        fields[nf++] = {"iterations", e.arg[1]};
+        fields[nf++] = {"cycles", e.arg[2]};
+        fields[nf++] = {"digest", e.arg[3]};
+        fields[nf++] = {"backoff_us", e.arg[4]};
+        fields[nf++] = {"degraded", e.arg[5]};
+        fields[nf++] = {"cache_hit", e.arg[6]};
+        break;
+    case EventKind::Fault:
+        labels[nl++] = {"site", e.label[0]};
+        fields[nf++] = {"scope", e.arg[0]};
+        fields[nf++] = {"attempt", e.arg[1]};
+        fields[nf++] = {"hit", e.arg[2]};
+        break;
+    case EventKind::Retry:
+        labels[nl++] = {"error", e.label[0]};
+        fields[nf++] = {"attempt", e.arg[0]};
+        fields[nf++] = {"backoff_us", e.arg[1]};
+        break;
+    case EventKind::Degrade:
+        labels[nl++] = {"error", e.label[0]};
+        break;
+    }
+    out << "{";
+    bool first = true;
+    for (std::size_t i = 0; i < nl; ++i) {
+        if (labels[i].value.empty())
+            continue;
+        out << (first ? "" : ",") << '"';
+        writeEscaped(out, labels[i].key);
+        out << "\":\"";
+        writeEscaped(out, labels[i].value);
+        out << '"';
+        first = false;
+    }
+    for (std::size_t i = 0; i < nf; ++i) {
+        out << (first ? "" : ",") << '"';
+        writeEscaped(out, fields[i].key);
+        out << "\":" << fields[i].value;
+        first = false;
+    }
+    out << "}";
+}
+
+/// The event's display name in the viewer.
+std::string_view
+displayName(const TraceEvent &e)
+{
+    switch (e.kind) {
+    case EventKind::RunBegin:
+    case EventKind::RunEnd:
+        return e.label[0].empty() ? eventKindName(e.kind) : e.label[0];
+    case EventKind::Fault:
+        return e.label[0].empty() ? "fault" : e.label[0];
+    default:
+        return eventKindName(e.kind);
+    }
+}
+
+} // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream &out) : out_(out)
+{
+    out_ << "{\"traceEvents\":[";
+}
+
+void
+ChromeTraceWriter::comma()
+{
+    if (!first_)
+        out_ << ",\n";
+    first_ = false;
+}
+
+void
+ChromeTraceWriter::add(const TraceSink &sink, std::uint64_t tid,
+                       std::string_view thread_name)
+{
+    if (!thread_name.empty()) {
+        comma();
+        out_ << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                "\"tid\":"
+             << tid << ",\"args\":{\"name\":\"";
+        writeEscaped(out_, thread_name);
+        out_ << "\"}}";
+    }
+    for (const TraceEvent &e : sink.events()) {
+        comma();
+        const std::uint64_t ts = toMicros(e.tick);
+        out_ << "{\"name\":\"";
+        writeEscaped(out_, displayName(e));
+        out_ << "\",\"pid\":1,\"tid\":" << tid;
+        switch (e.kind) {
+        case EventKind::Iteration: {
+            // The iteration spans [tick - cycles delta, tick].
+            const std::uint64_t dur_cycles = e.arg[4];
+            const std::uint64_t start =
+                e.tick >= dur_cycles ? e.tick - dur_cycles : 0;
+            out_ << ",\"ph\":\"X\",\"ts\":" << toMicros(start)
+                 << ",\"dur\":" << toMicros(dur_cycles);
+            break;
+        }
+        case EventKind::RunBegin:
+            out_ << ",\"ph\":\"B\",\"ts\":" << ts;
+            break;
+        case EventKind::RunEnd:
+            out_ << ",\"ph\":\"E\",\"ts\":" << ts;
+            break;
+        default:
+            out_ << ",\"ph\":\"i\",\"ts\":" << ts << ",\"s\":\"t\"";
+            break;
+        }
+        out_ << ",\"args\":";
+        writeArgs(out_, e);
+        out_ << "}";
+    }
+}
+
+void
+ChromeTraceWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    out_ << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void
+writeChromeTrace(std::ostream &out, const TraceSink &sink,
+                 std::string_view thread_name)
+{
+    ChromeTraceWriter writer(out);
+    writer.add(sink, 0, thread_name);
+    writer.finish();
+}
+
+} // namespace tigr::obs

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Chrome trace_event JSON export for TraceSink streams.
+ *
+ * Timestamps are *simulated* microseconds: ticks are simulator cycles
+ * and the simulator models a 1.2 GHz clock, so ts = cycles / 1200.
+ * Integer division keeps the output deterministic; sub-microsecond
+ * events collapse onto the same tick, which chrome://tracing renders
+ * fine.
+ *
+ * Event mapping:
+ *  - Iteration  -> "X" (complete) events spanning the iteration's
+ *                  cycle delta, so BSP steps show up as bars.
+ *  - RunBegin / RunEnd -> "B"/"E" duration pair enclosing the run.
+ *  - everything else -> "i" (instant) events.
+ *
+ * Merge traces from several queries by calling add() once per sink
+ * with distinct tids (e.g. the query's batch index), then finish().
+ */
+#pragma once
+
+#include "obs/trace.hpp"
+
+#include <ostream>
+#include <string_view>
+
+namespace tigr::obs {
+
+class ChromeTraceWriter
+{
+  public:
+    explicit ChromeTraceWriter(std::ostream &out);
+
+    /**
+     * Emit every event of @p sink on thread id @p tid. If
+     * @p thread_name is non-empty a thread_name metadata event is
+     * emitted first so the track is labelled in the viewer.
+     */
+    void add(const TraceSink &sink, std::uint64_t tid = 0,
+             std::string_view thread_name = {});
+
+    /** Close the JSON document. Must be called exactly once. */
+    void finish();
+
+  private:
+    void comma();
+
+    std::ostream &out_;
+    bool first_ = true;
+    bool finished_ = false;
+};
+
+/** One-shot convenience: write @p sink as a complete trace document. */
+void writeChromeTrace(std::ostream &out, const TraceSink &sink,
+                      std::string_view thread_name = {});
+
+} // namespace tigr::obs

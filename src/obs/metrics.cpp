@@ -1,0 +1,171 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace tigr::obs {
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t size, std::uint64_t seed)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t hash = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+void
+Histogram::observe(std::uint64_t value)
+{
+    buckets_[bucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    // Count and sum saturate like Counter: a pinned aggregate is
+    // visible, a wrapped one lies.
+    std::uint64_t cur = count_.load(std::memory_order_relaxed);
+    std::uint64_t next;
+    do {
+        next = cur == ~std::uint64_t{0} ? cur : cur + 1;
+    } while (!count_.compare_exchange_weak(cur, next,
+                                           std::memory_order_relaxed));
+    cur = sum_.load(std::memory_order_relaxed);
+    do {
+        next = cur > ~value ? ~std::uint64_t{0} : cur + value;
+    } while (!sum_.compare_exchange_weak(cur, next,
+                                         std::memory_order_relaxed));
+}
+
+std::size_t
+Histogram::bucketOf(std::uint64_t value)
+{
+    return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t
+Histogram::bucketFloor(std::size_t i)
+{
+    return i <= 1 ? 0 : std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t
+Histogram::bucketCeil(std::size_t i)
+{
+    if (i == 0)
+        return 0;
+    if (i >= 64)
+        return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+}
+
+MetricsRegistry &
+MetricsRegistry::disabled()
+{
+    static MetricsRegistry instance{DisabledTag{}};
+    return instance;
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
+    if (!enabled_)
+        return scrapCounter_;
+    std::lock_guard lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_.try_emplace(std::string(name)).first;
+    return it->second;
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name)
+{
+    if (!enabled_)
+        return scrapGauge_;
+    std::lock_guard lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end())
+        it = gauges_.try_emplace(std::string(name)).first;
+    return it->second;
+}
+
+Histogram &
+MetricsRegistry::histogram(std::string_view name)
+{
+    if (!enabled_)
+        return scrapHistogram_;
+    std::lock_guard lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.try_emplace(std::string(name)).first;
+    return it->second;
+}
+
+std::string
+MetricsRegistry::snapshotText() const
+{
+    std::ostringstream out;
+    std::lock_guard lock(mutex_);
+    for (const auto &[name, c] : counters_)
+        out << "counter " << name << ' ' << c.value() << '\n';
+    for (const auto &[name, g] : gauges_)
+        out << "gauge " << name << ' ' << g.value() << '\n';
+    for (const auto &[name, h] : histograms_) {
+        out << "hist " << name << " count=" << h.count()
+            << " sum=" << h.sum();
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
+            if (h.bucket(i) != 0)
+                out << " b" << i << '=' << h.bucket(i);
+        out << '\n';
+    }
+    return out.str();
+}
+
+std::string
+MetricsRegistry::snapshotJson() const
+{
+    std::ostringstream out;
+    std::lock_guard lock(mutex_);
+    out << "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        out << (first ? "" : ",") << '"' << name
+            << "\":" << c.value();
+        first = false;
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        out << (first ? "" : ",") << '"' << name
+            << "\":" << g.value();
+        first = false;
+    }
+    out << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        out << (first ? "" : ",") << '"' << name
+            << "\":{\"count\":" << h.count() << ",\"sum\":" << h.sum()
+            << ",\"buckets\":{";
+        bool first_bucket = true;
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+            if (h.bucket(i) == 0)
+                continue;
+            out << (first_bucket ? "" : ",") << '"' << i
+                << "\":" << h.bucket(i);
+            first_bucket = false;
+        }
+        out << "}}";
+        first = false;
+    }
+    out << "}}";
+    return out.str();
+}
+
+std::uint64_t
+MetricsRegistry::digest() const
+{
+    const std::string text = snapshotText();
+    return fnv1a64(text.data(), text.size());
+}
+
+} // namespace tigr::obs

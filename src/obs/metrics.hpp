@@ -1,0 +1,186 @@
+/**
+ * @file
+ * MetricsRegistry: named monotonic counters, gauges, and log2-bucket
+ * histograms with a stable, sorted, integer-only serialization — the
+ * aggregate half of the observability layer (docs/observability.md).
+ *
+ * Design constraints, in determinism order:
+ *
+ *  - Every exported number is an integer. Histograms use fixed log2
+ *    buckets (bucket i counts values whose bit width is i), so no
+ *    float ever participates in a comparison or a golden file.
+ *  - snapshotText() / snapshotJson() emit instruments sorted by name,
+ *    so two registries fed the same updates serialize byte-identically
+ *    regardless of registration order.
+ *  - Counters saturate at uint64 max instead of wrapping: a saturated
+ *    counter is visibly pinned, never silently small again.
+ *  - Disabled mode is allocation-free: MetricsRegistry::disabled()
+ *    hands out shared scrap instruments without touching the name maps
+ *    (tests/obs/test_metrics pins the zero-allocation property).
+ *
+ * Thread safety: instrument updates are relaxed atomics (sums are
+ * order-independent), instrument lookup takes the registry mutex.
+ * References returned by counter()/gauge()/histogram() stay valid for
+ * the registry's lifetime (node-based storage).
+ */
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace tigr::obs {
+
+/** FNV-1a 64-bit hash (local copy; obs depends on nothing). */
+std::uint64_t fnv1a64(const void *data, std::size_t size,
+                      std::uint64_t seed = 14695981039346656037ULL);
+
+/** A monotonic counter. add() saturates at uint64 max. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t delta = 1)
+    {
+        std::uint64_t cur = value_.load(std::memory_order_relaxed);
+        std::uint64_t next;
+        do {
+            next = cur > ~delta ? ~std::uint64_t{0} : cur + delta;
+        } while (!value_.compare_exchange_weak(
+            cur, next, std::memory_order_relaxed));
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** A last-value-wins gauge (cache residency, worker counts, ...). */
+class Gauge
+{
+  public:
+    void set(std::uint64_t value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/**
+ * Fixed log2-bucket histogram: observe(v) increments bucket
+ * bit_width(v), i.e. bucket 0 holds exactly the value 0 and bucket
+ * i >= 1 holds values in [2^(i-1), 2^i - 1]. Count and sum saturate.
+ */
+class Histogram
+{
+  public:
+    /** Bucket count: bit widths 0..64 inclusive. */
+    static constexpr std::size_t kBuckets = 65;
+
+    void observe(std::uint64_t value);
+
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /** Sum of observed values, saturating at uint64 max. */
+    std::uint64_t sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t bucket(std::size_t i) const
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+    /** Which bucket observe(@p value) lands in (= bit_width). */
+    static std::size_t bucketOf(std::uint64_t value);
+
+    /** Smallest value of bucket @p i (0 for buckets 0 and 1). */
+    static std::uint64_t bucketFloor(std::size_t i);
+
+    /** Largest value of bucket @p i. */
+    static std::uint64_t bucketCeil(std::size_t i);
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+};
+
+/**
+ * A named registry of counters/gauges/histograms. Instruments are
+ * created on first lookup and live as long as the registry. The
+ * disabled() singleton accepts updates into shared scrap instruments
+ * without allocating or storing anything — production code can bump
+ * metrics unconditionally through a registry reference.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+
+    /** The shared no-op registry: never allocates, snapshots empty. */
+    static MetricsRegistry &disabled();
+
+    /** False only for the disabled() singleton. */
+    bool enabled() const { return enabled_; }
+
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+    Histogram &histogram(std::string_view name);
+
+    /**
+     * Deterministic text form, one instrument per line, sorted by
+     * (type, name):
+     *
+     *   counter scheduler.admitted 42
+     *   gauge cache.bytes 65536
+     *   hist query.iterations count=10 sum=55 b2=3 b3=7
+     *
+     * Only non-zero histogram buckets appear (bN = bucket index N).
+     */
+    std::string snapshotText() const;
+
+    /** The same snapshot as a single JSON object (stable key order). */
+    std::string snapshotJson() const;
+
+    /** FNV-1a 64 of snapshotText() — the compact comparison witness. */
+    std::uint64_t digest() const;
+
+  private:
+    struct DisabledTag
+    {
+    };
+    explicit MetricsRegistry(DisabledTag) : enabled_(false) {}
+
+    bool enabled_ = true;
+    mutable std::mutex mutex_;
+    std::map<std::string, Counter, std::less<>> counters_;
+    std::map<std::string, Gauge, std::less<>> gauges_;
+    std::map<std::string, Histogram, std::less<>> histograms_;
+    /** Scrap instruments the disabled registry hands out. */
+    Counter scrapCounter_;
+    Gauge scrapGauge_;
+    Histogram scrapHistogram_;
+};
+
+} // namespace tigr::obs

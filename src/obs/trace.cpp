@@ -1,0 +1,318 @@
+#include "obs/trace.hpp"
+
+#include "obs/metrics.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace tigr::obs {
+namespace {
+
+/// Append " key=value" only when the value is meaningful for the kind.
+void
+appendArg(std::ostringstream &out, std::string_view key,
+          std::uint64_t value)
+{
+    out << ' ' << key << '=' << value;
+}
+
+void
+appendLabel(std::ostringstream &out, std::string_view key,
+            std::string_view value)
+{
+    if (!value.empty())
+        out << ' ' << key << '=' << value;
+}
+
+std::vector<std::string_view>
+splitLines(std::string_view text)
+{
+    std::vector<std::string_view> lines;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        if (nl == std::string_view::npos) {
+            lines.push_back(text.substr(pos));
+            break;
+        }
+        lines.push_back(text.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    return lines;
+}
+
+std::vector<std::string_view>
+splitFields(std::string_view line)
+{
+    std::vector<std::string_view> fields;
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+        while (pos < line.size() && line[pos] == ' ')
+            ++pos;
+        if (pos >= line.size())
+            break;
+        std::size_t end = line.find(' ', pos);
+        if (end == std::string_view::npos)
+            end = line.size();
+        fields.push_back(line.substr(pos, end - pos));
+        pos = end;
+    }
+    return fields;
+}
+
+} // namespace
+
+std::string_view
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+    case EventKind::RunBegin:
+        return "run.begin";
+    case EventKind::Transform:
+        return "transform";
+    case EventKind::Iteration:
+        return "iter";
+    case EventKind::RunEnd:
+        return "run.end";
+    case EventKind::CacheLookup:
+        return "cache.lookup";
+    case EventKind::QueryBegin:
+        return "query.begin";
+    case EventKind::QueryEnd:
+        return "query.end";
+    case EventKind::Fault:
+        return "fault";
+    case EventKind::Retry:
+        return "retry";
+    case EventKind::Degrade:
+        return "degrade";
+    }
+    return "unknown";
+}
+
+void
+TraceSink::append(const TraceSink &other)
+{
+    events_.insert(events_.end(), other.events_.begin(),
+                   other.events_.end());
+}
+
+std::string
+formatEvent(const TraceEvent &e)
+{
+    std::ostringstream out;
+    out << '[' << e.tick << "] " << eventKindName(e.kind);
+    switch (e.kind) {
+    case EventKind::RunBegin:
+        appendLabel(out, "algo", e.label[0]);
+        appendLabel(out, "strategy", e.label[1]);
+        appendLabel(out, "direction", e.label[2]);
+        appendLabel(out, "frontier", e.label[3]);
+        appendArg(out, "n", e.arg[0]);
+        appendArg(out, "worklist", e.arg[1]);
+        appendArg(out, "dynamic", e.arg[2]);
+        break;
+    case EventKind::Transform:
+        appendArg(out, "cached", e.arg[0]);
+        appendArg(out, "units", e.arg[1]);
+        break;
+    case EventKind::Iteration:
+        appendArg(out, "i", e.arg[0]);
+        appendArg(out, "frontier", e.arg[1]);
+        appendArg(out, "sparse", e.arg[2]);
+        appendArg(out, "units", e.arg[3]);
+        appendArg(out, "cycles", e.arg[4]);
+        appendArg(out, "instr", e.arg[5]);
+        appendArg(out, "lanes", e.arg[6]);
+        appendArg(out, "memtx", e.arg[7]);
+        break;
+    case EventKind::RunEnd:
+        appendArg(out, "iterations", e.arg[0]);
+        appendArg(out, "converged", e.arg[1]);
+        appendArg(out, "cancelled", e.arg[2]);
+        appendArg(out, "peak_frontier", e.arg[3]);
+        appendArg(out, "sparse_iters", e.arg[4]);
+        appendArg(out, "cycles", e.arg[5]);
+        break;
+    case EventKind::CacheLookup:
+        appendArg(out, "hit", e.arg[0]);
+        appendArg(out, "retained", e.arg[1]);
+        break;
+    case EventKind::QueryBegin:
+        appendLabel(out, "algo", e.label[0]);
+        appendLabel(out, "strategy", e.label[1]);
+        appendArg(out, "index", e.arg[0]);
+        break;
+    case EventKind::QueryEnd:
+        appendLabel(out, "outcome", e.label[0]);
+        appendArg(out, "attempts", e.arg[0]);
+        appendArg(out, "iterations", e.arg[1]);
+        appendArg(out, "cycles", e.arg[2]);
+        appendArg(out, "digest", e.arg[3]);
+        appendArg(out, "backoff_us", e.arg[4]);
+        appendArg(out, "degraded", e.arg[5]);
+        appendArg(out, "cache_hit", e.arg[6]);
+        break;
+    case EventKind::Fault:
+        appendLabel(out, "site", e.label[0]);
+        appendArg(out, "scope", e.arg[0]);
+        appendArg(out, "attempt", e.arg[1]);
+        appendArg(out, "hit", e.arg[2]);
+        break;
+    case EventKind::Retry:
+        appendLabel(out, "error", e.label[0]);
+        appendArg(out, "attempt", e.arg[0]);
+        appendArg(out, "backoff_us", e.arg[1]);
+        break;
+    case EventKind::Degrade:
+        appendLabel(out, "error", e.label[0]);
+        break;
+    }
+    return out.str();
+}
+
+std::string
+formatTrace(const TraceSink &sink)
+{
+    std::string out;
+    for (const TraceEvent &e : sink.events()) {
+        out += formatEvent(e);
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+TraceDiff::describe() const
+{
+    if (identical)
+        return "traces identical";
+    std::ostringstream out;
+    out << "first divergence at line " << line;
+    if (!iteration.empty())
+        out << " (iteration " << iteration << ')';
+    out << ", field " << field << ":\n  expected: "
+        << (expectedLine.empty() ? "<missing line>" : expectedLine)
+        << "\n  actual:   "
+        << (actualLine.empty() ? "<missing line>" : actualLine);
+    return out.str();
+}
+
+TraceDiff
+diffTraces(std::string_view expected, std::string_view actual)
+{
+    TraceDiff diff;
+    const auto exp_lines = splitLines(expected);
+    const auto act_lines = splitLines(actual);
+
+    // Track the most recent iteration index seen in the expected trace
+    // so the report can say *which BSP step* went wrong.
+    std::string iteration_context;
+    const auto note_iteration = [&](std::string_view line) {
+        for (std::string_view f : splitFields(line))
+            if (f.size() > 2 && f.substr(0, 2) == "i=")
+                iteration_context = std::string(f.substr(2));
+    };
+
+    const std::size_t common =
+        exp_lines.size() < act_lines.size() ? exp_lines.size()
+                                            : act_lines.size();
+    for (std::size_t i = 0; i < common; ++i) {
+        note_iteration(exp_lines[i]);
+        if (exp_lines[i] == act_lines[i])
+            continue;
+        diff.identical = false;
+        diff.line = i;
+        diff.expectedLine = std::string(exp_lines[i]);
+        diff.actualLine = std::string(act_lines[i]);
+        diff.iteration = iteration_context;
+        const auto ef = splitFields(exp_lines[i]);
+        const auto af = splitFields(act_lines[i]);
+        const std::size_t nf =
+            ef.size() < af.size() ? ef.size() : af.size();
+        diff.field = nf;
+        for (std::size_t f = 0; f < nf; ++f) {
+            if (ef[f] != af[f]) {
+                diff.field = f;
+                break;
+            }
+        }
+        return diff;
+    }
+    if (exp_lines.size() != act_lines.size()) {
+        diff.identical = false;
+        diff.line = common;
+        diff.field = 0;
+        diff.iteration = iteration_context;
+        if (common < exp_lines.size())
+            diff.expectedLine = std::string(exp_lines[common]);
+        if (common < act_lines.size())
+            diff.actualLine = std::string(act_lines[common]);
+    }
+    return diff;
+}
+
+void
+aggregateTrace(const TraceSink &sink, MetricsRegistry &registry)
+{
+    if (!registry.enabled())
+        return;
+    for (const TraceEvent &e : sink.events()) {
+        switch (e.kind) {
+        case EventKind::RunBegin:
+            registry.counter("engine.runs").add();
+            break;
+        case EventKind::Transform:
+            registry
+                .counter(e.arg[0] != 0 ? "engine.transform.reused"
+                                       : "engine.transform.built")
+                .add();
+            break;
+        case EventKind::Iteration:
+            registry.counter("engine.iterations").add();
+            if (e.arg[2] != 0)
+                registry.counter("engine.iterations.sparse").add();
+            registry.histogram("engine.iter.frontier").observe(e.arg[1]);
+            registry.histogram("engine.iter.units").observe(e.arg[3]);
+            registry.histogram("engine.iter.cycles").observe(e.arg[4]);
+            registry.counter("engine.instructions").add(e.arg[5]);
+            registry.counter("engine.lane_slots").add(e.arg[6]);
+            registry.counter("engine.mem_transactions").add(e.arg[7]);
+            break;
+        case EventKind::RunEnd:
+            registry.counter("engine.cycles").add(e.arg[5]);
+            if (e.arg[1] != 0)
+                registry.counter("engine.converged").add();
+            if (e.arg[2] != 0)
+                registry.counter("engine.cancelled").add();
+            break;
+        case EventKind::CacheLookup:
+            registry
+                .counter(e.arg[0] != 0 ? "cache.lookup.hits"
+                                       : "cache.lookup.misses")
+                .add();
+            break;
+        case EventKind::QueryBegin:
+            registry.counter("scheduler.query.begins").add();
+            break;
+        case EventKind::QueryEnd:
+            registry.counter("scheduler.query.ends").add();
+            registry.histogram("scheduler.query.attempts")
+                .observe(e.arg[0]);
+            registry.histogram("scheduler.query.iterations")
+                .observe(e.arg[1]);
+            break;
+        case EventKind::Fault:
+            registry.counter("fault.fired").add();
+            break;
+        case EventKind::Retry:
+            registry.counter("scheduler.retries").add();
+            break;
+        case EventKind::Degrade:
+            registry.counter("scheduler.degraded").add();
+            break;
+        }
+    }
+}
+
+} // namespace tigr::obs

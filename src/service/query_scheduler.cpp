@@ -61,6 +61,57 @@ scopeKey(std::uint64_t batch_seq, std::size_t index)
     return (batch_seq << 32) | static_cast<std::uint64_t>(index);
 }
 
+/** Simulated backoff in whole microseconds. RetryPolicy backoff values
+ *  are exact sums of exact doubles, so the rounding — like everything
+ *  else in the digest — is deterministic. */
+std::uint64_t
+backoffMicros(double backoff_sim_ms)
+{
+    return static_cast<std::uint64_t>(
+        std::llround(backoff_sim_ms * 1000.0));
+}
+
+/** The canonical integer outcome record behind
+ *  QueryResult::metricsDigest. Only worker-count-invariant fields
+ *  participate — never hostMs/transformMs. */
+std::uint64_t
+metricsDigestOf(const QueryResult &r)
+{
+    const std::uint64_t record[] = {
+        static_cast<std::uint64_t>(r.outcome),
+        r.attempts,
+        r.info.iterations,
+        r.info.stats.cycles,
+        r.digest,
+        r.values,
+        r.cacheHit ? 1u : 0u,
+        r.degraded ? 1u : 0u,
+        backoffMicros(r.backoffSimMs),
+        r.faultTrace.size(),
+        r.info.sparseIterations,
+        r.info.peakFrontier,
+        r.info.cancelled ? 1u : 0u,
+    };
+    return graph::fnv1a64(record, sizeof(record));
+}
+
+/** Convert fault records [from, end) of @p result's fault trace into
+ *  Fault trace events (scheduler-phase events carry tick 0). */
+void
+traceNewFaults(QueryResult &result, std::size_t from)
+{
+    for (std::size_t i = from; i < result.faultTrace.size(); ++i) {
+        const fault::FaultRecord &record = result.faultTrace[i];
+        obs::TraceEvent event;
+        event.kind = obs::EventKind::Fault;
+        event.label[0] = fault::siteName(record.site);
+        event.arg[0] = record.scope;
+        event.arg[1] = record.attempt;
+        event.arg[2] = record.hit;
+        result.trace.record(event);
+    }
+}
+
 } // namespace
 
 std::string_view
@@ -138,6 +189,10 @@ QueryScheduler::runAttempt(
     // across queries only, which the determinism contract needs.
     opts.threads = 1;
     opts.degraded = result.degraded;
+    // Per-query sink: the engine runs serially on this worker, so the
+    // unsynchronized sink is safe and the recorded ticks (simulated
+    // cycles) are worker-count-invariant.
+    opts.trace = options_.trace ? &result.trace : nullptr;
     // Degraded virtual-strategy queries run the zero-memory dynamic
     // mapping instead of a stored schedule — bit-identical values,
     // no transform memory (the ladder's whole point).
@@ -249,12 +304,21 @@ QueryScheduler::execute(
         result.info = {};
         result.digest = 0;
         result.values = 0;
+        const std::size_t faults_before = result.faultTrace.size();
 
         fault::FaultScope scope(options_.faultPlan, scope_key, attempt,
                                 &result.faultTrace);
         try {
             runAttempt(spec, entry, shared, result.backoffSimMs,
                        result);
+            // The warm-up miss query paid the shared schedule's build
+            // (TransformCache::getOrBuild): it must not report the
+            // transform as cached just because the engine reused the
+            // injected schedule object. Hits keep reporting true.
+            if (shared && !result.cacheHit)
+                result.info.transformCached = false;
+            if (options_.trace)
+                traceNewFaults(result, faults_before);
             result.outcome = result.info.cancelled
                                  ? QueryOutcome::DeadlineExceeded
                                  : QueryOutcome::Completed;
@@ -262,6 +326,8 @@ QueryScheduler::execute(
             result.message.clear();
             return;
         } catch (const std::exception &e) {
+            if (options_.trace)
+                traceNewFaults(result, faults_before);
             ServiceError error = classifyFailure(e);
             const bool give_up = !error.retryable() ||
                                  attempt >= retry.maxRetries;
@@ -276,6 +342,15 @@ QueryScheduler::execute(
             // Deterministic backoff in simulated time: the next
             // attempt's deadline budget shrinks by this much.
             result.backoffSimMs += retry.backoffSimMs(attempt);
+            if (options_.trace) {
+                obs::TraceEvent event;
+                event.kind = obs::EventKind::Retry;
+                event.label[0] =
+                    serviceErrorKindName(result.error->kind);
+                event.arg[0] = attempt + 1;
+                event.arg[1] = backoffMicros(result.backoffSimMs);
+                result.trace.record(event);
+            }
         }
     }
 }
@@ -285,6 +360,11 @@ QueryScheduler::runBatch(std::span<const QuerySpec> batch)
 {
     const std::uint64_t batch_seq = batchSeq_++;
     breaker_.beginBatch();
+    // All metric updates happen in the serial phases (warm-up and the
+    // final post-pass), in batch order — exact and worker-invariant.
+    obs::MetricsRegistry &metrics =
+        options_.metrics ? *options_.metrics
+                         : obs::MetricsRegistry::disabled();
 
     std::vector<QueryResult> results(batch.size());
     std::vector<bool> admitted(batch.size(), false);
@@ -318,6 +398,14 @@ QueryScheduler::runBatch(std::span<const QuerySpec> batch)
         }
         admitted[i] = true;
         ++queued;
+        if (options_.trace) {
+            obs::TraceEvent event;
+            event.kind = obs::EventKind::QueryBegin;
+            event.label[0] = algorithmName(batch[i].algorithm);
+            event.label[1] = engine::strategyName(batch[i].strategy);
+            event.arg[0] = i;
+            results[i].trace.record(event);
+        }
     }
 
     // Phase 2 — serial transform warm-up, in batch order: the first
@@ -342,6 +430,7 @@ QueryScheduler::runBatch(std::span<const QuerySpec> batch)
                                &store_.at(spec.graph).graph,
                                spec.strategy, spec.degreeBound,
                                spec.mwVirtualWarp};
+        const std::size_t faults_before = results[i].faultTrace.size();
         fault::FaultScope scope(options_.faultPlan,
                                 scopeKey(batch_seq, i), 0,
                                 &results[i].faultTrace);
@@ -352,6 +441,17 @@ QueryScheduler::runBatch(std::span<const QuerySpec> batch)
                 cache_.getOrBuild(key, build_pool.get(), &hit,
                                   &retained);
             results[i].cacheHit = hit;
+            metrics
+                .counter(hit ? "scheduler.cache.hits"
+                             : "scheduler.cache.misses")
+                .add();
+            if (options_.trace) {
+                obs::TraceEvent event;
+                event.kind = obs::EventKind::CacheLookup;
+                event.arg[0] = hit ? 1 : 0;
+                event.arg[1] = retained ? 1 : 0;
+                results[i].trace.record(event);
+            }
             if (!retained && options_.degradeOnCachePressure &&
                 hasDynamicFallback(spec.strategy)) {
                 // The cache could not keep the schedule (budget or an
@@ -370,6 +470,16 @@ QueryScheduler::runBatch(std::span<const QuerySpec> batch)
             results[i].cacheHit = false;
             results[i].degraded = true;
             results[i].error = classifyFailure(e);
+        }
+        if (options_.trace) {
+            traceNewFaults(results[i], faults_before);
+            if (results[i].degraded) {
+                obs::TraceEvent event;
+                event.kind = obs::EventKind::Degrade;
+                event.label[0] =
+                    serviceErrorKindName(results[i].error->kind);
+                results[i].trace.record(event);
+            }
         }
     }
     build_pool.reset();
@@ -413,6 +523,70 @@ QueryScheduler::runBatch(std::span<const QuerySpec> batch)
           case QueryOutcome::Quarantined:
             break; // never ran; says nothing about graph health
         }
+    }
+
+    // Phase 5 — serial observability pass, in batch order: every query
+    // gets its metricsDigest and QueryEnd event, and each counter is
+    // bumped exactly once per query from the terminal outcomes, so the
+    // registry can never drift from the results it describes.
+    metrics.counter("scheduler.batches").add();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        QueryResult &r = results[i];
+        r.metricsDigest = metricsDigestOf(r);
+        if (options_.trace) {
+            obs::TraceEvent event;
+            event.kind = obs::EventKind::QueryEnd;
+            event.label[0] = queryOutcomeName(r.outcome);
+            event.arg[0] = r.attempts;
+            event.arg[1] = r.info.iterations;
+            event.arg[2] = r.info.stats.cycles;
+            event.arg[3] = r.digest;
+            event.arg[4] = backoffMicros(r.backoffSimMs);
+            event.arg[5] = r.degraded ? 1 : 0;
+            event.arg[6] = r.cacheHit ? 1 : 0;
+            r.trace.record(event);
+        }
+        metrics.counter("scheduler.queries").add();
+        if (admitted[i])
+            metrics.counter("scheduler.admitted").add();
+        switch (r.outcome) {
+          case QueryOutcome::Completed:
+            metrics.counter("scheduler.completed").add();
+            break;
+          case QueryOutcome::DeadlineExceeded:
+            metrics.counter("scheduler.deadline_exceeded").add();
+            break;
+          case QueryOutcome::Rejected:
+            metrics.counter("scheduler.rejected").add();
+            break;
+          case QueryOutcome::Quarantined:
+            metrics.counter("scheduler.quarantined").add();
+            break;
+          case QueryOutcome::Error:
+            metrics.counter("scheduler.errors").add();
+            break;
+        }
+        if (r.attempts > 1)
+            metrics.counter("scheduler.retries").add(r.attempts - 1);
+        if (r.degraded)
+            metrics.counter("scheduler.degraded").add();
+        if (!r.faultTrace.empty())
+            metrics.counter("scheduler.faults")
+                .add(r.faultTrace.size());
+        if (r.attempts > 0) {
+            metrics.histogram("scheduler.query.attempts")
+                .observe(r.attempts);
+            metrics.histogram("scheduler.query.iterations")
+                .observe(r.info.iterations);
+            metrics.histogram("scheduler.query.sim_cycles")
+                .observe(r.info.stats.cycles);
+        }
+    }
+    if (options_.metrics) {
+        const TransformCacheStats cache_stats = cache_.stats();
+        metrics.gauge("scheduler.cache.bytes").set(cache_stats.bytes);
+        metrics.gauge("scheduler.cache.entries")
+            .set(cache_stats.entries);
     }
     return results;
 }

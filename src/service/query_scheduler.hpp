@@ -62,6 +62,8 @@
 #include "engine/strategy.hpp"
 #include "engine/graph_engine.hpp"
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/graph_store.hpp"
 #include "service/resilience.hpp"
 #include "service/transform_cache.hpp"
@@ -160,6 +162,16 @@ struct QueryResult
      *  attempts), in firing order. Bit-identical across runs of the
      *  same seeded plan over the same batch at any worker count. */
     fault::FaultTrace faultTrace;
+    /** FNV-1a 64 digest over the query's canonical integer outcome
+     *  record (outcome, attempts, iterations, simulated cycles, value
+     *  digest, cache/degraded flags, simulated backoff, fault count —
+     *  no wall-clock field participates). Always computed; the compact
+     *  witness that metrics can reconcile against results. */
+    std::uint64_t metricsDigest = 0;
+    /** Per-query structured trace (empty unless SchedulerOptions::
+     *  trace): engine iteration events plus the scheduler's cache /
+     *  fault / retry / outcome events, in deterministic order. */
+    obs::TraceSink trace;
 };
 
 /** Scheduler tuning. */
@@ -187,6 +199,13 @@ struct SchedulerOptions
      *  holding an uncached copy per query. Values are identical
      *  either way. */
     bool degradeOnCachePressure = true;
+    /** Optional metrics registry: runBatch() folds per-batch counters
+     *  (admitted/rejected/quarantined/completed/errors/retries/...)
+     *  into it from a serial post-pass, so the counts are exact and
+     *  worker-count-invariant. Null = no metrics. */
+    obs::MetricsRegistry *metrics = nullptr;
+    /** Record a structured trace into every QueryResult::trace. */
+    bool trace = false;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "service/script.hpp"
 
 #include <filesystem>
+#include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
@@ -9,6 +10,8 @@
 
 #include "graph/io.hpp"
 #include "graph/validate.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
 #include "service/graph_store.hpp"
 #include "service/query_scheduler.hpp"
 #include "service/snapshot.hpp"
@@ -202,16 +205,22 @@ int
 runScript(std::istream &in, std::ostream &out,
           const ScriptOptions &options)
 {
+    const bool tracing = !options.tracePath.empty();
+    obs::MetricsRegistry registry;
     GraphStore store;
-    TransformCache cache(options.cacheBytes);
+    TransformCache cache(options.cacheBytes, &registry);
     SchedulerOptions sched;
     sched.workers = options.workers;
     sched.maxQueuedQueries = options.maxQueuedQueries;
     sched.retry.maxRetries = options.maxRetries;
     sched.faultPlan = options.faultPlan;
+    sched.metrics = &registry;
+    sched.trace = tracing;
     QueryScheduler scheduler(store, cache, sched);
 
     std::vector<QuerySpec> pending;
+    /** One collected trace per executed query, across batches. */
+    std::vector<obs::TraceSink> traces;
     bool failed = false;
 
     auto flush = [&]() {
@@ -220,6 +229,9 @@ runScript(std::istream &in, std::ostream &out,
         const std::vector<QueryResult> results =
             scheduler.runBatch(pending);
         printResults(out, pending, results);
+        if (tracing)
+            for (const QueryResult &r : results)
+                traces.push_back(r.trace);
         if (options.failFast && anyTerminalFailure(results))
             failed = true;
         pending.clear();
@@ -299,13 +311,37 @@ runScript(std::istream &in, std::ostream &out,
                 << " misses=" << cs.misses
                 << " evictions=" << cs.evictions
                 << " workers=" << scheduler.workers() << '\n';
+        } else if (command == "metrics") {
+            if (tokens.size() != 1)
+                scriptFail(line_no, "metrics takes no arguments");
+            out << registry.snapshotText();
         } else {
-            scriptFail(line_no, "unknown command '" + command +
-                                    "' (load|snapshot|query|run|stats)");
+            scriptFail(line_no,
+                       "unknown command '" + command +
+                           "' (load|snapshot|query|run|stats|metrics)");
         }
     }
     if (!failed)
         flush();
+    if (options.metrics)
+        out << registry.snapshotText();
+    if (tracing) {
+        std::ofstream trace_out(options.tracePath);
+        if (!trace_out)
+            throw std::runtime_error("tigr serve: cannot write trace "
+                                     "file '" + options.tracePath +
+                                     "'");
+        obs::ChromeTraceWriter writer(trace_out);
+        std::uint64_t events = 0;
+        for (std::size_t q = 0; q < traces.size(); ++q) {
+            writer.add(traces[q], q);
+            events += traces[q].size();
+        }
+        writer.finish();
+        out << "trace queries=" << traces.size()
+            << " events=" << events << " -> " << options.tracePath
+            << '\n';
+    }
     if (failed)
         out << "fail-fast: stopping after a terminally failed query\n";
     return failed ? 1 : 0;

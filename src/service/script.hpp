@@ -22,6 +22,9 @@
  *       one result line per query, in batch order.
  *   stats
  *       Print store and transform-cache counters.
+ *   metrics
+ *       Print the observability registry snapshot (sorted, integer
+ *       counters/gauges/histograms; see docs/observability.md).
  *
  * A non-empty pending batch is flushed (as by `run`) at end of script.
  * All output is deterministic at any worker count (timings are
@@ -33,6 +36,7 @@
 #include <cstddef>
 #include <istream>
 #include <ostream>
+#include <string>
 
 #include "engine/frontier.hpp"
 #include "fault/fault.hpp"
@@ -62,6 +66,13 @@ struct ScriptOptions
      *  (error/quarantined) query and exit nonzero, instead of running
      *  the script to the end. */
     bool failFast = false;
+    /** Print the observability registry snapshot after the final batch
+     *  (sorted integer counters — deterministic at any worker count). */
+    bool metrics = false;
+    /** Non-empty: record per-query structured traces and write them as
+     *  one merged Chrome trace_event JSON file at end of script (one
+     *  track per query, timestamps in simulated microseconds). */
+    std::string tracePath;
 };
 
 /**

@@ -19,9 +19,18 @@ elapsedMs(std::chrono::steady_clock::time_point start)
 
 } // namespace
 
-TransformCache::TransformCache(std::size_t byte_budget)
-    : byteBudget_(byte_budget)
+TransformCache::TransformCache(std::size_t byte_budget,
+                               obs::MetricsRegistry *metrics)
+    : byteBudget_(byte_budget),
+      metrics_(metrics ? metrics : &obs::MetricsRegistry::disabled())
 {
+}
+
+void
+TransformCache::publishGauges()
+{
+    metrics().gauge("cache.bytes").set(stats_.bytes);
+    metrics().gauge("cache.entries").set(stats_.entries);
 }
 
 std::shared_ptr<const engine::SharedSchedule>
@@ -31,9 +40,11 @@ TransformCache::get(const TransformKey &key)
     auto it = index_.find(key);
     if (it == index_.end()) {
         ++stats_.misses;
+        metrics().counter("cache.misses").add();
         return nullptr;
     }
     ++stats_.hits;
+    metrics().counter("cache.hits").add();
     lru_.splice(lru_.begin(), lru_, it->second); // refresh to MRU
     return it->second->schedule;
 }
@@ -47,6 +58,7 @@ TransformCache::getOrBuild(const TransformKey &key,
     auto it = index_.find(key);
     if (it != index_.end()) {
         ++stats_.hits;
+        metrics().counter("cache.hits").add();
         lru_.splice(lru_.begin(), lru_, it->second);
         if (was_hit)
             *was_hit = true;
@@ -56,6 +68,7 @@ TransformCache::getOrBuild(const TransformKey &key,
     }
 
     ++stats_.misses;
+    metrics().counter("cache.misses").add();
     if (was_hit)
         *was_hit = false;
     if (retained)
@@ -83,6 +96,7 @@ TransformCache::getOrBuild(const TransformKey &key,
     stats_.bytes += bytes;
     stats_.entries = lru_.size();
     enforceBudget();
+    publishGauges();
     if (retained)
         *retained = true;
     return shared;
@@ -95,6 +109,7 @@ TransformCache::enforceBudget()
         const Entry &victim = lru_.back();
         stats_.bytes -= victim.bytes;
         ++stats_.evictions;
+        metrics().counter("cache.evictions").add();
         index_.erase(victim.key);
         lru_.pop_back();
     }
@@ -109,6 +124,7 @@ TransformCache::invalidateGraph(const graph::Csr *graph)
         if (it->key.graph == graph) {
             stats_.bytes -= it->bytes;
             ++stats_.evictions;
+            metrics().counter("cache.evictions").add();
             index_.erase(it->key);
             it = lru_.erase(it);
         } else {
@@ -116,6 +132,7 @@ TransformCache::invalidateGraph(const graph::Csr *graph)
         }
     }
     stats_.entries = lru_.size();
+    publishGauges();
 }
 
 void
@@ -123,10 +140,12 @@ TransformCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     stats_.evictions += lru_.size();
+    metrics().counter("cache.evictions").add(lru_.size());
     lru_.clear();
     index_.clear();
     stats_.bytes = 0;
     stats_.entries = 0;
+    publishGauges();
 }
 
 TransformCacheStats

@@ -20,6 +20,7 @@
 #include "engine/graph_engine.hpp"
 #include "engine/strategy.hpp"
 #include "graph/csr.hpp"
+#include "obs/metrics.hpp"
 
 namespace tigr::par {
 class ThreadPool;
@@ -80,8 +81,12 @@ class TransformCache
 {
   public:
     /** @param byte_budget Max resident schedule bytes; an entry larger
-     *  than the whole budget is built and returned but not retained. */
-    explicit TransformCache(std::size_t byte_budget);
+     *  than the whole budget is built and returned but not retained.
+     *  @param metrics Optional registry mirroring the cache counters
+     *  (cache.hits / cache.misses / cache.evictions, plus cache.bytes
+     *  and cache.entries gauges), updated under the cache lock. */
+    explicit TransformCache(std::size_t byte_budget,
+                            obs::MetricsRegistry *metrics = nullptr);
 
     /** Cached schedule for @p key, or null; a hit refreshes LRU. */
     std::shared_ptr<const engine::SharedSchedule>
@@ -136,7 +141,13 @@ class TransformCache
     /** Evict LRU tails until bytes_ fits the budget. Lock held. */
     void enforceBudget();
 
+    /** The mirror registry (the shared no-op one when unset). */
+    obs::MetricsRegistry &metrics() const { return *metrics_; }
+    /** Push the residency gauges into the registry. Lock held. */
+    void publishGauges();
+
     std::size_t byteBudget_;
+    obs::MetricsRegistry *metrics_;
     mutable std::mutex mutex_;
     /** MRU at front, LRU at back. */
     std::list<Entry> lru_;

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Golden structured-trace suite: BFS/SSSP/PageRank on the two paper
+ * example graphs, across push/pull × dense/sparse/adaptive × TigrV+
+ * and Baseline, must format byte-identically to the blessed traces in
+ * tests/obs/golden/ — and byte-identically at 1, 2, and 8 host
+ * threads (the determinism contract of docs/observability.md).
+ *
+ * Bless new goldens with:  TIGR_UPDATE_GOLDEN=1 ./test_golden_trace
+ */
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "engine/graph_engine.hpp"
+#include "graph/builder.hpp"
+#include "obs/trace.hpp"
+
+namespace tigr {
+namespace {
+
+/** Figure 2's example graph (A-2->B, A-4->D, B-2->C, B-1->D). */
+graph::Csr
+figure2Graph()
+{
+    graph::CooEdges coo(4); // 0=A, 1=B, 2=C, 3=D
+    coo.add(0, 1, 2);
+    coo.add(0, 3, 4);
+    coo.add(1, 2, 2);
+    coo.add(1, 3, 1);
+    return graph::Csr::fromCoo(coo);
+}
+
+/** Figure 8's example graph: high-degree A (node 0), target B
+ *  (node 7), shortest A..B distance 6 via node 1. */
+graph::Csr
+figure8Graph()
+{
+    graph::CooEdges coo(8);
+    coo.add(0, 1, 3);
+    coo.add(0, 2, 4);
+    coo.add(0, 3, 9);
+    coo.add(0, 4, 8);
+    coo.add(0, 5, 7);
+    coo.add(1, 7, 3);
+    coo.add(2, 7, 4);
+    coo.add(5, 7, 2);
+    return graph::Csr::fromCoo(coo);
+}
+
+constexpr const char *kAlgos[] = {"bfs", "sssp", "pr"};
+constexpr engine::Direction kDirections[] = {engine::Direction::Push,
+                                             engine::Direction::Pull};
+constexpr engine::FrontierMode kFrontiers[] = {
+    engine::FrontierMode::Dense, engine::FrontierMode::Sparse,
+    engine::FrontierMode::Adaptive};
+constexpr engine::Strategy kStrategies[] = {
+    engine::Strategy::TigrVPlus, engine::Strategy::Baseline};
+
+/**
+ * Run every combo on @p g with @p threads host threads (fresh engine
+ * per combo, so every section's ticks start at 0) and concatenate the
+ * formatted traces under "=== algo direction frontier strategy ==="
+ * section headers.
+ */
+std::string
+traceAllCombos(const graph::Csr &g, unsigned threads)
+{
+    std::ostringstream out;
+    for (engine::Strategy strategy : kStrategies) {
+        for (engine::Direction direction : kDirections) {
+            for (engine::FrontierMode frontier : kFrontiers) {
+                for (const char *algo : kAlgos) {
+                    engine::EngineOptions options;
+                    options.strategy = strategy;
+                    options.degreeBound = 2;
+                    options.direction = direction;
+                    options.frontier = frontier;
+                    options.threads = threads;
+                    obs::TraceSink sink;
+                    options.trace = &sink;
+                    engine::GraphEngine engine(g, options);
+                    if (std::string_view(algo) == "bfs")
+                        engine.bfs(0);
+                    else if (std::string_view(algo) == "sssp")
+                        engine.sssp(0);
+                    else
+                        engine.pagerank(
+                            {.damping = 0.85, .iterations = 5});
+                    out << "=== " << algo << ' '
+                        << (direction == engine::Direction::Push
+                                ? "push"
+                                : "pull")
+                        << ' ' << engine::frontierModeName(frontier)
+                        << ' ' << engine::strategyName(strategy)
+                        << " ===\n"
+                        << obs::formatTrace(sink);
+                }
+            }
+        }
+    }
+    return out.str();
+}
+
+/**
+ * The golden check: trace @p g at 1/2/8 threads, require the three to
+ * be byte-identical, then compare thread-1 against the blessed file —
+ * or rewrite the blessed file when TIGR_UPDATE_GOLDEN is set.
+ */
+void
+checkGolden(const char *file, const graph::Csr &g)
+{
+    const std::string actual = traceAllCombos(g, 1);
+    for (unsigned threads : {2u, 8u}) {
+        const obs::TraceDiff diff =
+            obs::diffTraces(actual, traceAllCombos(g, threads));
+        ASSERT_TRUE(diff.identical)
+            << "trace differs between 1 and " << threads
+            << " host threads — a wall-clock or scheduling-order "
+               "value leaked into an event.\n"
+            << diff.describe();
+    }
+
+    const std::filesystem::path path =
+        std::filesystem::path(TIGR_GOLDEN_DIR) / file;
+    if (std::getenv("TIGR_UPDATE_GOLDEN") != nullptr) {
+        std::filesystem::create_directories(path.parent_path());
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot bless " << path;
+        out << actual;
+        return;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " — bless it with TIGR_UPDATE_GOLDEN=1";
+    std::ostringstream expected;
+    expected << in.rdbuf();
+    const obs::TraceDiff diff =
+        obs::diffTraces(expected.str(), actual);
+    EXPECT_TRUE(diff.identical)
+        << diff.describe()
+        << "\nIf the change is intentional, re-bless with "
+           "TIGR_UPDATE_GOLDEN=1 (see docs/observability.md).";
+}
+
+TEST(GoldenTrace, Figure2AllCombosMatchBlessedTrace)
+{
+    checkGolden("figure2.trace.txt", figure2Graph());
+}
+
+TEST(GoldenTrace, Figure8AllCombosMatchBlessedTrace)
+{
+    checkGolden("figure8.trace.txt", figure8Graph());
+}
+
+TEST(GoldenTrace, TickBaseMakesMultiRunTracesMonotonic)
+{
+    // Two runs on ONE engine share a sink; the second run's ticks must
+    // continue after the first run's cycles, never restart at 0.
+    graph::Csr g = figure8Graph();
+    engine::EngineOptions options;
+    options.threads = 1;
+    obs::TraceSink sink;
+    options.trace = &sink;
+    engine::GraphEngine engine(g, options);
+    engine.bfs(0);
+    engine.sssp(0);
+    std::uint64_t last = 0;
+    for (const obs::TraceEvent &event : sink.events()) {
+        EXPECT_GE(event.tick, last) << obs::formatEvent(event);
+        last = event.tick;
+    }
+}
+
+TEST(TraceDiff, ReportsFirstDivergingLineFieldAndIteration)
+{
+    const std::string expected =
+        "[0] run.begin algo=BFS n=8\n"
+        "[10] iter i=1 frontier=1 cycles=10\n"
+        "[25] iter i=2 frontier=3 cycles=15\n"
+        "[25] run.end iterations=2 converged=1\n";
+    std::string actual = expected;
+    const std::size_t at = actual.find("frontier=3");
+    actual.replace(at, 10, "frontier=4");
+
+    const obs::TraceDiff diff = obs::diffTraces(expected, actual);
+    ASSERT_FALSE(diff.identical);
+    EXPECT_EQ(diff.line, 2u);
+    EXPECT_EQ(diff.field, 3u); // [25] iter i=2 | frontier=...
+    EXPECT_EQ(diff.iteration, "2");
+    EXPECT_NE(diff.describe().find("iteration 2"), std::string::npos)
+        << diff.describe();
+    EXPECT_NE(diff.describe().find("frontier=4"), std::string::npos);
+}
+
+TEST(TraceDiff, LengthMismatchIsADivergence)
+{
+    const std::string expected = "[0] run.begin n=4\n[5] iter i=1\n";
+    const std::string truncated = "[0] run.begin n=4\n";
+    EXPECT_FALSE(obs::diffTraces(expected, truncated).identical);
+    EXPECT_FALSE(obs::diffTraces(truncated, expected).identical);
+    EXPECT_TRUE(obs::diffTraces(expected, expected).identical);
+}
+
+} // namespace
+} // namespace tigr

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * MetricsRegistry unit suite: counter monotonicity and saturation,
+ * log2 histogram bucket edges, stable (registration-order-independent)
+ * serialization, and the disabled-mode zero-allocation pin.
+ */
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+// ---------------------------------------------------------------------
+// Global allocation counter. Every operator new in the process bumps
+// it, which lets DisabledMode.ZeroAllocations assert that updating the
+// disabled registry performs no heap allocation at all.
+// ---------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace tigr::obs {
+namespace {
+
+TEST(Counter, MonotonicAdds)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    EXPECT_EQ(c.value(), 1u);
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.add(0);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, SaturatesAtMax)
+{
+    constexpr std::uint64_t kMax = ~std::uint64_t{0};
+    Counter c;
+    c.add(kMax - 1);
+    c.add(10); // would wrap; must pin instead
+    EXPECT_EQ(c.value(), kMax);
+    c.add(1);
+    EXPECT_EQ(c.value(), kMax);
+    c.add(kMax);
+    EXPECT_EQ(c.value(), kMax);
+}
+
+TEST(Counter, ConcurrentAddsAreExact)
+{
+    Counter c;
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kAdds = 10000;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t)
+        threads.emplace_back([&c] {
+            for (unsigned i = 0; i < kAdds; ++i)
+                c.add();
+        });
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(), std::uint64_t{kThreads} * kAdds);
+}
+
+TEST(Gauge, LastValueWins)
+{
+    Gauge g;
+    EXPECT_EQ(g.value(), 0u);
+    g.set(100);
+    g.set(7);
+    EXPECT_EQ(g.value(), 7u);
+}
+
+TEST(Histogram, BucketOfIsBitWidth)
+{
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Histogram::bucketOf(~std::uint64_t{0}), 64u);
+    // Every power of two opens a new bucket; the value below it closes
+    // the previous one.
+    for (unsigned i = 1; i < 64; ++i) {
+        const std::uint64_t pow2 = std::uint64_t{1} << i;
+        EXPECT_EQ(Histogram::bucketOf(pow2), i + 1) << "2^" << i;
+        EXPECT_EQ(Histogram::bucketOf(pow2 - 1), i) << "2^" << i
+                                                    << " - 1";
+    }
+}
+
+TEST(Histogram, BucketBoundsRoundTrip)
+{
+    EXPECT_EQ(Histogram::bucketFloor(0), 0u);
+    EXPECT_EQ(Histogram::bucketCeil(0), 0u);
+    EXPECT_EQ(Histogram::bucketFloor(1), 0u);
+    EXPECT_EQ(Histogram::bucketCeil(1), 1u);
+    EXPECT_EQ(Histogram::bucketFloor(2), 2u);
+    EXPECT_EQ(Histogram::bucketCeil(2), 3u);
+    EXPECT_EQ(Histogram::bucketCeil(64), ~std::uint64_t{0});
+    for (std::size_t i = 2; i < Histogram::kBuckets; ++i) {
+        EXPECT_EQ(Histogram::bucketOf(Histogram::bucketFloor(i)), i);
+        EXPECT_EQ(Histogram::bucketOf(Histogram::bucketCeil(i)), i);
+    }
+}
+
+TEST(Histogram, ObserveFillsBucketsCountAndSum)
+{
+    Histogram h;
+    h.observe(0);
+    h.observe(1);
+    h.observe(2);
+    h.observe(3);
+    h.observe(1024);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 1030u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 2u);
+    EXPECT_EQ(h.bucket(11), 1u);
+    EXPECT_EQ(h.bucket(3), 0u);
+}
+
+TEST(Histogram, SumSaturatesAtMax)
+{
+    constexpr std::uint64_t kMax = ~std::uint64_t{0};
+    Histogram h;
+    h.observe(kMax);
+    h.observe(kMax);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.sum(), kMax);
+    EXPECT_EQ(h.bucket(64), 2u);
+}
+
+TEST(Registry, SnapshotTextFormat)
+{
+    MetricsRegistry r;
+    r.counter("b.count").add(3);
+    r.counter("a.count").add(1);
+    r.gauge("cache.bytes").set(4096);
+    r.histogram("iters").observe(0);
+    r.histogram("iters").observe(5);
+    r.histogram("iters").observe(6);
+    EXPECT_EQ(r.snapshotText(), "counter a.count 1\n"
+                                "counter b.count 3\n"
+                                "gauge cache.bytes 4096\n"
+                                "hist iters count=3 sum=11 b0=1 b3=2\n");
+}
+
+TEST(Registry, SerializationIgnoresRegistrationOrder)
+{
+    MetricsRegistry forward;
+    forward.counter("alpha").add(1);
+    forward.counter("beta").add(2);
+    forward.histogram("h1").observe(4);
+    forward.histogram("h2").observe(9);
+    forward.gauge("g").set(5);
+
+    MetricsRegistry reversed;
+    reversed.gauge("g").set(5);
+    reversed.histogram("h2").observe(9);
+    reversed.histogram("h1").observe(4);
+    reversed.counter("beta").add(2);
+    reversed.counter("alpha").add(1);
+
+    EXPECT_EQ(forward.snapshotText(), reversed.snapshotText());
+    EXPECT_EQ(forward.snapshotJson(), reversed.snapshotJson());
+    EXPECT_EQ(forward.digest(), reversed.digest());
+}
+
+TEST(Registry, InstrumentsAreCreatedOnceAndShared)
+{
+    MetricsRegistry r;
+    Counter &first = r.counter("same");
+    Counter &second = r.counter("same");
+    EXPECT_EQ(&first, &second);
+    first.add(2);
+    second.add(3);
+    EXPECT_EQ(r.snapshotText(), "counter same 5\n");
+}
+
+TEST(DisabledMode, AcceptsUpdatesAndSnapshotsEmpty)
+{
+    MetricsRegistry &off = MetricsRegistry::disabled();
+    EXPECT_FALSE(off.enabled());
+    EXPECT_TRUE(MetricsRegistry().enabled());
+    off.counter("ignored").add(7);
+    off.gauge("ignored").set(7);
+    off.histogram("ignored").observe(7);
+    EXPECT_EQ(off.snapshotText(), "");
+    EXPECT_EQ(off.snapshotJson(),
+              "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(DisabledMode, ZeroAllocations)
+{
+    // Touch the singleton first so its one-time construction is not
+    // charged to the measured region.
+    MetricsRegistry &off = MetricsRegistry::disabled();
+    const std::uint64_t before =
+        g_allocations.load(std::memory_order_relaxed);
+    for (int i = 0; i < 1000; ++i) {
+        off.counter("scheduler.queries").add();
+        off.gauge("cache.bytes").set(static_cast<std::uint64_t>(i));
+        off.histogram("query.iterations")
+            .observe(static_cast<std::uint64_t>(i));
+    }
+    EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), before);
+}
+
+} // namespace
+} // namespace tigr::obs

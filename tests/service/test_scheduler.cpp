@@ -11,8 +11,11 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/fault.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/graph_store.hpp"
 #include "service/query_scheduler.hpp"
 #include "service/transform_cache.hpp"
@@ -272,6 +275,187 @@ TEST(QueryScheduler, UdtQueriesRunUncached)
     }
     EXPECT_EQ(results[0].digest, results[1].digest);
     EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+/** Scheduler options wired for observability under a seeded transient
+ *  fault sweep (the resilience suite's plan shape). */
+SchedulerOptions
+observedFaultOptions(unsigned workers, obs::MetricsRegistry *registry)
+{
+    SchedulerOptions options;
+    options.workers = workers;
+    options.metrics = registry;
+    options.trace = true;
+    options.faultPlan = fault::FaultPlan(0xabba);
+    options.faultPlan.site(fault::Site::TransformBuild, 0.3)
+        .site(fault::Site::CacheInsert, 0.2)
+        .site(fault::Site::EngineIteration, 0.01);
+    return options;
+}
+
+TEST(QuerySchedulerObservability,
+     MetricsReconcileExactlyWithResultsUnderFaultSweep)
+{
+    obs::MetricsRegistry registry;
+    TransformCache cache(std::size_t{256} << 20);
+    QueryScheduler scheduler(sharedStore(), cache,
+                             observedFaultOptions(1, &registry));
+    const std::vector<QuerySpec> batch = mixedBatch();
+    const std::vector<QueryResult> results = scheduler.runBatch(batch);
+    // Snapshot before the assertions below: counter() lookups create
+    // zero-valued instruments, which would perturb the text form.
+    const std::string snapshot = registry.snapshotText();
+
+    // Recompute every aggregate from the per-query results; each
+    // registry counter must match it exactly — no drift in either
+    // direction.
+    std::uint64_t completed = 0, deadline = 0, rejected = 0,
+                  quarantined = 0, errors = 0, retries = 0,
+                  degraded = 0, faults = 0, ran = 0;
+    for (const QueryResult &r : results) {
+        switch (r.outcome) {
+          case QueryOutcome::Completed: ++completed; break;
+          case QueryOutcome::DeadlineExceeded: ++deadline; break;
+          case QueryOutcome::Rejected: ++rejected; break;
+          case QueryOutcome::Quarantined: ++quarantined; break;
+          case QueryOutcome::Error: ++errors; break;
+        }
+        if (r.attempts > 1)
+            retries += r.attempts - 1;
+        degraded += r.degraded ? 1 : 0;
+        faults += r.faultTrace.size();
+        ran += r.attempts > 0 ? 1 : 0;
+        EXPECT_NE(r.metricsDigest, 0u);
+    }
+    EXPECT_GE(retries + degraded + faults, 1u)
+        << "the seeded sweep should inject at least one fault";
+
+    EXPECT_EQ(registry.counter("scheduler.batches").value(), 1u);
+    EXPECT_EQ(registry.counter("scheduler.queries").value(),
+              results.size());
+    EXPECT_EQ(registry.counter("scheduler.admitted").value(),
+              results.size() - rejected);
+    EXPECT_EQ(registry.counter("scheduler.completed").value(),
+              completed);
+    EXPECT_EQ(registry.counter("scheduler.deadline_exceeded").value(),
+              deadline);
+    EXPECT_EQ(registry.counter("scheduler.rejected").value(), rejected);
+    EXPECT_EQ(registry.counter("scheduler.quarantined").value(),
+              quarantined);
+    EXPECT_EQ(registry.counter("scheduler.errors").value(), errors);
+    EXPECT_EQ(registry.counter("scheduler.retries").value(), retries);
+    EXPECT_EQ(registry.counter("scheduler.degraded").value(), degraded);
+    EXPECT_EQ(registry.counter("scheduler.faults").value(), faults);
+    EXPECT_EQ(registry.histogram("scheduler.query.attempts").count(),
+              ran);
+    EXPECT_EQ(registry.histogram("scheduler.query.iterations").count(),
+              ran);
+
+    // The whole registry — counters, histograms, and cache gauges —
+    // and every per-query metricsDigest must be worker-count-invariant.
+    for (unsigned workers : {2u, 4u}) {
+        obs::MetricsRegistry other;
+        TransformCache fresh(std::size_t{256} << 20);
+        QueryScheduler concurrent(sharedStore(), fresh,
+                                  observedFaultOptions(workers,
+                                                       &other));
+        const std::vector<QueryResult> again =
+            concurrent.runBatch(batch);
+        ASSERT_EQ(again.size(), results.size());
+        for (std::size_t i = 0; i < results.size(); ++i)
+            EXPECT_EQ(again[i].metricsDigest, results[i].metricsDigest)
+                << "query " << i << " at " << workers << " workers";
+        EXPECT_EQ(other.snapshotText(), snapshot)
+            << "registry drift at " << workers << " workers";
+    }
+}
+
+TEST(QuerySchedulerObservability, QueryTracesCarryBeginOutcomeDigest)
+{
+    obs::MetricsRegistry registry;
+    TransformCache cache(std::size_t{256} << 20);
+    QueryScheduler scheduler(sharedStore(), cache,
+                             observedFaultOptions(4, &registry));
+    const std::vector<QuerySpec> batch = mixedBatch();
+    const std::vector<QueryResult> results = scheduler.runBatch(batch);
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        SCOPED_TRACE("query " + std::to_string(i));
+        const QueryResult &r = results[i];
+        const auto &events = r.trace.events();
+        ASSERT_GE(events.size(), 2u);
+        EXPECT_EQ(events.front().kind, obs::EventKind::QueryBegin);
+        EXPECT_EQ(events.front().arg[0], i);
+        const obs::TraceEvent &end = events.back();
+        EXPECT_EQ(end.kind, obs::EventKind::QueryEnd);
+        EXPECT_EQ(end.label[0], queryOutcomeName(r.outcome));
+        EXPECT_EQ(end.arg[0], r.attempts);
+        EXPECT_EQ(end.arg[3], r.digest);
+        // Every recorded fault must surface as a trace event.
+        std::size_t fault_events = 0;
+        for (const obs::TraceEvent &event : events)
+            fault_events += event.kind == obs::EventKind::Fault;
+        EXPECT_EQ(fault_events, r.faultTrace.size());
+    }
+}
+
+TEST(QuerySchedulerObservability, EngineReuseKeepsSecondRunInfoClean)
+{
+    // Regression: the warm-up MISS query pays the schedule build, but
+    // the engine's shared-schedule path used to stamp its RunInfo with
+    // transformCached=true anyway — so a cold query reported a cached
+    // transform while cacheHit said otherwise.
+    obs::MetricsRegistry registry;
+    TransformCache cache(std::size_t{64} << 20);
+    SchedulerOptions options;
+    options.workers = 2;
+    options.metrics = &registry;
+    options.trace = true;
+    QueryScheduler scheduler(sharedStore(), cache, options);
+
+    QuerySpec spec;
+    spec.graph = "star";
+    spec.algorithm = engine::Algorithm::Sssp;
+    spec.strategy = engine::Strategy::TigrVPlus;
+    spec.degreeBound = 8;
+
+    const auto first =
+        scheduler.runBatch(std::vector<QuerySpec>{spec});
+    const auto second =
+        scheduler.runBatch(std::vector<QuerySpec>{spec});
+    ASSERT_EQ(first.size(), 1u);
+    ASSERT_EQ(second.size(), 1u);
+    ASSERT_EQ(first[0].outcome, QueryOutcome::Completed)
+        << first[0].message;
+    ASSERT_EQ(second[0].outcome, QueryOutcome::Completed)
+        << second[0].message;
+
+    // Cold run: built the transform, must say so consistently.
+    EXPECT_FALSE(first[0].cacheHit);
+    EXPECT_FALSE(first[0].info.transformCached);
+    // Warm run: clean RunInfo, consistent cache flags, same values.
+    EXPECT_TRUE(second[0].cacheHit);
+    EXPECT_TRUE(second[0].info.transformCached);
+    EXPECT_EQ(second[0].digest, first[0].digest);
+    EXPECT_EQ(second[0].info.iterations, first[0].info.iterations);
+    EXPECT_EQ(second[0].info.stats.cycles, first[0].info.stats.cycles);
+    EXPECT_EQ(second[0].attempts, 1u);
+    EXPECT_FALSE(second[0].degraded);
+    EXPECT_TRUE(second[0].faultTrace.empty());
+    EXPECT_FALSE(second[0].error.has_value());
+
+    // Same property within one batch: the pair shares the build, only
+    // the second query is a hit — and only the first reports a build.
+    TransformCache pair_cache(std::size_t{64} << 20);
+    QueryScheduler pair_scheduler(sharedStore(), pair_cache, options);
+    const auto pair =
+        pair_scheduler.runBatch(std::vector<QuerySpec>{spec, spec});
+    ASSERT_EQ(pair.size(), 2u);
+    EXPECT_FALSE(pair[0].cacheHit);
+    EXPECT_FALSE(pair[0].info.transformCached);
+    EXPECT_TRUE(pair[1].cacheHit);
+    EXPECT_TRUE(pair[1].info.transformCached);
+    EXPECT_EQ(pair[0].digest, pair[1].digest);
 }
 
 } // namespace

@@ -13,6 +13,9 @@
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
 #include "graph/validate.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "par/thread_pool.hpp"
 #include "service/script.hpp"
 #include "service/snapshot.hpp"
@@ -80,6 +83,90 @@ frontierRatioOption(const CommandLine &cmd, double &ratio)
     }
 }
 
+/** Strictly a flag (the --fail-fast conventions): "--metrics 1" would
+ *  silently swallow a positional argument, so a value is an error. */
+bool
+strictFlag(const CommandLine &cmd, const std::string &key,
+           const std::string &who)
+{
+    if (!cmd.has(key))
+        return false;
+    if (!cmd.option(key)->empty())
+        throw std::runtime_error("tigr " + who + ": --" + key +
+                                 " takes no value");
+    return true;
+}
+
+/** Engine knobs shared by `run`, `trace`, and `stats --algo`:
+ *  --strategy/--k/--pull/--dynamic/--no-worklist/--threads and the
+ *  frontier flags. */
+engine::EngineOptions
+engineOptionsFromCmd(const CommandLine &cmd, const std::string &who)
+{
+    engine::EngineOptions options;
+    const std::string strategy_name =
+        cmd.option("strategy").value_or("tigr-v+");
+    auto strategy = engine::parseStrategy(strategy_name);
+    if (!strategy)
+        throw std::runtime_error("tigr " + who +
+                                 ": unknown --strategy '" +
+                                 strategy_name + "'");
+    options.strategy = *strategy;
+    options.degreeBound = static_cast<NodeId>(cmd.optionU64("k", 10));
+    if (cmd.has("pull"))
+        options.direction = engine::Direction::Pull;
+    if (cmd.has("dynamic"))
+        options.dynamicMapping = true;
+    if (cmd.has("no-worklist"))
+        options.worklist = false;
+    options.threads = threadsOption(cmd);
+    frontierModeOption(cmd, options.frontier);
+    frontierRatioOption(cmd, options.frontierRatio);
+    return options;
+}
+
+/** --algo as a non-empty comma-separated list (default "sssp"). */
+std::vector<std::string>
+algoListOption(const CommandLine &cmd, const std::string &who)
+{
+    std::vector<std::string> algos;
+    std::istringstream list(cmd.option("algo").value_or("sssp"));
+    for (std::string name; std::getline(list, name, ',');) {
+        if (name.empty())
+            throw std::runtime_error("tigr " + who +
+                                     ": empty entry in --algo list");
+        algos.push_back(name);
+    }
+    if (algos.empty())
+        throw std::runtime_error("tigr " + who + ": empty --algo list");
+    return algos;
+}
+
+/** Execute one algorithm on @p engine, discarding values (`trace` and
+ *  `stats --algo` only need the recorded events). */
+void
+runAlgorithm(engine::GraphEngine &engine, const std::string &algo,
+             NodeId source, unsigned pr_iters, const std::string &who)
+{
+    if (algo == "bfs") {
+        engine.bfs(source);
+    } else if (algo == "sssp") {
+        engine.sssp(source);
+    } else if (algo == "sswp") {
+        engine.sswp(source);
+    } else if (algo == "cc") {
+        engine.cc();
+    } else if (algo == "pr") {
+        engine.pagerank({.damping = 0.85, .iterations = pr_iters});
+    } else if (algo == "bc") {
+        const NodeId sources[] = {source};
+        engine.bc(sources);
+    } else {
+        throw std::runtime_error("tigr " + who + ": unknown --algo '" +
+                                 algo + "' (bfs|sssp|sswp|cc|pr|bc)");
+    }
+}
+
 /** Pick the split transformation named by --topology. */
 std::unique_ptr<transform::SplitTransform>
 makeTopology(const std::string &name)
@@ -120,6 +207,28 @@ cmdStats(const CommandLine &cmd, std::ostream &out)
         << 100.0 * graph::warpLoadImbalance(g) << "%\n"
         << "suggested K(udt): " << graph::chooseUdtK(s.maxDegree)
         << "\n";
+    // --algo runs the named analyses with tracing enabled and appends
+    // the aggregated engine metrics (deterministic integer counters).
+    if (cmd.has("algo")) {
+        engine::EngineOptions options =
+            engineOptionsFromCmd(cmd, "stats");
+        obs::TraceSink sink;
+        options.trace = &sink;
+        const auto source =
+            static_cast<NodeId>(cmd.optionU64("source", 0));
+        if (source >= g.numNodes())
+            throw std::runtime_error(
+                "tigr stats: --source out of range");
+        engine::GraphEngine engine(g, options);
+        for (const std::string &algo : algoListOption(cmd, "stats"))
+            runAlgorithm(engine, algo, source,
+                         static_cast<unsigned>(
+                             cmd.optionU64("iters", 20)),
+                         "stats");
+        obs::MetricsRegistry registry;
+        obs::aggregateTrace(sink, registry);
+        out << "\n" << registry.snapshotText();
+    }
     return 0;
 }
 
@@ -214,25 +323,12 @@ cmdRun(const CommandLine &cmd, std::ostream &out)
         throw std::runtime_error("tigr run: missing graph file");
     graph::Csr g = loadGraphFile(cmd.positional[0]);
 
-    engine::EngineOptions options;
-    const std::string strategy_name =
-        cmd.option("strategy").value_or("tigr-v+");
-    auto strategy = engine::parseStrategy(strategy_name);
-    if (!strategy)
-        throw std::runtime_error("tigr run: unknown --strategy '" +
-                                 strategy_name + "'");
-    options.strategy = *strategy;
-    options.degreeBound =
-        static_cast<NodeId>(cmd.optionU64("k", 10));
-    if (cmd.has("pull"))
-        options.direction = engine::Direction::Pull;
-    if (cmd.has("dynamic"))
-        options.dynamicMapping = true;
-    if (cmd.has("no-worklist"))
-        options.worklist = false;
-    options.threads = threadsOption(cmd);
-    frontierModeOption(cmd, options.frontier);
-    frontierRatioOption(cmd, options.frontierRatio);
+    engine::EngineOptions options = engineOptionsFromCmd(cmd, "run");
+    obs::TraceSink sink;
+    const auto trace_path = cmd.option("trace");
+    const bool want_metrics = strictFlag(cmd, "metrics", "run");
+    if (trace_path || want_metrics)
+        options.trace = &sink;
 
     const auto source =
         static_cast<NodeId>(cmd.optionU64("source", 0));
@@ -242,18 +338,7 @@ cmdRun(const CommandLine &cmd, std::ostream &out)
     // --algo accepts a comma-separated list; all algorithms run on one
     // engine, so later runs reuse the transform the first one built
     // (reported per run as "transform cached").
-    std::vector<std::string> algos;
-    {
-        std::istringstream list(cmd.option("algo").value_or("sssp"));
-        for (std::string name; std::getline(list, name, ',');) {
-            if (name.empty())
-                throw std::runtime_error(
-                    "tigr run: empty entry in --algo list");
-            algos.push_back(name);
-        }
-        if (algos.empty())
-            throw std::runtime_error("tigr run: empty --algo list");
-    }
+    const std::vector<std::string> algos = algoListOption(cmd, "run");
 
     engine::GraphEngine engine(g, options);
 
@@ -350,6 +435,74 @@ cmdRun(const CommandLine &cmd, std::ostream &out)
             << "host ms:         " << info.hostMs << "\n"
             << "host threads:    " << engine.hostThreads() << "\n";
     }
+    if (trace_path) {
+        std::ofstream trace_out(*trace_path);
+        if (!trace_out)
+            throw std::runtime_error(
+                "tigr run: cannot write --trace file '" + *trace_path +
+                "'");
+        obs::writeChromeTrace(trace_out, sink, "engine");
+        out << "\ntrace events=" << sink.size() << " -> "
+            << *trace_path << "\n";
+    }
+    if (want_metrics) {
+        obs::MetricsRegistry registry;
+        obs::aggregateTrace(sink, registry);
+        out << "\n" << registry.snapshotText();
+    }
+    return 0;
+}
+
+/**
+ * `tigr trace <graph> --out FILE`: run analyses with tracing enabled
+ * and write the structured events as a Chrome trace_event JSON file
+ * (chrome://tracing / Perfetto). Timestamps are simulated
+ * microseconds, so the file is bit-identical at any --threads value.
+ */
+int
+cmdTrace(const CommandLine &cmd, std::ostream &out)
+{
+    if (cmd.positional.empty())
+        throw std::runtime_error("tigr trace: missing graph file");
+    const auto output = cmd.option("out");
+    if (!output)
+        throw std::runtime_error("tigr trace: missing --out file");
+    graph::Csr g = loadGraphFile(cmd.positional[0]);
+
+    engine::EngineOptions options = engineOptionsFromCmd(cmd, "trace");
+    obs::TraceSink sink;
+    options.trace = &sink;
+
+    const auto source =
+        static_cast<NodeId>(cmd.optionU64("source", 0));
+    if (source >= g.numNodes())
+        throw std::runtime_error("tigr trace: --source out of range");
+    const auto pr_iters =
+        static_cast<unsigned>(cmd.optionU64("iters", 20));
+
+    const std::vector<std::string> algos = algoListOption(cmd, "trace");
+    engine::GraphEngine engine(g, options);
+    for (const std::string &algo : algos)
+        runAlgorithm(engine, algo, source, pr_iters, "trace");
+
+    std::ofstream trace_out(*output);
+    if (!trace_out)
+        throw std::runtime_error(
+            "tigr trace: cannot write --out file '" + *output + "'");
+    obs::writeChromeTrace(trace_out, sink, "engine");
+
+    if (auto text = cmd.option("text")) {
+        std::ofstream text_out(*text);
+        if (!text_out)
+            throw std::runtime_error(
+                "tigr trace: cannot write --text file '" + *text +
+                "'");
+        text_out << obs::formatTrace(sink);
+    }
+
+    out << "algos:           " << algos.size() << "\n"
+        << "events:          " << sink.size() << "\n"
+        << "written to:      " << *output << "\n";
     return 0;
 }
 
@@ -430,6 +583,9 @@ cmdServe(const CommandLine &cmd, std::ostream &out)
                 "tigr serve: --fail-fast takes no value");
         options.failFast = true;
     }
+    options.metrics = strictFlag(cmd, "metrics", "serve");
+    if (auto trace = cmd.option("trace"))
+        options.tracePath = *trace;
     frontierModeOption(cmd, options.frontier);
     frontierRatioOption(cmd, options.frontierRatio);
     return service::runScript(in, out, options);
@@ -542,7 +698,8 @@ std::string
 usage()
 {
     return "usage:\n"
-           "  tigr stats <graph>\n"
+           "  tigr stats <graph> [--algo A[,...] [--source N] "
+           "[engine flags]]\n"
            "  tigr generate --type rmat|ba|er|ws --nodes N "
            "[--edges M] [--seed S] [--weighted] --out FILE\n"
            "  tigr transform <graph> --out FILE [--k N] "
@@ -552,11 +709,15 @@ usage()
            "[--strategy baseline|tigr-udt|tigr-v|tigr-v+|mw|cusha|"
            "gunrock] [--source N] [--k N] [--pull] [--dynamic] "
            "[--no-worklist] [--frontier dense|sparse|adaptive] "
-           "[--frontier-ratio F] [--threads N]\n"
+           "[--frontier-ratio F] [--threads N] [--trace FILE] "
+           "[--metrics]\n"
+           "  tigr trace <graph> --out FILE [--text FILE] "
+           "[--algo A[,...]] [--source N] [engine flags]\n"
            "  tigr snapshot <graph> <out.tgs> [--k N] "
            "[--layout consecutive|coalesced] [--threads N]\n"
            "  tigr serve --script FILE [--workers N] [--queue N] "
            "[--cache-mb N] [--max-retries N] [--fail-fast] "
+           "[--metrics] [--trace FILE] "
            "[--frontier dense|sparse|adaptive] "
            "[--frontier-ratio F]\n"
            "\n"
@@ -572,7 +733,13 @@ usage()
            "--max-retries bounds per-query re-execution after "
            "transient failures (default 2); --fail-fast stops a serve "
            "script at the first batch containing a terminally failed "
-           "query and exits nonzero. See docs/resilience.md.\n";
+           "query and exits nonzero. See docs/resilience.md.\n"
+           "--trace writes structured engine events as Chrome "
+           "trace_event JSON (chrome://tracing); --metrics prints the "
+           "aggregated counter registry. Both are stamped with "
+           "simulated time only, so the output is bit-identical at "
+           "any --threads/--workers value. See docs/observability.md."
+           "\n";
 }
 
 int
@@ -586,6 +753,8 @@ runCommand(const CommandLine &cmd, std::ostream &out)
         return cmdTransform(cmd, out);
     if (cmd.command == "run")
         return cmdRun(cmd, out);
+    if (cmd.command == "trace")
+        return cmdTrace(cmd, out);
     if (cmd.command == "snapshot")
         return cmdSnapshot(cmd, out);
     if (cmd.command == "serve")
