@@ -1,0 +1,238 @@
+#include "dynamic/dynamic_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "fault/fault.hpp"
+
+namespace tigr::dynamic {
+
+namespace {
+
+[[noreturn]] void
+rejectBatch(MutationErrorKind kind, std::size_t index,
+            const Mutation &mutation, const std::string &why)
+{
+    throw MutationError(
+        kind, index,
+        "tigr: mutation " + std::to_string(index) + " (" +
+            std::string(mutationKindName(mutation.kind)) + " " +
+            std::to_string(mutation.src) + "->" +
+            std::to_string(mutation.dst) + "): " + why);
+}
+
+} // namespace
+
+DynamicGraph::DynamicGraph(const graph::Csr &source)
+{
+    const NodeId n = source.numNodes();
+    begins_.assign(source.rowOffsets().begin(),
+                   source.rowOffsets().end() - (n == 0 ? 0 : 1));
+    if (n == 0)
+        begins_.clear();
+    degrees_.resize(n);
+    caps_.resize(n);
+    for (NodeId v = 0; v < n; ++v) {
+        degrees_[v] = source.degree(v);
+        caps_[v] = degrees_[v];
+    }
+    targets_ = source.colIndices();
+    weights_ = source.weights();
+    liveEdges_ = source.numEdges();
+}
+
+double
+DynamicGraph::slackRatio() const
+{
+    const EdgeIndex slots = arenaSlots();
+    if (slots == 0)
+        return 0.0;
+    return static_cast<double>(slackSlots()) /
+           static_cast<double>(slots);
+}
+
+EpochDelta
+DynamicGraph::apply(const MutationBatch &batch)
+{
+    const NodeId n = numNodes();
+
+    // Phase 1: validate the whole batch against the projected edge
+    // multiset before touching anything. liveCount(src, dst) is the
+    // number of live (src, dst) instances now; the running delta map
+    // projects in-batch inserts and deletes forward.
+    std::map<std::pair<NodeId, NodeId>, std::int64_t> delta;
+    const auto live_count = [&](NodeId src, NodeId dst) {
+        std::int64_t count = 0;
+        for (NodeId t : outNeighbors(src))
+            if (t == dst)
+                ++count;
+        return count;
+    };
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Mutation &m = batch[i];
+        if (m.src >= n)
+            rejectBatch(MutationErrorKind::SourceOutOfRange, i, m,
+                        "source node out of range (graph has " +
+                            std::to_string(n) + " nodes)");
+        if (m.dst >= n)
+            rejectBatch(MutationErrorKind::TargetOutOfRange, i, m,
+                        "target node out of range (graph has " +
+                            std::to_string(n) + " nodes)");
+        const auto key = std::make_pair(m.src, m.dst);
+        switch (m.kind) {
+          case MutationKind::InsertEdge:
+            ++delta[key];
+            break;
+          case MutationKind::DeleteEdge:
+            if (live_count(m.src, m.dst) + delta[key] <= 0)
+                rejectBatch(MutationErrorKind::MissingEdge, i, m,
+                            "no such edge to delete");
+            --delta[key];
+            break;
+          case MutationKind::UpdateWeight:
+            if (live_count(m.src, m.dst) + delta[key] <= 0)
+                rejectBatch(MutationErrorKind::MissingEdge, i, m,
+                            "no such edge to reweight");
+            break;
+        }
+    }
+
+    // Validation passed; an injected fault here still leaves the graph
+    // bit-for-bit unchanged.
+    TIGR_FAULT_POINT(fault::Site::MutationApply);
+
+    // Phase 2: apply in order, recording per-vertex degree deltas.
+    std::map<NodeId, EdgeIndex> old_degrees;
+    EpochDelta result;
+    for (const Mutation &m : batch) {
+        old_degrees.emplace(m.src, degrees_[m.src]);
+        switch (m.kind) {
+          case MutationKind::InsertEdge: {
+            if (degrees_[m.src] == caps_[m.src])
+                relocate(m.src, degrees_[m.src] + 1);
+            const EdgeIndex slot = begins_[m.src] + degrees_[m.src];
+            targets_[slot] = m.dst;
+            weights_[slot] = m.weight;
+            ++degrees_[m.src];
+            ++liveEdges_;
+            ++result.inserts;
+            break;
+          }
+          case MutationKind::DeleteEdge: {
+            const EdgeIndex begin = begins_[m.src];
+            const EdgeIndex end = begin + degrees_[m.src];
+            EdgeIndex e = begin;
+            while (targets_[e] != m.dst)
+                ++e;
+            // Shift the remainder left: storage order within the
+            // segment stays stable, matching what Csr::fromCoo of the
+            // surgically edited edge list would produce.
+            for (EdgeIndex j = e; j + 1 < end; ++j) {
+                targets_[j] = targets_[j + 1];
+                weights_[j] = weights_[j + 1];
+            }
+            --degrees_[m.src];
+            --liveEdges_;
+            ++result.deletes;
+            break;
+          }
+          case MutationKind::UpdateWeight: {
+            EdgeIndex e = begins_[m.src];
+            while (targets_[e] != m.dst)
+                ++e;
+            weights_[e] = m.weight;
+            ++result.reweights;
+            break;
+          }
+        }
+    }
+
+    ++epoch_;
+    result.epoch = epoch_;
+    result.touched.reserve(old_degrees.size());
+    for (const auto &[v, old_degree] : old_degrees) {
+        TouchedVertex touched;
+        touched.vertex = v;
+        touched.oldDegree = old_degree;
+        touched.newDegree = degrees_[v];
+        result.touched.push_back(touched);
+    }
+    return result;
+}
+
+void
+DynamicGraph::relocate(NodeId v, EdgeIndex need)
+{
+    // Growth slack proportional to the segment so a vertex absorbing a
+    // stream of inserts relocates O(log d) times, with a small floor so
+    // low-degree vertices do not relocate on every insert.
+    const EdgeIndex new_cap =
+        need + std::max<EdgeIndex>(4, need / 2);
+    const EdgeIndex tail = arenaSlots();
+    targets_.resize(tail + new_cap);
+    weights_.resize(tail + new_cap);
+    const EdgeIndex old_begin = begins_[v];
+    const EdgeIndex d = degrees_[v];
+    std::copy_n(targets_.begin() + old_begin, d,
+                targets_.begin() + tail);
+    std::copy_n(weights_.begin() + old_begin, d,
+                weights_.begin() + tail);
+    begins_[v] = tail;
+    caps_[v] = new_cap;
+    // The old block stays behind as dead slack until compact().
+}
+
+bool
+DynamicGraph::shouldCompact() const
+{
+    return slackSlots() >= 64 && slackSlots() * 2 > arenaSlots();
+}
+
+EdgeIndex
+DynamicGraph::compact()
+{
+    TIGR_FAULT_POINT(fault::Site::MutationCompact);
+    const EdgeIndex reclaimed = slackSlots();
+    std::vector<NodeId> targets(liveEdges_);
+    std::vector<Weight> weights(liveEdges_);
+    EdgeIndex cursor = 0;
+    for (NodeId v = 0; v < numNodes(); ++v) {
+        const EdgeIndex d = degrees_[v];
+        std::copy_n(targets_.begin() + begins_[v], d,
+                    targets.begin() + cursor);
+        std::copy_n(weights_.begin() + begins_[v], d,
+                    weights.begin() + cursor);
+        begins_[v] = cursor;
+        caps_[v] = d;
+        cursor += d;
+    }
+    targets_ = std::move(targets);
+    weights_ = std::move(weights);
+    ++compactions_;
+    return reclaimed;
+}
+
+graph::Csr
+DynamicGraph::toCsr() const
+{
+    std::vector<EdgeIndex> offsets(numNodes() + 1, 0);
+    std::vector<NodeId> targets(liveEdges_);
+    std::vector<Weight> weights(liveEdges_);
+    EdgeIndex cursor = 0;
+    for (NodeId v = 0; v < numNodes(); ++v) {
+        offsets[v] = cursor;
+        const EdgeIndex d = degrees_[v];
+        std::copy_n(targets_.begin() + begins_[v], d,
+                    targets.begin() + cursor);
+        std::copy_n(weights_.begin() + begins_[v], d,
+                    weights.begin() + cursor);
+        cursor += d;
+    }
+    offsets[numNodes()] = cursor;
+    return graph::Csr(std::move(offsets), std::move(targets),
+                      std::move(weights));
+}
+
+} // namespace tigr::dynamic

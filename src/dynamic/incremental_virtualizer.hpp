@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Incremental maintenance of the virtual node array across mutation
+ * epochs. The virtual split (Section 4 of the paper) is vertex-local —
+ * a node's family is a pure function of (edge begin, degree, K,
+ * layout) — so when a batch touches t of n vertices, only the touched
+ * families need re-splitting; every family after the first touched
+ * vertex shifts by the cumulative edge/entry delta but keeps its
+ * internal shape, including the coalesced round-robin stride.
+ *
+ * The repaired array is maintained byte-identical to what a
+ * from-scratch VirtualGraph build over the materialized dense CSR
+ * would produce; differentialCheck() proves it on demand and the
+ * dynamic test suite proves it after every batch.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dynamic/dynamic_graph.hpp"
+#include "graph/types.hpp"
+#include "transform/virtual_graph.hpp"
+
+namespace tigr::dynamic {
+
+/** What one repair pass did. */
+struct RepairStats
+{
+    /** Epoch the virtual array now reflects. */
+    std::uint64_t epoch = 0;
+
+    /** Vertices whose family was rebuilt (degree changed). */
+    std::size_t repairedVertices = 0;
+
+    /** Rebuilt families whose entry count changed (degree crossed a
+     *  multiple of K) — the expensive case a full rebuild pays for
+     *  every vertex. */
+    std::size_t resplitFamilies = 0;
+
+    /** Untouched entries that only had their start slot shifted. */
+    std::size_t shiftedEntries = 0;
+
+    std::size_t entriesBefore = 0;
+    std::size_t entriesAfter = 0;
+};
+
+/**
+ * The virtual node array of a DynamicGraph, repaired in place across
+ * epochs instead of rebuilt.
+ *
+ * Invariant (checked by differentialCheck and the dynamic tests):
+ * after applyDelta() for every batch the graph absorbed,
+ * virtualNodes() is element-for-element identical to
+ * `VirtualGraph(graph.toCsr(), K, layout).virtualNodes()` — the same
+ * entries the snapshot container would persist. Entry starts address
+ * the *dense* CSR edge array (what toCsr() yields), not the slack
+ * arena, so the repaired array drops straight into
+ * VirtualGraph::fromArrays over the materialized graph.
+ */
+class IncrementalVirtualizer
+{
+  public:
+    IncrementalVirtualizer() = default;
+
+    /** Build the initial array from @p graph's current state. */
+    IncrementalVirtualizer(const DynamicGraph &graph,
+                           NodeId degree_bound,
+                           transform::EdgeLayout layout);
+
+    NodeId degreeBound() const { return degreeBound_; }
+
+    transform::EdgeLayout layout() const { return layout_; }
+
+    /** Epoch of the graph state the array reflects. */
+    std::uint64_t epoch() const { return epoch_; }
+
+    /** The maintained virtual node array. */
+    std::span<const transform::VirtualNode> virtualNodes() const
+    {
+        return nodes_;
+    }
+
+    /** Copy of the array, e.g. for VirtualGraph::fromArrays or a
+     *  snapshot save. */
+    std::vector<transform::VirtualNode> nodesCopy() const
+    {
+        return nodes_;
+    }
+
+    /** Per-vertex entry offsets: vertex v's family occupies
+     *  [offset[v], offset[v+1]) in virtualNodes(). */
+    std::span<const EdgeIndex> entryOffsets() const { return vbase_; }
+
+    /**
+     * Repair the array for one applied batch. Deltas must arrive in
+     * epoch order with no gaps (each DynamicGraph::apply result,
+     * exactly once). Touched vertices whose degree did not change
+     * (reweight-only) cost nothing; for the rest, one pass from the
+     * first degree-changed vertex re-emits changed families and
+     * shifts the remainder. The obs trace event `mutation.resplit`
+     * reports the returned counters once per batch.
+     *
+     * @throws std::invalid_argument on an out-of-order delta.
+     */
+    RepairStats applyDelta(const EpochDelta &delta);
+
+  private:
+    NodeId degreeBound_ = 1;
+    transform::EdgeLayout layout_ = transform::EdgeLayout::Coalesced;
+    std::uint64_t epoch_ = 0;
+    std::vector<transform::VirtualNode> nodes_;
+    /** n+1 entry offsets into nodes_. */
+    std::vector<EdgeIndex> vbase_;
+    /** n+1 dense edge offsets (the toCsr() row offsets). */
+    std::vector<EdgeIndex> begins_;
+};
+
+/**
+ * Prove the maintained array equals a from-scratch rebuild: materialize
+ * @p graph as a dense CSR, build a VirtualGraph with the virtualizer's
+ * (K, layout), and compare entry by entry, plus the dense row offsets.
+ *
+ * @return std::nullopt when byte-identical; otherwise a human-readable
+ *         description of the first divergence.
+ */
+std::optional<std::string>
+differentialCheck(const DynamicGraph &graph,
+                  const IncrementalVirtualizer &virtualizer);
+
+} // namespace tigr::dynamic

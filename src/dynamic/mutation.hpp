@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Streaming graph mutations: the typed edge-mutation vocabulary, the
+ * deterministic seeded batch generator, and the replayable MutationLog
+ * behind the dynamic-graph subsystem (docs/dynamic.md).
+ *
+ * A mutation batch is the unit of change: the DynamicGraph applies one
+ * batch per epoch, and everything downstream (incremental virtual
+ * repair, store versioning, cache invalidation) is keyed by the epoch
+ * the batch produced. Batches are plain vectors so tests and tools can
+ * construct them directly; generateBatch() produces seeded batches
+ * that are a pure function of (graph, spec) — the differential tests
+ * lean on that to replay identical mutation streams at 1/2/8 workers.
+ */
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace tigr::dynamic {
+
+/** What one mutation does to the edge set. */
+enum class MutationKind : std::uint8_t
+{
+    InsertEdge,   ///< Append (src, dst, weight) to src's edge list.
+    DeleteEdge,   ///< Remove the first (src, dst) occurrence.
+    UpdateWeight, ///< Reweight the first (src, dst) occurrence.
+};
+
+/** Display name ("insert", "delete", "reweight"). */
+std::string_view mutationKindName(MutationKind kind);
+
+/** One edge mutation. The node set is fixed: mutations change edges,
+ *  never add or remove vertices (the store's entry geometry — and the
+ *  engines' value arrays — stay n-sized across epochs). */
+struct Mutation
+{
+    MutationKind kind = MutationKind::InsertEdge;
+    NodeId src = 0;
+    NodeId dst = 0;
+    /** New weight for InsertEdge / UpdateWeight; ignored by delete. */
+    Weight weight = 1;
+
+    friend bool operator==(const Mutation &, const Mutation &) = default;
+};
+
+/** One epoch's worth of mutations, applied in order. */
+using MutationBatch = std::vector<Mutation>;
+
+/** Why a batch was rejected. */
+enum class MutationErrorKind
+{
+    SourceOutOfRange, ///< src >= numNodes.
+    TargetOutOfRange, ///< dst >= numNodes.
+    MissingEdge,      ///< Delete/reweight of a nonexistent (src, dst).
+    Parse,            ///< Malformed mutation-log text.
+};
+
+/** Display name ("source-out-of-range", "missing-edge", ...). */
+std::string_view mutationErrorKindName(MutationErrorKind kind);
+
+/** Typed batch-validation failure. Validation happens before any state
+ *  is touched, so a thrown MutationError always leaves the graph
+ *  exactly as it was (see DynamicGraph::apply). */
+class MutationError : public std::runtime_error
+{
+  public:
+    MutationError(MutationErrorKind kind, std::size_t index,
+                  const std::string &message)
+        : std::runtime_error(message), kind_(kind), index_(index)
+    {
+    }
+
+    MutationErrorKind kind() const { return kind_; }
+
+    /** Batch position of the offending mutation (line number for
+     *  Parse errors). */
+    std::size_t index() const { return index_; }
+
+  private:
+    MutationErrorKind kind_;
+    std::size_t index_;
+};
+
+/** Shape of a seeded batch. */
+struct GeneratorSpec
+{
+    std::uint64_t seed = 1;
+    std::size_t inserts = 0;
+    std::size_t deletes = 0;
+    std::size_t reweights = 0;
+    /** Generated weights are uniform in [1, maxWeight]. */
+    Weight maxWeight = 64;
+};
+
+/**
+ * Deterministically generate a valid mutation batch against @p graph:
+ * inserts draw uniform (src, dst) pairs, deletes sample distinct
+ * existing edges, reweights sample existing edges whose (src, dst)
+ * pair no delete in the same batch targets — so the batch always
+ * passes typed validation. The result is a pure function of
+ * (graph, spec): same seed, same graph, same batch, bit for bit. The
+ * three kinds are interleaved by a seeded shuffle, so a batch
+ * exercises mixed apply paths rather than sorted runs.
+ *
+ * On a graph with fewer edges than requested deletes the batch holds
+ * as many as could be sampled (deterministically), never an invalid
+ * mutation.
+ */
+MutationBatch generateBatch(const graph::Csr &graph,
+                            const GeneratorSpec &spec);
+
+/**
+ * An ordered record of mutation batches with a text round-trip, so a
+ * mutation stream can be captured once (tigr mutate --log) and
+ * replayed elsewhere byte-identically (tigr mutate --apply).
+ *
+ * Format: `batch <index> <count>` introduces each batch, followed by
+ * one line per mutation — `+ src dst weight`, `- src dst`,
+ * `= src dst weight`. '#' starts a comment.
+ */
+class MutationLog
+{
+  public:
+    /** Append one batch (empty batches are recorded too: an epoch with
+     *  no changes is still an epoch). */
+    void append(MutationBatch batch);
+
+    const std::vector<MutationBatch> &batches() const
+    {
+        return batches_;
+    }
+
+    std::size_t size() const { return batches_.size(); }
+
+    /** Total mutations across all batches. */
+    std::size_t totalMutations() const;
+
+    /** Write the canonical text form. */
+    void save(std::ostream &out) const;
+
+    /** Parse the text form. @throws MutationError (Parse) naming the
+     *  offending line. */
+    static MutationLog load(std::istream &in);
+
+  private:
+    std::vector<MutationBatch> batches_;
+};
+
+} // namespace tigr::dynamic

@@ -49,6 +49,8 @@ siteName(Site site)
       case Site::TransformBuild: return "transform.build";
       case Site::EngineIteration: return "engine.iteration";
       case Site::Alloc: return "alloc";
+      case Site::MutationApply: return "mutation.apply";
+      case Site::MutationCompact: return "mutation.compact";
     }
     return "unknown";
 }

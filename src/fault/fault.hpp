@@ -45,15 +45,18 @@ enum class Site : unsigned
     TransformBuild,  ///< "transform.build": Schedule::build itself.
     EngineIteration, ///< "engine.iteration": a BSP iteration boundary.
     Alloc,           ///< "alloc": engine/result allocation.
+    MutationApply,   ///< "mutation.apply": post-validation batch apply.
+    MutationCompact, ///< "mutation.compact": slack-arena compaction.
 };
 
 /** Number of distinct sites (array sizing). */
-inline constexpr std::size_t kSiteCount = 6;
+inline constexpr std::size_t kSiteCount = 8;
 
 /** All sites, in enum order. */
 inline constexpr Site kAllSites[kSiteCount] = {
     Site::SnapshotRead,   Site::SnapshotMmap,    Site::CacheInsert,
     Site::TransformBuild, Site::EngineIteration, Site::Alloc,
+    Site::MutationApply,  Site::MutationCompact,
 };
 
 /** Dotted display name ("snapshot.read", "engine.iteration", ...). */

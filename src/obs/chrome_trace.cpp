@@ -105,6 +105,32 @@ writeArgs(std::ostream &out, const TraceEvent &e)
     case EventKind::Degrade:
         labels[nl++] = {"error", e.label[0]};
         break;
+    case EventKind::MutationBegin:
+        labels[nl++] = {"graph", e.label[0]};
+        fields[nf++] = {"epoch", e.arg[0]};
+        fields[nf++] = {"mutations", e.arg[1]};
+        fields[nf++] = {"inserts", e.arg[2]};
+        fields[nf++] = {"deletes", e.arg[3]};
+        fields[nf++] = {"reweights", e.arg[4]};
+        break;
+    case EventKind::MutationApply:
+        fields[nf++] = {"epoch", e.arg[0]};
+        fields[nf++] = {"touched", e.arg[1]};
+        fields[nf++] = {"edges", e.arg[2]};
+        fields[nf++] = {"slack", e.arg[3]};
+        break;
+    case EventKind::MutationCompact:
+        fields[nf++] = {"epoch", e.arg[0]};
+        fields[nf++] = {"reclaimed", e.arg[1]};
+        fields[nf++] = {"edges", e.arg[2]};
+        break;
+    case EventKind::MutationResplit:
+        fields[nf++] = {"epoch", e.arg[0]};
+        fields[nf++] = {"repaired", e.arg[1]};
+        fields[nf++] = {"resplit", e.arg[2]};
+        fields[nf++] = {"shifted", e.arg[3]};
+        fields[nf++] = {"entries", e.arg[4]};
+        break;
     }
     out << "{";
     bool first = true;

@@ -86,6 +86,14 @@ eventKindName(EventKind kind)
         return "retry";
     case EventKind::Degrade:
         return "degrade";
+    case EventKind::MutationBegin:
+        return "mutation.begin";
+    case EventKind::MutationApply:
+        return "mutation.apply";
+    case EventKind::MutationCompact:
+        return "mutation.compact";
+    case EventKind::MutationResplit:
+        return "mutation.resplit";
     }
     return "unknown";
 }
@@ -166,6 +174,32 @@ formatEvent(const TraceEvent &e)
         break;
     case EventKind::Degrade:
         appendLabel(out, "error", e.label[0]);
+        break;
+    case EventKind::MutationBegin:
+        appendLabel(out, "graph", e.label[0]);
+        appendArg(out, "epoch", e.arg[0]);
+        appendArg(out, "mutations", e.arg[1]);
+        appendArg(out, "inserts", e.arg[2]);
+        appendArg(out, "deletes", e.arg[3]);
+        appendArg(out, "reweights", e.arg[4]);
+        break;
+    case EventKind::MutationApply:
+        appendArg(out, "epoch", e.arg[0]);
+        appendArg(out, "touched", e.arg[1]);
+        appendArg(out, "edges", e.arg[2]);
+        appendArg(out, "slack", e.arg[3]);
+        break;
+    case EventKind::MutationCompact:
+        appendArg(out, "epoch", e.arg[0]);
+        appendArg(out, "reclaimed", e.arg[1]);
+        appendArg(out, "edges", e.arg[2]);
+        break;
+    case EventKind::MutationResplit:
+        appendArg(out, "epoch", e.arg[0]);
+        appendArg(out, "repaired", e.arg[1]);
+        appendArg(out, "resplit", e.arg[2]);
+        appendArg(out, "shifted", e.arg[3]);
+        appendArg(out, "entries", e.arg[4]);
         break;
     }
     return out.str();
@@ -310,6 +344,24 @@ aggregateTrace(const TraceSink &sink, MetricsRegistry &registry)
             break;
         case EventKind::Degrade:
             registry.counter("scheduler.degraded").add();
+            break;
+        case EventKind::MutationBegin:
+            registry.counter("mutation.batches").add();
+            registry.counter("mutation.inserts").add(e.arg[2]);
+            registry.counter("mutation.deletes").add(e.arg[3]);
+            registry.counter("mutation.reweights").add(e.arg[4]);
+            break;
+        case EventKind::MutationApply:
+            registry.histogram("mutation.touched").observe(e.arg[1]);
+            break;
+        case EventKind::MutationCompact:
+            registry.counter("mutation.compactions").add();
+            registry.counter("mutation.reclaimed").add(e.arg[1]);
+            break;
+        case EventKind::MutationResplit:
+            registry.counter("mutation.repaired").add(e.arg[1]);
+            registry.counter("mutation.resplits").add(e.arg[2]);
+            registry.counter("mutation.shifted").add(e.arg[3]);
             break;
         }
     }

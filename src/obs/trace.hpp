@@ -51,6 +51,10 @@ enum class EventKind : std::uint8_t
     Fault,       ///< An injected fault fired.
     Retry,       ///< The scheduler scheduled another attempt.
     Degrade,     ///< A query dropped down the degradation ladder.
+    MutationBegin,   ///< A mutation batch entered apply.
+    MutationApply,   ///< A batch finished applying to the graph.
+    MutationCompact, ///< The slack arena was compacted.
+    MutationResplit, ///< One batch's incremental virtual repair.
 };
 
 /** Display name ("run.begin", "iter", "fault", ...). */
@@ -78,6 +82,14 @@ std::string_view eventKindName(EventKind kind);
  *   Retry       label: error kind
  *               arg:   next attempt, total backoff (simulated us)
  *   Degrade     label: error kind
+ *   MutationBegin   label: graph
+ *                   arg: target epoch, mutations, inserts, deletes,
+ *                        reweights
+ *   MutationApply   arg: epoch, touched vertices, live edges, slack
+ *                        slots
+ *   MutationCompact arg: epoch, reclaimed slots, live edges
+ *   MutationResplit arg: epoch, repaired vertices, resplit families,
+ *                        shifted entries, entries after
  */
 struct TraceEvent
 {

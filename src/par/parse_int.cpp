@@ -1,0 +1,42 @@
+#include "par/parse_int.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace tigr::par {
+
+std::uint64_t
+parsePositiveInt(std::string_view text, std::string_view origin,
+                 std::uint64_t max)
+{
+    auto reject = [&](const char *why) {
+        throw std::invalid_argument(
+            std::string("tigr: invalid ") + std::string(origin) + " '" +
+            std::string(text) + "': " + why +
+            " (expected an integer in [1, " + std::to_string(max) +
+            "])");
+    };
+    if (text.empty())
+        reject("empty value");
+    if (text[0] == '-')
+        reject("the value cannot be negative");
+    if (text[0] == '+')
+        reject("not a plain decimal integer");
+    std::uint64_t value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            reject("not a plain decimal integer");
+        const auto digit = static_cast<std::uint64_t>(c - '0');
+        if (value > (UINT64_MAX - digit) / 10)
+            reject("too large");
+        value = value * 10 + digit;
+        if (value > max)
+            reject("too large");
+    }
+    if (value == 0)
+        reject("0 is not a valid value here; omit the setting to use "
+               "the default");
+    return value;
+}
+
+} // namespace tigr::par

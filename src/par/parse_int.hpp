@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Strict positive-integer parsing shared by every numeric setting:
+ * CLI flags, script arguments, and environment overrides all accept
+ * exactly the same grammar (a plain decimal integer >= 1) and produce
+ * the same shaped error message, instead of each call site hand-rolling
+ * a subtly different strtoul wrapper.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace tigr::par {
+
+/**
+ * Parse @p text as a plain decimal integer in [1, @p max]. Rejects an
+ * empty string, any sign, non-digit characters (including trailing
+ * text like "1x"), 0, and values beyond @p max — overflow past
+ * uint64_t is caught too, not wrapped. @p origin names the setting
+ * ("--k", "TIGR_THREADS") in the error message.
+ *
+ * @throws std::invalid_argument explaining what was given and what is
+ *         accepted.
+ */
+std::uint64_t parsePositiveInt(std::string_view text,
+                               std::string_view origin,
+                               std::uint64_t max = UINT64_MAX);
+
+} // namespace tigr::par

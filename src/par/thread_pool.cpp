@@ -4,33 +4,18 @@
 #include <stdexcept>
 #include <string>
 
+#include "par/parse_int.hpp"
+
 namespace tigr::par {
 
 unsigned
 parseThreadCount(std::string_view text, std::string_view origin)
 {
-    auto reject = [&](const char *why) {
-        throw std::invalid_argument(
-            std::string("tigr: invalid ") + std::string(origin) + " '" +
-            std::string(text) + "': " + why + " (expected an integer in "
-            "[1, " + std::to_string(kMaxThreads) + "])");
-    };
-    if (text.empty())
-        reject("empty value");
-    if (text[0] == '-')
-        reject("thread counts cannot be negative");
-    std::uint64_t value = 0;
-    for (char c : text) {
-        if (c < '0' || c > '9')
-            reject("not a plain decimal integer");
-        value = value * 10 + static_cast<std::uint64_t>(c - '0');
-        if (value > kMaxThreads)
-            reject("too large");
-    }
-    if (value == 0)
-        reject("0 threads is meaningless; omit the setting to use the "
-               "default");
-    return static_cast<unsigned>(value);
+    // The shared strict parser enforces the whole grammar (digits
+    // only, no sign, no 0, no overflow); this wrapper only narrows
+    // the range to the pool bound.
+    return static_cast<unsigned>(
+        parsePositiveInt(text, origin, kMaxThreads));
 }
 
 unsigned

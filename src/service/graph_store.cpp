@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <stdexcept>
+#include <utility>
 
 namespace tigr::service {
 
@@ -36,13 +37,13 @@ GraphStore::add(std::string name, graph::Csr graph, std::string source)
         throw std::invalid_argument("tigr: graph '" + name +
                                     "' is already registered");
     const auto start = std::chrono::steady_clock::now();
-    auto entry = std::make_unique<StoredGraph>();
+    auto entry = std::make_shared<StoredGraph>();
     entry->name = name;
     entry->graph = std::move(graph);
     entry->source = std::move(source);
     entry->loadMs = elapsedMs(start);
     StoredGraph &ref = *entry;
-    entries_.emplace(std::move(name), std::move(entry));
+    entries_.emplace(std::move(name), Entry{std::move(entry), nullptr});
     return ref;
 }
 
@@ -59,7 +60,7 @@ GraphStore::addSnapshot(std::string name,
                                     "' is already registered");
     const auto start = std::chrono::steady_clock::now();
     Snapshot snapshot = loadSnapshotFile(path, mode);
-    auto entry = std::make_unique<StoredGraph>();
+    auto entry = std::make_shared<StoredGraph>();
     entry->name = name;
     entry->graph = std::move(snapshot.graph);
     entry->hasVirtual = snapshot.hasVirtual;
@@ -67,9 +68,10 @@ GraphStore::addSnapshot(std::string name,
     entry->virtualLayout = snapshot.virtualLayout;
     entry->virtualNodes = std::move(snapshot.virtualNodes);
     entry->source = path.string();
+    entry->epoch = snapshot.epoch;
     entry->loadMs = elapsedMs(start);
     StoredGraph &ref = *entry;
-    entries_.emplace(std::move(name), std::move(entry));
+    entries_.emplace(std::move(name), Entry{std::move(entry), nullptr});
     return ref;
 }
 
@@ -87,11 +89,86 @@ GraphStore::addSnapshotDirectory(const std::filesystem::path &dir,
     return report;
 }
 
+MutateResult
+GraphStore::mutate(std::string_view name,
+                   const dynamic::MutationBatch &batch)
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        throw std::out_of_range("tigr: no graph named '" +
+                                std::string(name) + "' in the store");
+    Entry &entry = it->second;
+    const StoredGraph &current = *entry.stored;
+
+    // First mutation of this entry: spin up the slack-arena graph and,
+    // when the entry carries a virtual array, its incremental
+    // virtualizer. Both start at relative epoch 0 == `current.epoch`.
+    if (!entry.dynamic) {
+        auto state = std::make_shared<DynamicState>();
+        state->graph = dynamic::DynamicGraph(current.graph);
+        if (current.hasVirtual)
+            state->virtualizer.emplace(state->graph,
+                                       current.virtualDegreeBound,
+                                       current.virtualLayout);
+        state->base = current.epoch;
+        entry.dynamic = std::move(state);
+    }
+    DynamicState &state = *entry.dynamic;
+
+    // Validation failures and injected mutation.apply faults throw out
+    // of here with the arena — and therefore the entry — unchanged.
+    MutateResult result;
+    result.delta = state.graph.apply(batch);
+    if (state.virtualizer) {
+        result.repair = state.virtualizer->applyDelta(result.delta);
+        result.virtualRepaired = true;
+    }
+
+    // Publish the next epoch as a fresh StoredGraph; pinned readers of
+    // the old version keep it alive through their shared_ptr.
+    const auto start = std::chrono::steady_clock::now();
+    auto next = std::make_shared<StoredGraph>();
+    next->name = current.name;
+    next->graph = state.graph.toCsr();
+    next->hasVirtual = current.hasVirtual;
+    next->virtualDegreeBound = current.virtualDegreeBound;
+    next->virtualLayout = current.virtualLayout;
+    if (state.virtualizer)
+        next->virtualNodes = state.virtualizer->nodesCopy();
+    next->source = current.source;
+    next->epoch = state.base + result.delta.epoch;
+    next->loadMs = elapsedMs(start);
+    entry.stored = std::move(next);
+
+    result.epoch = entry.stored->epoch;
+    result.liveEdges = state.graph.numEdges();
+
+    // Compact only after the swap: an injected mutation.compact fault
+    // then interrupts slack reclamation alone — the published epoch is
+    // already consistent.
+    if (state.graph.shouldCompact()) {
+        result.reclaimed = state.graph.compact();
+        result.compacted = true;
+    }
+    result.slackSlots = state.graph.slackSlots();
+    return result;
+}
+
+std::shared_ptr<const StoredGraph>
+GraphStore::pin(std::string_view name) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        throw std::out_of_range("tigr: no graph named '" +
+                                std::string(name) + "' in the store");
+    return it->second.stored;
+}
+
 const StoredGraph *
 GraphStore::find(std::string_view name) const
 {
     auto it = entries_.find(name);
-    return it == entries_.end() ? nullptr : it->second.get();
+    return it == entries_.end() ? nullptr : it->second.stored.get();
 }
 
 const StoredGraph &
@@ -129,7 +206,7 @@ GraphStore::totalBytes() const
 {
     std::size_t bytes = 0;
     for (const auto &[name, entry] : entries_)
-        bytes += entry->graph.sizeInBytes();
+        bytes += entry.stored->graph.sizeInBytes();
     return bytes;
 }
 

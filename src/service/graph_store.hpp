@@ -1,13 +1,22 @@
 /**
  * @file
- * GraphStore: the service's registry of named, immutable graphs.
+ * GraphStore: the service's registry of named graphs, versioned by
+ * mutation epoch.
  *
  * Each entry is heap-pinned, so the `const graph::Csr &` a lookup
- * returns stays valid for the store's lifetime no matter how many
- * graphs are added afterwards — engines, schedules, and cache entries
- * all hold pointers into it. Entries loaded from snapshots keep the
- * persisted virtual node array around so callers can rebind it with
- * VirtualGraph::fromArrays instead of rebuilding.
+ * returns stays valid until the entry is removed or mutated — engines,
+ * schedules, and cache entries all hold pointers into it. Entries
+ * loaded from snapshots keep the persisted virtual node array around
+ * so callers can rebind it with VirtualGraph::fromArrays instead of
+ * rebuilding.
+ *
+ * Mutation is copy-on-write: mutate() applies a batch to the entry's
+ * DynamicGraph, incrementally repairs its virtual array, materializes
+ * a NEW StoredGraph at the next epoch, and swaps it in. The previous
+ * version stays alive for exactly as long as someone pin()ned it, so
+ * a reader holding a pinned snapshot never observes a mutation. Cache
+ * entries keyed by (graph id, epoch) go stale rather than wrong — see
+ * TransformCache::invalidateStale.
  */
 #pragma once
 
@@ -18,6 +27,9 @@
 #include <string_view>
 #include <vector>
 
+#include "dynamic/dynamic_graph.hpp"
+#include "dynamic/incremental_virtualizer.hpp"
+#include "dynamic/mutation.hpp"
 #include "graph/csr.hpp"
 #include "service/snapshot.hpp"
 
@@ -28,7 +40,8 @@ struct StoredGraph
 {
     /** Registry name (unique within the store). */
     std::string name;
-    /** The graph itself; address is stable for the store's lifetime. */
+    /** The graph itself; address is stable until the entry is mutated
+     *  or removed (pin() extends that across mutations). */
     graph::Csr graph;
     /** True when the source snapshot carried a virtual node array. */
     bool hasVirtual = false;
@@ -42,10 +55,35 @@ struct StoredGraph
     std::string source = "memory";
     /** Host milliseconds spent loading/registering. */
     double loadMs = 0.0;
+    /** Mutation epoch this version reflects (0 = as registered; a
+     *  snapshot restores the epoch it was saved at). */
+    std::uint64_t epoch = 0;
 
     /** Rebind the persisted virtual array to this entry's graph; empty
      *  when the entry has none. The result references `graph`. */
     std::optional<transform::VirtualGraph> virtualGraph() const;
+};
+
+/** What one GraphStore::mutate() call did. */
+struct MutateResult
+{
+    /** The applied batch's delta (epoch is store-relative). */
+    dynamic::EpochDelta delta;
+    /** Incremental virtual-array repair stats (zero-initialized when
+     *  the entry has no virtual section). */
+    dynamic::RepairStats repair;
+    /** True when the entry carries a virtual array that was repaired. */
+    bool virtualRepaired = false;
+    /** The entry's epoch after the mutation. */
+    std::uint64_t epoch = 0;
+    /** Live edges after the mutation. */
+    EdgeIndex liveEdges = 0;
+    /** Dead arena slots after the mutation (and compaction, if any). */
+    EdgeIndex slackSlots = 0;
+    /** True when the slack threshold triggered a compaction. */
+    bool compacted = false;
+    /** Arena slots the compaction reclaimed. */
+    EdgeIndex reclaimed = 0;
 };
 
 /**
@@ -103,9 +141,37 @@ class GraphStore
         return find(name) != nullptr;
     }
 
+    /**
+     * Apply @p batch to the graph named @p name and publish the next
+     * epoch: the entry's DynamicGraph absorbs the batch, its virtual
+     * array (when present) is incrementally repaired, and a freshly
+     * materialized StoredGraph replaces the current version. Readers
+     * holding a pin() of the old version are unaffected.
+     *
+     * Strong guarantee on rejection: a dynamic::MutationError (or an
+     * injected `mutation.apply` fault) propagates with the entry
+     * unchanged. A `mutation.compact` fault propagates AFTER the new
+     * epoch is published — the mutation is applied and the entry
+     * consistent; only slack reclamation was skipped.
+     *
+     * @throws std::out_of_range for an unknown name.
+     */
+    MutateResult mutate(std::string_view name,
+                        const dynamic::MutationBatch &batch);
+
+    /** Shared ownership of the current version of @p name: stays valid
+     *  across later mutations and removes. @throws std::out_of_range. */
+    std::shared_ptr<const StoredGraph> pin(std::string_view name) const;
+
+    /** Current mutation epoch of @p name. @throws std::out_of_range. */
+    std::uint64_t epochOf(std::string_view name) const
+    {
+        return at(name).epoch;
+    }
+
     /** Drop @p name; returns false when it was not registered. The
-     *  entry's graph memory is freed — callers must not hold engines
-     *  or cache entries over it across a remove. */
+     *  entry's graph memory is freed (unless pinned) — callers must
+     *  not hold engines or cache entries over it across a remove. */
     bool remove(std::string_view name);
 
     /** Number of registered graphs. */
@@ -118,10 +184,28 @@ class GraphStore
     std::size_t totalBytes() const;
 
   private:
-    // unique_ptr pins each entry: map rebalancing moves pointers, not
-    // the StoredGraph (whose Csr address clients capture).
-    std::map<std::string, std::unique_ptr<StoredGraph>, std::less<>>
-        entries_;
+    /** Lazily created mutable state behind an entry: the slack-arena
+     *  graph plus its incrementally repaired virtual array. Epochs in
+     *  here are relative to `base` (the entry's epoch when the state
+     *  was created — nonzero for snapshot-restored entries). */
+    struct DynamicState
+    {
+        dynamic::DynamicGraph graph;
+        std::optional<dynamic::IncrementalVirtualizer> virtualizer;
+        std::uint64_t base = 0;
+    };
+
+    /** One registry slot. shared_ptr pins each version: map
+     *  rebalancing moves pointers, not the StoredGraph (whose Csr
+     *  address clients capture), and mutate() swaps `stored` without
+     *  disturbing pinned readers. */
+    struct Entry
+    {
+        std::shared_ptr<StoredGraph> stored;
+        std::shared_ptr<DynamicState> dynamic;
+    };
+
+    std::map<std::string, Entry, std::less<>> entries_;
 };
 
 } // namespace tigr::service

@@ -95,21 +95,28 @@ metricsDigestOf(const QueryResult &r)
     return graph::fnv1a64(record, sizeof(record));
 }
 
-/** Convert fault records [from, end) of @p result's fault trace into
- *  Fault trace events (scheduler-phase events carry tick 0). */
+/** Convert fault records [from, end) of @p faults into Fault trace
+ *  events (scheduler-phase events carry tick 0). */
 void
-traceNewFaults(QueryResult &result, std::size_t from)
+traceFaults(obs::TraceSink &trace, const fault::FaultTrace &faults,
+            std::size_t from)
 {
-    for (std::size_t i = from; i < result.faultTrace.size(); ++i) {
-        const fault::FaultRecord &record = result.faultTrace[i];
+    for (std::size_t i = from; i < faults.size(); ++i) {
+        const fault::FaultRecord &record = faults[i];
         obs::TraceEvent event;
         event.kind = obs::EventKind::Fault;
         event.label[0] = fault::siteName(record.site);
         event.arg[0] = record.scope;
         event.arg[1] = record.attempt;
         event.arg[2] = record.hit;
-        result.trace.record(event);
+        trace.record(event);
     }
+}
+
+void
+traceNewFaults(QueryResult &result, std::size_t from)
+{
+    traceFaults(result.trace, result.faultTrace, from);
 }
 
 } // namespace
@@ -131,6 +138,15 @@ QueryScheduler::QueryScheduler(const GraphStore &store,
                                TransformCache &cache,
                                SchedulerOptions options)
     : store_(store), cache_(cache), options_(options),
+      workers_(par::resolveThreads(options.workers)),
+      breaker_(options.breaker)
+{
+}
+
+QueryScheduler::QueryScheduler(GraphStore &store, TransformCache &cache,
+                               SchedulerOptions options)
+    : store_(store), mutableStore_(&store), cache_(cache),
+      options_(options),
       workers_(par::resolveThreads(options.workers)),
       breaker_(options.breaker)
 {
@@ -426,10 +442,10 @@ QueryScheduler::runBatch(std::span<const QuerySpec> batch)
         if (!admitted[i] || !cacheable(batch[i]))
             continue;
         const QuerySpec &spec = batch[i];
-        const TransformKey key{spec.graph,
-                               &store_.at(spec.graph).graph,
-                               spec.strategy, spec.degreeBound,
-                               spec.mwVirtualWarp};
+        const StoredGraph &entry = store_.at(spec.graph);
+        const TransformKey key{spec.graph, &entry.graph, spec.strategy,
+                               spec.degreeBound, spec.mwVirtualWarp,
+                               entry.epoch};
         const std::size_t faults_before = results[i].faultTrace.size();
         fault::FaultScope scope(options_.faultPlan,
                                 scopeKey(batch_seq, i), 0,
@@ -589,6 +605,144 @@ QueryScheduler::runBatch(std::span<const QuerySpec> batch)
             .set(cache_stats.entries);
     }
     return results;
+}
+
+void
+QueryScheduler::applyMutation(const MutationSpec &spec,
+                              MutationResult &result,
+                              std::uint64_t scope_key,
+                              obs::MetricsRegistry &metrics)
+{
+    auto reject = [&](ServiceErrorKind kind, std::string why) {
+        result.error = ServiceError{kind, std::nullopt, why};
+        result.message = std::move(why);
+        metrics.counter("scheduler.mutation_errors").add();
+    };
+    if (!mutableStore_) {
+        reject(ServiceErrorKind::InvalidQuery,
+               "mutations require a scheduler over a mutable store");
+        return;
+    }
+    const StoredGraph *entry = mutableStore_->find(spec.graph);
+    if (!entry) {
+        reject(ServiceErrorKind::InvalidQuery,
+               "unknown graph '" + spec.graph + "'");
+        return;
+    }
+    const std::uint64_t epoch_before = entry->epoch;
+    result.epoch = epoch_before;
+
+    // Generated tails are drawn against the graph's state *now*, so a
+    // MutationSpec sequence is deterministic batch-by-batch even when
+    // earlier specs in the same call mutated the graph.
+    dynamic::MutationBatch batch = spec.mutations;
+    if (spec.generate) {
+        dynamic::MutationBatch tail =
+            dynamic::generateBatch(entry->graph, *spec.generate);
+        batch.insert(batch.end(), tail.begin(), tail.end());
+    }
+
+    if (options_.trace) {
+        std::size_t inserts = 0, deletes = 0, reweights = 0;
+        for (const dynamic::Mutation &m : batch) {
+            switch (m.kind) {
+              case dynamic::MutationKind::InsertEdge: ++inserts; break;
+              case dynamic::MutationKind::DeleteEdge: ++deletes; break;
+              case dynamic::MutationKind::UpdateWeight:
+                ++reweights;
+                break;
+            }
+        }
+        obs::TraceEvent event;
+        event.kind = obs::EventKind::MutationBegin;
+        event.label[0] = spec.graph; // owned by the caller's spec
+        event.arg[0] = epoch_before + 1;
+        event.arg[1] = batch.size();
+        event.arg[2] = inserts;
+        event.arg[3] = deletes;
+        event.arg[4] = reweights;
+        result.trace.record(event);
+    }
+
+    fault::FaultScope scope(options_.faultPlan, scope_key, 0,
+                            &result.faultTrace);
+    try {
+        const MutateResult applied =
+            mutableStore_->mutate(spec.graph, batch);
+        result.applied = true;
+        result.epoch = applied.epoch;
+        result.inserts = applied.delta.inserts;
+        result.deletes = applied.delta.deletes;
+        result.reweights = applied.delta.reweights;
+        result.touched = applied.delta.touched.size();
+        result.repaired = applied.repair.repairedVertices;
+        result.resplits = applied.repair.resplitFamilies;
+        result.compacted = applied.compacted;
+        result.reclaimed = applied.reclaimed;
+        if (options_.trace) {
+            obs::TraceEvent event;
+            event.kind = obs::EventKind::MutationApply;
+            event.arg[0] = applied.epoch;
+            event.arg[1] = result.touched;
+            event.arg[2] = applied.liveEdges;
+            event.arg[3] = applied.slackSlots;
+            result.trace.record(event);
+            if (applied.virtualRepaired) {
+                obs::TraceEvent resplit;
+                resplit.kind = obs::EventKind::MutationResplit;
+                resplit.arg[0] = applied.epoch;
+                resplit.arg[1] = applied.repair.repairedVertices;
+                resplit.arg[2] = applied.repair.resplitFamilies;
+                resplit.arg[3] = applied.repair.shiftedEntries;
+                resplit.arg[4] = applied.repair.entriesAfter;
+                result.trace.record(resplit);
+            }
+            if (applied.compacted) {
+                obs::TraceEvent compact;
+                compact.kind = obs::EventKind::MutationCompact;
+                compact.arg[0] = applied.epoch;
+                compact.arg[1] = applied.reclaimed;
+                compact.arg[2] = applied.liveEdges;
+                result.trace.record(compact);
+            }
+        }
+        metrics.counter("scheduler.mutations").add();
+    } catch (const std::exception &e) {
+        if (options_.trace)
+            traceFaults(result.trace, result.faultTrace, 0);
+        ServiceError error = classifyFailure(e);
+        result.message = error.message;
+        result.error = std::move(error);
+        // A mutation.compact fault fires after the new epoch was
+        // published: the mutation landed, only reclamation failed.
+        result.epoch = mutableStore_->epochOf(spec.graph);
+        result.applied = result.epoch != epoch_before;
+        metrics.counter("scheduler.mutation_errors").add();
+    }
+    // Drop schedules built over superseded epochs — stale keys can
+    // never be served again; this just releases their memory early.
+    if (result.applied)
+        cache_.invalidateStale(spec.graph, result.epoch);
+}
+
+MutationBatchResult
+QueryScheduler::runBatch(std::span<const MutationSpec> mutations,
+                         std::span<const QuerySpec> queries)
+{
+    obs::MetricsRegistry &metrics =
+        options_.metrics ? *options_.metrics
+                         : obs::MetricsRegistry::disabled();
+    MutationBatchResult out;
+    out.mutations.resize(mutations.size());
+    // Mutations share the upcoming query batch's sequence number (the
+    // query phase increments it); their fault sites are disjoint from
+    // the query-phase sites, so scope keys cannot collide in effect.
+    const std::uint64_t mutation_seq = batchSeq_;
+    for (std::size_t i = 0; i < mutations.size(); ++i)
+        applyMutation(mutations[i], out.mutations[i],
+                      scopeKey(mutation_seq, i), metrics);
+    out.queries = runBatch(queries);
+    return out;
 }
 
 } // namespace tigr::service

@@ -59,6 +59,7 @@
 #include <string>
 #include <vector>
 
+#include "dynamic/mutation.hpp"
 #include "engine/strategy.hpp"
 #include "engine/graph_engine.hpp"
 #include "fault/fault.hpp"
@@ -106,6 +107,54 @@ struct QuerySpec
      * deterministic — use deadlineSimMs when reproducibility matters.
      */
     double deadlineWallMs = 0.0;
+};
+
+/** One mutation job: an explicit batch, a generated one, or both
+ *  (explicit mutations first, then the generated tail — applied as a
+ *  single epoch). */
+struct MutationSpec
+{
+    /** Store name of the graph to mutate. */
+    std::string graph;
+    /** Explicit mutations, applied in order. */
+    dynamic::MutationBatch mutations;
+    /** When set, a seeded batch generated against the graph's state at
+     *  apply time (dynamic::generateBatch) is appended. */
+    std::optional<dynamic::GeneratorSpec> generate;
+};
+
+/** Result of one mutation, in batch order. */
+struct MutationResult
+{
+    /** True when the epoch advanced. A `mutation.compact` fault can
+     *  leave applied=true alongside an error: the mutation landed and
+     *  only slack reclamation was interrupted. */
+    bool applied = false;
+    /** Diagnostic for failures. */
+    std::string message;
+    /** Typed failure detail (empty on clean success). */
+    std::optional<ServiceError> error;
+    /** The graph's epoch after this mutation (unchanged on a clean
+     *  rejection). */
+    std::uint64_t epoch = 0;
+    /** Mutations applied, by kind. */
+    std::size_t inserts = 0;
+    std::size_t deletes = 0;
+    std::size_t reweights = 0;
+    /** Distinct vertices the batch touched. */
+    std::size_t touched = 0;
+    /** Incremental virtual-array repair counters (0 when the entry has
+     *  no virtual section). */
+    std::size_t repaired = 0;
+    std::size_t resplits = 0;
+    /** True when the slack threshold triggered a compaction. */
+    bool compacted = false;
+    /** Arena slots the compaction reclaimed. */
+    std::uint64_t reclaimed = 0;
+    /** Every fault injected into this mutation, in firing order. */
+    fault::FaultTrace faultTrace;
+    /** Structured trace (empty unless SchedulerOptions::trace). */
+    obs::TraceSink trace;
 };
 
 /** How a query ended. Every outcome is terminal: runBatch() never
@@ -174,6 +223,13 @@ struct QueryResult
     obs::TraceSink trace;
 };
 
+/** Combined result of a mutation-then-query batch. */
+struct MutationBatchResult
+{
+    std::vector<MutationResult> mutations;
+    std::vector<QueryResult> queries;
+};
+
 /** Scheduler tuning. */
 struct SchedulerOptions
 {
@@ -220,6 +276,11 @@ class QueryScheduler
     QueryScheduler(const GraphStore &store, TransformCache &cache,
                    SchedulerOptions options = {});
 
+    /** A scheduler over a mutable store can additionally run mutation
+     *  batches (the two-span runBatch overload). */
+    QueryScheduler(GraphStore &store, TransformCache &cache,
+                   SchedulerOptions options = {});
+
     /** Worker count batches actually run with. */
     unsigned workers() const { return workers_; }
 
@@ -230,6 +291,20 @@ class QueryScheduler
      * every query gets a terminal typed outcome.
      */
     std::vector<QueryResult> runBatch(std::span<const QuerySpec> batch);
+
+    /**
+     * Epoch-consistent mutate-then-query batch: every mutation is
+     * applied serially, in batch order, BEFORE any query runs, so all
+     * queries observe the final epoch of this batch — and, since the
+     * query phase inherits the plain runBatch() contract over a store
+     * that no longer changes, per-query results are bit-identical at
+     * any worker count. Requires the mutable-store constructor:
+     * mutations on a read-only scheduler are rejected with a typed
+     * error (and the queries still run). Never throws.
+     */
+    MutationBatchResult
+    runBatch(std::span<const MutationSpec> mutations,
+             std::span<const QuerySpec> queries);
 
     /** The per-graph circuit breaker (inspection / manual reset). */
     CircuitBreaker &breaker() { return breaker_; }
@@ -252,7 +327,14 @@ class QueryScheduler
                         &shared,
                     double backoff_sim_ms, QueryResult &result) const;
 
+    /** Apply one mutation (serial phase of the two-span runBatch). */
+    void applyMutation(const MutationSpec &spec, MutationResult &result,
+                       std::uint64_t scope_key,
+                       obs::MetricsRegistry &metrics);
+
     const GraphStore &store_;
+    /** Non-null only for the mutable-store constructor. */
+    GraphStore *mutableStore_ = nullptr;
     TransformCache &cache_;
     SchedulerOptions options_;
     unsigned workers_;

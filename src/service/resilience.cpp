@@ -17,6 +17,7 @@ serviceErrorKindName(ServiceErrorKind kind)
       case ServiceErrorKind::CacheInsert: return "cache-insert";
       case ServiceErrorKind::Engine: return "engine";
       case ServiceErrorKind::Resource: return "resource";
+      case ServiceErrorKind::Mutation: return "mutation";
     }
     return "unknown";
 }
@@ -33,6 +34,7 @@ ServiceError::retryable() const
       case ServiceErrorKind::CacheInsert:
       case ServiceErrorKind::Engine:
       case ServiceErrorKind::Resource:
+      case ServiceErrorKind::Mutation:
         return true;
     }
     return false;
@@ -62,6 +64,10 @@ classifyFailure(const std::exception &e)
             break;
           case fault::Site::Alloc:
             error.kind = ServiceErrorKind::Resource;
+            break;
+          case fault::Site::MutationApply:
+          case fault::Site::MutationCompact:
+            error.kind = ServiceErrorKind::Mutation;
             break;
         }
         return error;

@@ -39,6 +39,7 @@ enum class ServiceErrorKind
     CacheInsert,    ///< Retaining a built schedule in the cache failed.
     Engine,         ///< The engine threw mid-run.
     Resource,       ///< Allocation failure (std::bad_alloc).
+    Mutation,       ///< Applying or compacting a mutation batch failed.
 };
 
 /** Display name ("invalid-query", "transform-build", ...). */

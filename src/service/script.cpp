@@ -94,6 +94,51 @@ parseU64(const std::string &text, std::size_t line_no,
     }
 }
 
+MutationSpec
+parseMutate(const std::vector<std::string> &tokens, std::size_t line_no)
+{
+    if (tokens.size() < 2)
+        scriptFail(line_no, "mutate needs: mutate GRAPH [inserts=N "
+                            "deletes=N reweights=N seed=S "
+                            "max-weight=W]");
+    MutationSpec spec;
+    spec.graph = tokens[1];
+    dynamic::GeneratorSpec gen;
+    gen.inserts = 16;
+    gen.deletes = 8;
+    gen.reweights = 8;
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const std::string &token = tokens[i];
+        const auto eq = token.find('=');
+        if (eq == std::string::npos)
+            scriptFail(line_no, "expected key=value, got '" + token +
+                                    "'");
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        if (key == "inserts") {
+            gen.inserts =
+                static_cast<std::size_t>(parseU64(value, line_no, key));
+        } else if (key == "deletes") {
+            gen.deletes =
+                static_cast<std::size_t>(parseU64(value, line_no, key));
+        } else if (key == "reweights") {
+            gen.reweights =
+                static_cast<std::size_t>(parseU64(value, line_no, key));
+        } else if (key == "seed") {
+            gen.seed = parseU64(value, line_no, key);
+        } else if (key == "max-weight") {
+            const std::uint64_t w = parseU64(value, line_no, key);
+            if (w == 0)
+                scriptFail(line_no, "max-weight must be >= 1");
+            gen.maxWeight = static_cast<Weight>(w);
+        } else {
+            scriptFail(line_no, "unknown mutate key '" + key + "'");
+        }
+    }
+    spec.generate = gen;
+    return spec;
+}
+
 QuerySpec
 parseQuery(const std::vector<std::string> &tokens, std::size_t line_no,
            const ScriptOptions &defaults)
@@ -158,6 +203,33 @@ parseQuery(const std::vector<std::string> &tokens, std::size_t line_no,
 }
 
 void
+printMutationResults(std::ostream &out,
+                     const std::vector<MutationSpec> &batch,
+                     const std::vector<MutationResult> &results)
+{
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const MutationResult &r = results[i];
+        out << "mutation " << i << ' ' << batch[i].graph
+            << " applied=" << (r.applied ? 1 : 0)
+            << " epoch=" << r.epoch;
+        if (r.applied) {
+            out << " inserts=" << r.inserts << " deletes=" << r.deletes
+                << " reweights=" << r.reweights
+                << " touched=" << r.touched
+                << " repaired=" << r.repaired
+                << " resplit=" << r.resplits;
+            if (r.compacted)
+                out << " compacted=1 reclaimed=" << r.reclaimed;
+        }
+        if (r.error)
+            out << " error=" << serviceErrorKindName(r.error->kind);
+        if (!r.message.empty())
+            out << " message=\"" << r.message << '"';
+        out << '\n';
+    }
+}
+
+void
 printResults(std::ostream &out,
              const std::vector<QuerySpec> &batch,
              const std::vector<QueryResult> &results)
@@ -218,22 +290,32 @@ runScript(std::istream &in, std::ostream &out,
     sched.trace = tracing;
     QueryScheduler scheduler(store, cache, sched);
 
+    std::vector<MutationSpec> pendingMutations;
     std::vector<QuerySpec> pending;
-    /** One collected trace per executed query, across batches. */
+    /** One collected trace per executed mutation and query, across
+     *  batches (mutation lanes precede query lanes per batch). */
     std::vector<obs::TraceSink> traces;
     bool failed = false;
 
     auto flush = [&]() {
-        if (pending.empty())
+        if (pendingMutations.empty() && pending.empty())
             return;
-        const std::vector<QueryResult> results =
-            scheduler.runBatch(pending);
-        printResults(out, pending, results);
-        if (tracing)
-            for (const QueryResult &r : results)
+        const MutationBatchResult results =
+            scheduler.runBatch(pendingMutations, pending);
+        printMutationResults(out, pendingMutations, results.mutations);
+        printResults(out, pending, results.queries);
+        if (tracing) {
+            for (const MutationResult &r : results.mutations)
                 traces.push_back(r.trace);
-        if (options.failFast && anyTerminalFailure(results))
+            for (const QueryResult &r : results.queries)
+                traces.push_back(r.trace);
+        }
+        for (const MutationResult &r : results.mutations)
+            if (options.failFast && r.error && !r.applied)
+                failed = true;
+        if (options.failFast && anyTerminalFailure(results.queries))
             failed = true;
+        pendingMutations.clear();
         pending.clear();
     };
 
@@ -270,6 +352,7 @@ runScript(std::istream &in, std::ostream &out,
                            "unknown graph '" + tokens[1] + "'");
             Snapshot snapshot;
             snapshot.graph = entry->graph;
+            snapshot.epoch = entry->epoch;
             if (tokens.size() >= 4) {
                 const NodeId k = static_cast<NodeId>(
                     parseU64(tokens[3], line_no, "K"));
@@ -296,6 +379,8 @@ runScript(std::istream &in, std::ostream &out,
                 << '\n';
         } else if (command == "query") {
             pending.push_back(parseQuery(tokens, line_no, options));
+        } else if (command == "mutate") {
+            pendingMutations.push_back(parseMutate(tokens, line_no));
         } else if (command == "run") {
             if (tokens.size() != 1)
                 scriptFail(line_no, "run takes no arguments");
@@ -318,7 +403,8 @@ runScript(std::istream &in, std::ostream &out,
         } else {
             scriptFail(line_no,
                        "unknown command '" + command +
-                           "' (load|snapshot|query|run|stats|metrics)");
+                           "' (load|snapshot|query|mutate|run|stats|"
+                           "metrics)");
         }
     }
     if (!failed)

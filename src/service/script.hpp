@@ -17,9 +17,16 @@
  *       bfs|sssp|sswp|cc|pr|bc. Keys: source=N strategy=S k=N warp=N
  *       pr-iters=N deadline-sim-ms=X deadline-wall-ms=X
  *       frontier=dense|sparse|adaptive frontier-ratio=X.
+ *   mutate GRAPH [key=value ...]
+ *       Append a seeded mutation batch to the pending batch. Keys:
+ *       inserts=N deletes=N reweights=N seed=S max-weight=W
+ *       (defaults 16/8/8/1/64). Mutations run serially, in script
+ *       order, BEFORE the batch's queries — every query in the batch
+ *       observes the final epoch (docs/dynamic.md).
  *   run
  *       Execute the pending batch through the QueryScheduler and print
- *       one result line per query, in batch order.
+ *       one result line per mutation, then one per query, in batch
+ *       order.
  *   stats
  *       Print store and transform-cache counters.
  *   metrics

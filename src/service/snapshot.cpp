@@ -25,12 +25,36 @@ namespace tigr::service {
 namespace {
 
 constexpr char kMagic[8] = {'T', 'I', 'G', 'R', 'S', 'N', 'P', '2'};
-constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersion = 3;
 constexpr std::uint32_t kFlagVirtual = 1u << 0;
 
-/** The fixed on-disk header; field order gives natural alignment, so
- *  the struct is exactly its 80 wire bytes with no padding. */
+/** The current (v3) on-disk header; field order gives natural
+ *  alignment, so the struct is exactly its 88 wire bytes with no
+ *  padding. v3 added the epoch field; the magic stays "TIGRSNP2" as a
+ *  family tag, the version field tells the layouts apart. */
 struct Header
+{
+    char magic[8];
+    std::uint32_t version;
+    std::uint32_t flags;
+    std::uint64_t numNodes;
+    std::uint64_t numEdges;
+    std::uint64_t numVirtualNodes;
+    std::uint32_t virtualDegreeBound;
+    std::uint32_t virtualLayout;
+    std::uint64_t epoch;
+    std::uint64_t payloadOffset;
+    std::uint64_t payloadBytes;
+    std::uint64_t payloadChecksum;
+    std::uint64_t headerChecksum;
+};
+
+static_assert(sizeof(Header) == 88, "snapshot header must be 88 bytes");
+static_assert(std::is_trivially_copyable_v<Header>);
+
+/** The legacy v2 wire header (80 bytes, no epoch). Snapshots written
+ *  before the dynamic subsystem still load; their epoch defaults 0. */
+struct WireHeaderV2
 {
     char magic[8];
     std::uint32_t version;
@@ -46,13 +70,21 @@ struct Header
     std::uint64_t headerChecksum;
 };
 
-static_assert(sizeof(Header) == 80, "snapshot header must be 80 bytes");
-static_assert(std::is_trivially_copyable_v<Header>);
+static_assert(sizeof(WireHeaderV2) == 80,
+              "legacy snapshot header must be 80 bytes");
+static_assert(std::is_trivially_copyable_v<WireHeaderV2>);
 
 /** Bytes of the header covered by headerChecksum (everything before
  *  the checksum field itself). */
 constexpr std::size_t kHeaderHashedBytes =
     sizeof(Header) - sizeof(std::uint64_t);
+
+/** First payload byte for a given header version. */
+constexpr std::uint64_t
+headerWireBytes(std::uint32_t version)
+{
+    return version == 2 ? sizeof(WireHeaderV2) : sizeof(Header);
+}
 
 [[noreturn]] void
 fail(SnapshotErrorKind kind, const std::string &message)
@@ -82,30 +114,19 @@ expectedPayloadBytes(const Header &h)
     return bytes;
 }
 
-/** Validate everything the header alone can prove, in diagnosis order:
- *  magic (is this even ours), version, checksum (is it intact), then
- *  internal consistency of the declared geometry. */
+/** Validate everything a decoded header alone can prove: internal
+ *  consistency of the declared geometry. Magic, version, and checksum
+ *  are layout-dependent and verified by readHeader(). */
 void
 validateHeader(const Header &h)
 {
-    if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0)
-        fail(SnapshotErrorKind::BadMagic,
-             "not a TIGRSNP2 snapshot (bad magic)");
-    if (h.version != kVersion)
-        fail(SnapshotErrorKind::BadVersion,
-             "unsupported snapshot version " +
-                 std::to_string(h.version) + " (this build reads " +
-                 std::to_string(kVersion) + ")");
-    if (graph::fnv1a64(&h, kHeaderHashedBytes) != h.headerChecksum)
-        fail(SnapshotErrorKind::ChecksumMismatch,
-             "snapshot header fails its checksum");
     if (h.flags & ~kFlagVirtual)
         fail(SnapshotErrorKind::Inconsistent,
              "snapshot header sets unknown flags");
     if (!(h.flags & kFlagVirtual) && h.numVirtualNodes != 0)
         fail(SnapshotErrorKind::Inconsistent,
              "virtual node count without a virtual section");
-    if (h.payloadOffset != sizeof(Header))
+    if (h.payloadOffset != headerWireBytes(h.version))
         fail(SnapshotErrorKind::Inconsistent,
              "snapshot payload offset does not follow the header");
     if (h.payloadBytes != expectedPayloadBytes(h))
@@ -114,6 +135,63 @@ validateHeader(const Header &h)
     if (h.virtualLayout > 1)
         fail(SnapshotErrorKind::Inconsistent,
              "snapshot declares an unknown edge layout");
+}
+
+/**
+ * Read, version-dispatch, and authenticate a header through any
+ * cursor, in diagnosis order: magic (is this even ours), version (do
+ * we know its layout), checksum (is it intact). A v2 header is widened
+ * to the in-memory Header with epoch 0; the version field keeps the
+ * wire version so later checks know where the payload starts.
+ */
+template <typename Cursor>
+Header
+readHeader(Cursor &cursor)
+{
+    unsigned char raw[sizeof(Header)];
+    cursor.read(raw, sizeof(WireHeaderV2));
+    // Both layouts put magic at 0 and version at 8.
+    std::uint32_t version;
+    if (std::memcmp(raw, kMagic, sizeof(kMagic)) != 0)
+        fail(SnapshotErrorKind::BadMagic,
+             "not a TIGRSNP2 snapshot (bad magic)");
+    std::memcpy(&version, raw + sizeof(kMagic), sizeof(version));
+    Header h{};
+    if (version == 2) {
+        WireHeaderV2 v2{};
+        std::memcpy(&v2, raw, sizeof(WireHeaderV2));
+        if (graph::fnv1a64(&v2, sizeof(WireHeaderV2) -
+                                    sizeof(std::uint64_t)) !=
+            v2.headerChecksum)
+            fail(SnapshotErrorKind::ChecksumMismatch,
+                 "snapshot header fails its checksum");
+        std::memcpy(h.magic, v2.magic, sizeof(h.magic));
+        h.version = v2.version;
+        h.flags = v2.flags;
+        h.numNodes = v2.numNodes;
+        h.numEdges = v2.numEdges;
+        h.numVirtualNodes = v2.numVirtualNodes;
+        h.virtualDegreeBound = v2.virtualDegreeBound;
+        h.virtualLayout = v2.virtualLayout;
+        h.epoch = 0;
+        h.payloadOffset = v2.payloadOffset;
+        h.payloadBytes = v2.payloadBytes;
+        h.payloadChecksum = v2.payloadChecksum;
+        h.headerChecksum = v2.headerChecksum;
+    } else if (version == kVersion) {
+        cursor.read(raw + sizeof(WireHeaderV2),
+                    sizeof(Header) - sizeof(WireHeaderV2));
+        std::memcpy(&h, raw, sizeof(Header));
+        if (graph::fnv1a64(&h, kHeaderHashedBytes) != h.headerChecksum)
+            fail(SnapshotErrorKind::ChecksumMismatch,
+                 "snapshot header fails its checksum");
+    } else {
+        fail(SnapshotErrorKind::BadVersion,
+             "unsupported snapshot version " + std::to_string(version) +
+                 " (this build reads 2 and " + std::to_string(kVersion) +
+                 ")");
+    }
+    return h;
 }
 
 /** Structural validation of the decoded arrays (checksums passing only
@@ -210,6 +288,7 @@ makeHeader(const Snapshot &snapshot)
     h.virtualLayout =
         snapshot.virtualLayout == transform::EdgeLayout::Coalesced ? 1
                                                                    : 0;
+    h.epoch = snapshot.epoch;
     h.payloadOffset = sizeof(Header);
     h.payloadBytes = expectedPayloadBytes(h);
     return h;
@@ -272,8 +351,7 @@ template <typename Cursor>
 Snapshot
 decode(Cursor &cursor)
 {
-    Header h{};
-    cursor.read(&h, sizeof(Header));
+    const Header h = readHeader(cursor);
     validateHeader(h);
 
     std::uint64_t checksum = graph::kFnv1aBasis;
@@ -315,6 +393,7 @@ decode(Cursor &cursor)
     snapshot.virtualLayout = h.virtualLayout == 1
                                  ? transform::EdgeLayout::Coalesced
                                  : transform::EdgeLayout::Consecutive;
+    snapshot.epoch = h.epoch;
     return snapshot;
 }
 
@@ -371,8 +450,11 @@ loadSnapshotMmap(const std::filesystem::path &path)
 
     const auto *data = static_cast<const unsigned char *>(mapped);
     if (size >= sizeof(Header)) {
-        Header h{};
-        std::memcpy(&h, data, sizeof(Header));
+        // Any intact snapshot is at least 88 bytes (a v2 header is 80
+        // and the smallest payload is one u64), so the pre-check can
+        // always parse the header out of the first 88.
+        MemCursor cursor{data, size};
+        const Header h = readHeader(cursor);
         validateHeader(h);
         checkFileSize(path, size, h);
     }
@@ -652,8 +734,12 @@ loadSnapshotFile(const std::filesystem::path &path,
     const std::uint64_t actual =
         std::filesystem::file_size(path, ec);
     if (!ec && actual >= sizeof(Header)) {
-        Header h{};
-        in.read(reinterpret_cast<char *>(&h), sizeof(Header));
+        // See loadSnapshotMmap: 88 bytes always cover the header of
+        // any intact snapshot, v2 or v3.
+        unsigned char raw[sizeof(Header)];
+        in.read(reinterpret_cast<char *>(raw), sizeof(Header));
+        MemCursor cursor{raw, sizeof(Header)};
+        const Header h = readHeader(cursor);
         validateHeader(h);
         checkFileSize(path, actual, h);
         in.seekg(0);

@@ -6,19 +6,24 @@
  * virtual node array (Section 4 of the paper) — in one self-describing
  * container that loads in O(read) with no rebuild:
  *
- *   header  (80 bytes, fixed)
+ *   header  (88 bytes, fixed)
  *     magic            "TIGRSNP2"                       8 bytes
- *     version          u32  (currently 2)
+ *     version          u32  (currently 3)
  *     flags            u32  (bit 0: virtual section present)
  *     numNodes         u64
  *     numEdges         u64
  *     numVirtualNodes  u64  (0 without the virtual section)
  *     virtualDegreeBound  u32   }  build parameters of the
  *     virtualLayout       u32   }  persisted virtual array
- *     payloadOffset    u64  (first payload byte; = 80)
+ *     epoch            u64  (mutation epoch of the persisted state)
+ *     payloadOffset    u64  (first payload byte; = 88)
  *     payloadBytes     u64  (total payload size)
  *     payloadChecksum  u64  (FNV-1a 64 of the payload bytes)
- *     headerChecksum   u64  (FNV-1a 64 of the preceding 72 bytes)
+ *     headerChecksum   u64  (FNV-1a 64 of the preceding 80 bytes)
+ *
+ * Version 2 files (80-byte header, no epoch field) predate the dynamic
+ * subsystem and still load — their epoch defaults to 0. The writer
+ * always emits version 3.
  *   payload (little-endian arrays, in this order)
  *     rowOffsets   (numNodes + 1) x u64
  *     colIndices   numEdges x u32
@@ -102,6 +107,9 @@ struct Snapshot
         transform::EdgeLayout::Coalesced;
     /** The persisted virtual node array (empty without the section). */
     std::vector<transform::VirtualNode> virtualNodes;
+    /** Mutation epoch of the persisted state (0 for never-mutated
+     *  graphs and for legacy v2 files, which predate the field). */
+    std::uint64_t epoch = 0;
 };
 
 /** How loadSnapshotFile maps the file into memory. */

@@ -135,6 +135,30 @@ TransformCache::invalidateGraph(const graph::Csr *graph)
     publishGauges();
 }
 
+std::size_t
+TransformCache::invalidateStale(std::string_view graph_id,
+                                std::uint64_t current_epoch)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t dropped = 0;
+    for (auto it = lru_.begin(); it != lru_.end();) {
+        if (it->key.graphId == graph_id &&
+            it->key.epoch != current_epoch) {
+            stats_.bytes -= it->bytes;
+            ++stats_.evictions;
+            ++dropped;
+            metrics().counter("cache.evictions").add();
+            index_.erase(it->key);
+            it = lru_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    stats_.entries = lru_.size();
+    publishGauges();
+    return dropped;
+}
+
 void
 TransformCache::clear()
 {

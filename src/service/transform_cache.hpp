@@ -15,6 +15,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <tuple>
 
 #include "engine/graph_engine.hpp"
@@ -42,6 +43,11 @@ struct TransformKey
     engine::Strategy strategy = engine::Strategy::TigrVPlus;
     NodeId degreeBound = 10;
     unsigned mwVirtualWarp = 8;
+    /** Mutation epoch of the store entry the schedule was built over:
+     *  a mutated graph's queries key a fresh build, and entries from
+     *  superseded epochs go stale (see invalidateStale) rather than
+     *  ever being served for the new graph. */
+    std::uint64_t epoch = 0;
 
     friend bool operator==(const TransformKey &,
                            const TransformKey &) = default;
@@ -49,9 +55,9 @@ struct TransformKey
     operator<=>(const TransformKey &a, const TransformKey &b)
     {
         return std::tie(a.graphId, a.graph, a.strategy, a.degreeBound,
-                        a.mwVirtualWarp) <=>
+                        a.mwVirtualWarp, a.epoch) <=>
                std::tie(b.graphId, b.graph, b.strategy, b.degreeBound,
-                        b.mwVirtualWarp);
+                        b.mwVirtualWarp, b.epoch);
     }
 };
 
@@ -120,6 +126,14 @@ class TransformCache
     /** Drop every entry whose key references @p graph (call before a
      *  GraphStore::remove so no schedule outlives its graph). */
     void invalidateGraph(const graph::Csr *graph);
+
+    /** Drop every entry for @p graph_id built over an epoch other than
+     *  @p current_epoch. Called after a mutation publishes a new epoch:
+     *  stale schedules can never be served (their key's epoch differs),
+     *  so this only releases their memory early instead of waiting for
+     *  LRU eviction. Returns the number of entries dropped. */
+    std::size_t invalidateStale(std::string_view graph_id,
+                                std::uint64_t current_epoch);
 
     /** Drop everything. */
     void clear();

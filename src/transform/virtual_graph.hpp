@@ -7,8 +7,10 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/csr.hpp"
@@ -44,6 +46,12 @@ struct VirtualNode
     EdgeIndex start = 0;     ///< First owned edge-array slot.
     EdgeIndex stride = 1;    ///< Distance between owned slots.
     std::uint32_t count = 0; ///< Number of owned slots (<= K).
+
+    /** Field-wise equality (the struct has tail padding, so memcmp
+     *  would compare indeterminate bytes — the incremental repair's
+     *  byte-identity check compares entries with this instead). */
+    friend bool operator==(const VirtualNode &,
+                           const VirtualNode &) = default;
 };
 
 /**
@@ -129,18 +137,18 @@ class VirtualGraph
 };
 
 /**
- * On-the-fly mapping reasoning for a single node: recompute node
- * @p v's family decomposition from its degree and @p degree_bound and
- * call @p fn once per virtual node, with the same VirtualNode record
- * VirtualGraph would store.
+ * The family-decomposition math itself, independent of any Csr: emit
+ * node @p v's virtual entries given only its edge segment (@p begin,
+ * degree @p d). This is the vertex-locality property Section 4 leans
+ * on — a node's family is a pure function of (begin, d, K, layout) —
+ * and what lets the dynamic subsystem's IncrementalVirtualizer repair
+ * one vertex's entries without a graph object in hand.
  */
 template <typename Fn>
 void
-forEachVirtualNodeOf(const graph::Csr &physical, NodeId v,
+forEachVirtualNodeAt(NodeId v, EdgeIndex begin, EdgeIndex d,
                      NodeId degree_bound, EdgeLayout layout, Fn &&fn)
 {
-    const EdgeIndex begin = physical.edgeBegin(v);
-    const EdgeIndex d = physical.degree(v);
     const EdgeIndex family =
         d == 0 ? 1 : (d + degree_bound - 1) / degree_bound;
     for (EdgeIndex r = 0; r < family; ++r) {
@@ -163,6 +171,30 @@ forEachVirtualNodeOf(const graph::Csr &physical, NodeId v,
             node.count = 0;
         fn(node);
     }
+}
+
+/** Number of virtual entries node of degree @p d decomposes into:
+ *  max(1, ceil(d / K)) — zero-degree nodes keep one entry. */
+inline EdgeIndex
+familySize(EdgeIndex d, NodeId degree_bound)
+{
+    return d == 0 ? 1 : (d + degree_bound - 1) / degree_bound;
+}
+
+/**
+ * On-the-fly mapping reasoning for a single node: recompute node
+ * @p v's family decomposition from its degree and @p degree_bound and
+ * call @p fn once per virtual node, with the same VirtualNode record
+ * VirtualGraph would store.
+ */
+template <typename Fn>
+void
+forEachVirtualNodeOf(const graph::Csr &physical, NodeId v,
+                     NodeId degree_bound, EdgeLayout layout, Fn &&fn)
+{
+    forEachVirtualNodeAt(v, physical.edgeBegin(v), physical.degree(v),
+                         degree_bound, layout,
+                         std::forward<Fn>(fn));
 }
 
 /**

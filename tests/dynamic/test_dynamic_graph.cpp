@@ -1,0 +1,294 @@
+/**
+ * @file
+ * DynamicGraph: the slack-arena mutable CSR. Pins the strong exception
+ * guarantee of apply(), projected-state validation, slack accounting,
+ * compaction, and the bit-identity of toCsr() against a reference
+ * adjacency-list model of the same mutation semantics.
+ */
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dynamic/dynamic_graph.hpp"
+#include "dynamic/mutation.hpp"
+#include "graph/coo.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+
+namespace tigr::dynamic {
+namespace {
+
+/** 0->1, 0->2, 1->2, 2->0, weights 10/20/30/40. */
+graph::Csr
+smallGraph()
+{
+    graph::CooEdges coo(3);
+    coo.add(0, 1, 10);
+    coo.add(0, 2, 20);
+    coo.add(1, 2, 30);
+    coo.add(2, 0, 40);
+    return graph::Csr::fromCoo(coo);
+}
+
+/** Reference model: per-vertex (dst, weight) lists with the documented
+ *  mutation semantics — insert appends, delete/reweight hit the first
+ *  (src, dst) occurrence. */
+class ReferenceGraph
+{
+  public:
+    explicit ReferenceGraph(const graph::Csr &csr) : adj_(csr.numNodes())
+    {
+        for (NodeId v = 0; v < csr.numNodes(); ++v)
+            for (EdgeIndex e = csr.edgeBegin(v); e < csr.edgeEnd(v); ++e)
+                adj_[v].emplace_back(csr.edgeTarget(e),
+                                     csr.edgeWeight(e));
+    }
+
+    void
+    apply(const MutationBatch &batch)
+    {
+        for (const Mutation &m : batch) {
+            auto &edges = adj_[m.src];
+            switch (m.kind) {
+              case MutationKind::InsertEdge:
+                edges.emplace_back(m.dst, m.weight);
+                break;
+              case MutationKind::DeleteEdge:
+                for (auto it = edges.begin(); it != edges.end(); ++it)
+                    if (it->first == m.dst) {
+                        edges.erase(it);
+                        break;
+                    }
+                break;
+              case MutationKind::UpdateWeight:
+                for (auto &edge : edges)
+                    if (edge.first == m.dst) {
+                        edge.second = m.weight;
+                        break;
+                    }
+                break;
+            }
+        }
+    }
+
+    graph::Csr
+    toCsr() const
+    {
+        graph::CooEdges coo(static_cast<NodeId>(adj_.size()));
+        for (NodeId v = 0; v < static_cast<NodeId>(adj_.size()); ++v)
+            for (const auto &[dst, weight] : adj_[v])
+                coo.add(v, dst, weight);
+        return graph::Csr::fromCoo(coo);
+    }
+
+  private:
+    std::vector<std::vector<std::pair<NodeId, Weight>>> adj_;
+};
+
+TEST(DynamicGraph, ConstructionAdoptsTheSourceTightly)
+{
+    const graph::Csr csr = smallGraph();
+    const DynamicGraph dg(csr);
+    EXPECT_EQ(dg.numNodes(), 3u);
+    EXPECT_EQ(dg.numEdges(), 4u);
+    EXPECT_EQ(dg.epoch(), 0u);
+    EXPECT_EQ(dg.slackSlots(), 0u);
+    EXPECT_EQ(dg.toCsr(), csr);
+    for (NodeId v = 0; v < 3; ++v) {
+        EXPECT_EQ(dg.degree(v), csr.degree(v));
+        EXPECT_EQ(dg.capacity(v), csr.degree(v));
+    }
+}
+
+TEST(DynamicGraph, AppliesOneBatchAsOneEpoch)
+{
+    DynamicGraph dg(smallGraph());
+    const MutationBatch batch{
+        {MutationKind::InsertEdge, 1, 0, 7},
+        {MutationKind::DeleteEdge, 0, 2, 0},
+        {MutationKind::UpdateWeight, 2, 0, 99},
+    };
+    const EpochDelta delta = dg.apply(batch);
+    EXPECT_EQ(delta.epoch, 1u);
+    EXPECT_EQ(dg.epoch(), 1u);
+    EXPECT_EQ(delta.inserts, 1u);
+    EXPECT_EQ(delta.deletes, 1u);
+    EXPECT_EQ(delta.reweights, 1u);
+    EXPECT_EQ(dg.numEdges(), 4u);
+
+    // touched: sorted, unique, with correct degree deltas. Vertex 2 is
+    // reweight-only (oldDegree == newDegree).
+    ASSERT_EQ(delta.touched.size(), 3u);
+    EXPECT_EQ(delta.touched[0], (TouchedVertex{0, 2, 1}));
+    EXPECT_EQ(delta.touched[1], (TouchedVertex{1, 1, 2}));
+    EXPECT_EQ(delta.touched[2], (TouchedVertex{2, 1, 1}));
+
+    // 0's surviving edge, 1's appended edge, 2's new weight.
+    ASSERT_EQ(dg.degree(0), 1u);
+    EXPECT_EQ(dg.outNeighbors(0)[0], 1u);
+    ASSERT_EQ(dg.degree(1), 2u);
+    EXPECT_EQ(dg.outNeighbors(1)[1], 0u);
+    EXPECT_EQ(dg.outWeights(1)[1], 7u);
+    EXPECT_EQ(dg.outWeights(2)[0], 99u);
+}
+
+TEST(DynamicGraph, RejectedBatchLeavesTheGraphBitIdentical)
+{
+    DynamicGraph dg(smallGraph());
+    const graph::Csr before = dg.toCsr();
+    // Valid inserts around an invalid delete: nothing may land.
+    const MutationBatch batch{
+        {MutationKind::InsertEdge, 0, 0, 5},
+        {MutationKind::DeleteEdge, 1, 1, 0}, // (1, 1) does not exist
+        {MutationKind::InsertEdge, 2, 2, 5},
+    };
+    try {
+        dg.apply(batch);
+        FAIL() << "expected MutationError";
+    } catch (const MutationError &error) {
+        EXPECT_EQ(error.kind(), MutationErrorKind::MissingEdge);
+        EXPECT_EQ(error.index(), 1u);
+    }
+    EXPECT_EQ(dg.epoch(), 0u);
+    EXPECT_EQ(dg.toCsr(), before);
+    EXPECT_EQ(dg.slackSlots(), 0u);
+}
+
+TEST(DynamicGraph, ValidatesAgainstTheProjectedState)
+{
+    // Deleting an edge inserted earlier in the same batch is legal...
+    {
+        DynamicGraph dg(smallGraph());
+        const MutationBatch batch{
+            {MutationKind::InsertEdge, 1, 1, 3},
+            {MutationKind::DeleteEdge, 1, 1, 0},
+        };
+        EXPECT_NO_THROW(dg.apply(batch));
+        EXPECT_EQ(dg.degree(1), 1u);
+    }
+    // ...but a second delete of the same pair is not.
+    {
+        DynamicGraph dg(smallGraph());
+        const MutationBatch batch{
+            {MutationKind::DeleteEdge, 0, 1, 0},
+            {MutationKind::DeleteEdge, 0, 1, 0},
+        };
+        try {
+            dg.apply(batch);
+            FAIL() << "expected MutationError";
+        } catch (const MutationError &error) {
+            EXPECT_EQ(error.kind(), MutationErrorKind::MissingEdge);
+            EXPECT_EQ(error.index(), 1u);
+        }
+    }
+    // Reweighting a pair the batch already deleted fails too.
+    {
+        DynamicGraph dg(smallGraph());
+        const MutationBatch batch{
+            {MutationKind::DeleteEdge, 0, 1, 0},
+            {MutationKind::UpdateWeight, 0, 1, 9},
+        };
+        EXPECT_THROW(dg.apply(batch), MutationError);
+    }
+}
+
+TEST(DynamicGraph, RejectsOutOfRangeNodes)
+{
+    DynamicGraph dg(smallGraph());
+    try {
+        dg.apply({{MutationKind::InsertEdge, 9, 0, 1}});
+        FAIL() << "expected MutationError";
+    } catch (const MutationError &error) {
+        EXPECT_EQ(error.kind(), MutationErrorKind::SourceOutOfRange);
+    }
+    try {
+        dg.apply({{MutationKind::InsertEdge, 0, 9, 1}});
+        FAIL() << "expected MutationError";
+    } catch (const MutationError &error) {
+        EXPECT_EQ(error.kind(), MutationErrorKind::TargetOutOfRange);
+    }
+    EXPECT_EQ(dg.epoch(), 0u);
+}
+
+TEST(DynamicGraph, InsertIntoFullSegmentRelocatesWithSlack)
+{
+    DynamicGraph dg(smallGraph());
+    const EdgeIndex cap_before = dg.capacity(0);
+    dg.apply({{MutationKind::InsertEdge, 0, 0, 1}});
+    EXPECT_GT(dg.capacity(0), cap_before);
+    EXPECT_GT(dg.slackSlots(), 0u); // the abandoned block is dead slack
+    ASSERT_EQ(dg.degree(0), 3u);
+    EXPECT_EQ(dg.outNeighbors(0)[2], 0u);
+    // Neighbor segments are untouched.
+    EXPECT_EQ(dg.outNeighbors(2)[0], 0u);
+    EXPECT_EQ(dg.outWeights(2)[0], 40u);
+}
+
+TEST(DynamicGraph, CompactRebuildsATightArena)
+{
+    DynamicGraph dg(graph::Csr::fromCoo(
+        graph::rmat({.nodes = 200, .edges = 1600, .seed = 5})));
+    // Churn until there is real slack.
+    for (std::uint64_t seed = 1; seed <= 4; ++seed)
+        dg.apply(generateBatch(
+            dg.toCsr(),
+            {.seed = seed, .inserts = 40, .deletes = 30, .reweights = 10}));
+    ASSERT_GT(dg.slackSlots(), 0u);
+
+    const graph::Csr before = dg.toCsr();
+    const std::uint64_t epoch = dg.epoch();
+    const EdgeIndex slack = dg.slackSlots();
+    const EdgeIndex reclaimed = dg.compact();
+    EXPECT_EQ(reclaimed, slack);
+    EXPECT_EQ(dg.slackSlots(), 0u);
+    EXPECT_EQ(dg.epoch(), epoch); // compaction is not an epoch
+    EXPECT_EQ(dg.compactions(), 1u);
+    EXPECT_EQ(dg.toCsr(), before); // no live edge moved logically
+}
+
+TEST(DynamicGraph, ShouldCompactTracksTheSlackThreshold)
+{
+    // 200 edges out of one hub; deleting 150 leaves 150 dead slots of
+    // a 200-slot arena: > 50% slack and >= 64 slots.
+    graph::CooEdges coo(300);
+    for (NodeId i = 0; i < 200; ++i)
+        coo.add(0, i + 1, 1);
+    DynamicGraph dg(graph::Csr::fromCoo(coo));
+    EXPECT_FALSE(dg.shouldCompact());
+
+    MutationBatch batch;
+    for (NodeId i = 0; i < 150; ++i)
+        batch.push_back({MutationKind::DeleteEdge, 0, i + 1, 0});
+    dg.apply(batch);
+    EXPECT_TRUE(dg.shouldCompact());
+    dg.compact();
+    EXPECT_FALSE(dg.shouldCompact());
+}
+
+TEST(DynamicGraph, MatchesTheReferenceModelOverGeneratedChurn)
+{
+    const graph::Csr start = graph::Csr::fromCoo(
+        graph::rmat({.nodes = 400, .edges = 3200, .seed = 23}));
+    DynamicGraph dg(start);
+    ReferenceGraph ref(start);
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        const MutationBatch batch = generateBatch(
+            dg.toCsr(), {.seed = seed * 31,
+                         .inserts = 25,
+                         .deletes = 20,
+                         .reweights = 15});
+        dg.apply(batch);
+        ref.apply(batch);
+        ASSERT_EQ(dg.toCsr(), ref.toCsr()) << "epoch " << seed;
+        if (dg.shouldCompact()) {
+            dg.compact();
+            ASSERT_EQ(dg.toCsr(), ref.toCsr())
+                << "after compaction at epoch " << seed;
+        }
+    }
+    EXPECT_EQ(dg.epoch(), 6u);
+}
+
+} // namespace
+} // namespace tigr::dynamic

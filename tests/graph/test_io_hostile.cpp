@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Hostile-input behavior of the text loaders: truncated and malformed
+ * lines must throw (never silently drop data), while duplicate edges
+ * and self-loops — legal in every public dataset — must survive the
+ * load and produce a CSR that still validates.
+ */
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/coo.hpp"
+#include "graph/csr.hpp"
+#include "graph/io.hpp"
+#include "graph/validate.hpp"
+
+namespace tigr::graph {
+namespace {
+
+CooEdges
+edgeListFrom(const std::string &text)
+{
+    std::istringstream in(text);
+    return loadEdgeList(in);
+}
+
+CooEdges
+matrixMarketFrom(const std::string &text)
+{
+    std::istringstream in(text);
+    return loadMatrixMarket(in);
+}
+
+TEST(EdgeListHostile, TruncatedLineThrows)
+{
+    // Line 2 lost its destination column (e.g. a cut-off download).
+    EXPECT_THROW(edgeListFrom("0 1 5\n2\n"), std::runtime_error);
+    // A file whose final line was cut mid-edge, without a newline.
+    EXPECT_THROW(edgeListFrom("0 1 5\n3"), std::runtime_error);
+}
+
+TEST(EdgeListHostile, TruncationErrorNamesTheLine)
+{
+    try {
+        edgeListFrom("0 1\n1 2\n9\n");
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &error) {
+        EXPECT_NE(std::string(error.what()).find("line 3"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(EdgeListHostile, NonNumericTokensThrow)
+{
+    EXPECT_THROW(edgeListFrom("a b\n"), std::runtime_error);
+    EXPECT_THROW(edgeListFrom("src dst weight\n"), std::runtime_error);
+}
+
+TEST(EdgeListHostile, DuplicateEdgesAreKeptInOrder)
+{
+    // Parallel edges are data, not noise: both instances load, in file
+    // order, and the CSR keeps the multigraph.
+    const CooEdges coo = edgeListFrom("0 1 5\n0 1 7\n1 0 2\n");
+    ASSERT_EQ(coo.edges().size(), 3u);
+    const Csr csr = Csr::fromCoo(coo);
+    EXPECT_EQ(csr.numEdges(), 3u);
+    ASSERT_EQ(csr.degree(0), 2u);
+    EXPECT_EQ(csr.edgeTarget(csr.edgeBegin(0)), 1u);
+    EXPECT_EQ(csr.edgeWeight(csr.edgeBegin(0)), 5u);
+    EXPECT_EQ(csr.edgeTarget(csr.edgeBegin(0) + 1), 1u);
+    EXPECT_EQ(csr.edgeWeight(csr.edgeBegin(0) + 1), 7u);
+    EXPECT_EQ(validateCsr(csr), std::nullopt);
+}
+
+TEST(EdgeListHostile, SelfLoopsAreKept)
+{
+    const CooEdges coo = edgeListFrom("2 2 3\n0 1 1\n");
+    const Csr csr = Csr::fromCoo(coo);
+    EXPECT_EQ(csr.numEdges(), 2u);
+    ASSERT_EQ(csr.degree(2), 1u);
+    EXPECT_EQ(csr.edgeTarget(csr.edgeBegin(2)), 2u);
+    EXPECT_EQ(validateCsr(csr), std::nullopt);
+}
+
+TEST(EdgeListHostile, CommentsAndBlankLinesAreSkipped)
+{
+    const CooEdges coo =
+        edgeListFrom("# SNAP header\n\n% another comment\n0 1\n");
+    ASSERT_EQ(coo.edges().size(), 1u);
+    // Missing weight column defaults to 1.
+    EXPECT_EQ(coo.edges()[0].weight, 1u);
+}
+
+TEST(MatrixMarketHostile, TruncatedStreamThrows)
+{
+    // The size line promises 3 entries; only 2 arrive.
+    EXPECT_THROW(
+        matrixMarketFrom("%%MatrixMarket matrix coordinate integer "
+                         "general\n3 3 3\n1 2 5\n2 3 4\n"),
+        std::runtime_error);
+}
+
+TEST(MatrixMarketHostile, TruncatedEntryThrows)
+{
+    EXPECT_THROW(
+        matrixMarketFrom("%%MatrixMarket matrix coordinate pattern "
+                         "general\n3 3 2\n1 2\nx\n"),
+        std::runtime_error);
+}
+
+TEST(MatrixMarketHostile, OutOfRangeEntryThrows)
+{
+    EXPECT_THROW(
+        matrixMarketFrom("%%MatrixMarket matrix coordinate pattern "
+                         "general\n2 2 1\n5 1\n"),
+        std::runtime_error);
+    // Matrix Market is 1-based; a 0 coordinate is malformed, not
+    // "node 0".
+    EXPECT_THROW(
+        matrixMarketFrom("%%MatrixMarket matrix coordinate pattern "
+                         "general\n2 2 1\n0 1\n"),
+        std::runtime_error);
+}
+
+TEST(MatrixMarketHostile, BadHeaderThrows)
+{
+    EXPECT_THROW(
+        matrixMarketFrom("%%MatrixMarket matrix array real general\n"),
+        std::runtime_error);
+    EXPECT_THROW(matrixMarketFrom("not a header\n1 1 0\n"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        matrixMarketFrom("%%MatrixMarket matrix coordinate complex "
+                         "general\n1 1 0\n"),
+        std::runtime_error);
+}
+
+TEST(MatrixMarketHostile, MissingSizeLineThrows)
+{
+    EXPECT_THROW(
+        matrixMarketFrom("%%MatrixMarket matrix coordinate pattern "
+                         "general\n% only comments follow\n"),
+        std::runtime_error);
+}
+
+TEST(MatrixMarketHostile, DuplicateEntriesAreKept)
+{
+    const CooEdges coo =
+        matrixMarketFrom("%%MatrixMarket matrix coordinate integer "
+                         "general\n2 2 2\n1 2 5\n1 2 9\n");
+    EXPECT_EQ(coo.edges().size(), 2u);
+    EXPECT_EQ(validateCsr(Csr::fromCoo(coo)), std::nullopt);
+}
+
+TEST(MatrixMarketHostile, SymmetricSelfLoopEmitsOneEdge)
+{
+    // Off-diagonal symmetric entries mirror; the diagonal must not.
+    const CooEdges coo =
+        matrixMarketFrom("%%MatrixMarket matrix coordinate pattern "
+                         "symmetric\n3 3 2\n2 2\n3 1\n");
+    ASSERT_EQ(coo.edges().size(), 3u);
+    const Csr csr = Csr::fromCoo(coo);
+    EXPECT_EQ(csr.degree(1), 1u);
+    EXPECT_EQ(csr.edgeTarget(csr.edgeBegin(1)), 1u);
+    EXPECT_EQ(validateCsr(csr), std::nullopt);
+}
+
+} // namespace
+} // namespace tigr::graph

@@ -316,9 +316,9 @@ splitGraph()
 void
 rewriteChecksums(std::vector<char> &bytes)
 {
-    constexpr std::size_t kHeaderBytes = 80;
-    constexpr std::size_t kPayloadChecksumAt = 64;
-    constexpr std::size_t kHeaderChecksumAt = 72;
+    constexpr std::size_t kHeaderBytes = 88;
+    constexpr std::size_t kPayloadChecksumAt = 72;
+    constexpr std::size_t kHeaderChecksumAt = 80;
     ASSERT_GE(bytes.size(), kHeaderBytes);
     const std::uint64_t payload = graph::fnv1a64(
         bytes.data() + kHeaderBytes, bytes.size() - kHeaderBytes);
@@ -335,7 +335,7 @@ rewriteChecksums(std::vector<char> &bytes)
 std::size_t
 splitGraphStartsOffset(std::size_t num_virtual)
 {
-    return 80 + 6 * sizeof(EdgeIndex) + 4 * sizeof(NodeId) +
+    return 88 + 6 * sizeof(EdgeIndex) + 4 * sizeof(NodeId) +
            4 * sizeof(Weight) + num_virtual * sizeof(NodeId);
 }
 
@@ -427,9 +427,9 @@ TEST_F(SnapshotRejection, EverySingleBitFlipIsCaught)
 
     // Every header byte, plus a stride through the payload.
     std::vector<std::size_t> offsets;
-    for (std::size_t i = 0; i < 80; ++i)
+    for (std::size_t i = 0; i < 88; ++i)
         offsets.push_back(i);
-    for (std::size_t i = 80; i < pristine.size(); i += 97)
+    for (std::size_t i = 88; i < pristine.size(); i += 97)
         offsets.push_back(i);
 
     for (std::size_t offset : offsets) {
@@ -532,6 +532,194 @@ TEST_F(SnapshotRejection, InjectedReadFaultsSurfaceAsIoErrors)
     }
     // Disarmed again: the same file loads cleanly.
     EXPECT_EQ(loadSnapshotFile(file).graph, starGraph());
+}
+
+// ---------------------------------------------------------------------
+// Legacy-format compatibility: v2 snapshots (80-byte header, no epoch
+// field) predate the dynamic subsystem and must keep loading, with
+// epoch defaulting to 0.
+
+using SnapshotLegacy = TempDir;
+
+/** Serialize @p snapshot in the legacy v2 container format, exactly as
+ *  a pre-epoch build's saveSnapshot() wrote it. */
+std::vector<char>
+legacyV2Bytes(const Snapshot &snapshot)
+{
+    struct V2Header
+    {
+        char magic[8];
+        std::uint32_t version;
+        std::uint32_t flags;
+        std::uint64_t numNodes;
+        std::uint64_t numEdges;
+        std::uint64_t numVirtualNodes;
+        std::uint32_t virtualDegreeBound;
+        std::uint32_t virtualLayout;
+        std::uint64_t payloadOffset;
+        std::uint64_t payloadBytes;
+        std::uint64_t payloadChecksum;
+        std::uint64_t headerChecksum;
+    };
+    static_assert(sizeof(V2Header) == 80);
+
+    const graph::Csr &g = snapshot.graph;
+    const std::size_t nv =
+        snapshot.hasVirtual ? snapshot.virtualNodes.size() : 0;
+    std::vector<NodeId> phys(nv);
+    std::vector<EdgeIndex> starts(nv);
+    std::vector<EdgeIndex> strides(nv);
+    std::vector<std::uint32_t> counts(nv);
+    for (std::size_t i = 0; i < nv; ++i) {
+        phys[i] = snapshot.virtualNodes[i].physicalId;
+        starts[i] = snapshot.virtualNodes[i].start;
+        strides[i] = snapshot.virtualNodes[i].stride;
+        counts[i] = snapshot.virtualNodes[i].count;
+    }
+
+    V2Header h{};
+    std::memcpy(h.magic, "TIGRSNP2", 8);
+    h.version = 2;
+    h.flags = snapshot.hasVirtual ? 1u : 0u;
+    h.numNodes = g.numNodes();
+    h.numEdges = g.numEdges();
+    h.numVirtualNodes = nv;
+    h.virtualDegreeBound = snapshot.virtualDegreeBound;
+    h.virtualLayout =
+        snapshot.virtualLayout == transform::EdgeLayout::Coalesced ? 1
+                                                                   : 0;
+    h.payloadOffset = sizeof(V2Header);
+    h.payloadBytes = (h.numNodes + 1) * sizeof(EdgeIndex) +
+                     h.numEdges * (sizeof(NodeId) + sizeof(Weight)) +
+                     nv * (sizeof(NodeId) + 2 * sizeof(EdgeIndex) +
+                           sizeof(std::uint32_t));
+
+    auto hash = [](std::uint64_t seed, const auto &vec) {
+        using T = typename std::decay_t<decltype(vec)>::value_type;
+        return graph::fnv1a64(vec.data(), vec.size() * sizeof(T), seed);
+    };
+    std::uint64_t checksum = graph::kFnv1aBasis;
+    checksum = hash(checksum, g.rowOffsets());
+    checksum = hash(checksum, g.colIndices());
+    checksum = hash(checksum, g.weights());
+    if (snapshot.hasVirtual) {
+        checksum = hash(checksum, phys);
+        checksum = hash(checksum, starts);
+        checksum = hash(checksum, strides);
+        checksum = hash(checksum, counts);
+    }
+    h.payloadChecksum = checksum;
+    h.headerChecksum =
+        graph::fnv1a64(&h, sizeof(V2Header) - sizeof(std::uint64_t));
+
+    std::vector<char> bytes;
+    auto append = [&](const void *data, std::size_t n) {
+        const char *p = static_cast<const char *>(data);
+        bytes.insert(bytes.end(), p, p + n);
+    };
+    auto appendVec = [&](const auto &vec) {
+        using T = typename std::decay_t<decltype(vec)>::value_type;
+        append(vec.data(), vec.size() * sizeof(T));
+    };
+    append(&h, sizeof(V2Header));
+    appendVec(g.rowOffsets());
+    appendVec(g.colIndices());
+    appendVec(g.weights());
+    if (snapshot.hasVirtual) {
+        appendVec(phys);
+        appendVec(starts);
+        appendVec(strides);
+        appendVec(counts);
+    }
+    return bytes;
+}
+
+TEST_F(SnapshotLegacy, V2BytesLoadWithEpochZero)
+{
+    const graph::Csr g = rmatGraph();
+    const transform::VirtualGraph vg(
+        g, 8, transform::EdgeLayout::Coalesced);
+    Snapshot snapshot;
+    snapshot.graph = g;
+    snapshot.hasVirtual = true;
+    snapshot.virtualDegreeBound = 8;
+    snapshot.virtualLayout = transform::EdgeLayout::Coalesced;
+    snapshot.virtualNodes.assign(vg.virtualNodes().begin(),
+                                 vg.virtualNodes().end());
+    const std::vector<char> bytes = legacyV2Bytes(snapshot);
+
+    const auto file = path("legacy.tgs");
+    writeAll(file, bytes);
+    for (auto mode :
+         {SnapshotLoadMode::Stream, SnapshotLoadMode::Mmap}) {
+        Snapshot loaded = loadSnapshotFile(file, mode);
+        EXPECT_EQ(loaded.graph, g);
+        EXPECT_EQ(loaded.epoch, 0u);
+        ASSERT_TRUE(loaded.hasVirtual);
+        ASSERT_EQ(loaded.virtualNodes.size(), vg.virtualNodes().size());
+        for (std::size_t i = 0; i < loaded.virtualNodes.size(); ++i)
+            EXPECT_TRUE(loaded.virtualNodes[i] == vg.virtualNodes()[i]);
+    }
+}
+
+TEST_F(SnapshotLegacy, V2CorruptionIsStillRejected)
+{
+    Snapshot snapshot;
+    snapshot.graph = starGraph();
+    std::vector<char> bytes = legacyV2Bytes(snapshot);
+
+    auto flipped = bytes;
+    flipped[20] ^= 0x01; // node count: header checksum must catch it
+    const auto file = path("l.tgs");
+    writeAll(file, flipped);
+    expectRejected(file, SnapshotErrorKind::ChecksumMismatch);
+
+    flipped = bytes;
+    flipped[flipped.size() - 5] ^= 0x40; // payload bit
+    writeAll(file, flipped);
+    expectRejected(file, SnapshotErrorKind::ChecksumMismatch);
+
+    bytes.resize(70); // mid-header cut
+    writeAll(file, bytes);
+    expectRejected(file, SnapshotErrorKind::Truncated);
+}
+
+TEST(SnapshotLegacyFixture, CheckedInV2FileLoads)
+{
+    // tests/graph/fixtures/legacy_v2.tgs holds splitGraph() plus its
+    // K=2 consecutive virtual array, serialized by a pre-epoch build.
+    const fs::path file =
+        fs::path(TIGR_SNAPSHOT_FIXTURE_DIR) / "legacy_v2.tgs";
+    ASSERT_TRUE(fs::exists(file)) << file;
+    const graph::Csr expect = splitGraph();
+    const transform::VirtualGraph vg(
+        expect, 2, transform::EdgeLayout::Consecutive);
+    for (auto mode :
+         {SnapshotLoadMode::Stream, SnapshotLoadMode::Mmap}) {
+        Snapshot loaded = loadSnapshotFile(file, mode);
+        EXPECT_EQ(loaded.graph, expect);
+        EXPECT_EQ(loaded.epoch, 0u);
+        ASSERT_TRUE(loaded.hasVirtual);
+        EXPECT_EQ(loaded.virtualDegreeBound, 2u);
+        EXPECT_EQ(loaded.virtualLayout,
+                  transform::EdgeLayout::Consecutive);
+        ASSERT_EQ(loaded.virtualNodes.size(),
+                  static_cast<std::size_t>(vg.numVirtualNodes()));
+        for (std::size_t i = 0; i < loaded.virtualNodes.size(); ++i)
+            EXPECT_TRUE(loaded.virtualNodes[i] == vg.virtualNodes()[i]);
+    }
+}
+
+TEST_F(SnapshotLegacy, EpochRoundTripsThroughV3)
+{
+    Snapshot snapshot;
+    snapshot.graph = starGraph();
+    snapshot.epoch = 42;
+    const auto file = path("epoch.tgs");
+    saveSnapshotFile(snapshot, file);
+    for (auto mode :
+         {SnapshotLoadMode::Stream, SnapshotLoadMode::Mmap})
+        EXPECT_EQ(loadSnapshotFile(file, mode).epoch, 42u);
 }
 
 TEST(SnapshotChecksum, Fnv1a64KnownVectorsAndChaining)

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * parsePositiveInt: the shared strict numeric-flag grammar. Every CLI
+ * flag and environment knob that routes through it inherits exactly
+ * these acceptances and rejections, so the table here is the single
+ * spec: plain decimal digits, value in [1, max], nothing else.
+ */
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "par/parse_int.hpp"
+
+namespace tigr::par {
+namespace {
+
+TEST(ParsePositiveInt, AcceptsPlainDecimals)
+{
+    EXPECT_EQ(parsePositiveInt("1", "test"), 1u);
+    EXPECT_EQ(parsePositiveInt("42", "test"), 42u);
+    EXPECT_EQ(parsePositiveInt("007", "test"), 7u);
+    EXPECT_EQ(parsePositiveInt("18446744073709551615", "test"),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParsePositiveInt, RejectsZero)
+{
+    EXPECT_THROW(parsePositiveInt("0", "test"), std::invalid_argument);
+    EXPECT_THROW(parsePositiveInt("00", "test"), std::invalid_argument);
+}
+
+TEST(ParsePositiveInt, RejectsSigns)
+{
+    EXPECT_THROW(parsePositiveInt("-1", "test"), std::invalid_argument);
+    EXPECT_THROW(parsePositiveInt("-42", "test"),
+                 std::invalid_argument);
+    EXPECT_THROW(parsePositiveInt("+5", "test"), std::invalid_argument);
+}
+
+TEST(ParsePositiveInt, RejectsTrailingOrEmbeddedText)
+{
+    EXPECT_THROW(parsePositiveInt("1x", "test"), std::invalid_argument);
+    EXPECT_THROW(parsePositiveInt("12 ", "test"),
+                 std::invalid_argument);
+    EXPECT_THROW(parsePositiveInt(" 12", "test"),
+                 std::invalid_argument);
+    EXPECT_THROW(parsePositiveInt("1_000", "test"),
+                 std::invalid_argument);
+    EXPECT_THROW(parsePositiveInt("0x10", "test"),
+                 std::invalid_argument);
+    EXPECT_THROW(parsePositiveInt("ten", "test"),
+                 std::invalid_argument);
+}
+
+TEST(ParsePositiveInt, RejectsEmpty)
+{
+    EXPECT_THROW(parsePositiveInt("", "test"), std::invalid_argument);
+}
+
+TEST(ParsePositiveInt, RejectsOverflow)
+{
+    // One past UINT64_MAX, and a value that overflows mid-accumulate.
+    EXPECT_THROW(parsePositiveInt("18446744073709551616", "test"),
+                 std::invalid_argument);
+    EXPECT_THROW(parsePositiveInt("99999999999999999999", "test"),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        parsePositiveInt("340282366920938463463374607431768211456",
+                         "test"),
+        std::invalid_argument);
+}
+
+TEST(ParsePositiveInt, EnforcesCallerMax)
+{
+    EXPECT_EQ(parsePositiveInt("1024", "test", 1024), 1024u);
+    EXPECT_THROW(parsePositiveInt("1025", "test", 1024),
+                 std::invalid_argument);
+}
+
+TEST(ParsePositiveInt, MessageNamesOriginAndValue)
+{
+    try {
+        parsePositiveInt("1x", "--queue");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &error) {
+        const std::string message = error.what();
+        EXPECT_NE(message.find("--queue"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("'1x'"), std::string::npos) << message;
+    }
+}
+
+} // namespace
+} // namespace tigr::par

@@ -9,6 +9,8 @@
 #include <fstream>
 #include <sstream>
 
+#include <unistd.h>
+
 #include "cli.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
@@ -23,12 +25,14 @@ namespace fs = std::filesystem;
 class TempDir
 {
   public:
+    // The name must be unique across processes, not just within one:
+    // ctest runs every discovered test as its own process in parallel,
+    // so a static counter alone collides and ~TempDir would delete a
+    // sibling's files mid-test.
     TempDir()
         : path_(fs::temp_directory_path() /
-                ("tigr_cli_test_" +
-                 std::to_string(::testing::UnitTest::GetInstance()
-                                    ->random_seed()) +
-                 "_" + std::to_string(counter_++)))
+                ("tigr_cli_test_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(counter_++)))
     {
         fs::create_directories(path_);
     }

@@ -6,6 +6,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "dynamic/dynamic_graph.hpp"
+#include "dynamic/incremental_virtualizer.hpp"
+#include "dynamic/mutation.hpp"
 #include "engine/graph_engine.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
@@ -16,6 +19,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "par/parse_int.hpp"
 #include "par/thread_pool.hpp"
 #include "service/script.hpp"
 #include "service/snapshot.hpp"
@@ -112,7 +116,8 @@ engineOptionsFromCmd(const CommandLine &cmd, const std::string &who)
                                  ": unknown --strategy '" +
                                  strategy_name + "'");
     options.strategy = *strategy;
-    options.degreeBound = static_cast<NodeId>(cmd.optionU64("k", 10));
+    options.degreeBound =
+        static_cast<NodeId>(cmd.optionPositive("k", 10));
     if (cmd.has("pull"))
         options.direction = engine::Direction::Pull;
     if (cmd.has("dynamic"))
@@ -223,7 +228,7 @@ cmdStats(const CommandLine &cmd, std::ostream &out)
         for (const std::string &algo : algoListOption(cmd, "stats"))
             runAlgorithm(engine, algo, source,
                          static_cast<unsigned>(
-                             cmd.optionU64("iters", 20)),
+                             cmd.optionPositive("iters", 20)),
                          "stats");
         obs::MetricsRegistry registry;
         obs::aggregateTrace(sink, registry);
@@ -238,7 +243,7 @@ cmdGenerate(const CommandLine &cmd, std::ostream &out)
     const std::string type =
         cmd.option("type").value_or("rmat");
     const auto nodes =
-        static_cast<NodeId>(cmd.optionU64("nodes", 1024));
+        static_cast<NodeId>(cmd.optionPositive("nodes", 1024));
     const auto edges = cmd.optionU64("edges", nodes * 16ULL);
     const auto seed = cmd.optionU64("seed", 1);
     const auto output = cmd.option("out");
@@ -252,12 +257,14 @@ cmdGenerate(const CommandLine &cmd, std::ostream &out)
     } else if (type == "ba") {
         coo = graph::barabasiAlbert(
             nodes,
-            static_cast<unsigned>(cmd.optionU64("attach", 4)), seed);
+            static_cast<unsigned>(cmd.optionPositive("attach", 4)),
+            seed);
     } else if (type == "er") {
         coo = graph::erdosRenyi(nodes, edges, seed);
     } else if (type == "ws") {
         coo = graph::wattsStrogatz(
-            nodes, static_cast<unsigned>(cmd.optionU64("k", 2)), 0.2,
+            nodes,
+            static_cast<unsigned>(cmd.optionPositive("k", 2)), 0.2,
             seed);
     } else {
         throw std::runtime_error("tigr generate: unknown --type '" +
@@ -289,7 +296,7 @@ cmdTransform(const CommandLine &cmd, std::ostream &out)
         makeTopology(cmd.option("topology").value_or("udt"));
 
     transform::SplitOptions split;
-    split.degreeBound = static_cast<NodeId>(cmd.optionU64(
+    split.degreeBound = static_cast<NodeId>(cmd.optionPositive(
         "k", graph::chooseUdtK(g.maxOutDegree())));
     split.threads = par::resolveThreads(threadsOption(cmd));
     const std::string dumb = cmd.option("dumb").value_or("zero");
@@ -380,7 +387,7 @@ cmdRun(const CommandLine &cmd, std::ostream &out)
             auto r = engine.pagerank(
                 {.damping = 0.85,
                  .iterations = static_cast<unsigned>(
-                     cmd.optionU64("iters", 20))});
+                     cmd.optionPositive("iters", 20))});
             info = r.info;
             NodeId best = 0;
             for (NodeId v = 0; v < g.numNodes(); ++v)
@@ -478,7 +485,7 @@ cmdTrace(const CommandLine &cmd, std::ostream &out)
     if (source >= g.numNodes())
         throw std::runtime_error("tigr trace: --source out of range");
     const auto pr_iters =
-        static_cast<unsigned>(cmd.optionU64("iters", 20));
+        static_cast<unsigned>(cmd.optionPositive("iters", 20));
 
     const std::vector<std::string> algos = algoListOption(cmd, "trace");
     engine::GraphEngine engine(g, options);
@@ -521,10 +528,8 @@ cmdSnapshot(const CommandLine &cmd, std::ostream &out)
     service::Snapshot snapshot;
     snapshot.graph = std::move(g);
     if (cmd.has("k")) {
-        const NodeId k = static_cast<NodeId>(cmd.optionU64("k", 10));
-        if (k == 0)
-            throw std::runtime_error(
-                "tigr snapshot: --k must be >= 1");
+        const NodeId k =
+            static_cast<NodeId>(cmd.optionPositive("k", 10));
         auto layout = transform::EdgeLayout::Coalesced;
         const std::string layout_name =
             cmd.option("layout").value_or("coalesced");
@@ -570,9 +575,9 @@ cmdServe(const CommandLine &cmd, std::ostream &out)
         options.workers = par::parseThreadCount(
             cmd.option("workers").value_or(""), "--workers");
     options.maxQueuedQueries =
-        cmd.optionU64("queue", options.maxQueuedQueries);
+        cmd.optionPositive("queue", options.maxQueuedQueries);
     options.cacheBytes =
-        cmd.optionU64("cache-mb", options.cacheBytes >> 20) << 20;
+        cmd.optionPositive("cache-mb", options.cacheBytes >> 20) << 20;
     options.maxRetries = static_cast<unsigned>(
         cmd.optionU64("max-retries", options.maxRetries));
     if (cmd.has("fail-fast")) {
@@ -589,6 +594,163 @@ cmdServe(const CommandLine &cmd, std::ostream &out)
     frontierModeOption(cmd, options.frontier);
     frontierRatioOption(cmd, options.frontierRatio);
     return service::runScript(in, out, options);
+}
+
+/**
+ * `tigr mutate <graph>`: stream seeded (or logged) mutation batches
+ * through a DynamicGraph while the incremental virtualizer repairs the
+ * virtual node array epoch by epoch. --verify proves each epoch's
+ * array byte-identical to a from-scratch rebuild (differentialCheck).
+ */
+int
+cmdMutate(const CommandLine &cmd, std::ostream &out)
+{
+    if (cmd.positional.empty())
+        throw std::runtime_error("tigr mutate: missing graph file");
+    graph::Csr g = loadGraphFile(cmd.positional[0]);
+    if (g.numNodes() == 0)
+        throw std::runtime_error("tigr mutate: graph has no nodes");
+
+    const NodeId k = static_cast<NodeId>(cmd.optionPositive("k", 10));
+    auto layout = transform::EdgeLayout::Coalesced;
+    const std::string layout_name =
+        cmd.option("layout").value_or("coalesced");
+    if (layout_name == "consecutive")
+        layout = transform::EdgeLayout::Consecutive;
+    else if (layout_name != "coalesced")
+        throw std::runtime_error("tigr mutate: unknown --layout '" +
+                                 layout_name +
+                                 "' (consecutive|coalesced)");
+    const bool verify = strictFlag(cmd, "verify", "mutate");
+    const bool want_metrics = strictFlag(cmd, "metrics", "mutate");
+
+    // Batches come from a replayed log (--apply) or the seeded
+    // generator; --log saves whichever were applied, so a generated
+    // session can be replayed verbatim later.
+    dynamic::MutationLog log;
+    if (auto apply = cmd.option("apply")) {
+        std::ifstream in(*apply);
+        if (!in)
+            throw std::runtime_error(
+                "tigr mutate: cannot open --apply file '" + *apply +
+                "'");
+        log = dynamic::MutationLog::load(in);
+    }
+
+    dynamic::DynamicGraph dg(g);
+    dynamic::IncrementalVirtualizer virt(dg, k, layout);
+    obs::TraceSink sink;
+
+    const auto batches = cmd.optionPositive("batches", 1);
+    const auto seed = cmd.optionU64("seed", 1);
+    const bool generated = !cmd.has("apply");
+    const std::size_t rounds =
+        generated ? batches : log.batches().size();
+    for (std::size_t round = 0; round < rounds; ++round) {
+        if (generated) {
+            dynamic::GeneratorSpec spec;
+            spec.seed = seed + round;
+            spec.inserts = cmd.optionU64("inserts", 16);
+            spec.deletes = cmd.optionU64("deletes", 8);
+            spec.reweights = cmd.optionU64("reweights", 8);
+            spec.maxWeight = static_cast<Weight>(
+                cmd.optionPositive("max-weight", 64));
+            log.append(dynamic::generateBatch(dg.toCsr(), spec));
+        }
+        const dynamic::MutationBatch &batch = log.batches()[round];
+
+        std::size_t inserts = 0, deletes = 0, reweights = 0;
+        for (const dynamic::Mutation &m : batch) {
+            switch (m.kind) {
+              case dynamic::MutationKind::InsertEdge: ++inserts; break;
+              case dynamic::MutationKind::DeleteEdge: ++deletes; break;
+              case dynamic::MutationKind::UpdateWeight:
+                ++reweights;
+                break;
+            }
+        }
+        obs::TraceEvent begin;
+        begin.kind = obs::EventKind::MutationBegin;
+        begin.label[0] = cmd.positional[0];
+        begin.arg[0] = dg.epoch() + 1;
+        begin.arg[1] = batch.size();
+        begin.arg[2] = inserts;
+        begin.arg[3] = deletes;
+        begin.arg[4] = reweights;
+        sink.record(begin);
+
+        const dynamic::EpochDelta delta = dg.apply(batch);
+        const dynamic::RepairStats repair = virt.applyDelta(delta);
+
+        obs::TraceEvent applied;
+        applied.kind = obs::EventKind::MutationApply;
+        applied.arg[0] = delta.epoch;
+        applied.arg[1] = delta.touched.size();
+        applied.arg[2] = dg.numEdges();
+        applied.arg[3] = dg.slackSlots();
+        sink.record(applied);
+        obs::TraceEvent resplit;
+        resplit.kind = obs::EventKind::MutationResplit;
+        resplit.arg[0] = repair.epoch;
+        resplit.arg[1] = repair.repairedVertices;
+        resplit.arg[2] = repair.resplitFamilies;
+        resplit.arg[3] = repair.shiftedEntries;
+        resplit.arg[4] = repair.entriesAfter;
+        sink.record(resplit);
+
+        out << "epoch " << delta.epoch << ": " << delta.inserts
+            << " inserts, " << delta.deletes << " deletes, "
+            << delta.reweights << " reweights; touched "
+            << delta.touched.size() << ", repaired "
+            << repair.repairedVertices << " (resplit "
+            << repair.resplitFamilies << "), entries "
+            << repair.entriesAfter << "\n";
+
+        if (dg.shouldCompact()) {
+            const EdgeIndex reclaimed = dg.compact();
+            obs::TraceEvent compact;
+            compact.kind = obs::EventKind::MutationCompact;
+            compact.arg[0] = delta.epoch;
+            compact.arg[1] = reclaimed;
+            compact.arg[2] = dg.numEdges();
+            sink.record(compact);
+            out << "  compacted: reclaimed " << reclaimed
+                << " slack slots\n";
+        }
+        if (verify) {
+            if (auto divergence = dynamic::differentialCheck(dg, virt))
+                throw std::runtime_error(
+                    "tigr mutate: differential check failed at epoch " +
+                    std::to_string(delta.epoch) + ": " + *divergence);
+            out << "  verified: virtual array matches full rebuild\n";
+        }
+    }
+
+    out << "final: " << dg.numNodes() << " nodes, " << dg.numEdges()
+        << " edges, epoch " << dg.epoch() << ", "
+        << virt.virtualNodes().size() << " virtual nodes (K=" << k
+        << ", " << (layout == transform::EdgeLayout::Consecutive
+                        ? "consecutive"
+                        : "coalesced")
+        << ")\n";
+
+    if (auto log_path = cmd.option("log")) {
+        std::ofstream log_out(*log_path);
+        if (!log_out)
+            throw std::runtime_error(
+                "tigr mutate: cannot write --log file '" + *log_path +
+                "'");
+        log.save(log_out);
+        out << "mutation log -> " << *log_path << "\n";
+    }
+    if (auto output = cmd.option("out"))
+        saveGraphFile(dg.toCsr(), *output);
+    if (want_metrics) {
+        obs::MetricsRegistry registry;
+        obs::aggregateTrace(sink, registry);
+        out << "\n" << registry.snapshotText();
+    }
+    return 0;
 }
 
 } // namespace
@@ -623,6 +785,16 @@ CommandLine::optionU64(const std::string &key,
                                  *value +
                                  "': expected a non-negative integer");
     }
+}
+
+std::uint64_t
+CommandLine::optionPositive(const std::string &key,
+                            std::uint64_t fallback) const
+{
+    auto value = option(key);
+    if (!value)
+        return fallback;
+    return par::parsePositiveInt(*value, "--" + key);
 }
 
 bool
@@ -720,6 +892,10 @@ usage()
            "[--metrics] [--trace FILE] "
            "[--frontier dense|sparse|adaptive] "
            "[--frontier-ratio F]\n"
+           "  tigr mutate <graph> [--batches N] [--inserts N] "
+           "[--deletes N] [--reweights N] [--seed S] [--max-weight W] "
+           "[--k N] [--layout consecutive|coalesced] [--verify] "
+           "[--apply FILE] [--log FILE] [--out FILE] [--metrics]\n"
            "\n"
            "--algo accepts a comma-separated list; all entries run on "
            "one engine, so later runs reuse the cached transform.\n"
@@ -739,7 +915,12 @@ usage()
            "aggregated counter registry. Both are stamped with "
            "simulated time only, so the output is bit-identical at "
            "any --threads/--workers value. See docs/observability.md."
-           "\n";
+           "\n"
+           "mutate streams seeded edge mutations (or replays --apply "
+           "LOG) through the dynamic graph while the incremental "
+           "virtualizer repairs the virtual node array; --verify "
+           "checks every epoch against a full rebuild. See "
+           "docs/dynamic.md.\n";
 }
 
 int
@@ -759,6 +940,8 @@ runCommand(const CommandLine &cmd, std::ostream &out)
         return cmdSnapshot(cmd, out);
     if (cmd.command == "serve")
         return cmdServe(cmd, out);
+    if (cmd.command == "mutate")
+        return cmdMutate(cmd, out);
     if (cmd.command == "help") {
         out << usage();
         return 0;

@@ -9,6 +9,7 @@
  *   tigr generate --type T --nodes N ...   synthesize a graph file
  *   tigr transform <graph> --out F ...     physical split transform
  *   tigr run <graph> --algo A ...          run an analysis
+ *   tigr mutate <graph> ...                streaming mutation batches
  *
  * Graph files are recognized by extension: .el/.txt/.snap (edge list),
  * .mtx (Matrix Market), .csr (Tigr binary).
@@ -39,6 +40,13 @@ struct CommandLine
     /** The value of --@p key parsed as uint64, or @p fallback. */
     std::uint64_t optionU64(const std::string &key,
                             std::uint64_t fallback) const;
+
+    /** The value of --@p key parsed strictly as a positive integer
+     *  (par::parsePositiveInt: rejects 0, signs, trailing text, and
+     *  overflow), or @p fallback when the flag is absent. For flags
+     *  where 0 is never meaningful (--k, --nodes, --queue, ...). */
+    std::uint64_t optionPositive(const std::string &key,
+                                 std::uint64_t fallback) const;
 
     /** True when --@p key was given (with or without a value). */
     bool has(const std::string &key) const;
