@@ -106,6 +106,23 @@ class DynamicGraph
                 static_cast<std::size_t>(degrees_[v])};
     }
 
+    /** Destination stored in arena slot @p slot. Valid for any slot an
+     *  arena-addressed virtual entry owns (inside a live segment). */
+    NodeId arenaTarget(EdgeIndex slot) const { return targets_[slot]; }
+
+    /** Weight stored in arena slot @p slot, parallel to arenaTarget. */
+    Weight arenaWeight(EdgeIndex slot) const { return weights_[slot]; }
+
+    /** Per-vertex segment begins (size n), for validating externally
+     *  produced arena-addressed virtual arrays. */
+    std::span<const EdgeIndex> segmentBegins() const { return begins_; }
+
+    /** Per-vertex live degrees (size n), parallel to segmentBegins. */
+    std::span<const EdgeIndex> segmentDegrees() const
+    {
+        return degrees_;
+    }
+
     /** Current epoch: number of batches applied so far. */
     std::uint64_t epoch() const { return epoch_; }
 

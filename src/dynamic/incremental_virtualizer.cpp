@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "par/parallel_for.hpp"
+
 namespace tigr::dynamic {
 
 using transform::EdgeLayout;
@@ -12,17 +14,46 @@ using transform::VirtualNode;
 using transform::familySize;
 using transform::forEachVirtualNodeAt;
 
+namespace {
+
+/** Per-vertex family sizes as an exclusive scan: offsets[v] is where
+ *  vertex v's family starts in a tight vertex-ordered entry array,
+ *  offsets[n] the total. Bit-identical for any thread count. */
+std::vector<std::size_t>
+familyOffsets(const DynamicGraph &graph, NodeId degree_bound,
+              par::ThreadPool *pool)
+{
+    const NodeId n = graph.numNodes();
+    std::vector<std::size_t> offsets(static_cast<std::size_t>(n) + 1,
+                                     0);
+    par::parallelFor(pool, n, par::kDefaultGrain,
+                     [&](std::uint64_t v, unsigned) {
+                         offsets[v] = familySize(
+                             graph.degree(static_cast<NodeId>(v)),
+                             degree_bound);
+                     });
+    par::chunkedExclusiveScan(pool, offsets);
+    return offsets;
+}
+
+} // namespace
+
 IncrementalVirtualizer::IncrementalVirtualizer(
-    const DynamicGraph &graph, NodeId degree_bound, EdgeLayout layout)
+    const DynamicGraph &graph, NodeId degree_bound, EdgeLayout layout,
+    StartAddressing addressing, par::ThreadPool *pool)
     : degreeBound_(degree_bound), layout_(layout),
-      epoch_(graph.epoch())
+      addressing_(addressing), epoch_(graph.epoch()), graph_(&graph)
 {
     if (degree_bound == 0)
         throw std::invalid_argument(
             "tigr: virtual degree bound must be positive");
     const NodeId n = graph.numNodes();
-    vbase_.resize(n + 1);
-    begins_.resize(n + 1);
+    if (addressing_ == StartAddressing::Arena) {
+        rebuildArena(pool);
+        return;
+    }
+    vbase_.resize(static_cast<std::size_t>(n) + 1);
+    begins_.resize(static_cast<std::size_t>(n) + 1);
     EdgeIndex edge_cursor = 0;
     EdgeIndex entry_cursor = 0;
     for (NodeId v = 0; v < n; ++v) {
@@ -34,24 +65,160 @@ IncrementalVirtualizer::IncrementalVirtualizer(
     }
     begins_[n] = edge_cursor;
     vbase_[n] = entry_cursor;
-    nodes_.reserve(entry_cursor);
-    for (NodeId v = 0; v < n; ++v)
-        forEachVirtualNodeAt(v, begins_[v], graph.degree(v),
-                             degree_bound, layout,
+    nodes_.resize(entry_cursor);
+    par::parallelFor(pool, n, par::kDefaultGrain,
+                     [&](std::uint64_t i, unsigned) {
+                         const NodeId v = static_cast<NodeId>(i);
+                         std::size_t slot = vbase_[v];
+                         forEachVirtualNodeAt(
+                             v, begins_[v], graph.degree(v),
+                             degreeBound_, layout_,
                              [&](const VirtualNode &node) {
-                                 nodes_.push_back(node);
+                                 nodes_[slot++] = node;
                              });
+                     });
+}
+
+void
+IncrementalVirtualizer::rebuildArena(par::ThreadPool *pool)
+{
+    const NodeId n = graph_->numNodes();
+    entryBegin_.resize(n);
+    entryCount_.resize(n);
+    entryCap_.resize(n);
+    const std::vector<std::size_t> offsets =
+        familyOffsets(*graph_, degreeBound_, pool);
+    const std::size_t total = offsets[n];
+    // Entries are packed tight (every slot live, caps == sizes) but
+    // the buffer keeps ~12% spare capacity: the first relocations
+    // after a rebuild then append at the tail without a reallocation
+    // that would copy the whole array — an O(entries) cliff inside an
+    // otherwise O(touched) repair.
+    nodes_.clear();
+    nodes_.reserve(total + total / 8 + 64);
+    nodes_.resize(total);
+    par::parallelFor(
+        pool, n, par::kDefaultGrain, [&](std::uint64_t i, unsigned) {
+            const NodeId v = static_cast<NodeId>(i);
+            std::size_t slot = offsets[v];
+            forEachVirtualNodeAt(v, graph_->edgeBegin(v),
+                                 graph_->degree(v), degreeBound_,
+                                 layout_,
+                                 [&](const VirtualNode &node) {
+                                     nodes_[slot++] = node;
+                                 });
+            entryBegin_[v] = static_cast<EdgeIndex>(offsets[v]);
+            const EdgeIndex fam =
+                static_cast<EdgeIndex>(slot - offsets[v]);
+            entryCount_[v] = fam;
+            entryCap_[v] = fam;
+        });
+    liveEntries_ = total;
+    compactionsSeen_ = graph_->compactions();
 }
 
 RepairStats
-IncrementalVirtualizer::applyDelta(const EpochDelta &delta)
+IncrementalVirtualizer::rebase(par::ThreadPool *pool)
+{
+    if (addressing_ != StartAddressing::Arena)
+        throw std::logic_error(
+            "tigr: rebase() is an arena-addressing operation; dense "
+            "starts survive graph compaction unchanged");
+    RepairStats stats;
+    stats.entriesBefore = liveEntries_;
+    rebuildArena(pool);
+    // The rebuilt array reflects the graph's *current* state, so
+    // resync the epoch too: a delta the virtualizer refused (applied
+    // to the graph after an unrebased compact) is absorbed here.
+    epoch_ = graph_->epoch();
+    stats.epoch = epoch_;
+    stats.repairedVertices = graph_->numNodes();
+    stats.entriesAfter = liveEntries_;
+    return stats;
+}
+
+void
+IncrementalVirtualizer::requireFreshSlots(const char *what) const
+{
+    if (addressing_ != StartAddressing::Arena)
+        return;
+    if (graph_->compactions() != compactionsSeen_)
+        throw std::logic_error(
+            std::string("tigr: ") + what +
+            " on an arena-addressed virtual array after "
+            "DynamicGraph::compact(); call rebase() first");
+}
+
+RepairStats
+IncrementalVirtualizer::applyDelta(const EpochDelta &delta,
+                                   par::ThreadPool *pool)
 {
     if (delta.epoch != epoch_ + 1)
         throw std::invalid_argument(
             "tigr: delta for epoch " + std::to_string(delta.epoch) +
             " applied to virtual array at epoch " +
             std::to_string(epoch_));
+    if (addressing_ == StartAddressing::Arena)
+        return applyDeltaArena(delta);
+    return applyDeltaDense(delta, pool);
+}
 
+RepairStats
+IncrementalVirtualizer::applyDeltaArena(const EpochDelta &delta)
+{
+    requireFreshSlots("applyDelta");
+    RepairStats stats;
+    stats.entriesBefore = liveEntries_;
+
+    for (const TouchedVertex &t : delta.touched) {
+        const NodeId v = t.vertex;
+        const EdgeIndex seg_begin = graph_->edgeBegin(v);
+        // A family is stale iff its degree changed or the graph
+        // relocated the segment (insert into a full segment moves the
+        // block to the arena tail — detectable even at unchanged
+        // degree because entry 0's start always equals the segment
+        // begin, in both layouts, including zero-degree families).
+        if (t.oldDegree == t.newDegree &&
+            nodes_[entryBegin_[v]].start == seg_begin)
+            continue;
+        const EdgeIndex old_fam = entryCount_[v];
+        const EdgeIndex new_fam =
+            familySize(t.newDegree, degreeBound_);
+        if (new_fam > entryCap_[v]) {
+            // Outgrown family: abandon the block (it becomes entry
+            // slack) and re-home at the tail with growth slack,
+            // mirroring DynamicGraph::relocate.
+            const EdgeIndex cap =
+                new_fam + std::max<EdgeIndex>(2, new_fam / 2);
+            entryBegin_[v] =
+                static_cast<EdgeIndex>(nodes_.size());
+            entryCap_[v] = cap;
+            nodes_.resize(nodes_.size() + cap);
+            ++stats.relocatedFamilies;
+        }
+        std::size_t slot = entryBegin_[v];
+        forEachVirtualNodeAt(v, seg_begin, t.newDegree, degreeBound_,
+                             layout_, [&](const VirtualNode &node) {
+                                 nodes_[slot++] = node;
+                             });
+        entryCount_[v] = new_fam;
+        liveEntries_ += new_fam;
+        liveEntries_ -= old_fam;
+        ++stats.repairedVertices;
+        if (new_fam != old_fam)
+            ++stats.resplitFamilies;
+    }
+
+    epoch_ = delta.epoch;
+    stats.epoch = epoch_;
+    stats.entriesAfter = liveEntries_;
+    return stats;
+}
+
+RepairStats
+IncrementalVirtualizer::applyDeltaDense(const EpochDelta &delta,
+                                        par::ThreadPool *pool)
+{
     RepairStats stats;
     stats.entriesBefore = nodes_.size();
 
@@ -84,8 +251,10 @@ IncrementalVirtualizer::applyDelta(const EpochDelta &delta)
     // ordered, so a left move writes below every later source and a
     // right move above every earlier destination). That caps the
     // repair at one read-modify-write of the affected suffix plus
-    // O(changed families) of real re-splitting — the asymptotic edge
-    // over a full retransform that bench/mutation_throughput asserts.
+    // O(changed families) of real re-splitting. The element-wise
+    // offset and start sweeps parallelize over @p pool (disjoint
+    // slots, bit-identical at any thread count); the run moves stay
+    // serial — their in-place ordering is what makes them safe.
     struct Run
     {
         EdgeIndex srcLo, srcHi, dst;
@@ -108,21 +277,40 @@ IncrementalVirtualizer::applyDelta(const EpochDelta &delta)
     // Offset fix-up for untouched vertices [lo, hi]; skips any array
     // whose running delta is zero, one fused pass when both moved.
     const auto shiftOffsets = [&](NodeId lo, NodeId hi) {
-        if (edge_delta != 0 && entry_delta != 0) {
-            for (NodeId w = lo; w <= hi; ++w) {
-                begins_[w] = static_cast<EdgeIndex>(
-                    static_cast<std::int64_t>(begins_[w]) + edge_delta);
-                vbase_[w] = static_cast<EdgeIndex>(
-                    static_cast<std::int64_t>(vbase_[w]) + entry_delta);
-            }
-        } else if (edge_delta != 0) {
-            for (NodeId w = lo; w <= hi; ++w)
-                begins_[w] = static_cast<EdgeIndex>(
-                    static_cast<std::int64_t>(begins_[w]) + edge_delta);
-        } else if (entry_delta != 0) {
-            for (NodeId w = lo; w <= hi; ++w)
-                vbase_[w] = static_cast<EdgeIndex>(
-                    static_cast<std::int64_t>(vbase_[w]) + entry_delta);
+        const std::uint64_t count =
+            static_cast<std::uint64_t>(hi) - lo + 1;
+        const std::int64_t edelta = edge_delta;
+        const std::int64_t vdelta = entry_delta;
+        if (edelta != 0 && vdelta != 0) {
+            par::parallelFor(
+                pool, count, par::kDefaultGrain,
+                [&, lo](std::uint64_t i, unsigned) {
+                    const std::size_t w = lo + i;
+                    begins_[w] = static_cast<EdgeIndex>(
+                        static_cast<std::int64_t>(begins_[w]) +
+                        edelta);
+                    vbase_[w] = static_cast<EdgeIndex>(
+                        static_cast<std::int64_t>(vbase_[w]) +
+                        vdelta);
+                });
+        } else if (edelta != 0) {
+            par::parallelFor(
+                pool, count, par::kDefaultGrain,
+                [&, lo](std::uint64_t i, unsigned) {
+                    const std::size_t w = lo + i;
+                    begins_[w] = static_cast<EdgeIndex>(
+                        static_cast<std::int64_t>(begins_[w]) +
+                        edelta);
+                });
+        } else if (vdelta != 0) {
+            par::parallelFor(
+                pool, count, par::kDefaultGrain,
+                [&, lo](std::uint64_t i, unsigned) {
+                    const std::size_t w = lo + i;
+                    vbase_[w] = static_cast<EdgeIndex>(
+                        static_cast<std::int64_t>(vbase_[w]) +
+                        vdelta);
+                });
         }
     };
     for (const TouchedVertex *t : changed) {
@@ -194,10 +382,15 @@ IncrementalVirtualizer::applyDelta(const EpochDelta &delta)
         }
         if (r.startDelta != 0) {
             VirtualNode *const run = base + r.dst;
-            for (std::size_t i = 0; i < count; ++i)
-                run[i].start = static_cast<EdgeIndex>(
-                    static_cast<std::int64_t>(run[i].start) +
-                    r.startDelta);
+            const std::int64_t sdelta = r.startDelta;
+            par::parallelFor(pool, count, par::kDefaultGrain,
+                             [&](std::uint64_t i, unsigned) {
+                                 run[i].start =
+                                     static_cast<EdgeIndex>(
+                                         static_cast<std::int64_t>(
+                                             run[i].start) +
+                                         sdelta);
+                             });
             stats.shiftedEntries += count;
         }
     };
@@ -223,6 +416,45 @@ IncrementalVirtualizer::applyDelta(const EpochDelta &delta)
     return stats;
 }
 
+std::vector<VirtualNode>
+IncrementalVirtualizer::canonicalNodes(par::ThreadPool *pool) const
+{
+    if (addressing_ != StartAddressing::Arena)
+        return nodes_;
+    requireFreshSlots("canonicalNodes");
+    const NodeId n = graph_->numNodes();
+    // Dense row offsets plus tight entry offsets, then every entry
+    // maps by its offset inside the vertex's arena segment:
+    // start_dense = dense_begin[v] + (start_arena − arena_begin[v]).
+    std::vector<std::size_t> dense_begin(
+        static_cast<std::size_t>(n) + 1, 0);
+    std::vector<std::size_t> out_off(static_cast<std::size_t>(n) + 1,
+                                     0);
+    par::parallelFor(pool, n, par::kDefaultGrain,
+                     [&](std::uint64_t v, unsigned) {
+                         dense_begin[v] = graph_->degree(
+                             static_cast<NodeId>(v));
+                         out_off[v] = entryCount_[v];
+                     });
+    par::chunkedExclusiveScan(pool, dense_begin);
+    par::chunkedExclusiveScan(pool, out_off);
+    std::vector<VirtualNode> out(liveEntries_);
+    par::parallelFor(
+        pool, n, par::kDefaultGrain, [&](std::uint64_t i, unsigned) {
+            const NodeId v = static_cast<NodeId>(i);
+            const EdgeIndex arena_begin = graph_->edgeBegin(v);
+            const VirtualNode *src = nodes_.data() + entryBegin_[v];
+            VirtualNode *dst = out.data() + out_off[v];
+            for (EdgeIndex e = 0; e < entryCount_[v]; ++e) {
+                VirtualNode node = src[e];
+                node.start = static_cast<EdgeIndex>(
+                    dense_begin[v] + (node.start - arena_begin));
+                dst[e] = node;
+            }
+        });
+    return out;
+}
+
 std::optional<std::string>
 differentialCheck(const DynamicGraph &graph,
                   const IncrementalVirtualizer &virtualizer)
@@ -231,7 +463,14 @@ differentialCheck(const DynamicGraph &graph,
     const transform::VirtualGraph rebuilt(
         dense, virtualizer.degreeBound(), virtualizer.layout());
     const auto expect = rebuilt.virtualNodes();
-    const auto got = virtualizer.virtualNodes();
+    std::vector<VirtualNode> canon;
+    std::span<const VirtualNode> got;
+    if (virtualizer.addressing() == StartAddressing::Arena) {
+        canon = virtualizer.canonicalNodes();
+        got = canon;
+    } else {
+        got = virtualizer.virtualNodes();
+    }
     if (expect.size() != got.size())
         return "virtual array size " + std::to_string(got.size()) +
                " != rebuilt size " + std::to_string(expect.size());
@@ -247,6 +486,26 @@ differentialCheck(const DynamicGraph &graph,
                    std::to_string(expect[i].stride) + " count " +
                    std::to_string(got[i].count) + "/" +
                    std::to_string(expect[i].count);
+    }
+    if (virtualizer.addressing() == StartAddressing::Arena) {
+        // The raw entry arena's own invariants: each family sized by
+        // the live degree, entry 0 anchored at the arena segment.
+        for (NodeId v = 0; v < dense.numNodes(); ++v) {
+            const auto fam = virtualizer.familyOf(v);
+            const std::size_t want = familySize(
+                dense.degree(v), virtualizer.degreeBound());
+            if (fam.size() != want)
+                return "family of node " + std::to_string(v) +
+                       " has " + std::to_string(fam.size()) +
+                       " entries, expected " + std::to_string(want);
+            if (fam[0].start != graph.edgeBegin(v))
+                return "family of node " + std::to_string(v) +
+                       " anchors at arena slot " +
+                       std::to_string(fam[0].start) +
+                       ", segment begins at " +
+                       std::to_string(graph.edgeBegin(v));
+        }
+        return std::nullopt;
     }
     const auto entry_offsets = virtualizer.entryOffsets();
     EdgeIndex entry_cursor = 0;

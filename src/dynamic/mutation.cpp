@@ -1,7 +1,9 @@
 #include "dynamic/mutation.hpp"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
+#include <utility>
 
 namespace tigr::dynamic {
 
@@ -83,6 +85,14 @@ generateBatch(const graph::Csr &graph, const GeneratorSpec &spec)
         return batch;
     const EdgeIndex m = graph.numEdges();
     const Weight max_weight = spec.maxWeight == 0 ? 1 : spec.maxWeight;
+    // The suffix-dominated regime: a nonzero hotSpan restricts insert
+    // sources to [0, hot) and delete/reweight samples to the edge
+    // slots those vertices own. hotSpan == 0 leaves every stream
+    // bit-identical to the historical uniform draw.
+    const NodeId hot =
+        spec.hotSpan == 0 ? n : std::min<NodeId>(spec.hotSpan, n);
+    const EdgeIndex slot_bound =
+        spec.hotSpan == 0 ? m : graph.rowOffsets()[hot];
 
     // Deletes: sample distinct existing edge positions (so two deletes
     // never race for the same edge instance), in ascending order, then
@@ -90,13 +100,14 @@ generateBatch(const graph::Csr &graph, const GeneratorSpec &spec)
     // would need a set; sorting a plain sample and deduplicating is
     // deterministic and just as portable.
     std::vector<EdgeIndex> delete_slots;
-    if (spec.deletes > 0 && m > 0) {
+    if (spec.deletes > 0 && slot_bound > 0) {
         const std::size_t want =
-            std::min<std::size_t>(spec.deletes, m);
+            std::min<std::size_t>(spec.deletes, slot_bound);
         std::vector<EdgeIndex> sample;
         sample.reserve(want * 2);
         for (std::uint64_t i = 0; sample.size() < want; ++i) {
-            const EdgeIndex slot = bounded(draw(spec.seed, 1, i), m);
+            const EdgeIndex slot =
+                bounded(draw(spec.seed, 1, i), slot_bound);
             if (std::find(sample.begin(), sample.end(), slot) ==
                 sample.end())
                 sample.push_back(slot);
@@ -138,12 +149,13 @@ generateBatch(const graph::Csr &graph, const GeneratorSpec &spec)
 
     // Reweights: existing edges whose (src, dst) no delete targets.
     std::vector<Mutation> reweights;
-    if (spec.reweights > 0 && m > 0) {
+    if (spec.reweights > 0 && slot_bound > 0) {
         for (std::uint64_t i = 0;
              reweights.size() < spec.reweights &&
              i < 64 * static_cast<std::uint64_t>(spec.reweights) + 1024;
              ++i) {
-            const EdgeIndex slot = bounded(draw(spec.seed, 2, i), m);
+            const EdgeIndex slot =
+                bounded(draw(spec.seed, 2, i), slot_bound);
             NodeId src = 0;
             // Binary search the offset array for the owning node.
             const auto &offsets = graph.rowOffsets();
@@ -171,7 +183,7 @@ generateBatch(const graph::Csr &graph, const GeneratorSpec &spec)
         Mutation mutation;
         mutation.kind = MutationKind::InsertEdge;
         mutation.src =
-            static_cast<NodeId>(bounded(draw(spec.seed, 4, i), n));
+            static_cast<NodeId>(bounded(draw(spec.seed, 4, i), hot));
         mutation.dst =
             static_cast<NodeId>(bounded(draw(spec.seed, 5, i), n));
         mutation.weight = static_cast<Weight>(
@@ -238,49 +250,89 @@ MutationLog
 MutationLog::load(std::istream &in)
 {
     MutationLog log;
-    MutationBatch *current = nullptr;
-    std::size_t declared = 0;
+    MutationLogReader reader(in);
+    while (std::optional<MutationBatch> batch = reader.next())
+        log.append(std::move(*batch));
+    return log;
+}
+
+std::optional<MutationBatch>
+MutationLogReader::next()
+{
     std::string line;
-    std::size_t line_no = 0;
-    while (std::getline(in, line)) {
-        ++line_no;
+    std::string head;
+    // Tokenize one line: comment-stripped head + field stream. Returns
+    // false for blank/comment-only lines (skip), true otherwise.
+    std::istringstream fields;
+    const auto tokenize = [&]() {
+        ++lineNo_;
         const auto hash = line.find('#');
         if (hash != std::string::npos)
             line.resize(hash);
-        std::istringstream fields(line);
-        std::string head;
-        if (!(fields >> head))
+        fields.clear();
+        fields.str(line);
+        return static_cast<bool>(fields >> head);
+    };
+    const auto want_trailing_clean = [&]() {
+        std::string extra;
+        if (fields >> extra)
+            parseFail(lineNo_,
+                      "unexpected trailing '" + extra + "'");
+    };
+    // Parse the header on `line` (head == "batch" already seen).
+    const auto take_header = [&]() {
+        std::size_t index = 0;
+        if (!(fields >> index >> pendingDeclared_))
+            parseFail(lineNo_, "batch needs: batch INDEX COUNT");
+        want_trailing_clean();
+        if (index != started_)
+            parseFail(lineNo_,
+                      "batch index " + std::to_string(index) +
+                          " out of order (expected " +
+                          std::to_string(started_) + ")");
+        haveHeader_ = true;
+        ++started_;
+    };
+
+    if (!haveHeader_) {
+        // Scan to the first batch header (or a clean end of stream).
+        for (;;) {
+            if (!std::getline(*in_, line))
+                return std::nullopt;
+            if (!tokenize())
+                continue;
+            if (head == "batch") {
+                take_header();
+                break;
+            }
+            if (head != "+" && head != "-" && head != "=")
+                parseFail(lineNo_, "unknown record '" + head + "'");
+            parseFail(lineNo_, "mutation before any batch header");
+        }
+    }
+
+    MutationBatch batch;
+    const std::size_t declared = pendingDeclared_;
+    const auto check_count = [&](const char *which) {
+        if (batch.size() != declared)
+            parseFail(lineNo_,
+                      std::string(which) + " batch declared " +
+                          std::to_string(declared) +
+                          " mutations, recorded " +
+                          std::to_string(batch.size()));
+    };
+    while (std::getline(*in_, line)) {
+        if (!tokenize())
             continue;
-        const auto want_trailing_clean = [&]() {
-            std::string extra;
-            if (fields >> extra)
-                parseFail(line_no, "unexpected trailing '" + extra +
-                                       "'");
-        };
         if (head == "batch") {
-            if (current && current->size() != declared)
-                parseFail(line_no,
-                          "previous batch declared " +
-                              std::to_string(declared) + " mutations, "
-                              "recorded " +
-                              std::to_string(current->size()));
-            std::size_t index = 0;
-            if (!(fields >> index >> declared))
-                parseFail(line_no, "batch needs: batch INDEX COUNT");
-            want_trailing_clean();
-            if (index != log.size())
-                parseFail(line_no,
-                          "batch index " + std::to_string(index) +
-                              " out of order (expected " +
-                              std::to_string(log.size()) + ")");
-            log.batches_.emplace_back();
-            current = &log.batches_.back();
-            continue;
+            // The next header closes this batch; keep it pending so
+            // the following next() call starts from it.
+            check_count("previous");
+            take_header();
+            return batch;
         }
         if (head != "+" && head != "-" && head != "=")
-            parseFail(line_no, "unknown record '" + head + "'");
-        if (!current)
-            parseFail(line_no, "mutation before any batch header");
+            parseFail(lineNo_, "unknown record '" + head + "'");
         Mutation mutation;
         // A negative id must not wrap into a huge unsigned; stream
         // extraction into unsigned already rejects '-', and anything
@@ -289,26 +341,72 @@ MutationLog::load(std::istream &in)
             mutation.kind = MutationKind::InsertEdge;
             if (!(fields >> mutation.src >> mutation.dst >>
                   mutation.weight))
-                parseFail(line_no, "insert needs: + SRC DST WEIGHT");
+                parseFail(lineNo_, "insert needs: + SRC DST WEIGHT");
         } else if (head == "-") {
             mutation.kind = MutationKind::DeleteEdge;
             if (!(fields >> mutation.src >> mutation.dst))
-                parseFail(line_no, "delete needs: - SRC DST");
+                parseFail(lineNo_, "delete needs: - SRC DST");
         } else {
             mutation.kind = MutationKind::UpdateWeight;
             if (!(fields >> mutation.src >> mutation.dst >>
                   mutation.weight))
-                parseFail(line_no, "reweight needs: = SRC DST WEIGHT");
+                parseFail(lineNo_,
+                          "reweight needs: = SRC DST WEIGHT");
         }
         want_trailing_clean();
-        current->push_back(mutation);
+        batch.push_back(mutation);
     }
-    if (current && current->size() != declared)
-        parseFail(line_no, "final batch declared " +
-                               std::to_string(declared) +
-                               " mutations, recorded " +
-                               std::to_string(current->size()));
-    return log;
+    check_count("final");
+    haveHeader_ = false;
+    return batch;
+}
+
+MutationLog
+compactLog(const MutationLog &log)
+{
+    MutationLog compacted;
+    for (const MutationBatch &batch : log.batches()) {
+        std::vector<bool> dead(batch.size(), false);
+        // Last not-yet-superseded reweight per (src, dst) pair.
+        std::map<std::pair<NodeId, NodeId>, std::size_t> pending;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            const Mutation &m = batch[i];
+            const auto pair = std::make_pair(m.src, m.dst);
+            switch (m.kind) {
+              case MutationKind::UpdateWeight: {
+                // Supersedes any pending reweight of the pair: both
+                // write the pair's first occurrence, and nothing
+                // between them can retarget it (inserts only append;
+                // a delete would have cleared the pending slot).
+                const auto it = pending.find(pair);
+                if (it != pending.end())
+                    dead[it->second] = true;
+                pending[pair] = i;
+                break;
+              }
+              case MutationKind::DeleteEdge: {
+                // Removes the occurrence the pending reweight wrote.
+                const auto it = pending.find(pair);
+                if (it != pending.end()) {
+                    dead[it->second] = true;
+                    pending.erase(it);
+                }
+                break;
+              }
+              case MutationKind::InsertEdge:
+                // Appends a new occurrence; never changes which edge
+                // is "first (src, dst)", so pending reweights stand.
+                break;
+            }
+        }
+        MutationBatch kept;
+        kept.reserve(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            if (!dead[i])
+                kept.push_back(batch[i]);
+        compacted.append(std::move(kept));
+    }
+    return compacted;
 }
 
 } // namespace tigr::dynamic

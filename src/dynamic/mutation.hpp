@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 #include <string>
@@ -99,6 +100,14 @@ struct GeneratorSpec
     std::size_t reweights = 0;
     /** Generated weights are uniform in [1, maxWeight]. */
     Weight maxWeight = 64;
+    /** When nonzero, concentrate every edit on vertices with id <
+     *  hotSpan: inserts draw their source there, deletes/reweights
+     *  sample only edges those vertices own. This is the
+     *  suffix-dominated regime — low-id edits force a dense-addressed
+     *  repair to shift (nearly) the whole suffix, while an
+     *  arena-addressed repair stays O(touched)
+     *  (bench/mutation_throughput). 0 = uniform over all vertices. */
+    NodeId hotSpan = 0;
 };
 
 /**
@@ -147,12 +156,68 @@ class MutationLog
     /** Write the canonical text form. */
     void save(std::ostream &out) const;
 
-    /** Parse the text form. @throws MutationError (Parse) naming the
+    /** Parse the text form (whole-log convenience over
+     *  MutationLogReader). @throws MutationError (Parse) naming the
      *  offending line. */
     static MutationLog load(std::istream &in);
 
   private:
     std::vector<MutationBatch> batches_;
 };
+
+/**
+ * Streaming parser over the MutationLog text form: yields one batch at
+ * a time so a long-lived mutation stream can be applied while parsing
+ * — memory stays bounded by the largest single batch, never the log.
+ * Parsing rules, typed Parse errors, and line numbering are exactly
+ * MutationLog::load's (which is now implemented over this reader).
+ */
+class MutationLogReader
+{
+  public:
+    explicit MutationLogReader(std::istream &in) : in_(&in) {}
+
+    /**
+     * Parse and return the next batch, or std::nullopt at a clean end
+     * of stream. @throws MutationError (Parse) naming the offending
+     * line.
+     */
+    std::optional<MutationBatch> next();
+
+    /** Batches returned so far. */
+    std::size_t batchesRead() const { return started_; }
+
+  private:
+    std::istream *in_;
+    std::size_t lineNo_ = 0;
+    /** Batch headers consumed so far (= index expected next). */
+    std::size_t started_ = 0;
+    /** A `batch` header has been consumed whose batch has not been
+     *  returned yet; pendingDeclared_ is its declared count. */
+    bool haveHeader_ = false;
+    std::size_t pendingDeclared_ = 0;
+};
+
+/**
+ * Drop mutations whose effect cannot survive to the end of their own
+ * batch, preserving batch boundaries (epoch numbering) and the exact
+ * graph state after every batch.
+ *
+ * Only the provably state-independent rewrite is applied: a reweight
+ * is dead when a later same-batch mutation of the same (src, dst) pair
+ * supersedes it — another reweight (both write the pair's first
+ * occurrence, and nothing between them can change which edge that is:
+ * inserts only append, and an intervening delete of the pair clears
+ * the pending reweight) or a delete (which removes the occurrence the
+ * reweight wrote). Insert/delete elimination is deliberately *not*
+ * attempted: a delete removes the pair's first occurrence while an
+ * insert appends a new one, so whether they cancel depends on how many
+ * occurrences the graph already holds — unknowable from the log alone.
+ *
+ * Replaying the compacted log therefore reaches a byte-identical
+ * DynamicGraph state at every epoch (proved by
+ * tests/dynamic/test_mutation_stream.cpp).
+ */
+MutationLog compactLog(const MutationLog &log);
 
 } // namespace tigr::dynamic

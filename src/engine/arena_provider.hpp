@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Work-unit provider over an arena-addressed virtual array: queries run
+ * straight off a DynamicGraph's slack arena and its
+ * IncrementalVirtualizer, with no dense toCsr() materialization on the
+ * mutate→query path (docs/dynamic.md, arena addressing).
+ *
+ * Work-unit starts are arena slot indices; the push driver reads edges
+ * exclusively through edgeTarget()/edgeWeight(), which index the arena
+ * target/weight arrays. Because every virtual entry owns slots inside
+ * its vertex's live segment, the enumerated (source, target, weight)
+ * triples — and therefore every analysis value — are identical to a
+ * Schedule over toCsr(); only the slot numbers differ, which the warp
+ * simulator's coalescing stats may observe but values never do.
+ */
+#pragma once
+
+#include <cassert>
+
+#include "dynamic/dynamic_graph.hpp"
+#include "dynamic/incremental_virtualizer.hpp"
+#include "engine/schedule.hpp"
+#include "transform/virtual_graph.hpp"
+
+namespace tigr::engine {
+
+/**
+ * Provider of TigrV / TigrV+ work units addressed into the slack
+ * arena. Interchangeable with Schedule / DynamicVirtualProvider in
+ * runPush (runPull needs a reversed graph, which only a dense
+ * materialization yields).
+ *
+ * Both the graph and the virtualizer are kept by reference and must
+ * outlive the provider; the virtualizer must have been built with
+ * StartAddressing::Arena over that same graph and repaired through the
+ * graph's current epoch.
+ */
+class ArenaVirtualProvider
+{
+  public:
+    ArenaVirtualProvider(const dynamic::DynamicGraph &graph,
+                         const dynamic::IncrementalVirtualizer &virt)
+        : graph_(&graph), virt_(&virt),
+          cost_(costModelFor(virt.layout() ==
+                                     transform::EdgeLayout::Coalesced
+                                 ? Strategy::TigrVPlus
+                                 : Strategy::TigrV))
+    {
+        assert(virt.addressing() ==
+               dynamic::StartAddressing::Arena);
+    }
+
+    /** Destination stored in arena slot @p e. */
+    NodeId edgeTarget(EdgeIndex e) const
+    {
+        return graph_->arenaTarget(e);
+    }
+
+    /** Weight stored in arena slot @p e, parallel to edgeTarget. */
+    Weight edgeWeight(EdgeIndex e) const
+    {
+        return graph_->arenaWeight(e);
+    }
+
+    /** Value nodes = physical nodes (implicit value sync). */
+    NodeId numValueNodes() const { return graph_->numNodes(); }
+
+    /** Tigr cost model for the virtualizer's layout. */
+    const CostModel &cost() const { return cost_; }
+
+    /** The maintained array honors the worklist like every virtual
+     *  design. */
+    bool ignoresWorklist() const { return false; }
+
+    /** Units node @p v decomposes into — O(1) off the entry arena's
+     *  per-vertex family counts. */
+    std::uint64_t unitCountOf(NodeId v) const
+    {
+        return virt_->familyCountOf(v);
+    }
+
+    /** Visit the maintained (arena-addressed) units of node @p v. */
+    template <typename Fn>
+    void
+    forEachUnitOf(NodeId v, Fn &&fn) const
+    {
+        for (const transform::VirtualNode &node : virt_->familyOf(v)) {
+            WorkUnit unit;
+            unit.valueNode = node.physicalId;
+            unit.start = node.start;
+            unit.stride = static_cast<std::uint32_t>(node.stride);
+            unit.count = node.count;
+            fn(unit);
+        }
+    }
+
+    /** Visit every unit of every node, in vertex order. */
+    template <typename Fn>
+    void
+    forEachUnit(Fn &&fn) const
+    {
+        for (NodeId v = 0; v < numValueNodes(); ++v)
+            forEachUnitOf(v, fn);
+    }
+
+  private:
+    const dynamic::DynamicGraph *graph_;
+    const dynamic::IncrementalVirtualizer *virt_;
+    CostModel cost_;
+};
+
+} // namespace tigr::engine

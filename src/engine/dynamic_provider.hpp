@@ -48,6 +48,18 @@ class DynamicVirtualProvider
     /** The physical graph the units index. */
     const graph::Csr &graph() const { return *graph_; }
 
+    /** Destination of edge slot @p e (provider concept). */
+    NodeId edgeTarget(EdgeIndex e) const
+    {
+        return graph_->edgeTarget(e);
+    }
+
+    /** Weight of edge slot @p e, parallel to edgeTarget. */
+    Weight edgeWeight(EdgeIndex e) const
+    {
+        return graph_->edgeWeight(e);
+    }
+
     /** Value nodes = physical nodes (implicit value sync). */
     NodeId numValueNodes() const { return graph_->numNodes(); }
 

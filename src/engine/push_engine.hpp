@@ -283,7 +283,11 @@ sparseIteration(const PushOptions &options, std::uint64_t count,
  * Run a push-based vertex-centric analysis.
  *
  * @tparam Semiring One of the semirings in algorithms/semirings.hpp.
- * @tparam Provider Schedule or DynamicVirtualProvider.
+ * @tparam Provider Schedule, DynamicVirtualProvider, or
+ *         ArenaVirtualProvider. The driver reads edges exclusively
+ *         through provider.edgeTarget/edgeWeight, so work-unit starts
+ *         may index any edge array the provider owns — the dense CSR
+ *         or the DynamicGraph slack arena.
  * @param provider The work-unit decomposition to execute over.
  * @param sim Simulator charged for every launch.
  * @param options Iteration control.
@@ -301,7 +305,6 @@ runPush(const Provider &provider, sim::WarpSimulator &sim,
 {
     using Value = typename Semiring::Value;
 
-    const graph::Csr &graph = provider.graph();
     const NodeId n = provider.numValueNodes();
     const CostModel &cost = provider.cost();
     par::ThreadPool *pool = options.pool;
@@ -405,9 +408,9 @@ runPush(const Provider &provider, sim::WarpSimulator &sim,
                     for (std::uint32_t j = 0; j < unit.count; ++j) {
                         const EdgeIndex e = unit.start +
                             static_cast<EdgeIndex>(unit.stride) * j;
-                        const NodeId dst = graph.edgeTarget(e);
+                        const NodeId dst = provider.edgeTarget(e);
                         const Value candidate = Semiring::extend(
-                            source_value, graph.edgeWeight(e));
+                            source_value, provider.edgeWeight(e));
                         const Value current = overlay.has(dst)
                                                   ? overlay.value[dst]
                                                   : frozen[dst];
@@ -527,7 +530,6 @@ runPull(const Provider &provider, sim::WarpSimulator &sim,
 {
     using Value = typename Semiring::Value;
 
-    const graph::Csr &reversed = provider.graph();
     const NodeId n = provider.numValueNodes();
     const CostModel &cost = provider.cost();
     par::ThreadPool *pool = options.pool;
@@ -607,13 +609,13 @@ runPull(const Provider &provider, sim::WarpSimulator &sim,
                     for (std::uint32_t j = 0; j < unit.count; ++j) {
                         const EdgeIndex e = unit.start +
                             static_cast<EdgeIndex>(unit.stride) * j;
-                        const NodeId src = reversed.edgeTarget(e);
+                        const NodeId src = provider.edgeTarget(e);
                         const Value source_value =
                             relaxed && overlay.has(src)
                                 ? overlay.value[src]
                                 : frozen[src];
                         const Value candidate = Semiring::extend(
-                            source_value, reversed.edgeWeight(e));
+                            source_value, provider.edgeWeight(e));
                         const Value current =
                             overlay.has(target) ? overlay.value[target]
                                                 : frozen[target];

@@ -67,6 +67,15 @@ class Schedule
     /** The graph whose edge slots the units reference. */
     const graph::Csr &graph() const { return *graph_; }
 
+    /** Destination of edge slot @p e (provider concept: the push/pull
+     *  drivers read edges only through these two, so providers over
+     *  other edge arrays — e.g. the DynamicGraph slack arena — plug in
+     *  without touching the drivers). */
+    NodeId edgeTarget(EdgeIndex e) const { return graph_->edgeTarget(e); }
+
+    /** Weight of edge slot @p e, parallel to edgeTarget. */
+    Weight edgeWeight(EdgeIndex e) const { return graph_->edgeWeight(e); }
+
     /** Strategy this schedule implements. */
     Strategy strategy() const { return strategy_; }
 

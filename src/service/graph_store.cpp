@@ -109,7 +109,8 @@ GraphStore::mutate(std::string_view name,
         if (current.hasVirtual)
             state->virtualizer.emplace(state->graph,
                                        current.virtualDegreeBound,
-                                       current.virtualLayout);
+                                       current.virtualLayout,
+                                       dynamic::StartAddressing::Arena);
         state->base = current.epoch;
         entry.dynamic = std::move(state);
     }
@@ -124,8 +125,48 @@ GraphStore::mutate(std::string_view name,
         result.virtualRepaired = true;
     }
 
-    // Publish the next epoch as a fresh StoredGraph; pinned readers of
-    // the old version keep it alive through their shared_ptr.
+    // Publish the next epoch by marking the dense StoredGraph stale —
+    // O(1); the next find/at/pin materializes it. Pinned readers of the
+    // old version keep it alive through their shared_ptr.
+    state.staleDense.store(true, std::memory_order_release);
+
+    result.epoch = state.base + result.delta.epoch;
+    result.liveEdges = state.graph.numEdges();
+
+    // Compact only after the epoch is published: an injected
+    // mutation.compact fault then interrupts slack reclamation alone —
+    // the arena (and the stale flag the next read materializes from)
+    // is already consistent.
+    if (state.graph.shouldCompact()) {
+        result.reclaimed = state.graph.compact();
+        result.compacted = true;
+        // Compaction renumbers every arena slot; the arena-addressed
+        // entries must be rebased before they are read or repaired
+        // again. This is the one residual whole-array sweep left on
+        // the mutation path.
+        if (state.virtualizer)
+            state.virtualizer->rebase();
+    } else if (state.virtualizer &&
+               state.virtualizer->shouldCompactEntries()) {
+        state.virtualizer->rebase();
+    }
+    result.slackSlots = state.graph.slackSlots();
+    return result;
+}
+
+const std::shared_ptr<StoredGraph> &
+GraphStore::materialized(const Entry &entry) const
+{
+    if (!entry.dynamic ||
+        !entry.dynamic->staleDense.load(std::memory_order_acquire))
+        return entry.stored;
+
+    std::lock_guard<std::mutex> lock(materializeMutex_);
+    DynamicState &state = *entry.dynamic;
+    if (!state.staleDense.load(std::memory_order_relaxed))
+        return entry.stored; // another reader already materialized
+
+    const StoredGraph &current = *entry.stored;
     const auto start = std::chrono::steady_clock::now();
     auto next = std::make_shared<StoredGraph>();
     next->name = current.name;
@@ -136,22 +177,45 @@ GraphStore::mutate(std::string_view name,
     if (state.virtualizer)
         next->virtualNodes = state.virtualizer->nodesCopy();
     next->source = current.source;
-    next->epoch = state.base + result.delta.epoch;
+    next->epoch = state.base + state.graph.epoch();
     next->loadMs = elapsedMs(start);
     entry.stored = std::move(next);
+    // Release pairs with the fast path's acquire: a reader that sees
+    // the flag clear also sees the fully built StoredGraph.
+    state.staleDense.store(false, std::memory_order_release);
+    return entry.stored;
+}
 
-    result.epoch = entry.stored->epoch;
-    result.liveEdges = state.graph.numEdges();
+std::uint64_t
+GraphStore::epochOf(std::string_view name) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        throw std::out_of_range("tigr: no graph named '" +
+                                std::string(name) + "' in the store");
+    const Entry &entry = it->second;
+    if (entry.dynamic)
+        return entry.dynamic->base + entry.dynamic->graph.epoch();
+    return entry.stored->epoch;
+}
 
-    // Compact only after the swap: an injected mutation.compact fault
-    // then interrupts slack reclamation alone — the published epoch is
-    // already consistent.
-    if (state.graph.shouldCompact()) {
-        result.reclaimed = state.graph.compact();
-        result.compacted = true;
+std::size_t
+GraphStore::replayLog(std::string_view name, std::istream &log,
+                      std::optional<std::uint64_t> target_epoch)
+{
+    if (!contains(name))
+        throw std::out_of_range("tigr: no graph named '" +
+                                std::string(name) + "' in the store");
+    dynamic::MutationLogReader reader(log);
+    std::size_t applied = 0;
+    while (!target_epoch || epochOf(name) < *target_epoch) {
+        std::optional<dynamic::MutationBatch> batch = reader.next();
+        if (!batch)
+            break;
+        mutate(name, *batch);
+        ++applied;
     }
-    result.slackSlots = state.graph.slackSlots();
-    return result;
+    return applied;
 }
 
 std::shared_ptr<const StoredGraph>
@@ -161,14 +225,15 @@ GraphStore::pin(std::string_view name) const
     if (it == entries_.end())
         throw std::out_of_range("tigr: no graph named '" +
                                 std::string(name) + "' in the store");
-    return it->second.stored;
+    return materialized(it->second);
 }
 
 const StoredGraph *
 GraphStore::find(std::string_view name) const
 {
     auto it = entries_.find(name);
-    return it == entries_.end() ? nullptr : it->second.stored.get();
+    return it == entries_.end() ? nullptr
+                                : materialized(it->second).get();
 }
 
 const StoredGraph &

@@ -11,17 +11,23 @@
  * rebuilding.
  *
  * Mutation is copy-on-write: mutate() applies a batch to the entry's
- * DynamicGraph, incrementally repairs its virtual array, materializes
- * a NEW StoredGraph at the next epoch, and swaps it in. The previous
- * version stays alive for exactly as long as someone pin()ned it, so
- * a reader holding a pinned snapshot never observes a mutation. Cache
- * entries keyed by (graph id, epoch) go stale rather than wrong — see
+ * DynamicGraph and incrementally repairs its arena-addressed virtual
+ * array — O(touched) work, no dense materialization. The dense
+ * StoredGraph for the new epoch is built lazily, on the first
+ * find/at/pin after a mutation (double-checked against an atomic
+ * staleness flag, so the concurrent query phase may race on the first
+ * read safely), and swapped in whole. The previous version stays alive
+ * for exactly as long as someone pin()ned it, so a reader holding a
+ * pinned snapshot never observes a mutation. Cache entries keyed by
+ * (graph id, epoch) go stale rather than wrong — see
  * TransformCache::invalidateStale.
  */
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -143,10 +149,12 @@ class GraphStore
 
     /**
      * Apply @p batch to the graph named @p name and publish the next
-     * epoch: the entry's DynamicGraph absorbs the batch, its virtual
-     * array (when present) is incrementally repaired, and a freshly
-     * materialized StoredGraph replaces the current version. Readers
-     * holding a pin() of the old version are unaffected.
+     * epoch: the entry's DynamicGraph absorbs the batch and its
+     * arena-addressed virtual array (when present) is incrementally
+     * repaired — O(touched vertices), with no dense CSR or virtual
+     * array materialized here. The dense StoredGraph is rebuilt lazily
+     * by the next find/at/pin. Readers holding a pin() of the old
+     * version are unaffected.
      *
      * Strong guarantee on rejection: a dynamic::MutationError (or an
      * injected `mutation.apply` fault) propagates with the entry
@@ -163,11 +171,30 @@ class GraphStore
      *  across later mutations and removes. @throws std::out_of_range. */
     std::shared_ptr<const StoredGraph> pin(std::string_view name) const;
 
-    /** Current mutation epoch of @p name. @throws std::out_of_range. */
-    std::uint64_t epochOf(std::string_view name) const
-    {
-        return at(name).epoch;
-    }
+    /** Current mutation epoch of @p name, straight off the dynamic
+     *  state — never materializes a stale entry.
+     *  @throws std::out_of_range. */
+    std::uint64_t epochOf(std::string_view name) const;
+
+    /**
+     * Stream-apply a persisted mutation log (see
+     * mutationLogPathFor / docs/service.md) to the graph named
+     * @p name: batches are applied while parsing — memory stays
+     * bounded by the largest batch — until the log ends or, when
+     * @p target_epoch is set, until epochOf(name) reaches it. Replay
+     * composes with snapshot restore: a `.tgs` saved at epoch E plus
+     * the log of later batches replays to any recorded epoch > E
+     * byte-identically (tests/dynamic/test_mutation_stream.cpp).
+     *
+     * @return Batches applied.
+     * @throws std::out_of_range for an unknown name,
+     *         dynamic::MutationError on a malformed or inapplicable
+     *         log (already-applied batches leave their epochs
+     *         published, like any other mutate sequence).
+     */
+    std::size_t replayLog(std::string_view name, std::istream &log,
+                          std::optional<std::uint64_t> target_epoch =
+                              std::nullopt);
 
     /** Drop @p name; returns false when it was not registered. The
      *  entry's graph memory is freed (unless pinned) — callers must
@@ -193,19 +220,36 @@ class GraphStore
         dynamic::DynamicGraph graph;
         std::optional<dynamic::IncrementalVirtualizer> virtualizer;
         std::uint64_t base = 0;
+        /** True when `graph` moved past the entry's dense StoredGraph.
+         *  Set by mutate() (which runs only between query batches),
+         *  cleared by the double-checked lazy materialization in
+         *  find/at/pin — the release/acquire pair on this flag is what
+         *  lets concurrent readers race on the first post-mutation
+         *  read safely. */
+        std::atomic<bool> staleDense{false};
     };
 
     /** One registry slot. shared_ptr pins each version: map
      *  rebalancing moves pointers, not the StoredGraph (whose Csr
-     *  address clients capture), and mutate() swaps `stored` without
-     *  disturbing pinned readers. */
+     *  address clients capture), and the lazy materialization swaps
+     *  `stored` without disturbing pinned readers. */
     struct Entry
     {
-        std::shared_ptr<StoredGraph> stored;
+        /** Mutable: find/at/pin are logically const but may swap in
+         *  the lazily materialized epoch. */
+        mutable std::shared_ptr<StoredGraph> stored;
         std::shared_ptr<DynamicState> dynamic;
     };
 
+    /** Materialize the entry's current epoch if it is stale, and
+     *  return the dense StoredGraph. */
+    const std::shared_ptr<StoredGraph> &
+    materialized(const Entry &entry) const;
+
     std::map<std::string, Entry, std::less<>> entries_;
+    /** Serializes lazy materialization (never held on the fast
+     *  path). */
+    mutable std::mutex materializeMutex_;
 };
 
 } // namespace tigr::service

@@ -59,6 +59,26 @@ namespace tigr::service {
  *  means a text edge list in this repo, so snapshots use ".tgs"). */
 inline constexpr std::string_view kSnapshotExtension = ".tgs";
 
+/** Mutation-log extension: the text MutationLog persisted beside a
+ *  snapshot (see mutationLogPathFor). */
+inline constexpr std::string_view kMutationLogExtension = ".tml";
+
+/**
+ * The conventional sidecar path for the mutation log of the snapshot at
+ * @p snapshot_path: same directory and stem, extension swapped for
+ * ".tml" (appended when the path has no extension). A store that saves
+ * "g.tgs" at epoch E and the log of later batches to "g.tml" can
+ * restore the snapshot and GraphStore::replayLog() its way to any
+ * recorded epoch > E byte-identically.
+ */
+inline std::filesystem::path
+mutationLogPathFor(const std::filesystem::path &snapshot_path)
+{
+    std::filesystem::path out = snapshot_path;
+    out.replace_extension(kMutationLogExtension);
+    return out;
+}
+
 /** What went wrong loading a snapshot. */
 enum class SnapshotErrorKind
 {

@@ -52,15 +52,15 @@ VirtualGraph::VirtualGraph(const graph::Csr &physical,
                      });
 }
 
-VirtualGraph
-VirtualGraph::fromArrays(const graph::Csr &physical, NodeId degree_bound,
-                         EdgeLayout layout,
-                         std::vector<VirtualNode> nodes)
+void
+validateVirtualArray(std::span<const VirtualNode> nodes,
+                     NodeId num_nodes, NodeId degree_bound,
+                     std::span<const EdgeIndex> segment_begins,
+                     std::span<const EdgeIndex> segment_degrees)
 {
     if (degree_bound == 0)
         throw std::invalid_argument(
             "tigr: virtual node array with degree bound 0");
-    const NodeId n = physical.numNodes();
     for (std::size_t i = 0; i < nodes.size(); ++i) {
         const VirtualNode &node = nodes[i];
         auto bad = [&](const char *why) {
@@ -68,7 +68,7 @@ VirtualGraph::fromArrays(const graph::Csr &physical, NodeId degree_bound,
                 "tigr: virtual node entry " + std::to_string(i) +
                 " inconsistent with the physical graph: " + why);
         };
-        if (node.physicalId >= n)
+        if (node.physicalId >= num_nodes)
             bad("physical id out of range");
         if (node.count > degree_bound)
             bad("owns more slots than the degree bound");
@@ -83,11 +83,32 @@ VirtualGraph::fromArrays(const graph::Csr &physical, NodeId degree_bound,
                 bad("stride overflows the owned slot range");
             const EdgeIndex last =
                 node.start + node.stride * (node.count - 1);
-            if (node.start < physical.edgeBegin(node.physicalId) ||
-                last >= physical.edgeEnd(node.physicalId))
+            const EdgeIndex begin =
+                segment_begins[node.physicalId];
+            const EdgeIndex end =
+                begin + segment_degrees[node.physicalId];
+            if (node.start < begin || last >= end)
                 bad("owned slots outside the node's edge segment");
         }
     }
+}
+
+VirtualGraph
+VirtualGraph::fromArrays(const graph::Csr &physical, NodeId degree_bound,
+                         EdgeLayout layout,
+                         std::vector<VirtualNode> nodes)
+{
+    // The dense rows are just segments whose begins are the row
+    // offsets; share the segment validator with the arena-addressed
+    // dynamic path.
+    const NodeId n = physical.numNodes();
+    std::vector<EdgeIndex> degrees(n);
+    for (NodeId v = 0; v < n; ++v)
+        degrees[v] = physical.degree(v);
+    validateVirtualArray(
+        nodes, n, degree_bound,
+        std::span<const EdgeIndex>(physical.rowOffsets().data(), n),
+        degrees);
 
     VirtualGraph vg;
     vg.physical_ = &physical;

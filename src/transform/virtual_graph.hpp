@@ -137,6 +137,23 @@ class VirtualGraph
 };
 
 /**
+ * Validate an externally produced virtual-node array against arbitrary
+ * per-vertex edge segments — dense CSR rows (what fromArrays checks) or
+ * a DynamicGraph's slack-arena segments (arena-addressed entries, see
+ * docs/dynamic.md). @p segment_begins / @p segment_degrees give each
+ * vertex's first owned slot and live degree; checks every entry's
+ * physical id in range, count within the degree bound, and owned slots
+ * (guarding stride arithmetic against wraparound) inside the vertex's
+ * segment.
+ *
+ * @throws std::invalid_argument naming the first inconsistent entry.
+ */
+void validateVirtualArray(std::span<const VirtualNode> nodes,
+                          NodeId num_nodes, NodeId degree_bound,
+                          std::span<const EdgeIndex> segment_begins,
+                          std::span<const EdgeIndex> segment_degrees);
+
+/**
  * The family-decomposition math itself, independent of any Csr: emit
  * node @p v's virtual entries given only its edge segment (@p begin,
  * degree @p d). This is the vertex-locality property Section 4 leans

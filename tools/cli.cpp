@@ -1,7 +1,9 @@
 #include "cli.hpp"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -598,9 +600,10 @@ cmdServe(const CommandLine &cmd, std::ostream &out)
 
 /**
  * `tigr mutate <graph>`: stream seeded (or logged) mutation batches
- * through a DynamicGraph while the incremental virtualizer repairs the
- * virtual node array epoch by epoch. --verify proves each epoch's
- * array byte-identical to a from-scratch rebuild (differentialCheck).
+ * through a DynamicGraph while the arena-addressed incremental
+ * virtualizer repairs the virtual node array epoch by epoch. --verify
+ * proves each epoch's array byte-identical (after canonicalization) to
+ * a from-scratch rebuild (differentialCheck).
  */
 int
 cmdMutate(const CommandLine &cmd, std::ostream &out)
@@ -624,30 +627,43 @@ cmdMutate(const CommandLine &cmd, std::ostream &out)
     const bool verify = strictFlag(cmd, "verify", "mutate");
     const bool want_metrics = strictFlag(cmd, "metrics", "mutate");
 
-    // Batches come from a replayed log (--apply) or the seeded
-    // generator; --log saves whichever were applied, so a generated
-    // session can be replayed verbatim later.
-    dynamic::MutationLog log;
+    // The repair path's residual sweeps (initial build, canonical
+    // copies, post-compaction rebases) run on this pool; results are
+    // identical at any width (--threads / TIGR_THREADS / hardware).
+    par::ThreadPool pool(par::resolveThreads(threadsOption(cmd)));
+
+    // Batches come from a streamed log (--apply parses and applies one
+    // batch at a time, so memory stays bounded by the largest batch,
+    // never the log) or the seeded generator; --log saves whichever
+    // were applied, so a generated session can be replayed verbatim.
+    std::optional<std::ifstream> apply_in;
+    std::optional<dynamic::MutationLogReader> reader;
     if (auto apply = cmd.option("apply")) {
-        std::ifstream in(*apply);
-        if (!in)
+        apply_in.emplace(*apply);
+        if (!*apply_in)
             throw std::runtime_error(
                 "tigr mutate: cannot open --apply file '" + *apply +
                 "'");
-        log = dynamic::MutationLog::load(in);
+        reader.emplace(*apply_in);
     }
 
     dynamic::DynamicGraph dg(g);
-    dynamic::IncrementalVirtualizer virt(dg, k, layout);
+    dynamic::IncrementalVirtualizer virt(
+        dg, k, layout, dynamic::StartAddressing::Arena, &pool);
     obs::TraceSink sink;
+    dynamic::MutationLog log; // retained only when --log asks for it
+    const bool keep_log = cmd.has("log");
 
     const auto batches = cmd.optionPositive("batches", 1);
     const auto seed = cmd.optionU64("seed", 1);
-    const bool generated = !cmd.has("apply");
-    const std::size_t rounds =
-        generated ? batches : log.batches().size();
-    for (std::size_t round = 0; round < rounds; ++round) {
+    const bool generated = !reader;
+    double repair_ms_total = 0.0;
+    std::uint64_t relocated_total = 0;
+    for (std::size_t round = 0;; ++round) {
+        dynamic::MutationBatch batch;
         if (generated) {
+            if (round >= batches)
+                break;
             dynamic::GeneratorSpec spec;
             spec.seed = seed + round;
             spec.inserts = cmd.optionU64("inserts", 16);
@@ -655,9 +671,17 @@ cmdMutate(const CommandLine &cmd, std::ostream &out)
             spec.reweights = cmd.optionU64("reweights", 8);
             spec.maxWeight = static_cast<Weight>(
                 cmd.optionPositive("max-weight", 64));
-            log.append(dynamic::generateBatch(dg.toCsr(), spec));
+            spec.hotSpan = static_cast<NodeId>(
+                cmd.optionU64("hot-span", 0));
+            batch = dynamic::generateBatch(dg.toCsr(), spec);
+        } else {
+            std::optional<dynamic::MutationBatch> next = reader->next();
+            if (!next)
+                break;
+            batch = std::move(*next);
         }
-        const dynamic::MutationBatch &batch = log.batches()[round];
+        if (keep_log)
+            log.append(batch);
 
         std::size_t inserts = 0, deletes = 0, reweights = 0;
         for (const dynamic::Mutation &m : batch) {
@@ -680,7 +704,13 @@ cmdMutate(const CommandLine &cmd, std::ostream &out)
         sink.record(begin);
 
         const dynamic::EpochDelta delta = dg.apply(batch);
-        const dynamic::RepairStats repair = virt.applyDelta(delta);
+        const auto repair_start = std::chrono::steady_clock::now();
+        const dynamic::RepairStats repair =
+            virt.applyDelta(delta, &pool);
+        double repair_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - repair_start)
+                .count();
 
         obs::TraceEvent applied;
         applied.kind = obs::EventKind::MutationApply;
@@ -698,16 +728,16 @@ cmdMutate(const CommandLine &cmd, std::ostream &out)
         resplit.arg[4] = repair.entriesAfter;
         sink.record(resplit);
 
-        out << "epoch " << delta.epoch << ": " << delta.inserts
-            << " inserts, " << delta.deletes << " deletes, "
-            << delta.reweights << " reweights; touched "
-            << delta.touched.size() << ", repaired "
-            << repair.repairedVertices << " (resplit "
-            << repair.resplitFamilies << "), entries "
-            << repair.entriesAfter << "\n";
-
         if (dg.shouldCompact()) {
             const EdgeIndex reclaimed = dg.compact();
+            // Compaction renumbers arena slots: the arena-addressed
+            // entries must be rebased before the next read or repair.
+            const auto rebase_start = std::chrono::steady_clock::now();
+            virt.rebase(&pool);
+            repair_ms += std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() -
+                             rebase_start)
+                             .count();
             obs::TraceEvent compact;
             compact.kind = obs::EventKind::MutationCompact;
             compact.arg[0] = delta.epoch;
@@ -715,8 +745,30 @@ cmdMutate(const CommandLine &cmd, std::ostream &out)
             compact.arg[2] = dg.numEdges();
             sink.record(compact);
             out << "  compacted: reclaimed " << reclaimed
-                << " slack slots\n";
+                << " slack slots (entry arena rebased)\n";
+        } else if (virt.shouldCompactEntries()) {
+            const auto rebase_start = std::chrono::steady_clock::now();
+            virt.rebase(&pool);
+            repair_ms += std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() -
+                             rebase_start)
+                             .count();
+            out << "  entry arena compacted\n";
         }
+        repair_ms_total += repair_ms;
+        relocated_total += repair.relocatedFamilies;
+
+        out << "epoch " << delta.epoch << ": " << delta.inserts
+            << " inserts, " << delta.deletes << " deletes, "
+            << delta.reweights << " reweights; touched "
+            << delta.touched.size() << ", repaired "
+            << repair.repairedVertices << " (resplit "
+            << repair.resplitFamilies << ", relocated "
+            << repair.relocatedFamilies << "), entries "
+            << repair.entriesAfter << ", repair "
+            << std::fixed << std::setprecision(3) << repair_ms
+            << " ms\n"
+            << std::defaultfloat;
         if (verify) {
             if (auto divergence = dynamic::differentialCheck(dg, virt))
                 throw std::runtime_error(
@@ -727,11 +779,11 @@ cmdMutate(const CommandLine &cmd, std::ostream &out)
     }
 
     out << "final: " << dg.numNodes() << " nodes, " << dg.numEdges()
-        << " edges, epoch " << dg.epoch() << ", "
-        << virt.virtualNodes().size() << " virtual nodes (K=" << k
-        << ", " << (layout == transform::EdgeLayout::Consecutive
-                        ? "consecutive"
-                        : "coalesced")
+        << " edges, epoch " << dg.epoch() << ", " << virt.numEntries()
+        << " virtual nodes (K=" << k << ", "
+        << (layout == transform::EdgeLayout::Consecutive
+                ? "consecutive"
+                : "coalesced")
         << ")\n";
 
     if (auto log_path = cmd.option("log")) {
@@ -748,6 +800,15 @@ cmdMutate(const CommandLine &cmd, std::ostream &out)
     if (want_metrics) {
         obs::MetricsRegistry registry;
         obs::aggregateTrace(sink, registry);
+        // Arena-addressing repair stats the trace vocabulary predates:
+        // relocations (families that outgrew their reserved entry
+        // slots) and host repair time. The gauge is in microseconds —
+        // the registry is integral — and is the one wall-clock-derived
+        // value in the snapshot; everything else stays bit-identical
+        // across runs and thread counts.
+        registry.counter("mutation.relocated").add(relocated_total);
+        registry.gauge("mutation.repair_us")
+            .set(static_cast<std::uint64_t>(repair_ms_total * 1000.0));
         out << "\n" << registry.snapshotText();
     }
     return 0;
@@ -894,8 +955,9 @@ usage()
            "[--frontier-ratio F]\n"
            "  tigr mutate <graph> [--batches N] [--inserts N] "
            "[--deletes N] [--reweights N] [--seed S] [--max-weight W] "
-           "[--k N] [--layout consecutive|coalesced] [--verify] "
-           "[--apply FILE] [--log FILE] [--out FILE] [--metrics]\n"
+           "[--hot-span N] [--k N] [--layout consecutive|coalesced] "
+           "[--verify] [--apply FILE] [--log FILE] [--out FILE] "
+           "[--threads N] [--metrics]\n"
            "\n"
            "--algo accepts a comma-separated list; all entries run on "
            "one engine, so later runs reuse the cached transform.\n"
@@ -917,10 +979,13 @@ usage()
            "any --threads/--workers value. See docs/observability.md."
            "\n"
            "mutate streams seeded edge mutations (or replays --apply "
-           "LOG) through the dynamic graph while the incremental "
+           "LOG, parsed and applied one batch at a time) through the "
+           "dynamic graph while the arena-addressed incremental "
            "virtualizer repairs the virtual node array; --verify "
-           "checks every epoch against a full rebuild. See "
-           "docs/dynamic.md.\n";
+           "checks every epoch against a full rebuild, --hot-span "
+           "concentrates edits on low vertex ids (the suffix-dominated "
+           "regime), and --threads parallelizes the repair sweeps. "
+           "See docs/dynamic.md.\n";
 }
 
 int
