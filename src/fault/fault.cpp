@@ -51,6 +51,8 @@ siteName(Site site)
       case Site::Alloc: return "alloc";
       case Site::MutationApply: return "mutation.apply";
       case Site::MutationCompact: return "mutation.compact";
+      case Site::JournalAppend: return "journal.append";
+      case Site::JournalSync: return "journal.sync";
     }
     return "unknown";
 }
@@ -150,6 +152,9 @@ raise(Site site)
 {
     if (site == Site::Alloc)
         throw std::bad_alloc();
+    if (site == Site::JournalAppend || site == Site::JournalSync)
+        throw InjectedCrash("tigr: injected crash at " +
+                            std::string(siteName(site)));
     throw InjectedFault(
         site, "tigr: injected fault at " + std::string(siteName(site)));
 }

@@ -47,16 +47,19 @@ enum class Site : unsigned
     Alloc,           ///< "alloc": engine/result allocation.
     MutationApply,   ///< "mutation.apply": post-validation batch apply.
     MutationCompact, ///< "mutation.compact": slack-arena compaction.
+    JournalAppend,   ///< "journal.append": WAL record write (crash).
+    JournalSync,     ///< "journal.sync": WAL fsync barrier (crash).
 };
 
 /** Number of distinct sites (array sizing). */
-inline constexpr std::size_t kSiteCount = 8;
+inline constexpr std::size_t kSiteCount = 10;
 
 /** All sites, in enum order. */
 inline constexpr Site kAllSites[kSiteCount] = {
     Site::SnapshotRead,   Site::SnapshotMmap,    Site::CacheInsert,
     Site::TransformBuild, Site::EngineIteration, Site::Alloc,
-    Site::MutationApply,  Site::MutationCompact,
+    Site::MutationApply,  Site::MutationCompact, Site::JournalAppend,
+    Site::JournalSync,
 };
 
 /** Dotted display name ("snapshot.read", "engine.iteration", ...). */
@@ -151,6 +154,27 @@ class InjectedFault : public std::runtime_error
     Site site_;
 };
 
+/**
+ * The crash fault type: thrown when a crash site (Site::JournalAppend,
+ * Site::JournalSync) fires, or when a service::io::CrashScope cuts a
+ * raw file write at its armed byte offset. An InjectedCrash models the
+ * *process dying* at that instant — bytes written before the cut are on
+ * disk, nothing after is, and in-memory state is gone. Service code
+ * must never catch-and-retry it (retrying a dead process is
+ * meaningless); only a torture harness catches it, at the very top,
+ * and then "restarts" by recovering a fresh store from the on-disk
+ * bytes. Deliberately NOT derived from InjectedFault so resilience
+ * retry paths that branch on that type cannot absorb a crash.
+ */
+class InjectedCrash : public std::runtime_error
+{
+  public:
+    explicit InjectedCrash(const std::string &message)
+        : std::runtime_error(message)
+    {
+    }
+};
+
 namespace detail {
 
 /** Thread-local activation record; null = disarmed (the hot path). */
@@ -209,7 +233,8 @@ armed()
 bool fired(Site site);
 
 /** Throw the site's failure type: std::bad_alloc for Site::Alloc,
- *  InjectedFault otherwise. */
+ *  InjectedCrash for the journal crash sites, InjectedFault
+ *  otherwise. */
 [[noreturn]] void raise(Site site);
 
 /** The throwing hook behind TIGR_FAULT_POINT. */

@@ -131,6 +131,26 @@ writeArgs(std::ostream &out, const TraceEvent &e)
         fields[nf++] = {"shifted", e.arg[3]};
         fields[nf++] = {"entries", e.arg[4]};
         break;
+    case EventKind::JournalAppend:
+        labels[nl++] = {"policy", e.label[0]};
+        fields[nf++] = {"epoch", e.arg[0]};
+        fields[nf++] = {"seq", e.arg[1]};
+        fields[nf++] = {"bytes", e.arg[2]};
+        fields[nf++] = {"synced", e.arg[3]};
+        break;
+    case EventKind::JournalCheckpoint:
+        fields[nf++] = {"epoch", e.arg[0]};
+        fields[nf++] = {"retired", e.arg[1]};
+        fields[nf++] = {"bytes", e.arg[2]};
+        break;
+    case EventKind::RecoverGraph:
+        fields[nf++] = {"snapshot_epoch", e.arg[0]};
+        fields[nf++] = {"epoch", e.arg[1]};
+        fields[nf++] = {"replayed", e.arg[2]};
+        fields[nf++] = {"retired", e.arg[3]};
+        fields[nf++] = {"truncated", e.arg[4]};
+        fields[nf++] = {"torn", e.arg[5]};
+        break;
     }
     out << "{";
     bool first = true;

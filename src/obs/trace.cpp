@@ -94,6 +94,12 @@ eventKindName(EventKind kind)
         return "mutation.compact";
     case EventKind::MutationResplit:
         return "mutation.resplit";
+    case EventKind::JournalAppend:
+        return "journal.append";
+    case EventKind::JournalCheckpoint:
+        return "journal.checkpoint";
+    case EventKind::RecoverGraph:
+        return "recover.graph";
     }
     return "unknown";
 }
@@ -200,6 +206,26 @@ formatEvent(const TraceEvent &e)
         appendArg(out, "resplit", e.arg[2]);
         appendArg(out, "shifted", e.arg[3]);
         appendArg(out, "entries", e.arg[4]);
+        break;
+    case EventKind::JournalAppend:
+        appendLabel(out, "policy", e.label[0]);
+        appendArg(out, "epoch", e.arg[0]);
+        appendArg(out, "seq", e.arg[1]);
+        appendArg(out, "bytes", e.arg[2]);
+        appendArg(out, "synced", e.arg[3]);
+        break;
+    case EventKind::JournalCheckpoint:
+        appendArg(out, "epoch", e.arg[0]);
+        appendArg(out, "retired", e.arg[1]);
+        appendArg(out, "bytes", e.arg[2]);
+        break;
+    case EventKind::RecoverGraph:
+        appendArg(out, "snapshot_epoch", e.arg[0]);
+        appendArg(out, "epoch", e.arg[1]);
+        appendArg(out, "replayed", e.arg[2]);
+        appendArg(out, "retired", e.arg[3]);
+        appendArg(out, "truncated", e.arg[4]);
+        appendArg(out, "torn", e.arg[5]);
         break;
     }
     return out.str();
@@ -362,6 +388,21 @@ aggregateTrace(const TraceSink &sink, MetricsRegistry &registry)
             registry.counter("mutation.repaired").add(e.arg[1]);
             registry.counter("mutation.resplits").add(e.arg[2]);
             registry.counter("mutation.shifted").add(e.arg[3]);
+            break;
+        case EventKind::JournalAppend:
+            registry.counter("journal.appends").add();
+            registry.counter("journal.bytes").add(e.arg[2]);
+            break;
+        case EventKind::JournalCheckpoint:
+            registry.counter("journal.checkpoints").add();
+            registry.counter("journal.retired").add(e.arg[1]);
+            break;
+        case EventKind::RecoverGraph:
+            registry.counter("recovery.graphs").add();
+            registry.counter("recovery.replayed").add(e.arg[2]);
+            registry.counter("recovery.truncated_bytes").add(e.arg[4]);
+            if (e.arg[5] != 0)
+                registry.counter("recovery.torn_tails").add();
             break;
         }
     }

@@ -55,6 +55,9 @@ enum class EventKind : std::uint8_t
     MutationApply,   ///< A batch finished applying to the graph.
     MutationCompact, ///< The slack arena was compacted.
     MutationResplit, ///< One batch's incremental virtual repair.
+    JournalAppend,     ///< One WAL record framed and written.
+    JournalCheckpoint, ///< Snapshot written, journal rotated.
+    RecoverGraph,      ///< One graph recovered at startup.
 };
 
 /** Display name ("run.begin", "iter", "fault", ...). */
@@ -90,6 +93,12 @@ std::string_view eventKindName(EventKind kind);
  *   MutationCompact arg: epoch, reclaimed slots, live edges
  *   MutationResplit arg: epoch, repaired vertices, resplit families,
  *                        shifted entries, entries after
+ *   JournalAppend   label: sync policy
+ *                   arg: epoch, record seq, frame bytes, synced inline
+ *   JournalCheckpoint arg: epoch, retired records, journal bytes after
+ *   RecoverGraph    arg: snapshot epoch, recovered epoch, records
+ *                        replayed, records retired, bytes truncated,
+ *                        torn tail
  */
 struct TraceEvent
 {

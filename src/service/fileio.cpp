@@ -1,0 +1,364 @@
+#include "service/fileio.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <optional>
+#include <utility>
+
+#include "fault/fault.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TIGR_HAVE_POSIX_IO 1
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define TIGR_HAVE_POSIX_IO 0
+#endif
+
+namespace tigr::service::io {
+
+namespace {
+
+thread_local CrashScope *tlsScope = nullptr;
+
+[[noreturn]] void
+failIo(const std::string &what, const std::filesystem::path &path)
+{
+    std::string message = "tigr: " + what + " failed for " +
+                          path.string();
+    if (errno != 0) {
+        message += ": ";
+        message += std::strerror(errno);
+    }
+    throw IoError(message);
+}
+
+[[noreturn]] void
+crashNow(OpKind kind, std::uint64_t point)
+{
+    throw fault::InjectedCrash(
+        "tigr: injected crash at io point " + std::to_string(point) +
+        " (" + std::string(opKindName(kind)) + ")");
+}
+
+/**
+ * Consult the armed scope before an op. Returns the byte count a Write
+ * is allowed to land before the crash (nullopt = run normally); throws
+ * InjectedCrash itself for non-Write ops at the crash point.
+ */
+std::optional<std::uint64_t>
+beforeOp(OpKind kind, std::uint64_t bytes)
+{
+    CrashScope *scope = tlsScope;
+    if (!scope)
+        return std::nullopt;
+    return scope->intercept(kind, bytes);
+}
+
+} // namespace
+
+std::string_view
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Write: return "write";
+      case OpKind::Sync: return "sync";
+      case OpKind::Rename: return "rename";
+    }
+    return "unknown";
+}
+
+CrashScope::CrashScope() : previous_(tlsScope)
+{
+    tlsScope = this;
+}
+
+CrashScope::CrashScope(const CrashSpec &spec)
+    : crashing_(true), spec_(spec), previous_(tlsScope)
+{
+    tlsScope = this;
+}
+
+CrashScope::~CrashScope()
+{
+    tlsScope = previous_;
+}
+
+std::optional<std::uint64_t>
+CrashScope::intercept(OpKind kind, std::uint64_t bytes)
+{
+    const std::uint64_t point = next_++;
+    if (!crashing_) {
+        log_.push_back(OpRecord{kind, bytes});
+        return std::nullopt;
+    }
+    if (point != spec_.point)
+        return std::nullopt;
+    crashed_ = true;
+    if (kind == OpKind::Write)
+        return spec_.cutBytes < bytes ? spec_.cutBytes : bytes;
+    crashNow(kind, point);
+}
+
+FileHandle::FileHandle(int fd, std::FILE *stream,
+                       std::filesystem::path path, std::uint64_t offset)
+    : fd_(fd), stream_(stream), path_(std::move(path)), offset_(offset)
+{
+}
+
+FileHandle::FileHandle(FileHandle &&other) noexcept
+    : fd_(other.fd_), stream_(other.stream_),
+      path_(std::move(other.path_)), offset_(other.offset_)
+{
+    other.fd_ = -1;
+    other.stream_ = nullptr;
+    other.offset_ = 0;
+}
+
+FileHandle &
+FileHandle::operator=(FileHandle &&other) noexcept
+{
+    if (this != &other) {
+        if (open()) {
+            // Swallow close errors here; use close() when they matter.
+            try {
+                close();
+            } catch (...) {
+            }
+        }
+        fd_ = other.fd_;
+        stream_ = other.stream_;
+        path_ = std::move(other.path_);
+        offset_ = other.offset_;
+        other.fd_ = -1;
+        other.stream_ = nullptr;
+        other.offset_ = 0;
+    }
+    return *this;
+}
+
+FileHandle::~FileHandle()
+{
+    try {
+        close();
+    } catch (...) {
+        // Destructors stay noexcept; explicit close() reports.
+    }
+}
+
+FileHandle
+FileHandle::createTruncated(const std::filesystem::path &path)
+{
+#if TIGR_HAVE_POSIX_IO
+    int fd;
+    do {
+        errno = 0;
+        fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0)
+        failIo("open", path);
+    return FileHandle(fd, nullptr, path, 0);
+#else
+    std::FILE *stream = std::fopen(path.string().c_str(), "wb");
+    if (!stream)
+        failIo("open", path);
+    return FileHandle(-1, stream, path, 0);
+#endif
+}
+
+FileHandle
+FileHandle::openAt(const std::filesystem::path &path,
+                   std::uint64_t offset)
+{
+#if TIGR_HAVE_POSIX_IO
+    int fd;
+    do {
+        errno = 0;
+        fd = ::open(path.c_str(), O_WRONLY);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0)
+        failIo("open", path);
+    FileHandle handle(fd, nullptr, path, offset);
+    handle.truncateTo(offset);
+    return handle;
+#else
+    // Drop the tail first (stdio has no ftruncate), then append.
+    std::error_code ec;
+    std::filesystem::resize_file(path, offset, ec);
+    if (ec)
+        failIo("truncate", path);
+    std::FILE *stream = std::fopen(path.string().c_str(), "ab");
+    if (!stream)
+        failIo("open", path);
+    return FileHandle(-1, stream, path, offset);
+#endif
+}
+
+void
+FileHandle::writeAll(const void *data, std::size_t size)
+{
+    const std::optional<std::uint64_t> cut =
+        beforeOp(OpKind::Write, size);
+    const std::size_t allowed =
+        cut ? static_cast<std::size_t>(*cut) : size;
+    const char *bytes = static_cast<const char *>(data);
+    std::size_t written = 0;
+    while (written < allowed) {
+#if TIGR_HAVE_POSIX_IO
+        errno = 0;
+        const ::ssize_t n =
+            ::write(fd_, bytes + written, allowed - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue; // the retry loop EINTR-safety is about
+            failIo("write", path_);
+        }
+        written += static_cast<std::size_t>(n);
+#else
+        const std::size_t n =
+            std::fwrite(bytes + written, 1, allowed - written, stream_);
+        if (n == 0)
+            failIo("write", path_);
+        written += n;
+#endif
+    }
+    offset_ += written;
+    if (cut)
+        crashNow(OpKind::Write, tlsScope ? tlsScope->pointsSeen() - 1
+                                         : 0);
+}
+
+void
+FileHandle::sync()
+{
+    beforeOp(OpKind::Sync, 0); // throws at the armed crash point
+#if TIGR_HAVE_POSIX_IO
+    int rc;
+    do {
+        errno = 0;
+        rc = ::fsync(fd_);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0)
+        failIo("fsync", path_);
+#else
+    if (std::fflush(stream_) != 0)
+        failIo("flush", path_);
+#endif
+}
+
+void
+FileHandle::truncateTo(std::uint64_t size)
+{
+#if TIGR_HAVE_POSIX_IO
+    int rc;
+    do {
+        errno = 0;
+        rc = ::ftruncate(fd_, static_cast<::off_t>(size));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0)
+        failIo("ftruncate", path_);
+    ::off_t pos;
+    do {
+        errno = 0;
+        pos = ::lseek(fd_, static_cast<::off_t>(size), SEEK_SET);
+    } while (pos < 0 && errno == EINTR);
+    if (pos < 0)
+        failIo("lseek", path_);
+#else
+    // stdio fallback: reopen at the new size.
+    std::fclose(stream_);
+    stream_ = nullptr;
+    std::error_code ec;
+    std::filesystem::resize_file(path_, size, ec);
+    if (ec)
+        failIo("truncate", path_);
+    stream_ = std::fopen(path_.string().c_str(), "ab");
+    if (!stream_)
+        failIo("open", path_);
+#endif
+    offset_ = size;
+}
+
+void
+FileHandle::close()
+{
+#if TIGR_HAVE_POSIX_IO
+    if (fd_ >= 0) {
+        const int fd = fd_;
+        fd_ = -1;
+        int rc;
+        do {
+            errno = 0;
+            rc = ::close(fd);
+        } while (rc != 0 && errno == EINTR);
+        if (rc != 0)
+            failIo("close", path_);
+    }
+#else
+    if (stream_) {
+        std::FILE *stream = stream_;
+        stream_ = nullptr;
+        if (std::fclose(stream) != 0)
+            failIo("close", path_);
+    }
+#endif
+}
+
+void
+renameFile(const std::filesystem::path &from,
+           const std::filesystem::path &to)
+{
+    beforeOp(OpKind::Rename, 0); // throws at the armed crash point
+    std::error_code ec;
+    std::filesystem::rename(from, to, ec); // atomic on POSIX
+    if (ec)
+        throw IoError("tigr: cannot rename " + from.string() +
+                      " over " + to.string() + ": " + ec.message());
+}
+
+void
+syncPath(const std::filesystem::path &path, bool directory)
+{
+    beforeOp(OpKind::Sync, 0); // throws at the armed crash point
+#if TIGR_HAVE_POSIX_IO
+    int fd;
+    do {
+        errno = 0;
+        fd = ::open(path.c_str(), directory ? O_RDONLY : O_WRONLY);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+        if (directory)
+            return; // some filesystems refuse O_RDONLY on dirs; the
+                    // caller's rename is still ordered after the fsync
+        failIo("open", path);
+    }
+    int rc;
+    do {
+        errno = 0;
+        rc = ::fsync(fd);
+    } while (rc != 0 && errno == EINTR);
+    const int saved = errno;
+    ::close(fd);
+    if (rc != 0 && !directory) {
+        errno = saved;
+        failIo("fsync", path);
+    }
+#else
+    (void)path;
+    (void)directory;
+#endif
+}
+
+void
+truncatePath(const std::filesystem::path &path, std::uint64_t size)
+{
+    std::error_code ec;
+    std::filesystem::resize_file(path, size, ec);
+    if (ec)
+        throw IoError("tigr: cannot truncate " + path.string() +
+                      " to " + std::to_string(size) + " bytes: " +
+                      ec.message());
+}
+
+} // namespace tigr::service::io

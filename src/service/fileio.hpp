@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Raw durable-file I/O shared by the snapshot and journal writers:
+ * EINTR-safe write/fsync/truncate loops around the POSIX calls, plus
+ * the injectable crash shim the durability torture harness drives.
+ *
+ * Every byte the durability subsystem puts on disk flows through this
+ * layer, for two reasons:
+ *
+ *  - Correctness under signals: `::write` and `::fsync` may fail with
+ *    EINTR (and `::write` may write short); the helpers here retry
+ *    until the full operation completed or a real error surfaced, so a
+ *    stray SIGCHLD can never masquerade as a torn write.
+ *  - Crash injection: a CrashScope armed on the current thread sees
+ *    every write/fsync/rename as a numbered *I/O point* and can cut
+ *    one write at an arbitrary byte offset — the bytes before the cut
+ *    reach the file, nothing after does, and fault::InjectedCrash is
+ *    thrown to model the process dying right there. Recording mode
+ *    enumerates the points of a workload so a harness can then crash
+ *    at every single one (tests/service/test_durability.cpp).
+ *
+ * Real I/O failures throw IoError; callers with their own typed errors
+ * (SnapshotError, JournalError) catch and rewrap it. InjectedCrash is
+ * never wrapped — it must reach the harness untouched.
+ *
+ * On platforms without POSIX descriptors the helpers fall back to
+ * C stdio: writes still go through the shim (so the torture harness
+ * stays meaningful), but sync() degrades to fflush — such platforms
+ * get crash *atomicity* (tmp + rename) without crash *durability*.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tigr::service::io {
+
+/** A real (non-injected) raw-I/O failure: open/write/fsync/rename
+ *  errno paths. Callers rewrap it into their own typed error. */
+class IoError : public std::runtime_error
+{
+  public:
+    explicit IoError(const std::string &message)
+        : std::runtime_error(message)
+    {
+    }
+};
+
+/** What one intercepted I/O point did. */
+enum class OpKind : std::uint8_t
+{
+    Write,  ///< writeAll(): cuttable at any byte offset.
+    Sync,   ///< sync()/syncPath(): crash = the fsync never happened.
+    Rename, ///< renameFile(): crash = the rename never happened.
+};
+
+/** Display name ("write", "sync", "rename"). */
+std::string_view opKindName(OpKind kind);
+
+/** One recorded I/O point (recording-mode CrashScope). */
+struct OpRecord
+{
+    OpKind kind = OpKind::Write;
+    /** Payload size for Write points; 0 otherwise. */
+    std::uint64_t bytes = 0;
+};
+
+/** Where to cut: crash at I/O point @p point, letting the first
+ *  @p cutBytes of a Write land first (ignored for Sync/Rename, which
+ *  simply never happen). */
+struct CrashSpec
+{
+    std::uint64_t point = 0;
+    std::uint64_t cutBytes = 0;
+};
+
+/**
+ * RAII thread-local interception of the raw-I/O helpers, in one of two
+ * modes:
+ *
+ *  - recording (default ctor): every op is appended to log() and runs
+ *    normally. A harness records one clean workload, then enumerates
+ *    crash points from the log.
+ *  - crashing (CrashSpec ctor): ops before spec.point run normally; at
+ *    spec.point a Write lands its first cutBytes bytes (clamped to the
+ *    payload) and then fault::InjectedCrash is thrown; a Sync or
+ *    Rename throws without doing anything. Ops after the crash never
+ *    execute (the exception has unwound the workload by then).
+ *
+ * Scopes nest like FaultScope: the innermost armed scope wins and the
+ * previous one is restored on destruction. Interception is per-thread;
+ * the durability write paths are single-threaded by contract (the
+ * store mutates only between query batches).
+ */
+class CrashScope
+{
+  public:
+    /** Recording mode. */
+    CrashScope();
+    /** Crashing mode. */
+    explicit CrashScope(const CrashSpec &spec);
+    ~CrashScope();
+
+    CrashScope(const CrashScope &) = delete;
+    CrashScope &operator=(const CrashScope &) = delete;
+
+    /** I/O points seen so far (both modes). */
+    std::uint64_t pointsSeen() const { return next_; }
+
+    /** The recorded ops, in point order (recording mode). */
+    const std::vector<OpRecord> &log() const { return log_; }
+
+    /** True once the armed crash point fired (crashing mode). */
+    bool crashed() const { return crashed_; }
+
+    /** Raw-helper hook (not for direct use): number this op, record or
+     *  crash. Returns the byte count a Write may land before the crash
+     *  (nullopt = run it in full); throws fault::InjectedCrash itself
+     *  for Sync/Rename at the armed point. */
+    std::optional<std::uint64_t> intercept(OpKind kind,
+                                           std::uint64_t bytes);
+
+  private:
+    bool crashing_ = false;
+    CrashSpec spec_{};
+    std::uint64_t next_ = 0;
+    bool crashed_ = false;
+    std::vector<OpRecord> log_;
+    CrashScope *previous_ = nullptr;
+};
+
+/**
+ * An owned writable file handle (POSIX fd where available, stdio
+ * elsewhere). Movable, closed on destruction; close() is explicit
+ * where the caller needs the error.
+ */
+class FileHandle
+{
+  public:
+    FileHandle() = default;
+
+    /** Create/truncate @p path for writing. @throws IoError. */
+    static FileHandle createTruncated(const std::filesystem::path &path);
+
+    /** Open existing @p path for writing positioned at @p offset
+     *  (which must not exceed the file size); bytes past it are
+     *  discarded, so a writer resumes exactly at the intact tail.
+     *  @throws IoError. */
+    static FileHandle openAt(const std::filesystem::path &path,
+                             std::uint64_t offset);
+
+    FileHandle(FileHandle &&other) noexcept;
+    FileHandle &operator=(FileHandle &&other) noexcept;
+    FileHandle(const FileHandle &) = delete;
+    FileHandle &operator=(const FileHandle &) = delete;
+    ~FileHandle();
+
+    bool open() const { return fd_ >= 0 || stream_ != nullptr; }
+
+    /** Current write offset (bytes from start of file). */
+    std::uint64_t offset() const { return offset_; }
+
+    /**
+     * Write all @p size bytes (EINTR-safe, short-write-safe), through
+     * the crash shim: one call = one cuttable I/O point.
+     * @throws IoError on a real failure, fault::InjectedCrash when an
+     *         armed CrashScope cuts it.
+     */
+    void writeAll(const void *data, std::size_t size);
+
+    /** fsync (EINTR-safe), through the crash shim. @throws IoError /
+     *  fault::InjectedCrash. Best-effort fflush on non-POSIX. */
+    void sync();
+
+    /** Truncate the file to @p size bytes and seek there (EINTR-safe;
+     *  not a shim point — only recovery truncates, and recovery is the
+     *  crash *handler*, modeled as atomic). @throws IoError. */
+    void truncateTo(std::uint64_t size);
+
+    /** Close, reporting the error a destructor would swallow. */
+    void close();
+
+  private:
+    FileHandle(int fd, std::FILE *stream, std::filesystem::path path,
+               std::uint64_t offset);
+
+    int fd_ = -1;
+    std::FILE *stream_ = nullptr;
+    std::filesystem::path path_;
+    std::uint64_t offset_ = 0;
+};
+
+/** Atomically rename @p from over @p to, through the crash shim.
+ *  @throws IoError / fault::InjectedCrash. */
+void renameFile(const std::filesystem::path &from,
+                const std::filesystem::path &to);
+
+/**
+ * fsync the file or directory at @p path (EINTR-safe), through the
+ * crash shim. Directory syncs are best-effort (some filesystems refuse
+ * to open directories): an unopenable directory is skipped silently —
+ * but still consumes its crash point, so point numbering is stable
+ * across filesystems. No-op (shim aside) without POSIX descriptors.
+ * @throws IoError (files only) / fault::InjectedCrash.
+ */
+void syncPath(const std::filesystem::path &path, bool directory);
+
+/** Truncate the file at @p path to @p size bytes (recovery's torn-tail
+ *  cut; not a shim point). @throws IoError. */
+void truncatePath(const std::filesystem::path &path, std::uint64_t size);
+
+} // namespace tigr::service::io

@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tigr::service {
 
 namespace {
@@ -100,6 +103,14 @@ GraphStore::mutate(std::string_view name,
     Entry &entry = it->second;
     const StoredGraph &current = *entry.stored;
 
+    // Durable stores journal the batch BEFORE applying it (the WAL
+    // invariant): the journal is the record of acknowledged history,
+    // so nothing may change the graph without first reaching it. The
+    // journal is opened lazily here — before any state changes.
+    JournalWriter *journal = nullptr;
+    if (durable_)
+        journal = &ensureJournal(std::string(name));
+
     // First mutation of this entry: spin up the slack-arena graph and,
     // when the entry carries a virtual array, its incremental
     // virtualizer. Both start at relative epoch 0 == `current.epoch`.
@@ -116,10 +127,21 @@ GraphStore::mutate(std::string_view name,
     }
     DynamicState &state = *entry.dynamic;
 
+    if (journal)
+        journal->append(state.base + state.graph.epoch() + 1, batch);
+
     // Validation failures and injected mutation.apply faults throw out
-    // of here with the arena — and therefore the entry — unchanged.
+    // of here with the arena — and therefore the entry — unchanged;
+    // the journaled record of the rejected batch is rolled back so the
+    // journal never acknowledges an epoch the graph refused.
     MutateResult result;
-    result.delta = state.graph.apply(batch);
+    try {
+        result.delta = state.graph.apply(batch);
+    } catch (...) {
+        if (journal)
+            journal->abortLast();
+        throw;
+    }
     if (state.virtualizer) {
         result.repair = state.virtualizer->applyDelta(result.delta);
         result.virtualRepaired = true;
@@ -253,7 +275,165 @@ GraphStore::remove(std::string_view name)
     if (it == entries_.end())
         return false;
     entries_.erase(it);
+    if (durable_) {
+        auto jit = durable_->journals.find(name);
+        if (jit != durable_->journals.end())
+            durable_->journals.erase(jit);
+    }
     return true;
+}
+
+RecoveryReport
+GraphStore::openDurable(const std::filesystem::path &dir,
+                        DurableOptions options)
+{
+    if (durable_)
+        throw std::logic_error(
+            "tigr: the store is already durable over '" +
+            durable_->dir.string() + "'");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        throw SnapshotError(SnapshotErrorKind::Io,
+                            "tigr: cannot create durable directory " +
+                                dir.string() + ": " + ec.message());
+    // Recover BEFORE arming the journal state: replayed batches flow
+    // through mutate() and must not be re-journaled.
+    RecoveryManager manager(dir, options);
+    RecoveryReport report = manager.recover(*this);
+    durable_.emplace();
+    durable_->dir = dir;
+    durable_->options = options;
+    return report;
+}
+
+const std::filesystem::path &
+GraphStore::durableDir() const
+{
+    if (!durable_)
+        throw std::logic_error("tigr: the store is not durable");
+    return durable_->dir;
+}
+
+void
+GraphStore::writeSnapshot(std::string_view name,
+                          const std::filesystem::path &path)
+{
+    std::shared_ptr<const StoredGraph> pinned = pin(name);
+    Snapshot snapshot;
+    snapshot.graph = pinned->graph;
+    snapshot.hasVirtual = pinned->hasVirtual;
+    snapshot.virtualDegreeBound = pinned->virtualDegreeBound;
+    snapshot.virtualLayout = pinned->virtualLayout;
+    snapshot.virtualNodes = pinned->virtualNodes;
+    snapshot.epoch = pinned->epoch;
+    saveSnapshotFile(snapshot, path);
+}
+
+JournalWriter &
+GraphStore::ensureJournal(const std::string &name)
+{
+    auto it = durable_->journals.find(name);
+    if (it != durable_->journals.end())
+        return it->second;
+
+    const std::filesystem::path snapshotPath =
+        durable_->dir / (name + std::string(kSnapshotExtension));
+    const std::filesystem::path journalPath =
+        journalPathFor(snapshotPath);
+    std::error_code ec;
+    if (std::filesystem::exists(journalPath, ec) && !ec) {
+        JournalWriter writer = JournalWriter::resume(
+            journalPath, durable_->options.syncPolicy);
+        writer.observe(durable_->options.metrics,
+                       durable_->options.trace);
+        return durable_->journals.emplace(name, std::move(writer))
+            .first->second;
+    }
+    // First journal for this graph: put the base snapshot on disk
+    // first (when the graph has none), so the journal always extends a
+    // durable snapshot. A crash between the two leaves a snapshot with
+    // no journal — recovery serves it as-is.
+    ec.clear();
+    if (!std::filesystem::exists(snapshotPath, ec) || ec)
+        writeSnapshot(name, snapshotPath);
+    JournalWriter writer = JournalWriter::create(
+        journalPath, epochOf(name), durable_->options.syncPolicy);
+    writer.observe(durable_->options.metrics, durable_->options.trace);
+    return durable_->journals.emplace(name, std::move(writer))
+        .first->second;
+}
+
+CheckpointResult
+GraphStore::checkpoint(std::string_view name)
+{
+    if (!durable_)
+        throw std::logic_error(
+            "tigr: checkpoint requires a durable store (openDurable)");
+    if (!contains(name))
+        throw std::out_of_range("tigr: no graph named '" +
+                                std::string(name) + "' in the store");
+    const std::string key(name);
+
+    // Ack everything outstanding before folding it into the snapshot.
+    std::uint64_t retired = 0;
+    auto it = durable_->journals.find(key);
+    if (it != durable_->journals.end()) {
+        it->second.sync();
+        retired = it->second.records();
+    }
+
+    CheckpointResult result;
+    result.snapshot =
+        durable_->dir / (key + std::string(kSnapshotExtension));
+    result.journal = journalPathFor(result.snapshot);
+    writeSnapshot(name, result.snapshot);
+    result.epoch = epochOf(name);
+    result.retiredRecords = retired;
+
+    // Rotate: build the fresh journal beside the live one, then
+    // atomically swap it in. A crash before the rename leaves the old
+    // journal (its records now retire against the new snapshot) plus a
+    // "*.twj.tmp" leftover the audit quarantines; after, the fresh
+    // journal.
+    const std::filesystem::path tmp =
+        result.journal.parent_path() /
+        (result.journal.filename().string() + ".tmp");
+    JournalWriter fresh = JournalWriter::create(
+        tmp, result.epoch, durable_->options.syncPolicy);
+    fresh.observe(durable_->options.metrics, durable_->options.trace);
+    fresh.rotateInto(result.journal);
+    io::syncPath(durable_->dir, /*directory=*/true);
+    const std::uint64_t bytesAfter = fresh.bytes();
+    if (it != durable_->journals.end())
+        it->second = std::move(fresh);
+    else
+        durable_->journals.emplace(key, std::move(fresh));
+
+    if (durable_->options.metrics) {
+        durable_->options.metrics->counter("journal.checkpoints")
+            .add(1);
+        durable_->options.metrics->counter("journal.retired")
+            .add(retired);
+    }
+    if (durable_->options.trace) {
+        obs::TraceEvent event;
+        event.kind = obs::EventKind::JournalCheckpoint;
+        event.arg[0] = result.epoch;
+        event.arg[1] = retired;
+        event.arg[2] = bytesAfter;
+        durable_->options.trace->record(event);
+    }
+    return result;
+}
+
+void
+GraphStore::syncJournals()
+{
+    if (!durable_)
+        return;
+    for (auto &[name, journal] : durable_->journals)
+        journal.sync();
 }
 
 std::vector<std::string>

@@ -37,6 +37,8 @@
 #include "dynamic/incremental_virtualizer.hpp"
 #include "dynamic/mutation.hpp"
 #include "graph/csr.hpp"
+#include "service/journal.hpp"
+#include "service/recovery.hpp"
 #include "service/snapshot.hpp"
 
 namespace tigr::service {
@@ -90,6 +92,17 @@ struct MutateResult
     bool compacted = false;
     /** Arena slots the compaction reclaimed. */
     EdgeIndex reclaimed = 0;
+};
+
+/** What one GraphStore::checkpoint() call did. */
+struct CheckpointResult
+{
+    /** Epoch the snapshot persisted. */
+    std::uint64_t epoch = 0;
+    /** Journal records the snapshot folded in (now retired). */
+    std::uint64_t retiredRecords = 0;
+    std::filesystem::path snapshot;
+    std::filesystem::path journal;
 };
 
 /**
@@ -162,10 +175,57 @@ class GraphStore
      * epoch is published — the mutation is applied and the entry
      * consistent; only slack reclamation was skipped.
      *
+     * On a durable store (openDurable) the batch is appended to the
+     * graph's write-ahead journal BEFORE it is applied; a rejected
+     * batch's record is rolled back (JournalWriter::abortLast). Under
+     * SyncPolicy::EveryRecord the record is fsync'd inside this call;
+     * under GroupCommit durability arrives at the next syncJournals().
+     *
      * @throws std::out_of_range for an unknown name.
      */
     MutateResult mutate(std::string_view name,
                         const dynamic::MutationBatch &batch);
+
+    /**
+     * Make this store durable over @p dir: run crash recovery over the
+     * directory's snapshots and journals (see RecoveryManager —
+     * corrupt files quarantined, torn tails truncated and preserved,
+     * intact records replayed), then arm write-ahead journaling for
+     * every subsequent mutate(). The directory is created when
+     * missing. Each graph's journal is opened lazily on its first
+     * durable mutation, writing the base ".tgs" snapshot first when
+     * the graph has none — a journal always extends a durable
+     * snapshot.
+     * @throws std::logic_error when already durable, SnapshotError
+     *         (Io) when the directory is unusable.
+     */
+    RecoveryReport openDurable(const std::filesystem::path &dir,
+                               DurableOptions options = {});
+
+    /** True once openDurable() succeeded. */
+    bool durable() const { return durable_.has_value(); }
+
+    /** The durable directory. @throws std::logic_error when the store
+     *  is not durable. */
+    const std::filesystem::path &durableDir() const;
+
+    /**
+     * Fold the journal of @p name into its snapshot: fsync the
+     * journal, write the current epoch's snapshot crash-consistently
+     * (tmp + atomic rename), then rotate in a fresh journal based at
+     * that epoch the same way. A crash at any point leaves a
+     * recoverable directory: either the old snapshot + full journal,
+     * or the new snapshot with the old journal's records retiring on
+     * recovery. @throws std::logic_error when not durable,
+     * std::out_of_range for an unknown name, SnapshotError /
+     * JournalError (Io) on write failure.
+     */
+    CheckpointResult checkpoint(std::string_view name);
+
+    /** Group-commit barrier: fsync every journal with unsynced
+     *  appends. The scheduler calls this at each batch boundary under
+     *  SyncPolicy::GroupCommit; no-op when the store is not durable. */
+    void syncJournals();
 
     /** Shared ownership of the current version of @p name: stays valid
      *  across later mutations and removes. @throws std::out_of_range. */
@@ -246,7 +306,25 @@ class GraphStore
     const std::shared_ptr<StoredGraph> &
     materialized(const Entry &entry) const;
 
+    /** Write-ahead state, armed by openDurable(). */
+    struct Durable
+    {
+        std::filesystem::path dir;
+        DurableOptions options;
+        std::map<std::string, JournalWriter, std::less<>> journals;
+    };
+
+    /** The journal for @p name, opened lazily (resume an existing
+     *  file, or write the base snapshot + a fresh journal). */
+    JournalWriter &ensureJournal(const std::string &name);
+
+    /** Snapshot the current version of @p name to @p path
+     *  (crash-consistently, through saveSnapshotFile). */
+    void writeSnapshot(std::string_view name,
+                       const std::filesystem::path &path);
+
     std::map<std::string, Entry, std::less<>> entries_;
+    std::optional<Durable> durable_;
     /** Serializes lazy materialization (never held on the fast
      *  path). */
     mutable std::mutex materializeMutex_;

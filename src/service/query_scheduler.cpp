@@ -707,6 +707,10 @@ QueryScheduler::applyMutation(const MutationSpec &spec,
             }
         }
         metrics.counter("scheduler.mutations").add();
+    } catch (const fault::InjectedCrash &) {
+        // A simulated process death is not a query failure: nothing
+        // between here and the torture harness may absorb it.
+        throw;
     } catch (const std::exception &e) {
         if (options_.trace)
             traceFaults(result.trace, result.faultTrace, 0);
@@ -741,6 +745,12 @@ QueryScheduler::runBatch(std::span<const MutationSpec> mutations,
     for (std::size_t i = 0; i < mutations.size(); ++i)
         applyMutation(mutations[i], out.mutations[i],
                       scopeKey(mutation_seq, i), metrics);
+    // The group-commit barrier: under SyncPolicy::GroupCommit the
+    // batch's journal records hit the disk here, once, before any
+    // result of the batch is acknowledged. No-op for non-durable
+    // stores (and for EveryRecord, which synced inside each append).
+    if (mutableStore_ && !mutations.empty())
+        mutableStore_->syncJournals();
     out.queries = runBatch(queries);
     return out;
 }

@@ -1,0 +1,225 @@
+#include "service/recovery.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "service/graph_store.hpp"
+
+namespace tigr::service {
+
+namespace {
+
+/**
+ * Preserve the cut bytes [cut, size) of @p journal as "<journal>.torn"
+ * before the truncate, so a torn tail is evidence, not data loss.
+ * Best-effort: recovery never fails because the preserve did.
+ * Returns the preserved path, empty on failure or an empty tail.
+ */
+std::filesystem::path
+preserveTail(const std::filesystem::path &journal, std::uint64_t cut,
+             std::uint64_t size)
+{
+    if (cut >= size)
+        return {};
+    std::ifstream in(journal, std::ios::binary);
+    if (!in)
+        return {};
+    in.seekg(static_cast<std::streamoff>(cut));
+    std::string tail(static_cast<std::size_t>(size - cut), '\0');
+    in.read(tail.data(), static_cast<std::streamsize>(tail.size()));
+    if (in.gcount() <= 0)
+        return {};
+    tail.resize(static_cast<std::size_t>(in.gcount()));
+    const std::filesystem::path preserved =
+        journal.parent_path() / (journal.filename().string() + ".torn");
+    std::ofstream out(preserved, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return {};
+    out.write(tail.data(), static_cast<std::streamsize>(tail.size()));
+    out.flush();
+    if (!out)
+        return {};
+    return preserved;
+}
+
+} // namespace
+
+std::uint64_t
+RecoveryReport::epochsReplayed() const
+{
+    std::uint64_t total = 0;
+    for (const GraphRecovery &g : graphs)
+        total += g.recordsReplayed;
+    return total;
+}
+
+std::uint64_t
+RecoveryReport::bytesTruncated() const
+{
+    std::uint64_t total = 0;
+    for (const GraphRecovery &g : graphs)
+        total += g.bytesTruncated;
+    return total;
+}
+
+std::uint64_t
+RecoveryReport::tornTails() const
+{
+    std::uint64_t total = 0;
+    for (const GraphRecovery &g : graphs)
+        total += g.tornTail ? 1 : 0;
+    return total;
+}
+
+RecoveryManager::RecoveryManager(std::filesystem::path dir,
+                                 DurableOptions options)
+    : dir_(std::move(dir)), options_(std::move(options))
+{
+}
+
+RecoveryReport
+RecoveryManager::recover(GraphStore &store)
+{
+    RecoveryReport report;
+    SnapshotAuditReport audit =
+        store.addSnapshotDirectory(dir_, options_.loadMode);
+    report.intactSnapshots = std::move(audit.intact);
+    report.quarantined = std::move(audit.quarantined);
+
+    std::map<std::string, std::filesystem::path> journalsByStem;
+    for (const std::filesystem::path &journal : audit.journals)
+        journalsByStem.emplace(journal.stem().string(), journal);
+
+    for (const std::filesystem::path &snapshot :
+         report.intactSnapshots) {
+        const std::string name = snapshot.stem().string();
+        if (!store.contains(name))
+            continue;
+        GraphRecovery g;
+        g.name = name;
+        g.snapshotEpoch = store.epochOf(name);
+
+        auto jt = journalsByStem.find(name);
+        if (jt != journalsByStem.end()) {
+            g.journal = jt->second;
+            // The audit vouched for the header; an unreadable file
+            // here means the environment broke between the two reads —
+            // skip replay, serve the snapshot.
+            bool scanned = false;
+            JournalScan scan;
+            try {
+                scan = scanJournal(g.journal);
+                scanned = true;
+            } catch (const JournalError &) {
+            }
+            if (scanned && scan.headerIntact) {
+                std::uint64_t cutAt = scan.intactBytes;
+                bool cut = scan.tornBytes() > 0;
+                std::uint64_t epoch = g.snapshotEpoch;
+                for (const JournalRecord &record : scan.records) {
+                    if (record.epoch <= epoch) {
+                        // Checkpoint-retired history: the snapshot
+                        // already contains this batch.
+                        ++g.recordsRetired;
+                        continue;
+                    }
+                    if (record.epoch != epoch + 1) {
+                        // An epoch gap: the record cannot extend this
+                        // snapshot. Intact prefix ends here.
+                        cutAt = record.offset;
+                        cut = true;
+                        break;
+                    }
+                    bool applied = false;
+                    try {
+                        store.mutate(name, record.batch);
+                        applied = true;
+                    } catch (const std::exception &) {
+                        // A decodable record the graph rejects: the
+                        // append-then-reject crash window. Same
+                        // treatment as a torn tail — never an
+                        // exception out of recovery.
+                    }
+                    if (!applied) {
+                        cutAt = record.offset;
+                        cut = true;
+                        break;
+                    }
+                    ++g.recordsReplayed;
+                    ++epoch;
+                }
+                if (cut) {
+                    g.bytesTruncated = scan.fileBytes - cutAt;
+                    g.tornTail = true;
+                    try {
+                        const std::filesystem::path preserved =
+                            preserveTail(g.journal, cutAt,
+                                         scan.fileBytes);
+                        if (!preserved.empty())
+                            report.quarantined.push_back(preserved);
+                        io::truncatePath(g.journal, cutAt);
+                    } catch (const std::exception &) {
+                        // Best-effort: a failed truncate only means
+                        // the next recovery redoes this work.
+                    }
+                }
+            }
+        }
+        g.recoveredEpoch = store.epochOf(name);
+
+        if (options_.metrics) {
+            options_.metrics->counter("recovery.graphs").add(1);
+            options_.metrics->counter("recovery.replayed")
+                .add(g.recordsReplayed);
+            options_.metrics->counter("recovery.truncated_bytes")
+                .add(g.bytesTruncated);
+            if (g.tornTail)
+                options_.metrics->counter("recovery.torn_tails").add(1);
+        }
+        if (options_.trace) {
+            obs::TraceEvent event;
+            event.kind = obs::EventKind::RecoverGraph;
+            event.arg[0] = g.snapshotEpoch;
+            event.arg[1] = g.recoveredEpoch;
+            event.arg[2] = g.recordsReplayed;
+            event.arg[3] = g.recordsRetired;
+            event.arg[4] = g.bytesTruncated;
+            event.arg[5] = g.tornTail ? 1 : 0;
+            options_.trace->record(event);
+        }
+        report.graphs.push_back(std::move(g));
+    }
+    return report;
+}
+
+std::string
+formatRecoveryReport(const RecoveryReport &report)
+{
+    std::ostringstream out;
+    out << "recovered " << report.graphs.size() << " graph(s): "
+        << report.epochsReplayed() << " record(s) replayed, "
+        << report.bytesTruncated() << " byte(s) truncated, "
+        << report.tornTails() << " torn tail(s), "
+        << report.quarantined.size() << " file(s) quarantined\n";
+    for (const GraphRecovery &g : report.graphs) {
+        out << "  graph " << g.name << ": snapshot epoch "
+            << g.snapshotEpoch << " -> epoch " << g.recoveredEpoch
+            << " (replayed " << g.recordsReplayed << ", retired "
+            << g.recordsRetired;
+        if (g.tornTail)
+            out << ", truncated " << g.bytesTruncated << " bytes";
+        out << ")";
+        if (!g.journal.empty())
+            out << " journal " << g.journal.filename().string();
+        out << "\n";
+    }
+    for (const std::filesystem::path &path : report.quarantined)
+        out << "  quarantined " << path.string() << "\n";
+    return out.str();
+}
+
+} // namespace tigr::service

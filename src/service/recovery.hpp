@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Crash recovery: audit a durable directory's snapshots + journals
+ * together and replay every graph to its last intact acknowledged
+ * epoch (docs/durability.md).
+ *
+ * The recovery contract, enforced by tests/service/test_durability.cpp
+ * at every injectable crash point of a workload:
+ *
+ *  - Recovery never throws on hostile bytes. Corrupt snapshots,
+ *    foreign journals, and orphaned sidecars are quarantined by the
+ *    directory audit; a journal's torn tail is preserved aside
+ *    ("<name>.twj.torn") and truncated; a record that decodes but does
+ *    not apply (the append-then-reject crash window) ends the intact
+ *    prefix the same way.
+ *  - The recovered state is always a *prefix* of the acknowledged
+ *    history: snapshot at epoch S plus consecutively applicable
+ *    journal records replayed in seq order. Under the EveryRecord
+ *    policy every acknowledged epoch survives; under GroupCommit every
+ *    epoch acknowledged at a sync() barrier does.
+ *  - Recovery is deterministic: the same directory bytes produce the
+ *    same RecoveryReport and a store whose query metricsDigest is
+ *    bit-identical to a reference run of the same prefix, at any
+ *    scheduler worker count.
+ */
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "service/journal.hpp"
+#include "service/snapshot.hpp"
+
+namespace tigr::obs {
+class MetricsRegistry;
+class TraceSink;
+} // namespace tigr::obs
+
+namespace tigr::service {
+
+class GraphStore;
+
+/** Knobs shared by RecoveryManager and GraphStore::openDurable. */
+struct DurableOptions
+{
+    /** Ack-vs-disk ordering for journal appends after open. */
+    SyncPolicy syncPolicy = SyncPolicy::GroupCommit;
+    /** How recovered snapshots are loaded. */
+    SnapshotLoadMode loadMode = SnapshotLoadMode::Auto;
+    /** Observability sinks (either may be null). Counters:
+     *  journal.* / recovery.*; trace: journal.append,
+     *  journal.checkpoint, recover.graph. */
+    obs::MetricsRegistry *metrics = nullptr;
+    obs::TraceSink *trace = nullptr;
+};
+
+/** How one graph came back. */
+struct GraphRecovery
+{
+    std::string name;
+    /** Epoch of the snapshot the journal extends. */
+    std::uint64_t snapshotEpoch = 0;
+    /** Epoch the store serves after replay. */
+    std::uint64_t recoveredEpoch = 0;
+    /** Journal records applied on top of the snapshot. */
+    std::uint64_t recordsReplayed = 0;
+    /** Records skipped because the snapshot already contains them
+     *  (epoch <= snapshotEpoch: checkpoint-retired history). */
+    std::uint64_t recordsRetired = 0;
+    /** Journal bytes cut: the torn tail plus any decodable-but-
+     *  inapplicable suffix. 0 for a clean journal (or none). */
+    std::uint64_t bytesTruncated = 0;
+    /** True when anything was cut (bytesTruncated > 0). */
+    bool tornTail = false;
+    /** The journal file, empty when the graph had none. */
+    std::filesystem::path journal;
+};
+
+/** What a recovery pass did, in registration (name) order. */
+struct RecoveryReport
+{
+    std::vector<GraphRecovery> graphs;
+    /** Intact snapshots the audit admitted. */
+    std::vector<std::filesystem::path> intactSnapshots;
+    /** Everything the audit quarantined (corrupt/partial snapshots,
+     *  orphaned or corrupt sidecars) plus preserved torn tails. */
+    std::vector<std::filesystem::path> quarantined;
+
+    /** Total records replayed across graphs. */
+    std::uint64_t epochsReplayed() const;
+    /** Total journal bytes truncated across graphs. */
+    std::uint64_t bytesTruncated() const;
+    /** Graphs whose journal had a torn tail. */
+    std::uint64_t tornTails() const;
+};
+
+/**
+ * Startup recovery over one durable directory. recover() composes the
+ * sidecar-aware directory audit (quarantining everything untrusted)
+ * with per-graph journal replay into @p store:
+ *
+ *   1. store.addSnapshotDirectory(dir): intact ".tgs" snapshots
+ *      register under their stem; corrupt files and orphaned/corrupt
+ *      ".tml"/".twj" sidecars are quarantined.
+ *   2. For each registered graph with an intact journal: records with
+ *      epoch <= the entry's epoch are retired (the snapshot already
+ *      holds them); each record with epoch == entry epoch + 1 is
+ *      applied through GraphStore::mutate. The first record that is
+ *      neither — an epoch gap, or a batch the graph rejects — ends the
+ *      intact prefix: the journal is truncated there, the cut bytes
+ *      preserved as "<journal>.torn".
+ *
+ * recover() is idempotent: running it again over the recovered
+ * directory replays nothing and truncates nothing.
+ */
+class RecoveryManager
+{
+  public:
+    explicit RecoveryManager(std::filesystem::path dir,
+                             DurableOptions options = {});
+
+    /** Run the audit + replay pass into @p store.
+     *  @throws SnapshotError (Io) only when the directory itself is
+     *          unreadable. */
+    RecoveryReport recover(GraphStore &store);
+
+    const std::filesystem::path &dir() const { return dir_; }
+
+  private:
+    std::filesystem::path dir_;
+    DurableOptions options_;
+};
+
+/** Render @p report as the human-readable text `tigr recover` prints
+ *  (one summary block, then one line per graph, then quarantined
+ *  paths; deterministic order). */
+std::string formatRecoveryReport(const RecoveryReport &report);
+
+} // namespace tigr::service

@@ -14,6 +14,7 @@
 #include "obs/metrics.hpp"
 #include "service/graph_store.hpp"
 #include "service/query_scheduler.hpp"
+#include "service/recovery.hpp"
 #include "service/snapshot.hpp"
 #include "service/transform_cache.hpp"
 
@@ -290,6 +291,15 @@ runScript(std::istream &in, std::ostream &out,
     sched.trace = tracing;
     QueryScheduler scheduler(store, cache, sched);
 
+    if (!options.durableDir.empty()) {
+        DurableOptions durable;
+        durable.syncPolicy = options.syncPolicy;
+        durable.metrics = &registry;
+        const RecoveryReport report =
+            store.openDurable(options.durableDir, durable);
+        out << formatRecoveryReport(report);
+    }
+
     std::vector<MutationSpec> pendingMutations;
     std::vector<QuerySpec> pending;
     /** One collected trace per executed mutation and query, across
@@ -385,6 +395,22 @@ runScript(std::istream &in, std::ostream &out,
             if (tokens.size() != 1)
                 scriptFail(line_no, "run takes no arguments");
             flush();
+        } else if (command == "checkpoint") {
+            if (tokens.size() != 2)
+                scriptFail(line_no,
+                           "checkpoint needs: checkpoint NAME");
+            if (!store.durable())
+                scriptFail(line_no, "checkpoint requires --durable");
+            if (!store.contains(tokens[1]))
+                scriptFail(line_no,
+                           "unknown graph '" + tokens[1] + "'");
+            // Mutations still pending would journal after the
+            // rotation they logically precede; flush them first.
+            flush();
+            const CheckpointResult cp = store.checkpoint(tokens[1]);
+            out << "checkpoint " << tokens[1] << " epoch=" << cp.epoch
+                << " retired=" << cp.retiredRecords << " -> "
+                << cp.snapshot.filename().string() << '\n';
         } else if (command == "stats") {
             if (tokens.size() != 1)
                 scriptFail(line_no, "stats takes no arguments");
@@ -403,8 +429,8 @@ runScript(std::istream &in, std::ostream &out,
         } else {
             scriptFail(line_no,
                        "unknown command '" + command +
-                           "' (load|snapshot|query|mutate|run|stats|"
-                           "metrics)");
+                           "' (load|snapshot|query|mutate|run|"
+                           "checkpoint|stats|metrics)");
         }
     }
     if (!failed)

@@ -27,6 +27,10 @@
  *       Execute the pending batch through the QueryScheduler and print
  *       one result line per mutation, then one per query, in batch
  *       order.
+ *   checkpoint NAME
+ *       Durable mode only: fold graph NAME's write-ahead journal into
+ *       its snapshot and rotate in a fresh journal
+ *       (GraphStore::checkpoint, docs/durability.md).
  *   stats
  *       Print store and transform-cache counters.
  *   metrics
@@ -47,6 +51,7 @@
 
 #include "engine/frontier.hpp"
 #include "fault/fault.hpp"
+#include "service/journal.hpp"
 
 namespace tigr::service {
 
@@ -80,6 +85,13 @@ struct ScriptOptions
      *  one merged Chrome trace_event JSON file at end of script (one
      *  track per query, timestamps in simulated microseconds). */
     std::string tracePath;
+    /** Non-empty: open the store durably over this directory before
+     *  the script runs (GraphStore::openDurable — crash recovery, then
+     *  write-ahead journaling of every mutation; the recovery summary
+     *  is printed first). */
+    std::string durableDir;
+    /** Journal ack-vs-disk ordering when durableDir is set. */
+    SyncPolicy syncPolicy = SyncPolicy::GroupCommit;
 };
 
 /**

@@ -6,9 +6,14 @@
 #include <fstream>
 #include <limits>
 #include <new>
+#include <set>
+#include <sstream>
 
+#include "dynamic/mutation.hpp"
 #include "fault/fault.hpp"
 #include "graph/io.hpp"
+#include "service/fileio.hpp"
+#include "service/journal.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define TIGR_HAVE_MMAP 1
@@ -546,36 +551,6 @@ saveSnapshot(const Snapshot &snapshot, std::ostream &out)
         fail(SnapshotErrorKind::Io, "snapshot write failed");
 }
 
-namespace {
-
-/** fsync a path (file or directory) where the platform supports it;
- *  best-effort on platforms without POSIX descriptors. */
-void
-syncPath(const std::filesystem::path &path, bool directory)
-{
-#if TIGR_HAVE_MMAP // same POSIX surface: open/fsync are available
-    const int fd =
-        ::open(path.c_str(), directory ? O_RDONLY : O_WRONLY);
-    if (fd < 0) {
-        if (directory)
-            return; // some filesystems refuse O_RDONLY on dirs; the
-                    // rename below is still ordered after the fsync
-        fail(SnapshotErrorKind::Io,
-             "cannot reopen " + path.string() + " for fsync");
-    }
-    const int rc = ::fsync(fd);
-    ::close(fd);
-    if (rc != 0 && !directory)
-        fail(SnapshotErrorKind::Io,
-             "fsync failed for " + path.string());
-#else
-    (void)path;
-    (void)directory;
-#endif
-}
-
-} // namespace
-
 void
 saveSnapshotFile(const Snapshot &snapshot,
                  const std::filesystem::path &path)
@@ -583,34 +558,34 @@ saveSnapshotFile(const Snapshot &snapshot,
     // Crash-consistent write: temp file + fsync + atomic rename. A
     // crash leaves either the old snapshot intact or a "*.tgs.tmp"
     // leftover that auditSnapshotDirectory() quarantines — a partial
-    // file never appears under the real name.
+    // file never appears under the real name. All file I/O flows
+    // through the io:: shim, so the crash-torture harness can cut the
+    // write at any byte or kill the fsync/rename.
     const std::filesystem::path tmp =
         path.parent_path() / (path.filename().string() + ".tmp");
     try {
-        {
-            std::ofstream out(tmp,
-                              std::ios::binary | std::ios::trunc);
-            if (!out)
-                fail(SnapshotErrorKind::Io,
-                     "cannot open " + tmp.string() + " for writing");
-            saveSnapshot(snapshot, out);
-            out.flush();
-            if (!out)
-                fail(SnapshotErrorKind::Io,
-                     "snapshot write failed for " + tmp.string());
-        }
-        syncPath(tmp, /*directory=*/false);
-        std::error_code ec;
-        std::filesystem::rename(tmp, path, ec); // atomic on POSIX
-        if (ec)
-            fail(SnapshotErrorKind::Io,
-                 "cannot rename " + tmp.string() + " over " +
-                     path.string() + ": " + ec.message());
+        std::ostringstream buffer(std::ios::binary);
+        saveSnapshot(snapshot, buffer);
+        const std::string bytes = std::move(buffer).str();
+        io::FileHandle file = io::FileHandle::createTruncated(tmp);
+        file.writeAll(bytes.data(), bytes.size());
+        file.sync();
+        file.close();
+        io::renameFile(tmp, path); // atomic on POSIX
         const std::filesystem::path parent = path.parent_path();
-        syncPath(parent.empty() ? "." : parent, /*directory=*/true);
-    } catch (...) {
+        io::syncPath(parent.empty() ? "." : parent,
+                     /*directory=*/true);
+    } catch (const fault::InjectedCrash &) {
+        // Simulated process death: no cleanup runs — the leftover
+        // "*.tgs.tmp" is exactly what recovery must cope with.
+        throw;
+    } catch (const io::IoError &error) {
         std::error_code ec;
         std::filesystem::remove(tmp, ec); // best-effort cleanup
+        fail(SnapshotErrorKind::Io, error.what());
+    } catch (...) {
+        std::error_code ec;
+        std::filesystem::remove(tmp, ec);
         throw;
     }
 }
@@ -692,12 +667,21 @@ auditSnapshotDirectory(const std::filesystem::path &dir)
     };
 
     SnapshotAuditReport report;
+    std::set<std::string> intactStems;
+    std::vector<std::filesystem::path> sidecars;
     for (const std::filesystem::path &entry : entries) {
         const std::string name = entry.filename().string();
-        if (name.ends_with(std::string(kSnapshotExtension) + ".tmp")) {
-            // Leftover of an interrupted saveSnapshotFile(): by
-            // construction never complete, always quarantined.
+        if (name.ends_with(std::string(kSnapshotExtension) + ".tmp") ||
+            name.ends_with(std::string(kJournalExtension) + ".tmp")) {
+            // Leftover of an interrupted saveSnapshotFile() or journal
+            // rotation: by construction never complete, always
+            // quarantined.
             report.quarantined.push_back(quarantine(entry));
+            continue;
+        }
+        if (entry.extension() == kJournalExtension ||
+            entry.extension() == kMutationLogExtension) {
+            sidecars.push_back(entry); // judged after snapshots
             continue;
         }
         if (entry.extension() != kSnapshotExtension)
@@ -705,9 +689,46 @@ auditSnapshotDirectory(const std::filesystem::path &dir)
         try {
             (void)loadSnapshotFile(entry);
             report.intact.push_back(entry);
+            intactStems.insert(entry.stem().string());
         } catch (const SnapshotError &) {
             report.quarantined.push_back(quarantine(entry));
         }
+    }
+
+    // Sidecars: an orphan (no intact snapshot under the stem) has
+    // nothing to replay onto; a corrupt one cannot be trusted. A
+    // journal with a torn record tail is NOT corrupt — only a bad
+    // header is — recovery truncates and preserves tails.
+    for (const std::filesystem::path &entry : sidecars) {
+        if (!intactStems.count(entry.stem().string())) {
+            report.quarantined.push_back(quarantine(entry));
+            continue;
+        }
+        if (entry.extension() == kJournalExtension) {
+            bool trusted = false;
+            try {
+                trusted = scanJournal(entry).headerIntact;
+            } catch (const JournalError &) {
+            }
+            if (trusted)
+                report.journals.push_back(entry);
+            else
+                report.quarantined.push_back(quarantine(entry));
+            continue;
+        }
+        bool parses = false;
+        try {
+            std::ifstream in(entry);
+            if (in) {
+                (void)dynamic::MutationLog::load(in);
+                parses = true;
+            }
+        } catch (const std::exception &) {
+        }
+        if (parses)
+            report.mutationLogs.push_back(entry);
+        else
+            report.quarantined.push_back(quarantine(entry));
     }
     return report;
 }

@@ -66,14 +66,21 @@ inline constexpr std::string_view kMutationLogExtension = ".tml";
 /**
  * The conventional sidecar path for the mutation log of the snapshot at
  * @p snapshot_path: same directory and stem, extension swapped for
- * ".tml" (appended when the path has no extension). A store that saves
- * "g.tgs" at epoch E and the log of later batches to "g.tml" can
- * restore the snapshot and GraphStore::replayLog() its way to any
- * recorded epoch > E byte-identically.
+ * ".tml" (appended when the path has no extension; a dotfile like
+ * ".hidden" counts as extensionless, yielding ".hidden.tml"). A store
+ * that saves "g.tgs" at epoch E and the log of later batches to
+ * "g.tml" can restore the snapshot and GraphStore::replayLog() its way
+ * to any recorded epoch > E byte-identically.
+ * @throws std::invalid_argument when the path has no filename (a
+ *         trailing separator names a directory, not a snapshot).
  */
 inline std::filesystem::path
 mutationLogPathFor(const std::filesystem::path &snapshot_path)
 {
+    if (snapshot_path.filename().empty())
+        throw std::invalid_argument(
+            "tigr: cannot derive a mutation-log path from '" +
+            snapshot_path.string() + "' (no filename)");
     std::filesystem::path out = snapshot_path;
     out.replace_extension(kMutationLogExtension);
     return out;
@@ -183,20 +190,35 @@ struct SnapshotAuditReport
 {
     /** Snapshots that load and validate cleanly. */
     std::vector<std::filesystem::path> intact;
+    /** ".twj" journals beside an intact snapshot whose header checks
+     *  out (a torn tail is fine — recovery truncates it). */
+    std::vector<std::filesystem::path> journals;
+    /** ".tml" mutation logs beside an intact snapshot that parse. */
+    std::vector<std::filesystem::path> mutationLogs;
     /** Files renamed aside (to "<name>.quarantined"): corrupt ".tgs"
-     *  files and "*.tgs.tmp" leftovers of interrupted writes. Holds
+     *  files, "*.tgs.tmp" / "*.twj.tmp" leftovers of interrupted
+     *  writes, and orphaned or corrupt ".tml"/".twj" sidecars. Holds
      *  the new (post-rename) paths. */
     std::vector<std::filesystem::path> quarantined;
 };
 
 /**
  * Scan @p dir (non-recursive, sorted order) for snapshot files and
- * quarantine everything that cannot be trusted: "*.tgs.tmp" leftovers
- * of a crashed saveSnapshotFile() and "*.tgs" files that fail to load
- * (truncated, corrupted, foreign) are renamed to "<name>.quarantined"
- * so a service never repeatedly trips over a bad file at open. Intact
- * snapshots are left untouched and listed. A file that cannot even be
- * renamed is still reported quarantined (under its original path).
+ * their sidecars, and quarantine everything that cannot be trusted:
+ *
+ *  - "*.tgs.tmp" / "*.twj.tmp" leftovers of a crashed write or
+ *    rotation — by construction never complete, always quarantined;
+ *  - "*.tgs" files that fail to load (truncated, corrupted, foreign);
+ *  - ".tml" / ".twj" sidecars with no intact snapshot under their stem
+ *    (orphans — nothing to replay them onto);
+ *  - ".tml" sidecars that fail to parse, and ".twj" sidecars whose
+ *    32-byte header is corrupt (a torn record *tail* is NOT corruption
+ *    — recovery truncates and preserves it).
+ *
+ * Quarantining renames to "<name>.quarantined" so a service never
+ * repeatedly trips over a bad file at open. Intact files are left
+ * untouched and listed. A file that cannot even be renamed is still
+ * reported quarantined (under its original path).
  * @throws SnapshotError (Io) only when @p dir itself is unreadable.
  */
 SnapshotAuditReport

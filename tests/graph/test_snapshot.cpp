@@ -15,11 +15,13 @@
 
 #include <gtest/gtest.h>
 
+#include "dynamic/mutation.hpp"
 #include "fault/fault.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "service/graph_store.hpp"
+#include "service/journal.hpp"
 #include "service/snapshot.hpp"
 #include "transform/virtual_graph.hpp"
 
@@ -414,6 +416,52 @@ TEST_F(SnapshotAudit, GraphStoreRegistersOnlyIntactSnapshots)
     ASSERT_NE(store.find("star"), nullptr);
     EXPECT_EQ(store.find("star")->graph, starGraph());
     EXPECT_EQ(store.find("rmat"), nullptr);
+}
+
+TEST(MutationLogPath, SidecarPathEdgeCases)
+{
+    EXPECT_EQ(mutationLogPathFor("dir/g.tgs"), fs::path("dir/g.tml"));
+    // Extensionless names get the extension appended, not substituted.
+    EXPECT_EQ(mutationLogPathFor("g"), fs::path("g.tml"));
+    // A dotfile counts as extensionless: ".hidden" is a stem, not an
+    // extension, so the sidecar is ".hidden.tml" — never ".tml".
+    EXPECT_EQ(mutationLogPathFor(".hidden"), fs::path(".hidden.tml"));
+    // Multi-dot names replace only the final extension.
+    EXPECT_EQ(mutationLogPathFor("a.b.tgs"), fs::path("a.b.tml"));
+    // A trailing separator names a directory — there is no snapshot to
+    // derive a sidecar from.
+    EXPECT_THROW(mutationLogPathFor("dir/"), std::invalid_argument);
+    EXPECT_THROW(mutationLogPathFor(""), std::invalid_argument);
+}
+
+TEST_F(SnapshotAudit, SidecarsShareTheirSnapshotsVerdict)
+{
+    // A valid mutation log beside an intact snapshot is admitted; the
+    // same bytes under a stem with no intact snapshot are an orphan.
+    saveSnapshotFile(starGraph(), path("star.tgs"));
+    dynamic::MutationLog log;
+    log.append({{dynamic::MutationKind::InsertEdge, 1, 2, 3}});
+    {
+        std::ofstream out(path("star.tml"));
+        log.save(out);
+    }
+    {
+        std::ofstream out(path("ghost.tml"));
+        log.save(out);
+    }
+    // A journal beside an intact snapshot with a healthy header is
+    // admitted even though it is empty of records.
+    JournalWriter::create(path("star.twj"), 0, SyncPolicy::Unsynced);
+
+    const SnapshotAuditReport report = auditSnapshotDirectory(dir_);
+    ASSERT_EQ(report.intact.size(), 1u);
+    ASSERT_EQ(report.mutationLogs.size(), 1u);
+    EXPECT_EQ(report.mutationLogs[0], path("star.tml"));
+    ASSERT_EQ(report.journals.size(), 1u);
+    EXPECT_EQ(report.journals[0], path("star.twj"));
+    ASSERT_EQ(report.quarantined.size(), 1u);
+    EXPECT_TRUE(fs::exists(path("ghost.tml.quarantined")));
+    EXPECT_TRUE(fs::exists(path("star.tml")));
 }
 
 TEST_F(SnapshotRejection, EverySingleBitFlipIsCaught)

@@ -357,5 +357,102 @@ TEST(CliCommands, HelpDocumentsResilienceFlags)
     EXPECT_NE(out.str().find("--fail-fast"), std::string::npos);
 }
 
+TEST(CliCommands, ServeDurableRunsMutationsThroughTheJournal)
+{
+    TempDir dir;
+    auto graphPath = dir / "g.csr";
+    graph::saveCsrBinaryFile(
+        graph::GraphBuilder().build(graph::erdosRenyi(64, 300, 2)),
+        graphPath);
+    auto durableDir = dir / "state";
+    auto scriptPath = dir / "s.txt";
+    {
+        std::ofstream script(scriptPath);
+        script << "load g " << graphPath.string() << "\n"
+               << "mutate g inserts=4 deletes=2 seed=3\n"
+               << "run\n"
+               << "checkpoint g\n";
+    }
+    std::ostringstream out;
+    int code = runCommand(
+        parse({"serve", "--script", scriptPath.string(), "--durable",
+               durableDir.string(), "--sync-policy", "every-record"}),
+        out);
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.str().find("recovered 0 graph(s)"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("checkpoint g epoch=1"),
+              std::string::npos);
+    EXPECT_TRUE(fs::exists(durableDir / "g.tgs"));
+    EXPECT_TRUE(fs::exists(durableDir / "g.twj"));
+
+    // `tigr recover` over the directory the script left behind.
+    std::ostringstream recoverOut;
+    EXPECT_EQ(runCommand(parse({"recover", durableDir.string()}),
+                         recoverOut),
+              0);
+    EXPECT_NE(recoverOut.str().find("recovered 1 graph(s)"),
+              std::string::npos);
+}
+
+TEST(CliCommands, ServeRejectsMalformedDurabilityFlags)
+{
+    TempDir dir;
+    auto scriptPath = dir / "s.txt";
+    {
+        std::ofstream script(scriptPath);
+        script << "# nothing to do\n";
+    }
+    std::ostringstream out;
+    // --durable needs a directory value.
+    EXPECT_THROW(
+        runCommand(parse({"serve", "--script", scriptPath.string(),
+                          "--durable"}),
+                   out),
+        std::runtime_error);
+    // --sync-policy is meaningless without --durable...
+    EXPECT_THROW(
+        runCommand(parse({"serve", "--script", scriptPath.string(),
+                          "--sync-policy", "group-commit"}),
+                   out),
+        std::runtime_error);
+    // ...and its value is strictly one of the three policy names.
+    EXPECT_THROW(
+        runCommand(parse({"serve", "--script", scriptPath.string(),
+                          "--durable", (dir / "state").string(),
+                          "--sync-policy", "sometimes"}),
+                   out),
+        std::runtime_error);
+}
+
+TEST(CliCommands, RecoverValidatesItsArguments)
+{
+    TempDir dir;
+    std::ostringstream out;
+    // Exactly one positional, and it must be an existing directory.
+    EXPECT_THROW(runCommand(parse({"recover"}), out),
+                 std::runtime_error);
+    EXPECT_THROW(
+        runCommand(parse({"recover", (dir / "missing").string()}), out),
+        std::runtime_error);
+
+    // An empty directory recovers to an empty report, exit 0.
+    auto stateDir = dir / "state";
+    fs::create_directories(stateDir);
+    EXPECT_EQ(runCommand(parse({"recover", stateDir.string()}), out),
+              0);
+    EXPECT_NE(out.str().find("recovered 0 graph(s)"),
+              std::string::npos);
+}
+
+TEST(CliCommands, HelpDocumentsDurabilityFlags)
+{
+    std::ostringstream out;
+    ASSERT_EQ(runCommand(parse({"help"}), out), 0);
+    EXPECT_NE(out.str().find("--durable"), std::string::npos);
+    EXPECT_NE(out.str().find("--sync-policy"), std::string::npos);
+    EXPECT_NE(out.str().find("recover"), std::string::npos);
+}
+
 } // namespace
 } // namespace tigr::cli

@@ -23,6 +23,8 @@
 #include "obs/trace.hpp"
 #include "par/parse_int.hpp"
 #include "par/thread_pool.hpp"
+#include "service/graph_store.hpp"
+#include "service/recovery.hpp"
 #include "service/script.hpp"
 #include "service/snapshot.hpp"
 #include "transform/basic_topologies.hpp"
@@ -595,7 +597,54 @@ cmdServe(const CommandLine &cmd, std::ostream &out)
         options.tracePath = *trace;
     frontierModeOption(cmd, options.frontier);
     frontierRatioOption(cmd, options.frontierRatio);
+    // Durability: --durable DIR arms the write-ahead journal over that
+    // directory; --sync-policy picks the ack-vs-disk ordering and is
+    // meaningless without a journal to order, so it is rejected alone.
+    if (auto durable = cmd.option("durable")) {
+        if (durable->empty())
+            throw std::runtime_error(
+                "tigr serve: --durable needs a directory");
+        options.durableDir = *durable;
+    }
+    if (auto policy = cmd.option("sync-policy")) {
+        if (options.durableDir.empty())
+            throw std::runtime_error(
+                "tigr serve: --sync-policy requires --durable");
+        auto parsed = service::parseSyncPolicy(*policy);
+        if (!parsed)
+            throw std::runtime_error(
+                "tigr serve: unknown --sync-policy '" + *policy +
+                "' (every-record|group-commit|unsynced)");
+        options.syncPolicy = *parsed;
+    }
     return service::runScript(in, out, options);
+}
+
+/**
+ * `tigr recover <dir>`: run crash recovery over a durable directory —
+ * quarantine untrusted files, truncate (and preserve) torn journal
+ * tails, replay intact records — and print the report. Idempotent:
+ * a second run recovers nothing further.
+ */
+int
+cmdRecover(const CommandLine &cmd, std::ostream &out)
+{
+    if (cmd.positional.empty())
+        throw std::runtime_error(
+            "tigr recover: missing directory (see `tigr help`)");
+    if (cmd.positional.size() > 1)
+        throw std::runtime_error(
+            "tigr recover: expected exactly one directory");
+    std::error_code ec;
+    if (!std::filesystem::is_directory(cmd.positional[0], ec) || ec)
+        throw std::runtime_error("tigr recover: '" +
+                                 cmd.positional[0] +
+                                 "' is not a directory");
+    service::GraphStore store;
+    const service::RecoveryReport report =
+        store.openDurable(cmd.positional[0]);
+    out << service::formatRecoveryReport(report);
+    return 0;
 }
 
 /**
@@ -952,7 +1001,9 @@ usage()
            "[--cache-mb N] [--max-retries N] [--fail-fast] "
            "[--metrics] [--trace FILE] "
            "[--frontier dense|sparse|adaptive] "
-           "[--frontier-ratio F]\n"
+           "[--frontier-ratio F] [--durable DIR "
+           "[--sync-policy every-record|group-commit|unsynced]]\n"
+           "  tigr recover <dir>\n"
            "  tigr mutate <graph> [--batches N] [--inserts N] "
            "[--deletes N] [--reweights N] [--seed S] [--max-weight W] "
            "[--hot-span N] [--k N] [--layout consecutive|coalesced] "
@@ -972,6 +1023,12 @@ usage()
            "transient failures (default 2); --fail-fast stops a serve "
            "script at the first batch containing a terminally failed "
            "query and exits nonzero. See docs/resilience.md.\n"
+           "--durable opens the store over DIR with crash recovery "
+           "plus a write-ahead mutation journal; --sync-policy orders "
+           "journal fsyncs against acknowledgments (default "
+           "group-commit: one fsync per batch). `tigr recover` runs "
+           "the same recovery standalone and prints what it did. "
+           "See docs/durability.md.\n"
            "--trace writes structured engine events as Chrome "
            "trace_event JSON (chrome://tracing); --metrics prints the "
            "aggregated counter registry. Both are stamped with "
@@ -1005,6 +1062,8 @@ runCommand(const CommandLine &cmd, std::ostream &out)
         return cmdSnapshot(cmd, out);
     if (cmd.command == "serve")
         return cmdServe(cmd, out);
+    if (cmd.command == "recover")
+        return cmdRecover(cmd, out);
     if (cmd.command == "mutate")
         return cmdMutate(cmd, out);
     if (cmd.command == "help") {
