@@ -25,6 +25,14 @@
  *      (after DynamicGraph::compact or entry-arena compaction), timed
  *      at 1 thread versus --threads (default 8). Gate: >= 2x, asserted
  *      only when the hardware has >= 4 threads (reported either way).
+ *   5. Pull after mutate — time-to-pull-ready on the suffix-dominated
+ *      stream: repairing BOTH maintained arena arrays (forward +
+ *      reverse) versus what the dense pull path must do instead
+ *      (materialize the dense CSR, reverse it, re-split it). Every
+ *      round also runs SSSP pull through both paths — ArenaEngine over
+ *      the live arenas against GraphEngine over the dense rebuild —
+ *      and any value divergence fails the gate, so the speedup is
+ *      never bought with drift. Gate: arena >= 10x.
  *
  * Every timed round also runs the differential check, so no speedup is
  * ever bought with drift. Exits 1 when any asserted gate misses.
@@ -43,6 +51,8 @@
 #include "dynamic/dynamic_graph.hpp"
 #include "dynamic/incremental_virtualizer.hpp"
 #include "dynamic/mutation.hpp"
+#include "engine/arena_engine.hpp"
+#include "engine/graph_engine.hpp"
 #include "graph/builder.hpp"
 #include "graph/coo.hpp"
 #include "graph/csr.hpp"
@@ -513,6 +523,149 @@ threadsSection(const graph::Csr &start, unsigned max_threads)
     return ok;
 }
 
+// ---------------------------------------------------------------- 5.
+
+struct PullRow
+{
+    std::vector<double> arenaMs;
+    std::vector<double> rebuildMs;
+    bool diverged = false;
+    std::size_t mutationsPerRound = 0;
+};
+
+/** Run @p rounds suffix-dominated epochs with maintained forward AND
+ *  reverse arena virtualizers (K=8, coalesced — the TigrV+ geometry),
+ *  timing time-to-pull-ready on both paths: the arena path repairs the
+ *  two maintained arrays; the dense path materializes the dense CSR,
+ *  reverses it, and re-splits it. Every round then runs SSSP pull
+ *  through ArenaEngine (reverse arena) and GraphEngine (dense rebuild)
+ *  and compares the values element for element. */
+PullRow
+runPullRow(const graph::Csr &start, std::size_t rounds)
+{
+    const NodeId k = 8;
+    const transform::EdgeLayout layout =
+        transform::EdgeLayout::Coalesced;
+    dynamic::DynamicGraph dg(start);
+    dynamic::IncrementalVirtualizer forward(
+        dg, k, layout, dynamic::StartAddressing::Arena);
+    dynamic::IncrementalVirtualizer reverse(
+        dg, k, layout, dynamic::StartAddressing::Arena, nullptr,
+        dynamic::GraphSide::In);
+    PullRow row;
+
+    const std::size_t budget = std::max<std::size_t>(
+        30, static_cast<std::size_t>(start.numEdges()) / 1000);
+    dynamic::GeneratorSpec spec;
+    spec.inserts = budget / 3;
+    spec.deletes = budget / 3;
+    spec.reweights = budget / 3;
+    spec.hotSpan = 64;
+    row.mutationsPerRound = spec.inserts + spec.deletes + spec.reweights;
+
+    engine::EngineOptions options;
+    options.strategy = engine::Strategy::TigrVPlus;
+    options.direction = engine::Direction::Pull;
+    options.degreeBound = k;
+    options.threads = 1;
+
+    for (std::size_t round = 0; round < rounds; ++round) {
+        spec.seed = 11000 + round;
+        const dynamic::MutationBatch batch =
+            dynamic::generateBatch(dg.toCsr(), spec);
+        const dynamic::EpochDelta delta = dg.apply(batch);
+
+        // Arena path to pull-ready: O(touched) repair of both
+        // maintained arrays — what QueryScheduler's arena serving
+        // pays between a mutation and the next pull query.
+        const Clock::time_point arena_start = Clock::now();
+        forward.applyDelta(delta);
+        reverse.applyDelta(delta);
+        row.arenaMs.push_back(msSince(arena_start));
+
+        // Dense path to pull-ready: materialize, reverse, re-split —
+        // what runPull over a stale dense entry would have to rebuild.
+        const Clock::time_point rebuild_start = Clock::now();
+        const graph::Csr dense = dg.toCsr();
+        const graph::Csr reversed = dense.reversed();
+        const transform::VirtualGraph rebuilt(reversed, k, layout);
+        row.rebuildMs.push_back(msSince(rebuild_start));
+        if (rebuilt.virtualNodes().size() != reverse.numEntries())
+            row.diverged = true;
+
+        // Bit-identity of the values actually served (untimed): the
+        // reverse-arena pull must match the dense pull exactly.
+        engine::ArenaEngine arena_engine(dg, &forward, &reverse,
+                                         options);
+        engine::GraphEngine dense_engine(dense, options);
+        const auto arena_result = arena_engine.sssp(0);
+        const auto dense_result = dense_engine.sssp(0);
+        if (arena_result.values != dense_result.values) {
+            std::cerr << "PULL VALUES DIVERGED at round " << round
+                      << '\n';
+            row.diverged = true;
+        }
+
+        if (dg.shouldCompact()) {
+            dg.compact();
+            forward.rebase();
+            reverse.rebase();
+        } else {
+            if (forward.shouldCompactEntries())
+                forward.rebase();
+            if (reverse.shouldCompactEntries())
+                reverse.rebase();
+        }
+    }
+    return row;
+}
+
+bool
+pullSection(const graph::Csr &start, std::size_t rounds)
+{
+    const double required_speedup = 10.0;
+    std::cout << "[5] pull after mutate: time-to-pull-ready, arena "
+                 "(forward + reverse repair) vs dense rebuild "
+                 "(materialize + reverse + re-split), suffix-dominated "
+                 "stream, SSSP pull values compared every round\n\n";
+    const PullRow trials[] = {runPullRow(start, rounds),
+                              runPullRow(start, rounds),
+                              runPullRow(start, rounds)};
+    double arena_ms = 0.0;
+    double rebuild_ms = 0.0;
+    bool diverged = false;
+    for (std::size_t r = 0; r < rounds; ++r) {
+        double best_arena = trials[0].arenaMs[r];
+        double best_rebuild = trials[0].rebuildMs[r];
+        for (const PullRow &t : trials) {
+            best_arena = std::min(best_arena, t.arenaMs[r]);
+            best_rebuild = std::min(best_rebuild, t.rebuildMs[r]);
+        }
+        arena_ms += best_arena;
+        rebuild_ms += best_rebuild;
+    }
+    for (const PullRow &t : trials)
+        diverged = diverged || t.diverged;
+    const double speedup =
+        arena_ms > 0.0 ? rebuild_ms / arena_ms : required_speedup;
+    const bool ok = !diverged && speedup >= required_speedup;
+
+    bench::TablePrinter table({"K", "layout", "mut/round", "arena ms",
+                               "rebuild ms", "speedup", "verdict"});
+    table.addRow({"8", "coalesced",
+                  std::to_string(trials[0].mutationsPerRound),
+                  bench::fmt(arena_ms), bench::fmt(rebuild_ms),
+                  bench::fmt(speedup, 1),
+                  diverged ? "DIVERGED" : (ok ? "pass" : "FAIL")});
+    table.print(std::cout);
+    std::cout << "\nverdict: the arena pull path "
+              << (ok ? "is" : "IS NOT") << " >= "
+              << bench::fmt(required_speedup, 0)
+              << "x faster to pull-ready than a dense reversed "
+                 "rebuild\n\n";
+    return ok;
+}
+
 } // namespace
 } // namespace tigr
 
@@ -543,6 +696,7 @@ main(int argc, char **argv)
     pass = suffixSection(start, 8) && pass;
     pass = touchedSection() && pass;
     pass = threadsSection(start, max_threads) && pass;
+    pass = pullSection(start, 6) && pass;
 
     std::cout << "\noverall: " << (pass ? "pass" : "FAIL") << "\n";
     return pass ? 0 : 1;

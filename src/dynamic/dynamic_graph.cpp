@@ -41,6 +41,23 @@ DynamicGraph::DynamicGraph(const graph::Csr &source)
     targets_ = source.colIndices();
     weights_ = source.weights();
     liveEdges_ = source.numEdges();
+
+    // The reverse arena starts as the tight counting-sorted reversal:
+    // in-segments ordered by source id, forward slot order within a
+    // source — the invariant every mutation preserves.
+    const graph::Csr rev = source.reversed();
+    inBegins_.assign(rev.rowOffsets().begin(),
+                     rev.rowOffsets().end() - (n == 0 ? 0 : 1));
+    if (n == 0)
+        inBegins_.clear();
+    inDegrees_.resize(n);
+    inCaps_.resize(n);
+    for (NodeId v = 0; v < n; ++v) {
+        inDegrees_[v] = rev.degree(v);
+        inCaps_[v] = inDegrees_[v];
+    }
+    inSources_ = rev.colIndices();
+    inWeights_ = rev.weights();
 }
 
 double
@@ -103,11 +120,15 @@ DynamicGraph::apply(const MutationBatch &batch)
     // bit-for-bit unchanged.
     TIGR_FAULT_POINT(fault::Site::MutationApply);
 
-    // Phase 2: apply in order, recording per-vertex degree deltas.
+    // Phase 2: apply in order, recording per-vertex degree deltas for
+    // both arenas. Each mutation mirrors into the reverse arena in the
+    // same pass, preserving the counting-sort in-segment order.
     std::map<NodeId, EdgeIndex> old_degrees;
+    std::map<NodeId, EdgeIndex> old_in_degrees;
     EpochDelta result;
     for (const Mutation &m : batch) {
         old_degrees.emplace(m.src, degrees_[m.src]);
+        old_in_degrees.emplace(m.dst, inDegrees_[m.dst]);
         switch (m.kind) {
           case MutationKind::InsertEdge: {
             if (degrees_[m.src] == caps_[m.src])
@@ -116,6 +137,25 @@ DynamicGraph::apply(const MutationBatch &batch)
             targets_[slot] = m.dst;
             weights_[slot] = m.weight;
             ++degrees_[m.src];
+
+            // Reverse mirror: the new forward edge is last in its
+            // segment, so among equal sources it ranks last — insert
+            // at the upper bound of m.src in the sorted in-segment.
+            if (inDegrees_[m.dst] == inCaps_[m.dst])
+                relocateIn(m.dst, inDegrees_[m.dst] + 1);
+            const EdgeIndex ib = inBegins_[m.dst];
+            const EdgeIndex id = inDegrees_[m.dst];
+            EdgeIndex pos = ib;
+            while (pos < ib + id && inSources_[pos] <= m.src)
+                ++pos;
+            for (EdgeIndex j = ib + id; j > pos; --j) {
+                inSources_[j] = inSources_[j - 1];
+                inWeights_[j] = inWeights_[j - 1];
+            }
+            inSources_[pos] = m.src;
+            inWeights_[pos] = m.weight;
+            ++inDegrees_[m.dst];
+
             ++liveEdges_;
             ++result.inserts;
             break;
@@ -134,6 +174,21 @@ DynamicGraph::apply(const MutationBatch &batch)
                 weights_[j] = weights_[j + 1];
             }
             --degrees_[m.src];
+
+            // Reverse mirror: the forward delete removed the first
+            // (src, dst) instance, which is the first in-entry with
+            // this source (equal sources keep forward slot order).
+            const EdgeIndex ib = inBegins_[m.dst];
+            const EdgeIndex iend = ib + inDegrees_[m.dst];
+            EdgeIndex ie = ib;
+            while (inSources_[ie] != m.src)
+                ++ie;
+            for (EdgeIndex j = ie; j + 1 < iend; ++j) {
+                inSources_[j] = inSources_[j + 1];
+                inWeights_[j] = inWeights_[j + 1];
+            }
+            --inDegrees_[m.dst];
+
             --liveEdges_;
             ++result.deletes;
             break;
@@ -143,6 +198,13 @@ DynamicGraph::apply(const MutationBatch &batch)
             while (targets_[e] != m.dst)
                 ++e;
             weights_[e] = m.weight;
+
+            // Reverse mirror of the forward first-match rule.
+            EdgeIndex ie = inBegins_[m.dst];
+            while (inSources_[ie] != m.src)
+                ++ie;
+            inWeights_[ie] = m.weight;
+
             ++result.reweights;
             break;
           }
@@ -158,6 +220,14 @@ DynamicGraph::apply(const MutationBatch &batch)
         touched.oldDegree = old_degree;
         touched.newDegree = degrees_[v];
         result.touched.push_back(touched);
+    }
+    result.touchedIn.reserve(old_in_degrees.size());
+    for (const auto &[v, old_degree] : old_in_degrees) {
+        TouchedVertex touched;
+        touched.vertex = v;
+        touched.oldDegree = old_degree;
+        touched.newDegree = inDegrees_[v];
+        result.touchedIn.push_back(touched);
     }
     return result;
 }
@@ -182,6 +252,24 @@ DynamicGraph::relocate(NodeId v, EdgeIndex need)
     begins_[v] = tail;
     caps_[v] = new_cap;
     // The old block stays behind as dead slack until compact().
+}
+
+void
+DynamicGraph::relocateIn(NodeId v, EdgeIndex need)
+{
+    const EdgeIndex new_cap =
+        need + std::max<EdgeIndex>(4, need / 2);
+    const EdgeIndex tail = inArenaSlots();
+    inSources_.resize(tail + new_cap);
+    inWeights_.resize(tail + new_cap);
+    const EdgeIndex old_begin = inBegins_[v];
+    const EdgeIndex d = inDegrees_[v];
+    std::copy_n(inSources_.begin() + old_begin, d,
+                inSources_.begin() + tail);
+    std::copy_n(inWeights_.begin() + old_begin, d,
+                inWeights_.begin() + tail);
+    inBegins_[v] = tail;
+    inCaps_[v] = new_cap;
 }
 
 bool
@@ -210,6 +298,26 @@ DynamicGraph::compact()
     }
     targets_ = std::move(targets);
     weights_ = std::move(weights);
+
+    // The reverse arena compacts in the same step, under the same
+    // fault point and the same compaction counter — both virtualizers
+    // rebase off one compactions() tick.
+    std::vector<NodeId> sources(liveEdges_);
+    std::vector<Weight> in_weights(liveEdges_);
+    cursor = 0;
+    for (NodeId v = 0; v < numNodes(); ++v) {
+        const EdgeIndex d = inDegrees_[v];
+        std::copy_n(inSources_.begin() + inBegins_[v], d,
+                    sources.begin() + cursor);
+        std::copy_n(inWeights_.begin() + inBegins_[v], d,
+                    in_weights.begin() + cursor);
+        inBegins_[v] = cursor;
+        inCaps_[v] = d;
+        cursor += d;
+    }
+    inSources_ = std::move(sources);
+    inWeights_ = std::move(in_weights);
+
     ++compactions_;
     return reclaimed;
 }
@@ -232,6 +340,27 @@ DynamicGraph::toCsr() const
     }
     offsets[numNodes()] = cursor;
     return graph::Csr(std::move(offsets), std::move(targets),
+                      std::move(weights));
+}
+
+graph::Csr
+DynamicGraph::toReversedCsr() const
+{
+    std::vector<EdgeIndex> offsets(numNodes() + 1, 0);
+    std::vector<NodeId> sources(liveEdges_);
+    std::vector<Weight> weights(liveEdges_);
+    EdgeIndex cursor = 0;
+    for (NodeId v = 0; v < numNodes(); ++v) {
+        offsets[v] = cursor;
+        const EdgeIndex d = inDegrees_[v];
+        std::copy_n(inSources_.begin() + inBegins_[v], d,
+                    sources.begin() + cursor);
+        std::copy_n(inWeights_.begin() + inBegins_[v], d,
+                    weights.begin() + cursor);
+        cursor += d;
+    }
+    offsets[numNodes()] = cursor;
+    return graph::Csr(std::move(offsets), std::move(sources),
                       std::move(weights));
 }
 

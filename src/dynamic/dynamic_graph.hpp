@@ -38,8 +38,14 @@ struct EpochDelta
     /** Epoch the graph is at after this batch (first batch -> 1). */
     std::uint64_t epoch = 0;
 
-    /** Vertices the batch touched, sorted by id, no duplicates. */
+    /** Vertices whose out-segment the batch touched, sorted by id,
+     *  no duplicates. */
     std::vector<TouchedVertex> touched;
+
+    /** Vertices whose in-segment the batch touched (the mirror of
+     *  `touched` over the reverse arena: degrees are in-degrees),
+     *  sorted by id, no duplicates. */
+    std::vector<TouchedVertex> touchedIn;
 
     std::size_t inserts = 0;
     std::size_t deletes = 0;
@@ -59,6 +65,18 @@ struct EpochDelta
  * preserving storage order — so toCsr() of an unmutated graph equals
  * the source Csr exactly, and edge order stays the stable order
  * Csr::fromCoo would produce.
+ *
+ * A mirrored *reverse* slack arena keeps each vertex's in-neighbor
+ * segment contiguous and is updated in the same O(touched) pass as the
+ * forward one. The in-segment invariant matches Csr::reversed()'s
+ * counting sort exactly: entries ordered by source id ascending, and
+ * among equal sources by the forward slot order of the parallel
+ * (src, dst) edges. Inserts place the new source at the upper bound of
+ * its id (the new forward edge is appended last in its segment, so it
+ * ranks last among equal sources); deletes and reweights hit the first
+ * in-entry with the matching source, mirroring the forward first-match
+ * rule. Consequently toReversedCsr() is bit-identical to
+ * toCsr().reversed() at every epoch.
  *
  * apply() validates the whole batch before touching any state: a
  * thrown MutationError (or an injected fault at the mutation.apply
@@ -123,6 +141,71 @@ class DynamicGraph
         return degrees_;
     }
 
+    /** Indegree of node @p v (reverse arena). */
+    EdgeIndex inDegree(NodeId v) const { return inDegrees_[v]; }
+
+    /** First reverse-arena slot of node @p v's in-segment. */
+    EdgeIndex inEdgeBegin(NodeId v) const { return inBegins_[v]; }
+
+    /** Allocated capacity of node @p v's in-segment. */
+    EdgeIndex inCapacity(NodeId v) const { return inCaps_[v]; }
+
+    /** Sources of node @p v's live in-edges, ordered by source id then
+     *  forward slot order — the order Csr::reversed() produces. */
+    std::span<const NodeId>
+    inNeighbors(NodeId v) const
+    {
+        return {inSources_.data() + inBegins_[v],
+                static_cast<std::size_t>(inDegrees_[v])};
+    }
+
+    /** Weights of node @p v's live in-edges, parallel to inNeighbors. */
+    std::span<const Weight>
+    inWeights(NodeId v) const
+    {
+        return {inWeights_.data() + inBegins_[v],
+                static_cast<std::size_t>(inDegrees_[v])};
+    }
+
+    /** Source stored in reverse-arena slot @p slot. Valid for any slot
+     *  an arena-addressed reverse virtual entry owns. */
+    NodeId inArenaSource(EdgeIndex slot) const
+    {
+        return inSources_[slot];
+    }
+
+    /** Weight stored in reverse-arena slot @p slot, parallel to
+     *  inArenaSource. */
+    Weight inArenaWeight(EdgeIndex slot) const
+    {
+        return inWeights_[slot];
+    }
+
+    /** Per-vertex in-segment begins (size n). */
+    std::span<const EdgeIndex> inSegmentBegins() const
+    {
+        return inBegins_;
+    }
+
+    /** Per-vertex live in-degrees (size n), parallel to
+     *  inSegmentBegins. */
+    std::span<const EdgeIndex> inSegmentDegrees() const
+    {
+        return inDegrees_;
+    }
+
+    /** Total reverse-arena slots (live + slack). */
+    EdgeIndex inArenaSlots() const
+    {
+        return static_cast<EdgeIndex>(inSources_.size());
+    }
+
+    /** Dead + over-allocated slots in the reverse arena. */
+    EdgeIndex inSlackSlots() const
+    {
+        return inArenaSlots() - liveEdges_;
+    }
+
     /** Current epoch: number of batches applied so far. */
     std::uint64_t epoch() const { return epoch_; }
 
@@ -180,16 +263,30 @@ class DynamicGraph
      *  within each vertex. */
     graph::Csr toCsr() const;
 
+    /** Materialize the reversed live graph as a dense Csr straight
+     *  from the reverse arena — bit-identical to toCsr().reversed()
+     *  without building the forward Csr first. */
+    graph::Csr toReversedCsr() const;
+
   private:
     /** Move node @p v's segment to the arena tail with room for at
      *  least @p need slots. */
     void relocate(NodeId v, EdgeIndex need);
+
+    /** Move node @p v's in-segment to the reverse-arena tail with room
+     *  for at least @p need slots. */
+    void relocateIn(NodeId v, EdgeIndex need);
 
     std::vector<EdgeIndex> begins_;
     std::vector<EdgeIndex> degrees_;
     std::vector<EdgeIndex> caps_;
     std::vector<NodeId> targets_;
     std::vector<Weight> weights_;
+    std::vector<EdgeIndex> inBegins_;
+    std::vector<EdgeIndex> inDegrees_;
+    std::vector<EdgeIndex> inCaps_;
+    std::vector<NodeId> inSources_;
+    std::vector<Weight> inWeights_;
     EdgeIndex liveEdges_ = 0;
     std::uint64_t epoch_ = 0;
     std::uint64_t compactions_ = 0;

@@ -20,17 +20,19 @@ namespace {
  *  vertex v's family starts in a tight vertex-ordered entry array,
  *  offsets[n] the total. Bit-identical for any thread count. */
 std::vector<std::size_t>
-familyOffsets(const DynamicGraph &graph, NodeId degree_bound,
-              par::ThreadPool *pool)
+familyOffsets(const DynamicGraph &graph, GraphSide side,
+              NodeId degree_bound, par::ThreadPool *pool)
 {
     const NodeId n = graph.numNodes();
     std::vector<std::size_t> offsets(static_cast<std::size_t>(n) + 1,
                                      0);
     par::parallelFor(pool, n, par::kDefaultGrain,
                      [&](std::uint64_t v, unsigned) {
-                         offsets[v] = familySize(
-                             graph.degree(static_cast<NodeId>(v)),
-                             degree_bound);
+                         const NodeId node = static_cast<NodeId>(v);
+                         const EdgeIndex d = side == GraphSide::Out
+                                                 ? graph.degree(node)
+                                                 : graph.inDegree(node);
+                         offsets[v] = familySize(d, degree_bound);
                      });
     par::chunkedExclusiveScan(pool, offsets);
     return offsets;
@@ -38,11 +40,32 @@ familyOffsets(const DynamicGraph &graph, NodeId degree_bound,
 
 } // namespace
 
+EdgeIndex
+IncrementalVirtualizer::sideDegree(NodeId v) const
+{
+    return side_ == GraphSide::Out ? graph_->degree(v)
+                                   : graph_->inDegree(v);
+}
+
+EdgeIndex
+IncrementalVirtualizer::sideBegin(NodeId v) const
+{
+    return side_ == GraphSide::Out ? graph_->edgeBegin(v)
+                                   : graph_->inEdgeBegin(v);
+}
+
+const std::vector<TouchedVertex> &
+IncrementalVirtualizer::sideTouched(const EpochDelta &delta) const
+{
+    return side_ == GraphSide::Out ? delta.touched : delta.touchedIn;
+}
+
 IncrementalVirtualizer::IncrementalVirtualizer(
     const DynamicGraph &graph, NodeId degree_bound, EdgeLayout layout,
-    StartAddressing addressing, par::ThreadPool *pool)
+    StartAddressing addressing, par::ThreadPool *pool, GraphSide side)
     : degreeBound_(degree_bound), layout_(layout),
-      addressing_(addressing), epoch_(graph.epoch()), graph_(&graph)
+      addressing_(addressing), side_(side), epoch_(graph.epoch()),
+      graph_(&graph)
 {
     if (degree_bound == 0)
         throw std::invalid_argument(
@@ -59,7 +82,7 @@ IncrementalVirtualizer::IncrementalVirtualizer(
     for (NodeId v = 0; v < n; ++v) {
         begins_[v] = edge_cursor;
         vbase_[v] = entry_cursor;
-        const EdgeIndex d = graph.degree(v);
+        const EdgeIndex d = sideDegree(v);
         entry_cursor += familySize(d, degree_bound);
         edge_cursor += d;
     }
@@ -71,7 +94,7 @@ IncrementalVirtualizer::IncrementalVirtualizer(
                          const NodeId v = static_cast<NodeId>(i);
                          std::size_t slot = vbase_[v];
                          forEachVirtualNodeAt(
-                             v, begins_[v], graph.degree(v),
+                             v, begins_[v], sideDegree(v),
                              degreeBound_, layout_,
                              [&](const VirtualNode &node) {
                                  nodes_[slot++] = node;
@@ -87,7 +110,7 @@ IncrementalVirtualizer::rebuildArena(par::ThreadPool *pool)
     entryCount_.resize(n);
     entryCap_.resize(n);
     const std::vector<std::size_t> offsets =
-        familyOffsets(*graph_, degreeBound_, pool);
+        familyOffsets(*graph_, side_, degreeBound_, pool);
     const std::size_t total = offsets[n];
     // Entries are packed tight (every slot live, caps == sizes) but
     // the buffer keeps ~12% spare capacity: the first relocations
@@ -101,9 +124,8 @@ IncrementalVirtualizer::rebuildArena(par::ThreadPool *pool)
         pool, n, par::kDefaultGrain, [&](std::uint64_t i, unsigned) {
             const NodeId v = static_cast<NodeId>(i);
             std::size_t slot = offsets[v];
-            forEachVirtualNodeAt(v, graph_->edgeBegin(v),
-                                 graph_->degree(v), degreeBound_,
-                                 layout_,
+            forEachVirtualNodeAt(v, sideBegin(v), sideDegree(v),
+                                 degreeBound_, layout_,
                                  [&](const VirtualNode &node) {
                                      nodes_[slot++] = node;
                                  });
@@ -170,9 +192,9 @@ IncrementalVirtualizer::applyDeltaArena(const EpochDelta &delta)
     RepairStats stats;
     stats.entriesBefore = liveEntries_;
 
-    for (const TouchedVertex &t : delta.touched) {
+    for (const TouchedVertex &t : sideTouched(delta)) {
         const NodeId v = t.vertex;
-        const EdgeIndex seg_begin = graph_->edgeBegin(v);
+        const EdgeIndex seg_begin = sideBegin(v);
         // A family is stale iff its degree changed or the graph
         // relocated the segment (insert into a full segment moves the
         // block to the arena tail — detectable even at unchanged
@@ -223,9 +245,10 @@ IncrementalVirtualizer::applyDeltaDense(const EpochDelta &delta,
     stats.entriesBefore = nodes_.size();
 
     // Reweight-only touches change no degree, hence no family.
+    const std::vector<TouchedVertex> &touched = sideTouched(delta);
     std::vector<const TouchedVertex *> changed;
-    changed.reserve(delta.touched.size());
-    for (const TouchedVertex &t : delta.touched)
+    changed.reserve(touched.size());
+    for (const TouchedVertex &t : touched)
         if (t.oldDegree != t.newDegree)
             changed.push_back(&t);
 
@@ -432,8 +455,8 @@ IncrementalVirtualizer::canonicalNodes(par::ThreadPool *pool) const
                                      0);
     par::parallelFor(pool, n, par::kDefaultGrain,
                      [&](std::uint64_t v, unsigned) {
-                         dense_begin[v] = graph_->degree(
-                             static_cast<NodeId>(v));
+                         dense_begin[v] =
+                             sideDegree(static_cast<NodeId>(v));
                          out_off[v] = entryCount_[v];
                      });
     par::chunkedExclusiveScan(pool, dense_begin);
@@ -442,7 +465,7 @@ IncrementalVirtualizer::canonicalNodes(par::ThreadPool *pool) const
     par::parallelFor(
         pool, n, par::kDefaultGrain, [&](std::uint64_t i, unsigned) {
             const NodeId v = static_cast<NodeId>(i);
-            const EdgeIndex arena_begin = graph_->edgeBegin(v);
+            const EdgeIndex arena_begin = sideBegin(v);
             const VirtualNode *src = nodes_.data() + entryBegin_[v];
             VirtualNode *dst = out.data() + out_off[v];
             for (EdgeIndex e = 0; e < entryCount_[v]; ++e) {
@@ -459,7 +482,12 @@ std::optional<std::string>
 differentialCheck(const DynamicGraph &graph,
                   const IncrementalVirtualizer &virtualizer)
 {
-    const graph::Csr dense = graph.toCsr();
+    // The In-side oracle reverses the dense forward materialization —
+    // deliberately NOT toReversedCsr(), so the check stays independent
+    // of the reverse arena whose maintenance it is proving.
+    const graph::Csr dense = virtualizer.side() == GraphSide::Out
+                                 ? graph.toCsr()
+                                 : graph.toCsr().reversed();
     const transform::VirtualGraph rebuilt(
         dense, virtualizer.degreeBound(), virtualizer.layout());
     const auto expect = rebuilt.virtualNodes();
@@ -494,16 +522,20 @@ differentialCheck(const DynamicGraph &graph,
             const auto fam = virtualizer.familyOf(v);
             const std::size_t want = familySize(
                 dense.degree(v), virtualizer.degreeBound());
+            const EdgeIndex seg_begin =
+                virtualizer.side() == GraphSide::Out
+                    ? graph.edgeBegin(v)
+                    : graph.inEdgeBegin(v);
             if (fam.size() != want)
                 return "family of node " + std::to_string(v) +
                        " has " + std::to_string(fam.size()) +
                        " entries, expected " + std::to_string(want);
-            if (fam[0].start != graph.edgeBegin(v))
+            if (fam[0].start != seg_begin)
                 return "family of node " + std::to_string(v) +
                        " anchors at arena slot " +
                        std::to_string(fam[0].start) +
                        ", segment begins at " +
-                       std::to_string(graph.edgeBegin(v));
+                       std::to_string(seg_begin);
         }
         return std::nullopt;
     }

@@ -47,6 +47,18 @@ enum class StartAddressing
     Arena,
 };
 
+/** Which orientation of the graph the virtual array splits. */
+enum class GraphSide
+{
+    /** Out-edges: the forward arena, degrees are outdegrees. */
+    Out,
+    /** In-edges: the reverse arena, degrees are indegrees. Entry
+     *  starts address the reverse arena (or, dense, the CSR that
+     *  toReversedCsr() materializes), and repair consumes
+     *  EpochDelta::touchedIn. */
+    In,
+};
+
 /** What one repair pass did. */
 struct RepairStats
 {
@@ -110,13 +122,16 @@ class IncrementalVirtualizer
                            transform::EdgeLayout layout,
                            StartAddressing addressing =
                                StartAddressing::Dense,
-                           par::ThreadPool *pool = nullptr);
+                           par::ThreadPool *pool = nullptr,
+                           GraphSide side = GraphSide::Out);
 
     NodeId degreeBound() const { return degreeBound_; }
 
     transform::EdgeLayout layout() const { return layout_; }
 
     StartAddressing addressing() const { return addressing_; }
+
+    GraphSide side() const { return side_; }
 
     /** Epoch of the graph state the array reflects. */
     std::uint64_t epoch() const { return epoch_; }
@@ -249,9 +264,20 @@ class IncrementalVirtualizer
     void rebuildArena(par::ThreadPool *pool);
     void requireFreshSlots(const char *what) const;
 
+    /** The side's live degree of @p v (out- or in-degree). */
+    EdgeIndex sideDegree(NodeId v) const;
+
+    /** The side's arena segment begin of @p v. */
+    EdgeIndex sideBegin(NodeId v) const;
+
+    /** The side's touched list of @p delta. */
+    const std::vector<TouchedVertex> &
+    sideTouched(const EpochDelta &delta) const;
+
     NodeId degreeBound_ = 1;
     transform::EdgeLayout layout_ = transform::EdgeLayout::Coalesced;
     StartAddressing addressing_ = StartAddressing::Dense;
+    GraphSide side_ = GraphSide::Out;
     std::uint64_t epoch_ = 0;
     std::vector<transform::VirtualNode> nodes_;
 
@@ -276,7 +302,9 @@ class IncrementalVirtualizer
 
 /**
  * Prove the maintained array equals a from-scratch rebuild: materialize
- * @p graph as a dense CSR, build a VirtualGraph with the virtualizer's
+ * @p graph as a dense CSR (reversed via toCsr().reversed() for an
+ * In-side virtualizer, so the oracle is independent of the reverse
+ * arena it checks), build a VirtualGraph with the virtualizer's
  * (K, layout), and compare entry by entry (canonicalizing first under
  * arena addressing), plus the per-vertex family extents.
  *

@@ -520,13 +520,18 @@ runPush(const Provider &provider, sim::WarpSimulator &sim,
  * syncRelaxation selects whether gathers read values updated earlier
  * in the same chunk (the chunk-scoped relaxation described in the file
  * comment).
+ *
+ * @p ForwardGraph only needs outNeighbors(NodeId); both graph::Csr and
+ * dynamic::DynamicGraph qualify, so the destination filter works off
+ * the forward slack arena with no dense materialization.
  */
-template <typename Semiring, typename Provider>
+template <typename Semiring, typename Provider,
+          typename ForwardGraph = graph::Csr>
 PushOutcome<Semiring>
 runPull(const Provider &provider, sim::WarpSimulator &sim,
         const PushOptions &options,
         std::span<const std::pair<NodeId, typename Semiring::Value>> seeds,
-        const graph::Csr *forward = nullptr)
+        const ForwardGraph *forward = nullptr)
 {
     using Value = typename Semiring::Value;
 

@@ -130,6 +130,14 @@ writeArgs(std::ostream &out, const TraceEvent &e)
         fields[nf++] = {"resplit", e.arg[2]};
         fields[nf++] = {"shifted", e.arg[3]};
         fields[nf++] = {"entries", e.arg[4]};
+        fields[nf++] = {"reverse_repaired", e.arg[5]};
+        fields[nf++] = {"reverse_resplit", e.arg[6]};
+        break;
+    case EventKind::ArenaServe:
+        labels[nl++] = {"direction", e.label[0]};
+        fields[nf++] = {"epoch", e.arg[0]};
+        fields[nf++] = {"forward", e.arg[1]};
+        fields[nf++] = {"reverse", e.arg[2]};
         break;
     case EventKind::JournalAppend:
         labels[nl++] = {"policy", e.label[0]};

@@ -94,6 +94,8 @@ eventKindName(EventKind kind)
         return "mutation.compact";
     case EventKind::MutationResplit:
         return "mutation.resplit";
+    case EventKind::ArenaServe:
+        return "arena.serve";
     case EventKind::JournalAppend:
         return "journal.append";
     case EventKind::JournalCheckpoint:
@@ -206,6 +208,14 @@ formatEvent(const TraceEvent &e)
         appendArg(out, "resplit", e.arg[2]);
         appendArg(out, "shifted", e.arg[3]);
         appendArg(out, "entries", e.arg[4]);
+        appendArg(out, "reverse_repaired", e.arg[5]);
+        appendArg(out, "reverse_resplit", e.arg[6]);
+        break;
+    case EventKind::ArenaServe:
+        appendLabel(out, "direction", e.label[0]);
+        appendArg(out, "epoch", e.arg[0]);
+        appendArg(out, "forward", e.arg[1]);
+        appendArg(out, "reverse", e.arg[2]);
         break;
     case EventKind::JournalAppend:
         appendLabel(out, "policy", e.label[0]);
@@ -388,6 +398,11 @@ aggregateTrace(const TraceSink &sink, MetricsRegistry &registry)
             registry.counter("mutation.repaired").add(e.arg[1]);
             registry.counter("mutation.resplits").add(e.arg[2]);
             registry.counter("mutation.shifted").add(e.arg[3]);
+            registry.counter("mutation.reverse_repaired").add(e.arg[5]);
+            registry.counter("mutation.reverse_resplits").add(e.arg[6]);
+            break;
+        case EventKind::ArenaServe:
+            registry.counter("scheduler.arena_served").add();
             break;
         case EventKind::JournalAppend:
             registry.counter("journal.appends").add();

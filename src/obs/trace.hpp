@@ -55,6 +55,8 @@ enum class EventKind : std::uint8_t
     MutationApply,   ///< A batch finished applying to the graph.
     MutationCompact, ///< The slack arena was compacted.
     MutationResplit, ///< One batch's incremental virtual repair.
+    ArenaServe,      ///< Scheduler served a query off the live arena
+                     ///< (no dense materialization).
     JournalAppend,     ///< One WAL record framed and written.
     JournalCheckpoint, ///< Snapshot written, journal rotated.
     RecoverGraph,      ///< One graph recovered at startup.
@@ -92,7 +94,11 @@ std::string_view eventKindName(EventKind kind);
  *                        slots
  *   MutationCompact arg: epoch, reclaimed slots, live edges
  *   MutationResplit arg: epoch, repaired vertices, resplit families,
- *                        shifted entries, entries after
+ *                        shifted entries, entries after, reverse
+ *                        repaired vertices, reverse resplit families
+ *   ArenaServe      label: direction
+ *                   arg: arena epoch, maintained forward array,
+ *                        maintained reverse array
  *   JournalAppend   label: sync policy
  *                   arg: epoch, record seq, frame bytes, synced inline
  *   JournalCheckpoint arg: epoch, retired records, journal bytes after

@@ -117,11 +117,16 @@ GraphStore::mutate(std::string_view name,
     if (!entry.dynamic) {
         auto state = std::make_shared<DynamicState>();
         state->graph = dynamic::DynamicGraph(current.graph);
-        if (current.hasVirtual)
+        if (current.hasVirtual) {
             state->virtualizer.emplace(state->graph,
                                        current.virtualDegreeBound,
                                        current.virtualLayout,
                                        dynamic::StartAddressing::Arena);
+            state->reverseVirtualizer.emplace(
+                state->graph, current.virtualDegreeBound,
+                current.virtualLayout, dynamic::StartAddressing::Arena,
+                nullptr, dynamic::GraphSide::In);
+        }
         state->base = current.epoch;
         entry.dynamic = std::move(state);
     }
@@ -146,6 +151,19 @@ GraphStore::mutate(std::string_view name,
         result.repair = state.virtualizer->applyDelta(result.delta);
         result.virtualRepaired = true;
     }
+    if (state.reverseVirtualizer) {
+        // Time the mirror's repair separately: it is the marginal cost
+        // the reverse arena adds to the mutation path, surfaced as the
+        // wall-clock `mutation.reverse_repair_us` counter (metrics
+        // only; deterministic traces carry the repair counts instead).
+        const auto reverse_start = std::chrono::steady_clock::now();
+        result.reverseRepair =
+            state.reverseVirtualizer->applyDelta(result.delta);
+        result.reverseRepairUs =
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - reverse_start)
+                .count();
+    }
 
     // Publish the next epoch by marking the dense StoredGraph stale —
     // O(1); the next find/at/pin materializes it. Pinned readers of the
@@ -162,15 +180,21 @@ GraphStore::mutate(std::string_view name,
     if (state.graph.shouldCompact()) {
         result.reclaimed = state.graph.compact();
         result.compacted = true;
-        // Compaction renumbers every arena slot; the arena-addressed
-        // entries must be rebased before they are read or repaired
-        // again. This is the one residual whole-array sweep left on
-        // the mutation path.
+        // Compaction renumbers every arena slot (both sides); the
+        // arena-addressed entries must be rebased before they are read
+        // or repaired again. This is the one residual whole-array
+        // sweep left on the mutation path.
         if (state.virtualizer)
             state.virtualizer->rebase();
-    } else if (state.virtualizer &&
-               state.virtualizer->shouldCompactEntries()) {
-        state.virtualizer->rebase();
+        if (state.reverseVirtualizer)
+            state.reverseVirtualizer->rebase();
+    } else {
+        if (state.virtualizer &&
+            state.virtualizer->shouldCompactEntries())
+            state.virtualizer->rebase();
+        if (state.reverseVirtualizer &&
+            state.reverseVirtualizer->shouldCompactEntries())
+            state.reverseVirtualizer->rebase();
     }
     result.slackSlots = state.graph.slackSlots();
     return result;
@@ -248,6 +272,35 @@ GraphStore::pin(std::string_view name) const
         throw std::out_of_range("tigr: no graph named '" +
                                 std::string(name) + "' in the store");
     return materialized(it->second);
+}
+
+const StoredGraph *
+GraphStore::peek(std::string_view name) const
+{
+    auto it = entries_.find(name);
+    return it == entries_.end() ? nullptr : it->second.stored.get();
+}
+
+ArenaView
+GraphStore::arenaView(std::string_view name) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        throw std::out_of_range("tigr: no graph named '" +
+                                std::string(name) + "' in the store");
+    ArenaView view;
+    const Entry &entry = it->second;
+    if (!entry.dynamic)
+        return view;
+    const DynamicState &state = *entry.dynamic;
+    view.graph = &state.graph;
+    if (state.virtualizer)
+        view.forward = &*state.virtualizer;
+    if (state.reverseVirtualizer)
+        view.reverse = &*state.reverseVirtualizer;
+    view.epoch = state.base + state.graph.epoch();
+    view.staleDense = state.staleDense.load(std::memory_order_acquire);
+    return view;
 }
 
 const StoredGraph *

@@ -80,6 +80,12 @@ struct MutateResult
     /** Incremental virtual-array repair stats (zero-initialized when
      *  the entry has no virtual section). */
     dynamic::RepairStats repair;
+    /** Repair stats of the mirrored In-side virtual array (zero when
+     *  the entry has no virtual section). */
+    dynamic::RepairStats reverseRepair;
+    /** Wall-clock microseconds the reverse-side repair took (metrics
+     *  only — never folded into deterministic traces). */
+    double reverseRepairUs = 0.0;
     /** True when the entry carries a virtual array that was repaired. */
     bool virtualRepaired = false;
     /** The entry's epoch after the mutation. */
@@ -92,6 +98,32 @@ struct MutateResult
     bool compacted = false;
     /** Arena slots the compaction reclaimed. */
     EdgeIndex reclaimed = 0;
+};
+
+/**
+ * Borrowed view of a mutated entry's live arena state, for serving
+ * queries with no dense materialization (see
+ * docs/service.md, arena-served queries). `graph` is null when the
+ * entry has never been mutated — there is no arena to serve from, and
+ * the dense StoredGraph is current by definition. The pointers borrow
+ * the entry's DynamicState and stay valid until the next mutate() or
+ * remove() of that entry; like find/at, valid to read only while no
+ * mutation is running.
+ */
+struct ArenaView
+{
+    /** The slack-arena graph, or null (entry never mutated). */
+    const dynamic::DynamicGraph *graph = nullptr;
+    /** Maintained Out-side virtualizer (null without a virtual
+     *  section). */
+    const dynamic::IncrementalVirtualizer *forward = nullptr;
+    /** Maintained In-side virtualizer over the reverse arena (null
+     *  without a virtual section). */
+    const dynamic::IncrementalVirtualizer *reverse = nullptr;
+    /** Absolute epoch the arena reflects. */
+    std::uint64_t epoch = 0;
+    /** True while the entry's dense StoredGraph lags the arena. */
+    bool staleDense = false;
 };
 
 /** What one GraphStore::checkpoint() call did. */
@@ -153,6 +185,24 @@ class GraphStore
 
     /** Entry for @p name. @throws std::out_of_range with the name. */
     const StoredGraph &at(std::string_view name) const;
+
+    /**
+     * Entry for @p name WITHOUT materializing a stale dense version,
+     * or null. The returned StoredGraph may lag the entry's epoch
+     * after a mutation (compare `epoch` against epochOf()); use it for
+     * admission-time metadata (name, virtual section, strategy hints)
+     * that is epoch-invariant, and find/at/pin when the dense graph
+     * itself is needed.
+     */
+    const StoredGraph *peek(std::string_view name) const;
+
+    /**
+     * Live arena state of @p name, for serving queries straight off
+     * the mutated graph. `graph` is null when the entry was never
+     * mutated (no arena exists; the dense entry is current).
+     * @throws std::out_of_range for an unknown name.
+     */
+    ArenaView arenaView(std::string_view name) const;
 
     /** True when @p name is registered. */
     bool contains(std::string_view name) const
@@ -279,6 +329,12 @@ class GraphStore
     {
         dynamic::DynamicGraph graph;
         std::optional<dynamic::IncrementalVirtualizer> virtualizer;
+        /** Mirrored In-side virtual array over the reverse arena,
+         *  repaired in the same mutate() as `virtualizer` (from
+         *  EpochDelta::touchedIn) so pull queries can be served with
+         *  no dense reversed rebuild. */
+        std::optional<dynamic::IncrementalVirtualizer>
+            reverseVirtualizer;
         std::uint64_t base = 0;
         /** True when `graph` moved past the entry's dense StoredGraph.
          *  Set by mutate() (which runs only between query batches),

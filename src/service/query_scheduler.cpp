@@ -1,10 +1,13 @@
 #include "service/query_scheduler.hpp"
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <thread>
 
+#include "engine/arena_engine.hpp"
 #include "graph/io.hpp"
 #include "par/thread_pool.hpp"
 
@@ -86,6 +89,7 @@ metricsDigestOf(const QueryResult &r)
         r.values,
         r.cacheHit ? 1u : 0u,
         r.degraded ? 1u : 0u,
+        r.arenaServed ? 1u : 0u,
         backoffMicros(r.backoffSimMs),
         r.faultTrace.size(),
         r.info.sparseIterations,
@@ -162,7 +166,10 @@ QueryScheduler::admit(const QuerySpec &spec, QueryResult &result) const
         result.message = std::move(why);
         return false;
     };
-    const StoredGraph *entry = store_.find(spec.graph);
+    // peek(): admission reads only epoch-invariant metadata (the node
+    // set never changes under mutation), so a query admitted mid-burst
+    // never forces the stale dense entry to materialize here.
+    const StoredGraph *entry = store_.peek(spec.graph);
     if (!entry)
         return reject("unknown graph '" + spec.graph + "'");
     if (entry->graph.numNodes() == 0)
@@ -172,6 +179,10 @@ QueryScheduler::admit(const QuerySpec &spec, QueryResult &result) const
          spec.algorithm == engine::Algorithm::Bc))
         return reject(std::string(algorithmName(spec.algorithm)) +
                       " is unsupported under the UDT strategy");
+    if (spec.strategy == engine::Strategy::TigrUdt &&
+        spec.direction == engine::Direction::Pull)
+        return reject("pull direction is unsupported under the UDT "
+                      "strategy");
     if (needsSource(spec.algorithm) &&
         spec.source >= entry->graph.numNodes())
         return reject("source " + std::to_string(spec.source) +
@@ -191,12 +202,14 @@ QueryScheduler::admit(const QuerySpec &spec, QueryResult &result) const
 
 void
 QueryScheduler::runAttempt(
-    const QuerySpec &spec, const StoredGraph &entry,
+    const QuerySpec &spec, const StoredGraph *entry,
     const std::shared_ptr<const engine::SharedSchedule> &shared,
-    double backoff_sim_ms, QueryResult &result) const
+    double backoff_sim_ms, QueryResult &result,
+    bool arena_served) const
 {
     engine::EngineOptions opts;
     opts.strategy = spec.strategy;
+    opts.direction = spec.direction;
     opts.degreeBound = spec.degreeBound;
     opts.mwVirtualWarp = spec.mwVirtualWarp;
     opts.frontier = spec.frontier;
@@ -250,8 +263,8 @@ QueryScheduler::runAttempt(
     // Exercises real allocation-failure paths (raises bad_alloc).
     TIGR_FAULT_POINT(fault::Site::Alloc);
 
-    engine::GraphEngine engine(entry.graph, opts, shared);
-    switch (spec.algorithm) {
+    auto run = [&](auto &engine) {
+        switch (spec.algorithm) {
       case engine::Algorithm::Bfs: {
         auto r = engine.bfs(spec.source);
         result.info = r.info;
@@ -297,6 +310,20 @@ QueryScheduler::runAttempt(
         result.values = r.values.size();
         break;
       }
+        }
+    };
+    if (arena_served) {
+        // Straight off the live arena: no dense StoredGraph, no cached
+        // schedule. The providers enumerate the same units a dense
+        // schedule would, so values/digests are bit-identical to the
+        // dense path (the differential fuzz suite's invariant).
+        const ArenaView view = store_.arenaView(spec.graph);
+        engine::ArenaEngine engine(*view.graph, view.forward,
+                                   view.reverse, opts);
+        run(engine);
+    } else {
+        engine::GraphEngine engine(entry->graph, opts, shared);
+        run(engine);
     }
 }
 
@@ -304,9 +331,13 @@ void
 QueryScheduler::execute(
     const QuerySpec &spec, QueryResult &result,
     std::shared_ptr<const engine::SharedSchedule> shared,
-    std::uint64_t scope_key) const
+    std::uint64_t scope_key, bool arena_served) const
 {
-    const StoredGraph &entry = store_.at(spec.graph);
+    // Arena-served queries must not look the dense entry up at all:
+    // at() materializes a stale epoch, which is exactly the work this
+    // path exists to avoid.
+    const StoredGraph *entry =
+        arena_served ? nullptr : &store_.at(spec.graph);
     const RetryPolicy &retry = options_.retry;
     // A warm-up degradation error survives a successful run (the
     // result self-reports what it absorbed); attempt failures that a
@@ -326,7 +357,7 @@ QueryScheduler::execute(
                                 &result.faultTrace);
         try {
             runAttempt(spec, entry, shared, result.backoffSimMs,
-                       result);
+                       result, arena_served);
             // The warm-up miss query paid the shared schedule's build
             // (TransformCache::getOrBuild): it must not report the
             // transform as cached just because the engine reused the
@@ -434,12 +465,63 @@ QueryScheduler::runBatch(std::span<const QuerySpec> batch)
     // `degraded`.
     std::vector<std::shared_ptr<const engine::SharedSchedule>>
         schedules(batch.size());
+
+    // Phase 2a — serial arena routing, in batch order: a query whose
+    // graph mutated since the last dense materialization is served
+    // straight off the live arena when its strategy can be (TigrV /
+    // TigrV+ — push over the forward arena, pull over the reverse
+    // one). Such queries skip the cache entirely; everything else on a
+    // stale graph needs the dense StoredGraph, which is materialized
+    // off-thread below so this phase never blocks on it. The decision
+    // is a pure function of the batch and the store's epoch state —
+    // never of timing.
+    std::vector<bool> arena_served(batch.size(), false);
+    std::vector<std::string_view> stale_dense;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (!admitted[i])
+            continue;
+        const QuerySpec &spec = batch[i];
+        const ArenaView view = store_.arenaView(spec.graph);
+        if (!view.graph || !view.staleDense)
+            continue;
+        if (hasDynamicFallback(spec.strategy)) {
+            arena_served[i] = true;
+            results[i].arenaServed = true;
+            if (options_.trace) {
+                obs::TraceEvent event;
+                event.kind = obs::EventKind::ArenaServe;
+                event.label[0] =
+                    spec.direction == engine::Direction::Pull
+                        ? "pull"
+                        : "push";
+                event.arg[0] = view.epoch;
+                event.arg[1] = view.forward ? 1 : 0;
+                event.arg[2] = view.reverse ? 1 : 0;
+                results[i].trace.record(event);
+            }
+        } else if (std::find(stale_dense.begin(), stale_dense.end(),
+                             std::string_view(spec.graph)) ==
+                   stale_dense.end()) {
+            stale_dense.push_back(spec.graph);
+        }
+    }
+    // Off-thread dense materialization, guarded by the store's
+    // staleDense atomic (double-checked, idempotent): a mutation burst
+    // whose queries are all arena-served spawns nothing and the stale
+    // flag stays set; graphs with direct-CSR consumers rebuild here,
+    // overlapped with warm-up instead of blocking it. Joined before
+    // the concurrent phase, so workers only ever see current entries.
+    std::vector<std::thread> materializers;
+    materializers.reserve(stale_dense.size());
+    for (std::string_view name : stale_dense)
+        materializers.emplace_back([this, name] { store_.pin(name); });
+
     std::unique_ptr<par::ThreadPool> build_pool;
     if (par::resolveThreads(options_.buildThreads) > 1)
         build_pool = std::make_unique<par::ThreadPool>(
             options_.buildThreads);
     for (std::size_t i = 0; i < batch.size(); ++i) {
-        if (!admitted[i] || !cacheable(batch[i]))
+        if (!admitted[i] || arena_served[i] || !cacheable(batch[i]))
             continue;
         const QuerySpec &spec = batch[i];
         const StoredGraph &entry = store_.at(spec.graph);
@@ -499,6 +581,8 @@ QueryScheduler::runBatch(std::span<const QuerySpec> batch)
         }
     }
     build_pool.reset();
+    for (std::thread &t : materializers)
+        t.join();
 
     // Phase 3 — concurrent execution: workers claim batch slots via an
     // atomic ticket. Claim order varies; each slot's result does not
@@ -513,7 +597,7 @@ QueryScheduler::runBatch(std::span<const QuerySpec> batch)
                 break;
             if (admitted[i])
                 execute(batch[i], results[i], schedules[i],
-                        scopeKey(batch_seq, i));
+                        scopeKey(batch_seq, i), arena_served[i]);
         }
     };
     if (workers_ > 1) {
@@ -586,6 +670,8 @@ QueryScheduler::runBatch(std::span<const QuerySpec> batch)
             metrics.counter("scheduler.retries").add(r.attempts - 1);
         if (r.degraded)
             metrics.counter("scheduler.degraded").add();
+        if (r.arenaServed)
+            metrics.counter("scheduler.arena_served").add();
         if (!r.faultTrace.empty())
             metrics.counter("scheduler.faults")
                 .add(r.faultTrace.size());
@@ -677,6 +763,8 @@ QueryScheduler::applyMutation(const MutationSpec &spec,
         result.touched = applied.delta.touched.size();
         result.repaired = applied.repair.repairedVertices;
         result.resplits = applied.repair.resplitFamilies;
+        result.reverseRepaired = applied.reverseRepair.repairedVertices;
+        result.reverseResplits = applied.reverseRepair.resplitFamilies;
         result.compacted = applied.compacted;
         result.reclaimed = applied.reclaimed;
         if (options_.trace) {
@@ -695,6 +783,9 @@ QueryScheduler::applyMutation(const MutationSpec &spec,
                 resplit.arg[2] = applied.repair.resplitFamilies;
                 resplit.arg[3] = applied.repair.shiftedEntries;
                 resplit.arg[4] = applied.repair.entriesAfter;
+                resplit.arg[5] =
+                    applied.reverseRepair.repairedVertices;
+                resplit.arg[6] = applied.reverseRepair.resplitFamilies;
                 result.trace.record(resplit);
             }
             if (applied.compacted) {
@@ -707,6 +798,13 @@ QueryScheduler::applyMutation(const MutationSpec &spec,
             }
         }
         metrics.counter("scheduler.mutations").add();
+        // Wall-clock cost of keeping the reverse-side virtual array in
+        // step. Metrics only — host timing never enters deterministic
+        // traces.
+        if (applied.virtualRepaired)
+            metrics.counter("mutation.reverse_repair_us")
+                .add(static_cast<std::uint64_t>(
+                    std::llround(applied.reverseRepairUs)));
     } catch (const fault::InjectedCrash &) {
         // A simulated process death is not a query failure: nothing
         // between here and the torture harness may absorb it.

@@ -82,6 +82,9 @@ struct QuerySpec
     NodeId source = 0;
     /** Scheduling strategy (Table 2). */
     engine::Strategy strategy = engine::Strategy::TigrVPlus;
+    /** Push or pull value propagation. Pull is rejected at admission
+     *  under TigrUdt (like the engine itself). */
+    engine::Direction direction = engine::Direction::Push;
     /** Degree bound K for the virtual strategies. */
     NodeId degreeBound = 10;
     /** Virtual-warp width for MaximumWarp. */
@@ -147,6 +150,10 @@ struct MutationResult
      *  no virtual section). */
     std::size_t repaired = 0;
     std::size_t resplits = 0;
+    /** Repair counters of the mirrored In-side array (0 without a
+     *  virtual section). */
+    std::size_t reverseRepaired = 0;
+    std::size_t reverseResplits = 0;
     /** True when the slack threshold triggered a compaction. */
     bool compacted = false;
     /** Arena slots the compaction reclaimed. */
@@ -198,6 +205,11 @@ struct QueryResult
     /** True when the query's transform came out of the TransformCache
      *  (deterministic: decided by the serial warm-up phase). */
     bool cacheHit = false;
+    /** True when the query was served straight off the live arena
+     *  (graph mutated, dense copy stale) — no dense materialization
+     *  and no cache involvement; values are bit-identical to the
+     *  dense path (decided serially, see docs/service.md). */
+    bool arenaServed = false;
     /** True when the query ran on the degradation ladder (dynamic
      *  mapping or engine-local build after a warm-up failure). The
      *  values are bit-identical to a non-degraded run. */
@@ -311,21 +323,28 @@ class QueryScheduler
     const CircuitBreaker &breaker() const { return breaker_; }
 
   private:
-    /** Validate @p spec against the store; fills result on rejection. */
+    /** Validate @p spec against the store; fills result on rejection.
+     *  Reads only epoch-invariant metadata (GraphStore::peek), so
+     *  admission never materializes a stale dense entry. */
     bool admit(const QuerySpec &spec, QueryResult &result) const;
 
     /** Execute one admitted query (on a 1-thread engine) with the
      *  retry loop. @p scope_key keys the fault scope; @p shared is the
-     *  warm-up's schedule (null = degraded or uncacheable). */
+     *  warm-up's schedule (null = degraded, uncacheable, or
+     *  arena-served). @p arena_served routes the query off the live
+     *  arena instead of the dense StoredGraph. */
     void execute(const QuerySpec &spec, QueryResult &result,
                  std::shared_ptr<const engine::SharedSchedule> shared,
-                 std::uint64_t scope_key) const;
+                 std::uint64_t scope_key, bool arena_served) const;
 
-    /** One engine run (attempt body); throws on failure. */
-    void runAttempt(const QuerySpec &spec, const StoredGraph &entry,
+    /** One engine run (attempt body); throws on failure. @p entry is
+     *  null for arena-served attempts (which never touch the dense
+     *  StoredGraph). */
+    void runAttempt(const QuerySpec &spec, const StoredGraph *entry,
                     const std::shared_ptr<const engine::SharedSchedule>
                         &shared,
-                    double backoff_sim_ms, QueryResult &result) const;
+                    double backoff_sim_ms, QueryResult &result,
+                    bool arena_served) const;
 
     /** Apply one mutation (serial phase of the two-span runBatch). */
     void applyMutation(const MutationSpec &spec, MutationResult &result,

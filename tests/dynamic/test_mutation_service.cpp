@@ -214,9 +214,9 @@ TEST(SchedulerMutation, InvalidatesStaleCacheEntriesByEpoch)
     EXPECT_EQ(cache.stats().entries, 1u);
 
     // Mutating bumps the epoch: the old schedule is unreachable (its
-    // key holds epoch 0) and invalidateStale() has dropped it, so the
-    // same query misses, rebuilds, and the cache holds exactly the new
-    // epoch's entry.
+    // key holds epoch 0) and invalidateStale() has dropped it. The
+    // post-mutation query is served straight off the live arena — no
+    // dense rebuild, no cache involvement — so the cache is empty.
     MutationSpec mutation;
     mutation.graph = "g";
     mutation.generate =
@@ -227,11 +227,34 @@ TEST(SchedulerMutation, InvalidatesStaleCacheEntriesByEpoch)
     EXPECT_TRUE(mutated.mutations[0].applied);
     EXPECT_EQ(mutated.mutations[0].epoch, 1u);
     EXPECT_FALSE(mutated.queries[0].cacheHit);
-    EXPECT_EQ(cache.stats().entries, 1u);
+    EXPECT_TRUE(mutated.queries[0].arenaServed);
+    EXPECT_EQ(cache.stats().entries, 0u);
     EXPECT_GE(cache.stats().evictions, 1u);
 
+    // The arena keeps serving while the dense entry stays stale.
+    const auto still = scheduler.runBatch({}, queries);
+    EXPECT_TRUE(still.queries[0].arenaServed);
+    EXPECT_EQ(still.queries[0].digest, mutated.queries[0].digest);
+
+    // A direct-CSR consumer (UDT cannot run off the arena) forces the
+    // dense epoch to materialize; afterwards the original query
+    // returns to the cache path — with values bit-identical to what
+    // the arena served — and the cache re-warms at the new epoch.
+    QuerySpec direct = query;
+    direct.strategy = engine::Strategy::TigrUdt;
+    const auto dense =
+        scheduler.runBatch({}, std::vector<QuerySpec>{direct});
+    EXPECT_EQ(dense.queries[0].outcome, QueryOutcome::Completed);
+    EXPECT_FALSE(dense.queries[0].arenaServed);
+
     const auto rewarm = scheduler.runBatch({}, queries);
-    EXPECT_TRUE(rewarm.queries[0].cacheHit);
+    EXPECT_FALSE(rewarm.queries[0].arenaServed);
+    EXPECT_FALSE(rewarm.queries[0].cacheHit);
+    EXPECT_EQ(rewarm.queries[0].digest, mutated.queries[0].digest);
+    EXPECT_EQ(cache.stats().entries, 1u);
+
+    const auto hot = scheduler.runBatch({}, queries);
+    EXPECT_TRUE(hot.queries[0].cacheHit);
 }
 
 TEST(SchedulerMutation, ReadOnlySchedulerRejectsMutations)

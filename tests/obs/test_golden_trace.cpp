@@ -16,9 +16,15 @@
 
 #include <gtest/gtest.h>
 
+#include "dynamic/mutation.hpp"
 #include "engine/graph_engine.hpp"
 #include "graph/builder.hpp"
 #include "obs/trace.hpp"
+#include "service/graph_store.hpp"
+#include "service/query_scheduler.hpp"
+#include "service/snapshot.hpp"
+#include "service/transform_cache.hpp"
+#include "transform/virtual_graph.hpp"
 
 namespace tigr {
 namespace {
@@ -107,17 +113,19 @@ traceAllCombos(const graph::Csr &g, unsigned threads)
 }
 
 /**
- * The golden check: trace @p g at 1/2/8 threads, require the three to
- * be byte-identical, then compare thread-1 against the blessed file —
- * or rewrite the blessed file when TIGR_UPDATE_GOLDEN is set.
+ * The golden check: render the trace at 1/2/8 threads via @p render,
+ * require the three to be byte-identical, then compare thread-1
+ * against the blessed file — or rewrite the blessed file when
+ * TIGR_UPDATE_GOLDEN is set.
  */
+template <typename Render>
 void
-checkGolden(const char *file, const graph::Csr &g)
+checkGoldenRendered(const char *file, Render render)
 {
-    const std::string actual = traceAllCombos(g, 1);
+    const std::string actual = render(1u);
     for (unsigned threads : {2u, 8u}) {
         const obs::TraceDiff diff =
-            obs::diffTraces(actual, traceAllCombos(g, threads));
+            obs::diffTraces(actual, render(threads));
         ASSERT_TRUE(diff.identical)
             << "trace differs between 1 and " << threads
             << " host threads — a wall-clock or scheduling-order "
@@ -148,6 +156,14 @@ checkGolden(const char *file, const graph::Csr &g)
            "TIGR_UPDATE_GOLDEN=1 (see docs/observability.md).";
 }
 
+void
+checkGolden(const char *file, const graph::Csr &g)
+{
+    checkGoldenRendered(file, [&](unsigned threads) {
+        return traceAllCombos(g, threads);
+    });
+}
+
 TEST(GoldenTrace, Figure2AllCombosMatchBlessedTrace)
 {
     checkGolden("figure2.trace.txt", figure2Graph());
@@ -156,6 +172,107 @@ TEST(GoldenTrace, Figure2AllCombosMatchBlessedTrace)
 TEST(GoldenTrace, Figure8AllCombosMatchBlessedTrace)
 {
     checkGolden("figure8.trace.txt", figure8Graph());
+}
+
+/**
+ * Scheduler trace of a mutate-then-query batch on Figure 8 with @p
+ * workers query workers: the mutation's resplit event (forward AND
+ * reverse repair counters) followed by every query's `arena.serve` +
+ * engine events, concatenated in batch order. The store entry carries
+ * a virtual section (K=2, coalesced), so both arena virtualizers are
+ * maintained and the arena-served queries reuse them.
+ */
+std::string
+traceSchedulerArena(unsigned workers)
+{
+    const graph::Csr base = figure8Graph();
+    const auto path =
+        std::filesystem::temp_directory_path() /
+        ("tigr_golden_arena_" + std::to_string(workers) + ".tgs");
+    service::Snapshot snapshot;
+    snapshot.graph = base;
+    snapshot.hasVirtual = true;
+    snapshot.virtualDegreeBound = 2;
+    snapshot.virtualLayout = transform::EdgeLayout::Coalesced;
+    {
+        const transform::VirtualGraph vg(
+            base, 2, transform::EdgeLayout::Coalesced);
+        snapshot.virtualNodes.assign(vg.virtualNodes().begin(),
+                                     vg.virtualNodes().end());
+    }
+    service::saveSnapshotFile(snapshot, path);
+    service::GraphStore store;
+    store.addSnapshot("g", path);
+    std::filesystem::remove(path);
+
+    service::TransformCache cache(std::size_t{16} << 20);
+    service::SchedulerOptions options;
+    options.workers = workers;
+    options.trace = true;
+    service::QueryScheduler scheduler(store, cache, options);
+
+    service::MutationSpec mutation;
+    mutation.graph = "g";
+    mutation.mutations = {
+        {dynamic::MutationKind::InsertEdge, 3, 7, 2},
+        {dynamic::MutationKind::InsertEdge, 4, 6, 1},
+        {dynamic::MutationKind::DeleteEdge, 0, 3, 0},
+        {dynamic::MutationKind::UpdateWeight, 0, 2, 9},
+    };
+
+    std::vector<service::QuerySpec> queries;
+    for (engine::Direction direction : kDirections) {
+        for (const char *algo : kAlgos) {
+            service::QuerySpec spec;
+            spec.graph = "g";
+            spec.algorithm =
+                std::string_view(algo) == "bfs" ? engine::Algorithm::Bfs
+                : std::string_view(algo) == "sssp"
+                    ? engine::Algorithm::Sssp
+                    : engine::Algorithm::Pr;
+            spec.source = 0;
+            spec.strategy = engine::Strategy::TigrVPlus;
+            spec.direction = direction;
+            spec.degreeBound = 2;
+            spec.prIterations = 5;
+            queries.push_back(spec);
+        }
+    }
+    const service::MutationBatchResult result =
+        scheduler.runBatch(std::vector{mutation}, queries);
+
+    std::ostringstream out;
+    out << "=== mutation g ===\n"
+        << obs::formatTrace(result.mutations[0].trace);
+    std::size_t i = 0;
+    for (engine::Direction direction : kDirections) {
+        for (const char *algo : kAlgos) {
+            out << "=== query " << algo << ' '
+                << (direction == engine::Direction::Push ? "push"
+                                                         : "pull")
+                << " tigr-v+ ===\n"
+                << obs::formatTrace(result.queries[i++].trace);
+        }
+    }
+    return out.str();
+}
+
+TEST(GoldenTrace, SchedulerArenaServedCombosMatchBlessedTrace)
+{
+    // The new events must actually be in the gated text: one resplit
+    // with reverse counters, one arena.serve per query.
+    const std::string rendered = traceSchedulerArena(1);
+    EXPECT_NE(rendered.find("mutation.resplit"), std::string::npos);
+    EXPECT_NE(rendered.find("reverse_repaired="), std::string::npos);
+    std::size_t serves = 0;
+    for (std::size_t at = rendered.find("arena.serve");
+         at != std::string::npos;
+         at = rendered.find("arena.serve", at + 1))
+        ++serves;
+    EXPECT_EQ(serves, 6u);
+
+    checkGoldenRendered("scheduler_arena.trace.txt",
+                        traceSchedulerArena);
 }
 
 TEST(GoldenTrace, TickBaseMakesMultiRunTracesMonotonic)

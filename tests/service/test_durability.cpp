@@ -652,6 +652,13 @@ TEST_F(DurableStore, CheckpointRequiresADurableStore)
 std::vector<std::uint64_t>
 stateDigests(const GraphStore &store, unsigned workers)
 {
+    // Pin the current epoch's dense entry first: a freshly mutated (or
+    // journal-replayed) store would otherwise serve these probes off
+    // the live arena, whose simulated cycle counts differ from the
+    // dense path by arena slot geometry. The digests here witness
+    // *state*, so every probe must measure the same (dense) execution
+    // path regardless of how the store arrived at its epoch.
+    store.pin("g");
     TransformCache cache(std::size_t{8} << 20);
     SchedulerOptions options;
     options.workers = workers;
